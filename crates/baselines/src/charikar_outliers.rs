@@ -1,0 +1,161 @@
+//! CHARIKARETAL — the sequential 3-approximation of Charikar et al. (SODA
+//! 2001) for k-center with `z` outliers.
+//!
+//! For a radius guess `r`, greedily pick the point whose ball of radius `r`
+//! covers the most uncovered points and remove everything within `3r`;
+//! after `k` picks, the guess is feasible iff at most `z` points remain. A
+//! binary search over the `O(n²)` pairwise distances finds the smallest
+//! feasible guess; the result is a 3-approximation (and `3-ε` is NP-hard).
+//!
+//! As the paper notes (§5.4), this is exactly `O(log n)` executions of
+//! `OutliersCluster` with `ε̂ = 0` and unit weights on the *whole input* —
+//! so the implementation delegates to the shared primitives, with the full
+//! `O(n²)` distance matrix cached (the quadratic footprint is intrinsic to
+//! the baseline and the reason Fig. 8 runs it on 10k-point samples).
+
+use std::time::{Duration, Instant};
+
+use kcenter_core::radius_search::{find_min_feasible_radius, SearchMode};
+use kcenter_core::solution::{radius_with_outliers, Clustering};
+use kcenter_core::InputError;
+use kcenter_metric::{DistanceMatrix, Metric};
+
+/// Result of a CHARIKARETAL run.
+#[derive(Clone, Debug)]
+pub struct CharikarResult<P> {
+    /// Centers and the measured objective `r_{T,Z_T}(S)`.
+    pub clustering: Clustering<P>,
+    /// The smallest feasible radius guess found by the binary search.
+    pub r_min: f64,
+    /// Number of greedy-cover executions.
+    pub evaluations: usize,
+    /// Total wall-clock time.
+    pub time: Duration,
+}
+
+/// Runs the 3-approximation of Charikar et al. (2001).
+///
+/// # Errors
+///
+/// Returns [`InputError`] if `(n, k, z)` violate `0 < k`, `k + z < n`.
+pub fn charikar_kcenter_outliers<P, M>(
+    points: &[P],
+    metric: &M,
+    k: usize,
+    z: usize,
+) -> Result<CharikarResult<P>, InputError>
+where
+    P: Clone + Sync,
+    M: Metric<P>,
+{
+    let n = points.len();
+    if n == 0 {
+        return Err(InputError::EmptyInput);
+    }
+    if k == 0 || k >= n {
+        return Err(InputError::InvalidK { k, n });
+    }
+    if k + z >= n {
+        return Err(InputError::InvalidZ { k, z, n });
+    }
+
+    let start = Instant::now();
+    let matrix = DistanceMatrix::build(points, metric);
+    let weights = vec![1u64; n];
+    // ε̂ = 0: selection ball r, removal ball 3r — the original algorithm.
+    let search = find_min_feasible_radius(
+        &matrix,
+        &weights,
+        k,
+        z as u64,
+        0.0,
+        SearchMode::ExactCandidates,
+    );
+    let centers: Vec<P> = search
+        .clustering
+        .centers
+        .iter()
+        .map(|&i| points[i].clone())
+        .collect();
+    let objective = radius_with_outliers(points, &centers, z, metric);
+    let time = start.elapsed();
+
+    Ok(CharikarResult {
+        clustering: Clustering {
+            centers,
+            radius: objective,
+        },
+        r_min: search.radius,
+        evaluations: search.evaluations,
+        time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcenter_core::brute_force::optimal_kcenter_outliers;
+    use kcenter_metric::{Euclidean, Point};
+
+    fn pts(coords: &[f64]) -> Vec<Point> {
+        coords.iter().map(|&c| Point::new(vec![c])).collect()
+    }
+
+    #[test]
+    fn three_approximation_holds_on_small_instances() {
+        let points = pts(&[0.0, 0.4, 0.9, 20.0, 20.3, 21.0, 500.0, -300.0]);
+        let (_, opt) = optimal_kcenter_outliers(&points, &Euclidean, 2, 2);
+        let result = charikar_kcenter_outliers(&points, &Euclidean, 2, 2).unwrap();
+        assert!(
+            result.clustering.radius <= 3.0 * opt + 1e-9,
+            "radius {} > 3·OPT = {}",
+            result.clustering.radius,
+            3.0 * opt
+        );
+    }
+
+    #[test]
+    fn excludes_the_planted_outliers() {
+        let mut coords: Vec<f64> = (0..30).map(|i| (i % 10) as f64 * 0.5).collect();
+        coords.push(10_000.0);
+        coords.push(-9_000.0);
+        let points = pts(&coords);
+        let result = charikar_kcenter_outliers(&points, &Euclidean, 2, 2).unwrap();
+        assert!(
+            result.clustering.radius < 10.0,
+            "radius {} failed to exclude outliers",
+            result.clustering.radius
+        );
+    }
+
+    #[test]
+    fn z_zero_reduces_to_plain_kcenter_bound() {
+        let points = pts(&[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        let (_, opt) = optimal_kcenter_outliers(&points, &Euclidean, 2, 0);
+        let result = charikar_kcenter_outliers(&points, &Euclidean, 2, 0).unwrap();
+        assert!(result.clustering.radius <= 3.0 * opt + 1e-9);
+        assert_eq!(result.clustering.k().min(2), result.clustering.k());
+    }
+
+    #[test]
+    fn binary_search_is_logarithmic() {
+        let points: Vec<Point> = (0..100)
+            .map(|i| Point::new(vec![(i as f64 * 7.7) % 53.0]))
+            .collect();
+        let result = charikar_kcenter_outliers(&points, &Euclidean, 5, 3).unwrap();
+        assert!(
+            result.evaluations <= 2 * 14 + 4,
+            "evaluations {} not logarithmic in n²",
+            result.evaluations
+        );
+    }
+
+    #[test]
+    fn validates_input() {
+        let points = pts(&[0.0, 1.0, 2.0]);
+        assert!(charikar_kcenter_outliers(&points, &Euclidean, 0, 0).is_err());
+        assert!(charikar_kcenter_outliers(&points, &Euclidean, 2, 1).is_err());
+        let empty: Vec<Point> = Vec::new();
+        assert!(charikar_kcenter_outliers(&empty, &Euclidean, 1, 0).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! The doubling algorithm of Charikar, Chekuri, Feder & Motwani (2004):
+//! 1-pass streaming k-center, deterministic 8-approximation, `Θ(k)` memory.
+//!
+//! This is the unweighted special case of the paper's weighted doubling
+//! coreset (§4) with budget `τ = k`: the surviving centers *are* the
+//! solution, with radius at most `8ϕ ≤ 8·r*_k` by invariants (c) and (e).
+//! It serves as a baseline in its own right and as pass 1 of the paper's
+//! 2-pass D-oblivious algorithm.
+
+use kcenter_core::streaming_coreset::WeightedDoublingCoreset;
+use kcenter_metric::Metric;
+use kcenter_stream::StreamingAlgorithm;
+
+/// Output of the doubling algorithm.
+#[derive(Clone, Debug)]
+pub struct DoublingOutput<P> {
+    /// The (at most `k`) centers.
+    pub centers: Vec<P>,
+    /// Final lower bound `ϕ`; the achieved radius is at most `8ϕ`.
+    pub phi: f64,
+}
+
+/// 1-pass streaming k-center, 8-approximation.
+pub struct DoublingKCenter<P, M> {
+    inner: WeightedDoublingCoreset<P, M>,
+}
+
+impl<P: Clone, M: Metric<P>> DoublingKCenter<P, M> {
+    /// Creates the algorithm for `k` centers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(metric: M, k: usize) -> Self {
+        DoublingKCenter {
+            inner: WeightedDoublingCoreset::new(metric, k),
+        }
+    }
+
+    /// Current lower bound `ϕ`.
+    pub fn phi(&self) -> f64 {
+        self.inner.phi()
+    }
+}
+
+impl<P: Clone, M: Metric<P>> StreamingAlgorithm<P> for DoublingKCenter<P, M> {
+    type Output = DoublingOutput<P>;
+
+    fn process(&mut self, item: P) {
+        self.inner.process(item);
+    }
+
+    fn memory_items(&self) -> usize {
+        self.inner.memory_items()
+    }
+
+    fn finalize(self) -> DoublingOutput<P> {
+        let output = self.inner.finalize();
+        DoublingOutput {
+            centers: output.coreset.points_only(),
+            phi: output.phi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcenter_core::brute_force::optimal_kcenter;
+    use kcenter_core::solution::radius;
+    use kcenter_metric::{Euclidean, Point};
+    use kcenter_stream::run_stream;
+
+    #[test]
+    fn eight_approximation_on_small_instances() {
+        let points: Vec<Point> = (0..24)
+            .map(|i| Point::new(vec![((i * 11) % 24) as f64]))
+            .collect();
+        let k = 3;
+        let (_, opt) = optimal_kcenter(&points, &Euclidean, k);
+        let alg = DoublingKCenter::new(Euclidean, k);
+        let (out, _) = run_stream(alg, points.iter().cloned());
+        let r = radius(&points, &out.centers, &Euclidean);
+        assert!(
+            r <= 8.0 * opt + 1e-9,
+            "doubling radius {r} exceeds 8·OPT = {}",
+            8.0 * opt
+        );
+        assert!(out.centers.len() <= k);
+    }
+
+    #[test]
+    fn memory_is_theta_k() {
+        let points: Vec<Point> = (0..5_000)
+            .map(|i| {
+                Point::new(vec![
+                    (i as f64 * 0.77).sin() * 1e4,
+                    (i as f64 * 0.31).cos() * 1e4,
+                ])
+            })
+            .collect();
+        let k = 10;
+        let alg = DoublingKCenter::new(Euclidean, k);
+        let (out, report) = run_stream(alg, points);
+        assert!(report.peak_memory_items <= k + 1);
+        assert!(out.centers.len() <= k);
+        assert!(out.phi > 0.0);
+    }
+
+    #[test]
+    fn achieved_radius_within_8_phi() {
+        let points: Vec<Point> = (0..600)
+            .map(|i| Point::new(vec![((i * 17) % 101) as f64, ((i * 5) % 47) as f64]))
+            .collect();
+        let alg = DoublingKCenter::new(Euclidean, 6);
+        let (out, _) = run_stream(alg, points.iter().cloned());
+        let r = radius(&points, &out.centers, &Euclidean);
+        assert!(
+            r <= 8.0 * out.phi + 1e-9,
+            "invariant (c) violated: {r} > {}",
+            8.0 * out.phi
+        );
+    }
+}

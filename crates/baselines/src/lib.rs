@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! Baseline algorithms the paper compares against.
+//!
+//! | Module | Algorithm | Role in the paper |
+//! |---|---|---|
+//! | [`charikar_outliers`] | Charikar, Khuller, Mount & Narasimhan (SODA 2001): sequential 3-approximation for k-center with `z` outliers, `O(k·n²·log n)` time | CHARIKARETAL, the sequential baseline of Fig. 8 |
+//! | [`doubling`] | Charikar, Chekuri, Feder & Motwani (2004): 1-pass doubling algorithm, 8-approximation for streaming k-center with `Θ(k)` memory | substrate of the paper's coreset construction; pass 1 of the 2-pass algorithm |
+//! | [`mccutchen_khuller`] | McCutchen & Khuller (APPROX 2008): (2+ε)-approximation streaming k-center via parallel geometric scales | BASESTREAM, the streaming baseline of Fig. 3 |
+//! | [`mk_outliers`] | McCutchen & Khuller (APPROX 2008): (4+ε)-approximation streaming k-center with outliers, `O(k·z·ε⁻¹)` memory | BASEOUTLIERS, the streaming baseline of Fig. 5 |
+//! | [`malkomes`] | Malkomes, Kusner, Chen, Weinberger & Moseley (NIPS 2015): 2-round MapReduce algorithms (4-approx / 13-approx) | MALKOMESETAL — identical to the paper's MR algorithms at coreset multiplier `µ = 1` (Figs. 2, 4, 8) |
+//!
+//! Every baseline is implemented from scratch against the same
+//! `kcenter-metric` / `kcenter-stream` substrates as the paper's algorithms,
+//! so the experiment harness compares like with like.
+
+pub mod charikar_outliers;
+pub mod doubling;
+pub mod malkomes;
+pub mod mccutchen_khuller;
+pub mod mk_outliers;
+
+pub use charikar_outliers::charikar_kcenter_outliers;
+pub use doubling::DoublingKCenter;
+pub use mccutchen_khuller::BaseStream;
+pub use mk_outliers::BaseOutliers;

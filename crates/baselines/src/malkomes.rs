@@ -1,0 +1,112 @@
+//! MALKOMESETAL — the MapReduce algorithms of Malkomes, Kusner, Chen,
+//! Weinberger & Moseley (NIPS 2015).
+//!
+//! Their 2-round algorithms select exactly `k` (respectively `k + z`)
+//! centers per partition in round 1 — i.e. they are the paper's algorithms
+//! with coreset multiplier `µ = 1` (paper §5.1/§5.2: "for µ = 1 the
+//! algorithm corresponds to the one in \[26\]"). These wrappers make the
+//! baseline explicit in the experiment harness instead of leaving "µ = 1"
+//! implicit, and pin the configuration so it cannot drift from the
+//! baseline's definition.
+
+use kcenter_core::coreset::CoresetSpec;
+use kcenter_core::mapreduce_kcenter::{mr_kcenter, MrKCenterConfig, MrKCenterResult};
+use kcenter_core::mapreduce_outliers::{mr_kcenter_outliers, MrOutliersConfig, MrOutliersResult};
+use kcenter_core::InputError;
+use kcenter_metric::Metric;
+
+/// The 4-approximation MapReduce k-center algorithm of Malkomes et al.:
+/// round 1 keeps exactly `k` GMM centers per partition.
+pub fn malkomes_mr_kcenter<P, M>(
+    points: &[P],
+    metric: &M,
+    k: usize,
+    ell: usize,
+    seed: u64,
+) -> Result<MrKCenterResult<P>, InputError>
+where
+    P: Clone + Send + Sync,
+    M: Metric<P>,
+{
+    mr_kcenter(
+        points,
+        metric,
+        &MrKCenterConfig {
+            k,
+            ell,
+            coreset: CoresetSpec::Multiplier { mu: 1 },
+            seed,
+        },
+    )
+}
+
+/// The 13-approximation MapReduce k-center-with-outliers algorithm of
+/// Malkomes et al.: round 1 keeps exactly `k + z` weighted GMM centers per
+/// partition.
+pub fn malkomes_mr_outliers<P, M>(
+    points: &[P],
+    metric: &M,
+    k: usize,
+    z: usize,
+    ell: usize,
+    seed: u64,
+) -> Result<MrOutliersResult<P>, InputError>
+where
+    P: Clone + Send + Sync,
+    M: Metric<P>,
+{
+    let mut config = MrOutliersConfig::deterministic(k, z, ell, CoresetSpec::Multiplier { mu: 1 });
+    config.seed = seed;
+    mr_kcenter_outliers(points, metric, &config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcenter_metric::{Euclidean, Point};
+
+    fn grid(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(vec![(i % 25) as f64, (i / 25) as f64]))
+            .collect()
+    }
+
+    #[test]
+    fn kcenter_wrapper_uses_mu_one_coresets() {
+        let points = grid(500);
+        let result = malkomes_mr_kcenter(&points, &Euclidean, 5, 4, 1).unwrap();
+        // µ = 1: each of the 4 partitions contributes exactly k = 5 centers.
+        assert_eq!(result.union_size, 4 * 5);
+        assert_eq!(result.clustering.k(), 5);
+    }
+
+    #[test]
+    fn outliers_wrapper_uses_k_plus_z_coresets() {
+        let mut points = grid(300);
+        points.push(Point::new(vec![10_000.0, 10_000.0]));
+        points.push(Point::new(vec![-10_000.0, 10_000.0]));
+        let result = malkomes_mr_outliers(&points, &Euclidean, 4, 2, 2, 1).unwrap();
+        // µ = 1 deterministic: per-partition coreset of k + z = 6.
+        assert!(result.union_size <= 2 * 6);
+        assert!(result.clustering.radius < 40.0);
+    }
+
+    #[test]
+    fn matches_direct_mu1_configuration() {
+        let points = grid(400);
+        let wrapper = malkomes_mr_kcenter(&points, &Euclidean, 4, 4, 9).unwrap();
+        let direct = mr_kcenter(
+            &points,
+            &Euclidean,
+            &MrKCenterConfig {
+                k: 4,
+                ell: 4,
+                coreset: CoresetSpec::Multiplier { mu: 1 },
+                seed: 9,
+            },
+        )
+        .unwrap();
+        assert_eq!(wrapper.clustering.radius, direct.clustering.radius);
+        assert_eq!(wrapper.union_size, direct.union_size);
+    }
+}

@@ -1,0 +1,389 @@
+//! BASEOUTLIERS — streaming k-center with `z` outliers in the style of
+//! McCutchen & Khuller (APPROX 2008), the paper's Fig. 5 baseline.
+//!
+//! For a radius guess `η` their algorithm maintains at most `k` clusters and
+//! a *free set* of at most `(k+1)(z+1)` points. An arriving point within
+//! `4η` of a cluster center is absorbed; otherwise it joins the free set.
+//! Whenever some free point has at least `z+1` free points within `2η` (a
+//! witness that a real cluster lives there) and the cluster budget is not
+//! exhausted, a new cluster opens at that point, capturing everything within
+//! `4η`. Each cluster retains up to `z+1` *support points* (within `2η` of
+//! its center): when the free set overflows — the guess was too small — `η`
+//! rises to the next rung of its geometric ladder and the retained points
+//! (supports and free points) are replayed at the new scale, so dense
+//! regions keep their witnesses across escalations. The result is a
+//! `(4+ε)`-approximation using `O(k·z)` memory per scale.
+//!
+//! Following the paper's description ("essentially runs a number `m` of
+//! parallel instances of a `(k·z)`-space streaming algorithm"), `m`
+//! staggered-scale instances run side by side — the Fig. 5 space axis is
+//! `m·k·z` — and the instance with the smallest surviving guess wins.
+
+use kcenter_metric::Metric;
+use kcenter_stream::StreamingAlgorithm;
+
+/// A cluster: its center plus up to `z+1` support points near the center.
+struct Cluster<P> {
+    center: P,
+    /// Support points within `2η` of the center (the center itself is
+    /// `support[0]`); capped at `z + 1`.
+    support: Vec<P>,
+}
+
+/// One guess-tracking instance (space `O(k·z)`).
+struct OutlierInstance<P> {
+    eta: Option<f64>,
+    clusters: Vec<Cluster<P>>,
+    free: Vec<P>,
+}
+
+impl<P: Clone> OutlierInstance<P> {
+    fn new() -> Self {
+        OutlierInstance {
+            eta: None,
+            clusters: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn stored_points(&self) -> usize {
+        self.clusters.iter().map(|c| c.support.len()).sum::<usize>() + self.free.len()
+    }
+
+    fn free_capacity(k: usize, z: usize) -> usize {
+        (k + 1) * (z + 1)
+    }
+
+    fn process<M: Metric<P>>(&mut self, metric: &M, k: usize, z: usize, offset: f64, item: P) {
+        match self.eta {
+            None => {
+                // Seeding phase: buffer distinct points in the free set
+                // until it overflows, then pick the first guess.
+                if self.free.iter().any(|p| metric.distance(p, &item) == 0.0) {
+                    return;
+                }
+                self.free.push(item);
+                if self.free.len() > Self::free_capacity(k, z) {
+                    let min_d = min_positive_distance(metric, &self.free)
+                        .expect("distinct points buffered");
+                    let target = min_d / 2.0;
+                    let rung = (target / offset).log2().floor();
+                    self.eta = Some(offset * 2f64.powf(rung).max(f64::MIN_POSITIVE));
+                    self.rebuild(metric, k, z);
+                }
+            }
+            Some(eta) => {
+                self.insert(metric, k, z, eta, item);
+                if self.free.len() > Self::free_capacity(k, z) {
+                    self.escalate(metric, k, z);
+                }
+            }
+        }
+    }
+
+    /// Route one point at the current guess.
+    fn insert<M: Metric<P>>(&mut self, metric: &M, k: usize, z: usize, eta: f64, item: P) {
+        for cluster in &mut self.clusters {
+            let d = metric.distance(&cluster.center, &item);
+            if d <= 4.0 * eta {
+                // Absorbed; retain as support if close and budget allows.
+                if d <= 2.0 * eta && cluster.support.len() < z + 1 {
+                    cluster.support.push(item);
+                }
+                return;
+            }
+        }
+        self.free.push(item);
+        let anchor = self.free.len() - 1;
+        self.try_open_clusters(metric, k, z, eta, anchor);
+    }
+
+    /// Open clusters at free points witnessing ≥ z+1 free points within 2η.
+    ///
+    /// Adding one point can only raise the neighbour counts of points
+    /// within `2η` of it, so only those candidates (the `anchor`'s
+    /// neighbourhood) are scanned — this keeps the steady-state per-point
+    /// cost linear in `|free|` instead of quadratic.
+    fn try_open_clusters<M: Metric<P>>(
+        &mut self,
+        metric: &M,
+        k: usize,
+        z: usize,
+        eta: f64,
+        anchor: usize,
+    ) {
+        let anchor_point = self.free[anchor].clone();
+        loop {
+            if self.clusters.len() >= k {
+                return;
+            }
+            let witness = self.free.iter().position(|p| {
+                metric.distance(p, &anchor_point) <= 2.0 * eta
+                    && self
+                        .free
+                        .iter()
+                        .filter(|q| metric.distance(p, q) <= 2.0 * eta)
+                        .count()
+                        > z
+            });
+            match witness {
+                Some(idx) => {
+                    let center = self.free[idx].clone();
+                    // Support: closest z+1 free points within 2η.
+                    let mut support: Vec<P> = Vec::with_capacity(z + 1);
+                    for q in &self.free {
+                        if support.len() < z + 1 && metric.distance(&center, q) <= 2.0 * eta {
+                            support.push(q.clone());
+                        }
+                    }
+                    self.free
+                        .retain(|q| metric.distance(&center, q) > 4.0 * eta);
+                    self.clusters.push(Cluster { center, support });
+                    // The anchor may have been captured; if so, no further
+                    // counts around it can have increased.
+                    if !self
+                        .free
+                        .iter()
+                        .any(|q| metric.distance(q, &anchor_point) == 0.0)
+                    {
+                        return;
+                    }
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// The guess failed: raise η one rung and replay the retained points.
+    fn escalate<M: Metric<P>>(&mut self, metric: &M, k: usize, z: usize) {
+        let eta = self.eta.expect("escalate only after seeding") * 2.0;
+        self.eta = Some(eta);
+        self.rebuild(metric, k, z);
+    }
+
+    /// Re-cluster the retained points (supports + free) at the current
+    /// guess.
+    fn rebuild<M: Metric<P>>(&mut self, metric: &M, k: usize, z: usize) {
+        let eta = self.eta.expect("rebuild only after seeding");
+        let mut retained: Vec<P> = Vec::with_capacity(self.stored_points());
+        for cluster in self.clusters.drain(..) {
+            retained.extend(cluster.support);
+        }
+        retained.append(&mut self.free);
+        for p in retained {
+            self.insert(metric, k, z, eta, p);
+        }
+        if self.free.len() > Self::free_capacity(k, z) {
+            self.escalate(metric, k, z);
+        }
+    }
+
+    /// Final centers: cluster centers, topped up from the densest free
+    /// points if fewer than `k` clusters opened.
+    fn centers<M: Metric<P>>(&self, metric: &M, k: usize) -> Vec<P> {
+        let mut centers: Vec<P> = self.clusters.iter().map(|c| c.center.clone()).collect();
+        if centers.len() < k {
+            let eta = self.eta.unwrap_or(0.0);
+            let mut ranked: Vec<(usize, usize)> = self
+                .free
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let neighbours = self
+                        .free
+                        .iter()
+                        .filter(|q| metric.distance(p, q) <= 2.0 * eta)
+                        .count();
+                    (i, neighbours)
+                })
+                .collect();
+            ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            for (i, _) in ranked {
+                if centers.len() >= k {
+                    break;
+                }
+                let candidate = &self.free[i];
+                let dup = centers.iter().any(|c| metric.distance(c, candidate) == 0.0);
+                if !dup {
+                    centers.push(candidate.clone());
+                }
+            }
+        }
+        centers
+    }
+}
+
+fn min_positive_distance<P, M: Metric<P>>(metric: &M, points: &[P]) -> Option<f64> {
+    let mut min = f64::INFINITY;
+    for i in 0..points.len() {
+        for j in i + 1..points.len() {
+            let d = metric.distance(&points[i], &points[j]);
+            if d > 0.0 && d < min {
+                min = d;
+            }
+        }
+    }
+    (min != f64::INFINITY).then_some(min)
+}
+
+/// Output: winning centers plus diagnostics.
+#[derive(Clone, Debug)]
+pub struct BaseOutliersOutput<P> {
+    /// Centers of the winning (smallest-guess) instance.
+    pub centers: Vec<P>,
+    /// The winning guess `η` (`0` if no instance ever seeded).
+    pub eta: f64,
+}
+
+/// Streaming k-center with outliers: `m` parallel `O(k·z)`-space instances.
+pub struct BaseOutliers<P, M> {
+    metric: M,
+    k: usize,
+    z: usize,
+    instances: Vec<OutlierInstance<P>>,
+    offsets: Vec<f64>,
+}
+
+impl<P: Clone, M: Metric<P>> BaseOutliers<P, M> {
+    /// Creates the algorithm with `m ≥ 1` staggered scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `m == 0`.
+    pub fn new(metric: M, k: usize, z: usize, m: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(m > 0, "m must be positive");
+        let offsets: Vec<f64> = (0..m).map(|j| 2f64.powf(j as f64 / m as f64)).collect();
+        BaseOutliers {
+            metric,
+            k,
+            z,
+            instances: (0..m).map(|_| OutlierInstance::new()).collect(),
+            offsets,
+        }
+    }
+}
+
+impl<P: Clone, M: Metric<P>> StreamingAlgorithm<P> for BaseOutliers<P, M> {
+    type Output = BaseOutliersOutput<P>;
+
+    fn process(&mut self, item: P) {
+        for (instance, &offset) in self.instances.iter_mut().zip(&self.offsets) {
+            instance.process(&self.metric, self.k, self.z, offset, item.clone());
+        }
+    }
+
+    fn memory_items(&self) -> usize {
+        self.instances.iter().map(|i| i.stored_points()).sum()
+    }
+
+    fn finalize(self) -> BaseOutliersOutput<P> {
+        let best = self
+            .instances
+            .iter()
+            .min_by(|a, b| {
+                let ea = a.eta.unwrap_or(0.0);
+                let eb = b.eta.unwrap_or(0.0);
+                ea.partial_cmp(&eb).expect("finite guesses")
+            })
+            .expect("at least one instance");
+        BaseOutliersOutput {
+            centers: best.centers(&self.metric, self.k),
+            eta: best.eta.unwrap_or(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcenter_core::solution::radius_with_outliers;
+    use kcenter_metric::{Euclidean, Point};
+    use kcenter_stream::run_stream;
+
+    fn planted(z: usize) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for c in 0..3 {
+            for i in 0..50 {
+                pts.push(Point::new(vec![
+                    c as f64 * 100.0 + (i % 5) as f64 * 0.3,
+                    (i / 5) as f64 * 0.3,
+                ]));
+            }
+        }
+        for j in 0..z {
+            pts.push(Point::new(vec![
+                30_000.0 + 5_000.0 * j as f64,
+                -20_000.0 * (j as f64 + 1.0),
+            ]));
+        }
+        pts
+    }
+
+    #[test]
+    fn excludes_planted_outliers() {
+        let pts = planted(3);
+        let alg = BaseOutliers::new(Euclidean, 3, 3, 4);
+        let (out, _) = run_stream(alg, pts.iter().cloned());
+        assert!(out.centers.len() <= 3);
+        let r = radius_with_outliers(&pts, &out.centers, 3, &Euclidean);
+        assert!(r < 100.0, "radius {r} did not exclude outliers");
+    }
+
+    #[test]
+    fn memory_bounded_by_instances() {
+        let pts = planted(4);
+        let (k, z, m) = (3usize, 4usize, 2usize);
+        let alg = BaseOutliers::new(Euclidean, k, z, m);
+        let (_, report) = run_stream(alg, pts);
+        // Free set ≤ (k+1)(z+1)+1 transient, plus k clusters of ≤ z+1
+        // support points each.
+        let per_instance = (k + 1) * (z + 1) + 1 + k * (z + 1);
+        assert!(
+            report.peak_memory_items <= m * per_instance,
+            "peak {} exceeds m·O(k·z) = {}",
+            report.peak_memory_items,
+            m * per_instance
+        );
+    }
+
+    #[test]
+    fn sparse_streams_terminate_with_few_centers() {
+        // A geometric line: density never produces z+1 witnesses at small
+        // scales, forcing escalations; must terminate with ≤ k centers.
+        let pts: Vec<Point> = (0..40)
+            .map(|i| Point::new(vec![2f64.powi(i % 20) + i as f64]))
+            .collect();
+        let alg = BaseOutliers::new(Euclidean, 2, 3, 2);
+        let (out, _) = run_stream(alg, pts);
+        assert!(out.centers.len() <= 2);
+    }
+
+    #[test]
+    fn duplicate_heavy_stream_is_stable() {
+        let mut pts = vec![Point::new(vec![1.0, 1.0]); 200];
+        pts.extend((0..40).map(|i| Point::new(vec![(i % 8) as f64 * 10.0, 50.0])));
+        let (k, z, m) = (4usize, 2usize, 2usize);
+        let alg = BaseOutliers::new(Euclidean, k, z, m);
+        let (out, report) = run_stream(alg, pts);
+        assert!(!out.centers.is_empty());
+        let per_instance = (k + 1) * (z + 1) + 1 + k * (z + 1);
+        assert!(report.peak_memory_items <= m * per_instance);
+    }
+
+    #[test]
+    fn more_instances_do_not_hurt_quality_much() {
+        let pts = planted(2);
+        let measure = |m: usize| {
+            let alg = BaseOutliers::new(Euclidean, 3, 2, m);
+            let (out, _) = run_stream(alg, pts.iter().cloned());
+            radius_with_outliers(&pts, &out.centers, 2, &Euclidean)
+        };
+        let r1 = measure(1);
+        let r8 = measure(8);
+        assert!(
+            r8 <= r1 * 1.25 + 1.0,
+            "m=8 ({r8}) much worse than m=1 ({r1})"
+        );
+    }
+}

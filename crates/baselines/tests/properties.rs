@@ -1,0 +1,74 @@
+//! Property tests for the baseline streaming algorithms' structural
+//! invariants.
+
+use proptest::prelude::*;
+
+use kcenter_baselines::{BaseOutliers, BaseStream, DoublingKCenter};
+use kcenter_core::brute_force::optimal_kcenter;
+use kcenter_core::solution::radius;
+use kcenter_metric::{Euclidean, Point};
+use kcenter_stream::{run_stream, StreamingAlgorithm};
+
+fn arb_points(max_n: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        prop::collection::vec(-1e3..1e3f64, 2).prop_map(Point::new),
+        1..max_n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// BaseStream: at most k centers per instance, memory ≤ m(k+1), and the
+    /// winning solution covers the whole stream within the 8·OPT envelope.
+    #[test]
+    fn base_stream_invariants(points in arb_points(48), k in 1usize..4, m in 1usize..4) {
+        let alg = BaseStream::new(Euclidean, k, m);
+        let (out, report) = run_stream(alg, points.iter().cloned());
+        prop_assert!(report.peak_memory_items <= m * (k + 1));
+        prop_assert!(!out.centers.is_empty());
+        if points.len() > k {
+            let (_, opt) = optimal_kcenter(&points, &Euclidean, k.min(points.len() - 1));
+            if out.centers.len() <= k {
+                let r = radius(&points, &out.centers, &Euclidean);
+                prop_assert!(r <= 8.0 * opt + 1e-6, "radius {r} vs 8·OPT {}", 8.0 * opt);
+            }
+        }
+    }
+
+    /// BaseOutliers: bounded memory and at most k centers, any stream.
+    #[test]
+    fn base_outliers_invariants(
+        points in arb_points(60),
+        k in 1usize..4,
+        z in 0usize..3,
+        m in 1usize..3,
+    ) {
+        let alg = BaseOutliers::new(Euclidean, k, z, m);
+        let (out, report) = run_stream(alg, points.iter().cloned());
+        let per_instance = (k + 1) * (z + 1) + 1 + k * (z + 1);
+        prop_assert!(report.peak_memory_items <= m * per_instance);
+        prop_assert!(out.centers.len() <= k.max(1));
+    }
+
+    /// The doubling algorithm never stores more than k+1 points and its
+    /// output radius respects the 8-approximation whenever it returns ≤ k
+    /// centers.
+    #[test]
+    fn doubling_invariants(points in arb_points(48), k in 1usize..5) {
+        let mut alg = DoublingKCenter::new(Euclidean, k);
+        for p in &points {
+            alg.process(p.clone());
+            prop_assert!(alg.memory_items() <= k + 1);
+        }
+        let phi = alg.phi();
+        let out = alg.finalize();
+        prop_assert!(out.centers.len() <= k + 1);
+        let r = radius(&points, &out.centers, &Euclidean);
+        prop_assert!(r <= 8.0 * phi.max(0.0) + 1e-9 || phi == 0.0);
+        if points.len() > k {
+            let (_, opt) = optimal_kcenter(&points, &Euclidean, k);
+            prop_assert!(r <= 8.0 * opt + 1e-6, "radius {r} vs 8·OPT {}", 8.0 * opt);
+        }
+    }
+}

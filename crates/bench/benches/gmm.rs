@@ -1,0 +1,50 @@
+//! Criterion microbenches for GMM (the coreset-construction kernel).
+//!
+//! Round 1 of every MapReduce algorithm is dominated by GMM's O(n·τ)
+//! distance scans; these benches size that kernel across dataset dims and
+//! coreset sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use kcenter_bench::Dataset;
+use kcenter_core::coreset::{build_weighted_coreset, CoresetSpec};
+use kcenter_core::gmm::gmm_select;
+use kcenter_metric::Euclidean;
+
+fn bench_gmm_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gmm_select");
+    for dataset in [Dataset::Higgs, Dataset::Wiki] {
+        let points = dataset.generate(10_000, 1);
+        for k in [20usize, 80] {
+            group.throughput(Throughput::Elements(points.len() as u64));
+            group.bench_with_input(BenchmarkId::new(dataset.name(), k), &k, |b, &k| {
+                b.iter(|| gmm_select(black_box(&points), &Euclidean, k, 0));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_weighted_coreset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_coreset");
+    group.sample_size(10);
+    let points = Dataset::Power.generate(20_000, 2);
+    for mu in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("mu", mu), &mu, |b, &mu| {
+            b.iter(|| {
+                build_weighted_coreset(
+                    black_box(&points),
+                    &Euclidean,
+                    70,
+                    &CoresetSpec::Multiplier { mu },
+                    0,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gmm_select, bench_weighted_coreset);
+criterion_main!(benches);

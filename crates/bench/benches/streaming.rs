@@ -1,0 +1,59 @@
+//! Criterion microbenches for the streaming algorithms' per-point cost
+//! (the throughput axis of Figs. 3 and 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use kcenter_baselines::{BaseOutliers, BaseStream};
+use kcenter_bench::Dataset;
+use kcenter_core::streaming_coreset::WeightedDoublingCoreset;
+use kcenter_core::streaming_outliers::CoresetOutliers;
+use kcenter_metric::Euclidean;
+use kcenter_stream::run_stream;
+
+fn bench_doubling_coreset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("doubling_coreset_pass");
+    group.sample_size(10);
+    let points = Dataset::Higgs.generate(20_000, 4);
+    group.throughput(Throughput::Elements(points.len() as u64));
+    for tau in [70usize, 280, 560] {
+        group.bench_with_input(BenchmarkId::new("tau", tau), &tau, |b, &tau| {
+            b.iter(|| {
+                let alg = WeightedDoublingCoreset::new(Euclidean, tau);
+                run_stream(alg, black_box(points.iter().cloned())).1
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming_contenders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_outliers_pass");
+    group.sample_size(10);
+    let points = Dataset::Power.generate(10_000, 5);
+    let (k, z) = (20usize, 20usize);
+    group.throughput(Throughput::Elements(points.len() as u64));
+
+    group.bench_function("CoresetOutliers_mu4", |b| {
+        b.iter(|| {
+            let alg = CoresetOutliers::new(Euclidean, k, z, 4 * (k + z), 0.25);
+            run_stream(alg, black_box(points.iter().cloned())).1
+        });
+    });
+    group.bench_function("BaseOutliers_m1", |b| {
+        b.iter(|| {
+            let alg = BaseOutliers::new(Euclidean, k, z, 1);
+            run_stream(alg, black_box(points.iter().cloned())).1
+        });
+    });
+    group.bench_function("BaseStream_m4", |b| {
+        b.iter(|| {
+            let alg = BaseStream::new(Euclidean, k, 4);
+            run_stream(alg, black_box(points.iter().cloned())).1
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_doubling_coreset, bench_streaming_contenders);
+criterion_main!(benches);

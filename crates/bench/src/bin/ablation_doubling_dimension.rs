@@ -1,0 +1,61 @@
+//! Ablation: coreset size versus the dataset's doubling dimension.
+//!
+//! Lemma 3 bounds the ε-stopping-rule coreset by `k·(4/ε)^D`, where `D` is
+//! the *dataset's* doubling dimension — not the ambient space's. This
+//! experiment embeds `D_int`-dimensional manifolds in a fixed 16-dimensional
+//! ambient space, runs the ε-stopping coreset builder, and reports:
+//!
+//! * the estimated doubling dimension of each dataset,
+//! * the coreset size the stopping rule selects for each ε,
+//! * the per-step growth ratio (size(ε/2) / size(ε)), which Lemma 3
+//!   predicts approaches `2^D`.
+//!
+//! Expected shape: coreset sizes explode with intrinsic dimension at fixed
+//! ε, while the ambient dimension is irrelevant — the "oblivious to D"
+//! selling point of the MapReduce algorithms made quantitative.
+//!
+//! ```text
+//! cargo run --release -p kcenter-bench --bin ablation_doubling_dimension
+//! ```
+
+use kcenter_bench::Args;
+use kcenter_core::coreset::{build_weighted_coreset, CoresetSpec};
+use kcenter_data::embedded_manifold;
+use kcenter_metric::doubling::{estimate_doubling_dimension, DoublingConfig};
+use kcenter_metric::Euclidean;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.size(8_000, 50_000);
+    let k = 10usize;
+    let ambient = 16usize;
+    let epss = [1.0f64, 0.5, 0.25];
+
+    println!("=== Ablation: coreset size vs doubling dimension (Lemma 3: |T_i| <= k(4/eps)^D) ===");
+    println!("n = {n}, k = {k}, ambient dim = {ambient}\n");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>14}",
+        "D_int", "D_est", "eps=1", "eps=0.5", "eps=0.25", "growth/halving"
+    );
+
+    for intrinsic in [1usize, 2, 3, 4] {
+        let points = embedded_manifold(n, intrinsic, ambient, 0.0, 42);
+        let d_est = estimate_doubling_dimension(&points, &Euclidean, DoublingConfig::default());
+
+        let mut sizes = Vec::new();
+        for &eps in &epss {
+            let build =
+                build_weighted_coreset(&points, &Euclidean, k, &CoresetSpec::EpsStop { eps }, 0);
+            sizes.push(build.tau);
+        }
+        // Mean growth factor per halving of ε; Lemma 3 predicts ≈ 2^D.
+        let growth = ((sizes[2] as f64 / sizes[0] as f64).sqrt()).max(1.0);
+        println!(
+            "{intrinsic:>6} {d_est:>10.2} {:>12} {:>12} {:>12} {:>13.2}x",
+            sizes[0], sizes[1], sizes[2], growth
+        );
+    }
+    println!("\n(growth per ε-halving ≈ 2^D: the low-dimensional manifolds stay cheap");
+    println!(" even though every point lives in R^16 — the algorithms adapt to the");
+    println!(" dataset's intrinsic complexity, never told what D is)");
+}

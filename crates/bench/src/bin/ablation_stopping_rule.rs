@@ -1,0 +1,75 @@
+//! Ablation: the theoretical ε-stopping rule vs fixed-size coresets.
+//!
+//! DESIGN.md calls out the choice between the paper's analysis form
+//! (`CoresetSpec::EpsStop`: run GMM past `k` until the radius drops to
+//! `(ε/2)·r_k`) and its experimental form (`CoresetSpec::Multiplier`:
+//! τ = µ·k). This ablation measures, per dataset: the coreset size the
+//! stopping rule actually selects for a range of ε, and the radius each
+//! achieves — showing the size/quality frontier is the same object the
+//! µ-sweep walks.
+//!
+//! ```text
+//! cargo run --release -p kcenter-bench --bin ablation_stopping_rule
+//! ```
+
+use kcenter_bench::{Args, Dataset};
+use kcenter_core::coreset::CoresetSpec;
+use kcenter_core::mapreduce_kcenter::{mr_kcenter, MrKCenterConfig};
+use kcenter_data::shuffled;
+use kcenter_metric::Euclidean;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.size(20_000, 200_000);
+    let ell = 8usize;
+
+    println!("=== Ablation: ε-stopping rule vs fixed τ = µ·k coresets ===");
+    println!("n = {n}, l = {ell}\n");
+
+    for dataset in Dataset::all() {
+        let k = dataset.paper_k();
+        let points = shuffled(&dataset.generate(n, 1), 2);
+        println!("--- {} (k = {k}) ---", dataset.name());
+        println!("{:<22} {:>12} {:>12}", "spec", "union size", "radius");
+
+        for eps in [1.0f64, 0.5, 0.25] {
+            let result = mr_kcenter(
+                &points,
+                &Euclidean,
+                &MrKCenterConfig {
+                    k,
+                    ell,
+                    coreset: CoresetSpec::EpsStop { eps },
+                    seed: 1,
+                },
+            )
+            .expect("valid configuration");
+            println!(
+                "{:<22} {:>12} {:>12.4}",
+                format!("EpsStop eps={eps}"),
+                result.union_size,
+                result.clustering.radius
+            );
+        }
+        for mu in [1usize, 2, 4, 8] {
+            let result = mr_kcenter(
+                &points,
+                &Euclidean,
+                &MrKCenterConfig {
+                    k,
+                    ell,
+                    coreset: CoresetSpec::Multiplier { mu },
+                    seed: 1,
+                },
+            )
+            .expect("valid configuration");
+            println!(
+                "{:<22} {:>12} {:>12.4}",
+                format!("Fixed mu={mu}"),
+                result.union_size,
+                result.clustering.radius
+            );
+        }
+        println!();
+    }
+}

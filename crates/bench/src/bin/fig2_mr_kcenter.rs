@@ -1,0 +1,65 @@
+//! Figure 2: approximation ratio of the MapReduce k-center algorithm with
+//! coresets of size µ·k, µ ∈ {1,2,4,8}, parallelism ℓ ∈ {2,4,8,16}.
+//!
+//! Paper setup: Higgs (k=50), Power (k=100), Wiki (k=60); µ = 1 is the
+//! MalkomesEtAl baseline. Expected shape: the ratio falls as µ grows, and
+//! larger ℓ also helps (the round-2 union ℓ·τ grows).
+//!
+//! ```text
+//! cargo run --release -p kcenter-bench --bin fig2_mr_kcenter [-- --paper]
+//! ```
+
+use kcenter_bench::{Args, Dataset, RatioTable};
+use kcenter_core::coreset::CoresetSpec;
+use kcenter_core::mapreduce_kcenter::{mr_kcenter, MrKCenterConfig};
+use kcenter_data::shuffled;
+use kcenter_metric::Euclidean;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.size(30_000, 500_000);
+    let mus = [1usize, 2, 4, 8];
+    let ells = [2usize, 4, 8, 16];
+
+    println!("=== Figure 2: MR k-center — ratio vs coreset size µk and parallelism ℓ ===");
+    println!(
+        "n = {n}, reps = {} (paper: 11M/2M/5.5M points, 10 reps)\n",
+        args.reps
+    );
+
+    for dataset in Dataset::all() {
+        let k = dataset.paper_k();
+        let mut table = RatioTable::new();
+        for rep in 0..args.reps {
+            let points = shuffled(&dataset.generate(n, rep as u64), 1000 + rep as u64);
+            for &ell in &ells {
+                for &mu in &mus {
+                    let result = mr_kcenter(
+                        &points,
+                        &Euclidean,
+                        &MrKCenterConfig {
+                            k,
+                            ell,
+                            coreset: CoresetSpec::Multiplier { mu },
+                            seed: rep as u64,
+                        },
+                    )
+                    .expect("valid configuration");
+                    table.record(
+                        &format!("l={ell:<2}"),
+                        &format!("mu={mu}"),
+                        result.clustering.radius,
+                    );
+                }
+            }
+        }
+        println!(
+            "--- {} (k = {k}) — approximation ratio (mu=1 ≡ MalkomesEtAl) ---",
+            dataset.name()
+        );
+        let xs: Vec<String> = mus.iter().map(|m| format!("mu={m}")).collect();
+        let series: Vec<String> = ells.iter().map(|l| format!("l={l:<2}")).collect();
+        table.print("parallelism \\ coreset", &xs, &series);
+        println!("best radius found: {:.4}\n", table.best_radius());
+    }
+}

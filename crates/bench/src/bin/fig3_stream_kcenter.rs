@@ -1,0 +1,79 @@
+//! Figure 3: streaming k-center without outliers — approximation ratio
+//! (top) and throughput (bottom) versus space.
+//!
+//! CORESETSTREAM (ours) uses space µ·k, µ ∈ {1,2,4,8,16};
+//! BASESTREAM (McCutchen–Khuller) uses space m·k, m ∈ {1,2,4,8,16}.
+//! Expected shape: BASESTREAM uses space slightly better; CORESETSTREAM has
+//! comparable ratio and often higher throughput.
+//!
+//! ```text
+//! cargo run --release -p kcenter-bench --bin fig3_stream_kcenter [-- --paper]
+//! ```
+
+use kcenter_baselines::BaseStream;
+use kcenter_bench::{Args, Dataset, RatioTable, Stats};
+use kcenter_core::solution::radius;
+use kcenter_core::streaming_kcenter::CoresetStream;
+use kcenter_data::shuffled;
+use kcenter_metric::Euclidean;
+use kcenter_stream::run_stream;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.size(30_000, 500_000);
+    let factors = [1usize, 2, 4, 8, 16];
+
+    println!("=== Figure 3: streaming k-center — ratio and throughput vs space ===");
+    println!("n = {n}, reps = {}\n", args.reps);
+
+    for dataset in Dataset::all() {
+        let k = dataset.paper_k();
+        let mut table = RatioTable::new();
+        let mut throughput: std::collections::BTreeMap<(String, String), Vec<f64>> =
+            Default::default();
+        for rep in 0..args.reps {
+            let points = shuffled(&dataset.generate(n, rep as u64), 2000 + rep as u64);
+            for &f in &factors {
+                // CORESETSTREAM with τ = µ·k.
+                let alg = CoresetStream::new(Euclidean, k, f * k);
+                let (out, report) = run_stream(alg, points.iter().cloned());
+                let r = radius(&points, &out.centers, &Euclidean);
+                table.record("CoresetStream", &format!("space={}k", f), r);
+                throughput
+                    .entry(("CoresetStream".into(), format!("space={}k", f)))
+                    .or_default()
+                    .push(report.throughput().unwrap_or(f64::INFINITY));
+
+                // BASESTREAM with m parallel scales.
+                let alg = BaseStream::new(Euclidean, k, f);
+                let (out, report) = run_stream(alg, points.iter().cloned());
+                let r = radius(&points, &out.centers, &Euclidean);
+                table.record("BaseStream", &format!("space={}k", f), r);
+                throughput
+                    .entry(("BaseStream".into(), format!("space={}k", f)))
+                    .or_default()
+                    .push(report.throughput().unwrap_or(f64::INFINITY));
+            }
+        }
+        println!("--- {} (k = {k}) ---", dataset.name());
+        let xs: Vec<String> = factors.iter().map(|f| format!("space={f}k")).collect();
+        let series = vec!["CoresetStream".to_string(), "BaseStream".to_string()];
+        println!("approximation ratio:");
+        table.print("algorithm \\ space", &xs, &series);
+        println!("throughput (points/s):");
+        print!("{:<24}", "algorithm \\ space");
+        for x in &xs {
+            print!(" {x:>14}");
+        }
+        println!();
+        for s in &series {
+            print!("{s:<24}");
+            for x in &xs {
+                let stats = Stats::from_samples(&throughput[&(s.clone(), x.clone())]);
+                print!(" {:>14.0}", stats.mean);
+            }
+            println!();
+        }
+        println!("best radius found: {:.4}\n", table.best_radius());
+    }
+}

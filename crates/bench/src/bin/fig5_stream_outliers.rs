@@ -1,0 +1,101 @@
+//! Figure 5: streaming k-center with z outliers — approximation ratio and
+//! throughput versus space (log–log in the paper).
+//!
+//! CORESETOUTLIERS (ours) uses space µ(k+z), µ ∈ {1,2,4,8,16};
+//! BASEOUTLIERS (McCutchen–Khuller) uses space m·k·z, m ∈ {1,2,4,8,16}.
+//! Paper setup: k = 20, z = 200, shuffled streams. Expected shape: for
+//! Higgs/Power CORESETOUTLIERS reaches better ratios with far less space
+//! and >10× higher throughput; on Wiki both are good even at minimum space.
+//!
+//! ```text
+//! cargo run --release -p kcenter-bench --bin fig5_stream_outliers [-- --paper]
+//! ```
+
+use kcenter_baselines::BaseOutliers;
+use kcenter_bench::{Args, Dataset, RatioTable, Stats};
+use kcenter_core::solution::radius_with_outliers;
+use kcenter_core::streaming_outliers::CoresetOutliers;
+use kcenter_data::{inject_outliers, shuffled};
+use kcenter_metric::Euclidean;
+use kcenter_stream::run_stream;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.size(20_000, 200_000);
+    let k = 20usize;
+    let z = if args.paper { 200 } else { 50 };
+    let factors = [1usize, 2, 4, 8, 16];
+
+    println!("=== Figure 5: streaming k-center with outliers — ratio and throughput vs space ===");
+    println!("n = {n}, k = {k}, z = {z}, reps = {}\n", args.reps);
+
+    for dataset in Dataset::all() {
+        let mut table = RatioTable::new();
+        let mut throughput: std::collections::BTreeMap<(String, String), Vec<f64>> =
+            Default::default();
+        let mut space: std::collections::BTreeMap<(String, String), usize> = Default::default();
+        for rep in 0..args.reps {
+            let mut points = dataset.generate(n, rep as u64);
+            inject_outliers(&mut points, z, 9_000 + rep as u64);
+            let points = shuffled(&points, 3_000 + rep as u64);
+            for &f in &factors {
+                // CORESETOUTLIERS with τ = µ(k+z).
+                let alg = CoresetOutliers::new(Euclidean, k, z, f * (k + z), 0.25);
+                let (out, report) = run_stream(alg, points.iter().cloned());
+                let r = radius_with_outliers(&points, &out.centers, z, &Euclidean);
+                let key = format!("f={f:<2}");
+                table.record("CoresetOutliers", &key, r);
+                throughput
+                    .entry(("CoresetOutliers".into(), key.clone()))
+                    .or_default()
+                    .push(report.throughput().unwrap_or(f64::INFINITY));
+                space.insert(("CoresetOutliers".into(), key), f * (k + z));
+
+                // BASEOUTLIERS with m = f parallel k·z-space instances.
+                let alg = BaseOutliers::new(Euclidean, k, z, f);
+                let (out, report) = run_stream(alg, points.iter().cloned());
+                let r = radius_with_outliers(&points, &out.centers, z, &Euclidean);
+                let key = format!("f={f:<2}");
+                table.record("BaseOutliers", &key, r);
+                throughput
+                    .entry(("BaseOutliers".into(), key.clone()))
+                    .or_default()
+                    .push(report.throughput().unwrap_or(f64::INFINITY));
+                space.insert(("BaseOutliers".into(), key), f * k * z);
+            }
+        }
+        println!("--- {} (k = {k}, z = {z}) ---", dataset.name());
+        let xs: Vec<String> = factors.iter().map(|f| format!("f={f:<2}")).collect();
+        let series = vec!["CoresetOutliers".to_string(), "BaseOutliers".to_string()];
+        println!("space (points)  [CoresetOutliers: µ(k+z); BaseOutliers: m·k·z]:");
+        print!("{:<24}", "algorithm \\ factor");
+        for x in &xs {
+            print!(" {x:>14}");
+        }
+        println!();
+        for s in &series {
+            print!("{s:<24}");
+            for x in &xs {
+                print!(" {:>14}", space[&(s.clone(), x.clone())]);
+            }
+            println!();
+        }
+        println!("approximation ratio:");
+        table.print("algorithm \\ factor", &xs, &series);
+        println!("throughput (points/s):");
+        print!("{:<24}", "algorithm \\ factor");
+        for x in &xs {
+            print!(" {x:>14}");
+        }
+        println!();
+        for s in &series {
+            print!("{s:<24}");
+            for x in &xs {
+                let stats = Stats::from_samples(&throughput[&(s.clone(), x.clone())]);
+                print!(" {:>14.0}", stats.mean);
+            }
+            println!();
+        }
+        println!("best radius found: {:.4}\n", table.best_radius());
+    }
+}

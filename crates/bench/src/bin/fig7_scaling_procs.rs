@@ -1,0 +1,76 @@
+//! Figure 7: scalability with the number of processors of the randomized
+//! MapReduce algorithm for k-center with z outliers.
+//!
+//! Paper setup: the size of the coreset union is fixed at 8·(16k + 6z)
+//! (the µ = 8, ℓ = 16 point of Fig. 4) while ℓ varies in {1,2,4,8,16} with
+//! per-partition coresets τ_ℓ = 8·(16k+6z)/ℓ, so all runs target the same
+//! solution quality. Expected shape: the round-2 time (OutliersCluster on
+//! the fixed-size union) is constant; the round-1 (coreset) time dominates
+//! at small ℓ and drops *superlinearly* with ℓ, since each processor does
+//! O(τ_ℓ · |S|/ℓ) work and τ_ℓ itself shrinks with ℓ.
+//!
+//! ```text
+//! cargo run --release -p kcenter-bench --bin fig7_scaling_procs [-- --paper]
+//! ```
+
+use kcenter_bench::{Args, Dataset, Stats};
+use kcenter_core::coreset::CoresetSpec;
+use kcenter_core::mapreduce_outliers::{mr_kcenter_outliers, MrOutliersConfig};
+use kcenter_data::inject_outliers;
+use kcenter_metric::Euclidean;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.size(20_000, 200_000);
+    let k = 20usize;
+    let z = if args.paper { 200 } else { 50 };
+    let union_target = 8 * (16 * k + 6 * z);
+    let ells: [usize; 5] = [1, 2, 4, 8, 16];
+
+    println!("=== Figure 7: randomized MR outliers — runtime vs processors ===");
+    println!(
+        "n = {n}, k = {k}, z = {z}, fixed union = {union_target}, reps = {}\n",
+        args.reps
+    );
+
+    for dataset in Dataset::all() {
+        println!("--- {} (k = {k}, z = {z}) ---", dataset.name());
+        println!(
+            "{:>4} {:>8} {:>18} {:>18} {:>12}",
+            "l", "tau_l", "coreset time (s)", "cluster time (s)", "speedup"
+        );
+        let mut reference: Option<f64> = None;
+        for &ell in &ells {
+            let tau = union_target / ell;
+            let mut r1 = Vec::new();
+            let mut r2 = Vec::new();
+            for rep in 0..args.reps {
+                let mut points = dataset.generate(n, rep as u64);
+                inject_outliers(&mut points, z, 400 + rep as u64);
+                let mut config =
+                    MrOutliersConfig::randomized(k, z, ell, CoresetSpec::Fixed { tau });
+                config.seed = rep as u64;
+                let result =
+                    mr_kcenter_outliers(&points, &Euclidean, &config).expect("valid configuration");
+                r1.push(result.round1_time.as_secs_f64());
+                r2.push(result.round2_time.as_secs_f64());
+                assert!(result.union_size <= union_target + ell);
+            }
+            let s1 = Stats::from_samples(&r1);
+            let s2 = Stats::from_samples(&r2);
+            let total = s1.mean + s2.mean;
+            let speedup = match reference {
+                None => {
+                    reference = Some(total);
+                    1.0
+                }
+                Some(t1) => t1 / total,
+            };
+            println!(
+                "{ell:>4} {tau:>8} {:>14.2}±{:<3.2} {:>14.2}±{:<3.2} {speedup:>11.1}x",
+                s1.mean, s1.ci95, s2.mean, s2.ci95
+            );
+        }
+        println!("(cluster time ≈ constant; coreset time drops superlinearly in l)\n");
+    }
+}

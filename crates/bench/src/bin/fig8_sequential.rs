@@ -1,0 +1,82 @@
+//! Figure 8: sequential algorithms on samples — running time (log scale in
+//! the paper) and radius of CHARIKARETAL vs the coreset algorithm at
+//! µ ∈ {1,2,4,8} (µ = 1 ≡ MALKOMESETAL).
+//!
+//! Paper setup: 10k-point samples of each dataset + 200 injected outliers,
+//! k = 20, z = 200, inputs shuffled per repetition. Expected shape: the
+//! coreset algorithms are ~10× faster; µ = 1 gives a clearly worse radius;
+//! µ ≥ 2 matches (sometimes beats) CHARIKARETAL's radius.
+//!
+//! ```text
+//! cargo run --release -p kcenter-bench --bin fig8_sequential [-- --paper]
+//! ```
+
+use std::time::Instant;
+
+use kcenter_baselines::charikar_kcenter_outliers;
+use kcenter_bench::{Args, Dataset, Stats};
+use kcenter_core::sequential::{sequential_kcenter_outliers, SequentialOutliersConfig};
+use kcenter_data::{inject_outliers, shuffled};
+use kcenter_metric::Euclidean;
+
+fn main() {
+    let args = Args::parse();
+    let n = args.size(2_500, 10_000);
+    let k = 20usize;
+    let z = if args.paper { 200 } else { 50 };
+    let mus = [1usize, 2, 4, 8];
+
+    println!("=== Figure 8: sequential comparison on {n}-point samples ===");
+    println!(
+        "k = {k}, z = {z}, reps = {} (paper: 10k samples, z = 200)\n",
+        args.reps
+    );
+
+    for dataset in Dataset::all() {
+        println!("--- {} (k = {k}, z = {z}) ---", dataset.name());
+        println!("{:<26} {:>14} {:>16}", "algorithm", "radius", "time (s)");
+
+        let mut radii: Vec<Vec<f64>> = vec![Vec::new(); mus.len() + 1];
+        let mut times: Vec<Vec<f64>> = vec![Vec::new(); mus.len() + 1];
+        for rep in 0..args.reps {
+            let mut points = dataset.generate(n, rep as u64);
+            inject_outliers(&mut points, z, 500 + rep as u64);
+            let points = shuffled(&points, 600 + rep as u64);
+
+            let start = Instant::now();
+            let charikar =
+                charikar_kcenter_outliers(&points, &Euclidean, k, z).expect("valid input");
+            times[0].push(start.elapsed().as_secs_f64());
+            radii[0].push(charikar.clustering.radius);
+
+            for (i, &mu) in mus.iter().enumerate() {
+                let mut config = SequentialOutliersConfig::new(k, z, mu);
+                config.seed = rep as u64;
+                let start = Instant::now();
+                let result =
+                    sequential_kcenter_outliers(&points, &Euclidean, &config).expect("valid input");
+                times[i + 1].push(start.elapsed().as_secs_f64());
+                radii[i + 1].push(result.clustering.radius);
+            }
+        }
+
+        let labels: Vec<String> = std::iter::once("CharikarEtAl".to_string())
+            .chain(mus.iter().map(|&mu| {
+                if mu == 1 {
+                    "MalkomesEtAl (mu=1)".to_string()
+                } else {
+                    format!("Ours (mu={mu})")
+                }
+            }))
+            .collect();
+        for (i, label) in labels.iter().enumerate() {
+            let r = Stats::from_samples(&radii[i]);
+            let t = Stats::from_samples(&times[i]);
+            println!(
+                "{label:<26} {:>8.3}±{:<5.3} {:>10.3}±{:<5.3}",
+                r.mean, r.ci95, t.mean, t.ci95
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,387 @@
+//! Hand-rolled, testable argument parsing for the `kcenter` binary.
+//!
+//! No CLI dependency: the grammar is small and fixed, and parsing from an
+//! explicit iterator keeps it unit-testable.
+
+use std::fmt;
+
+/// Which clustering algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// Sequential GMM (2-approx, no outliers).
+    Gmm,
+    /// 2-round MapReduce k-center (2+ε).
+    Mr,
+    /// 2-round MapReduce with outliers, deterministic (3+ε).
+    MrOutliers,
+    /// 2-round MapReduce with outliers, randomized (3+ε whp).
+    MrRandomized,
+    /// Sequential coreset algorithm with outliers (3+ε).
+    Sequential,
+    /// 1-pass streaming with outliers (3+ε).
+    Stream,
+    /// Charikar et al. 2001 baseline (3-approx, quadratic).
+    Charikar,
+}
+
+impl Algo {
+    fn parse(s: &str) -> Result<Algo, ArgError> {
+        Ok(match s {
+            "gmm" => Algo::Gmm,
+            "mr" => Algo::Mr,
+            "mr-outliers" => Algo::MrOutliers,
+            "mr-randomized" => Algo::MrRandomized,
+            "seq" => Algo::Sequential,
+            "stream" => Algo::Stream,
+            "charikar" => Algo::Charikar,
+            other => return Err(ArgError::new(format!("unknown --algo {other:?}"))),
+        })
+    }
+}
+
+/// Normalization choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Normalize {
+    /// No normalization.
+    None,
+    /// Z-score per coordinate.
+    Zscore,
+    /// Min–max per coordinate.
+    MinMax,
+}
+
+impl Normalize {
+    fn parse(s: &str) -> Result<Normalize, ArgError> {
+        Ok(match s {
+            "none" => Normalize::None,
+            "zscore" => Normalize::Zscore,
+            "minmax" => Normalize::MinMax,
+            other => return Err(ArgError::new(format!("unknown --normalize {other:?}"))),
+        })
+    }
+}
+
+/// A parsed command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Cluster a CSV file.
+    Cluster(ClusterArgs),
+    /// Generate a synthetic dataset.
+    Generate(GenerateArgs),
+    /// Print dataset statistics.
+    Info(InfoArgs),
+}
+
+/// Arguments of `kcenter cluster`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterArgs {
+    /// Input CSV path.
+    pub input: String,
+    /// Number of centers.
+    pub k: usize,
+    /// Outlier budget (0 = plain k-center).
+    pub z: usize,
+    /// Algorithm.
+    pub algo: Algo,
+    /// MapReduce parallelism (0 = auto via the paper's corollaries).
+    pub ell: usize,
+    /// Coreset multiplier.
+    pub mu: usize,
+    /// Normalization.
+    pub normalize: Normalize,
+    /// Optional path to write the centers (CSV, data space).
+    pub output: Option<String>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Arguments of `kcenter generate`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenerateArgs {
+    /// Dataset family: higgs | power | wiki.
+    pub dataset: String,
+    /// Number of points.
+    pub n: usize,
+    /// Outliers to inject.
+    pub outliers: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output CSV path.
+    pub output: String,
+}
+
+/// Arguments of `kcenter info`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InfoArgs {
+    /// Input CSV path.
+    pub input: String,
+}
+
+/// A parse failure with its message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArgError {
+    msg: String,
+}
+
+impl ArgError {
+    fn new(msg: impl Into<String>) -> ArgError {
+        ArgError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Usage text shown on `--help` or errors.
+pub const USAGE: &str = "\
+kcenter — coreset-based k-center clustering (with outliers)
+
+USAGE:
+  kcenter cluster  --input FILE --k K [--z Z] [--algo gmm|mr|mr-outliers|mr-randomized|seq|stream|charikar]
+                   [--ell L] [--mu M] [--normalize none|zscore|minmax] [--output FILE] [--seed S]
+  kcenter generate --dataset higgs|power|wiki --n N [--outliers Z] [--seed S] --output FILE
+  kcenter info     --input FILE
+";
+
+fn take_value<'a, I: Iterator<Item = &'a str>>(
+    flag: &str,
+    iter: &mut I,
+) -> Result<&'a str, ArgError> {
+    iter.next()
+        .ok_or_else(|| ArgError::new(format!("{flag} requires a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, ArgError> {
+    value
+        .parse()
+        .map_err(|_| ArgError::new(format!("{flag} got invalid value {value:?}")))
+}
+
+/// Parses a full command line (without the program name).
+pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, ArgError> {
+    let mut iter = args.into_iter();
+    let sub = iter
+        .next()
+        .ok_or_else(|| ArgError::new("missing subcommand (cluster | generate | info)"))?;
+    match sub {
+        "cluster" => parse_cluster(iter),
+        "generate" => parse_generate(iter),
+        "info" => parse_info(iter),
+        "--help" | "-h" | "help" => Err(ArgError::new(USAGE)),
+        other => Err(ArgError::new(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+fn parse_cluster<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command, ArgError> {
+    let mut input = None;
+    let mut k = None;
+    let mut z = 0usize;
+    let mut algo = Algo::Sequential;
+    let mut ell = 0usize;
+    let mut mu = 4usize;
+    let mut normalize = Normalize::Zscore;
+    let mut output = None;
+    let mut seed = 0u64;
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--input" => input = Some(take_value(arg, &mut iter)?.to_string()),
+            "--k" => k = Some(parse_num(arg, take_value(arg, &mut iter)?)?),
+            "--z" => z = parse_num(arg, take_value(arg, &mut iter)?)?,
+            "--algo" => algo = Algo::parse(take_value(arg, &mut iter)?)?,
+            "--ell" => ell = parse_num(arg, take_value(arg, &mut iter)?)?,
+            "--mu" => mu = parse_num(arg, take_value(arg, &mut iter)?)?,
+            "--normalize" => normalize = Normalize::parse(take_value(arg, &mut iter)?)?,
+            "--output" => output = Some(take_value(arg, &mut iter)?.to_string()),
+            "--seed" => seed = parse_num(arg, take_value(arg, &mut iter)?)?,
+            other => return Err(ArgError::new(format!("unknown flag {other:?}"))),
+        }
+    }
+    let input = input.ok_or_else(|| ArgError::new("cluster requires --input"))?;
+    let k = k.ok_or_else(|| ArgError::new("cluster requires --k"))?;
+    if mu == 0 {
+        return Err(ArgError::new("--mu must be at least 1"));
+    }
+    Ok(Command::Cluster(ClusterArgs {
+        input,
+        k,
+        z,
+        algo,
+        ell,
+        mu,
+        normalize,
+        output,
+        seed,
+    }))
+}
+
+fn parse_generate<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command, ArgError> {
+    let mut dataset = None;
+    let mut n = None;
+    let mut outliers = 0usize;
+    let mut seed = 0u64;
+    let mut output = None;
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--dataset" => dataset = Some(take_value(arg, &mut iter)?.to_string()),
+            "--n" => n = Some(parse_num(arg, take_value(arg, &mut iter)?)?),
+            "--outliers" => outliers = parse_num(arg, take_value(arg, &mut iter)?)?,
+            "--seed" => seed = parse_num(arg, take_value(arg, &mut iter)?)?,
+            "--output" => output = Some(take_value(arg, &mut iter)?.to_string()),
+            other => return Err(ArgError::new(format!("unknown flag {other:?}"))),
+        }
+    }
+    let dataset = dataset.ok_or_else(|| ArgError::new("generate requires --dataset"))?;
+    if !matches!(dataset.as_str(), "higgs" | "power" | "wiki") {
+        return Err(ArgError::new(format!(
+            "--dataset must be higgs | power | wiki, got {dataset:?}"
+        )));
+    }
+    let n = n.ok_or_else(|| ArgError::new("generate requires --n"))?;
+    let output = output.ok_or_else(|| ArgError::new("generate requires --output"))?;
+    Ok(Command::Generate(GenerateArgs {
+        dataset,
+        n,
+        outliers,
+        seed,
+        output,
+    }))
+}
+
+fn parse_info<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command, ArgError> {
+    let mut input = None;
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--input" => input = Some(take_value(arg, &mut iter)?.to_string()),
+            other => return Err(ArgError::new(format!("unknown flag {other:?}"))),
+        }
+    }
+    let input = input.ok_or_else(|| ArgError::new("info requires --input"))?;
+    Ok(Command::Info(InfoArgs { input }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_cluster() {
+        let cmd = parse(["cluster", "--input", "pts.csv", "--k", "5"]).unwrap();
+        match cmd {
+            Command::Cluster(args) => {
+                assert_eq!(args.input, "pts.csv");
+                assert_eq!(args.k, 5);
+                assert_eq!(args.z, 0);
+                assert_eq!(args.algo, Algo::Sequential);
+                assert_eq!(args.normalize, Normalize::Zscore);
+                assert_eq!(args.ell, 0);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_full_cluster() {
+        let cmd = parse([
+            "cluster",
+            "--input",
+            "a.csv",
+            "--k",
+            "10",
+            "--z",
+            "20",
+            "--algo",
+            "mr-randomized",
+            "--ell",
+            "8",
+            "--mu",
+            "2",
+            "--normalize",
+            "minmax",
+            "--output",
+            "c.csv",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Cluster(ClusterArgs {
+                input: "a.csv".into(),
+                k: 10,
+                z: 20,
+                algo: Algo::MrRandomized,
+                ell: 8,
+                mu: 2,
+                normalize: Normalize::MinMax,
+                output: Some("c.csv".into()),
+                seed: 7,
+            })
+        );
+    }
+
+    #[test]
+    fn parses_generate_and_info() {
+        let cmd = parse([
+            "generate",
+            "--dataset",
+            "power",
+            "--n",
+            "100",
+            "--outliers",
+            "5",
+            "--output",
+            "p.csv",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate(GenerateArgs {
+                dataset: "power".into(),
+                n: 100,
+                outliers: 5,
+                seed: 0,
+                output: "p.csv".into(),
+            })
+        );
+        let cmd = parse(["info", "--input", "p.csv"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Info(InfoArgs {
+                input: "p.csv".into()
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(parse([]).is_err());
+        assert!(parse(["fly"]).is_err());
+        assert!(parse(["cluster", "--k", "3"]).is_err()); // no input
+        assert!(parse(["cluster", "--input", "a.csv"]).is_err()); // no k
+        assert!(parse(["cluster", "--input", "a.csv", "--k", "x"]).is_err());
+        assert!(parse(["cluster", "--input", "a.csv", "--k", "3", "--algo", "magic"]).is_err());
+        assert!(parse(["cluster", "--input", "a.csv", "--k", "3", "--mu", "0"]).is_err());
+        assert!(parse([
+            "generate",
+            "--dataset",
+            "mnist",
+            "--n",
+            "5",
+            "--output",
+            "x"
+        ])
+        .is_err());
+        assert!(parse(["cluster", "--input"]).is_err()); // dangling value
+    }
+
+    #[test]
+    fn help_is_reported_through_error_channel() {
+        let err = parse(["--help"]).unwrap_err();
+        assert!(err.to_string().contains("USAGE"));
+    }
+}

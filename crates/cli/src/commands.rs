@@ -1,0 +1,311 @@
+//! Command implementations for the `kcenter` binary.
+
+use std::error::Error;
+use std::time::Instant;
+
+use kcenter_baselines::charikar_kcenter_outliers;
+use kcenter_core::coreset::CoresetSpec;
+use kcenter_core::gmm::gmm_select;
+use kcenter_core::mapreduce_kcenter::{mr_kcenter, MrKCenterConfig};
+use kcenter_core::mapreduce_outliers::{mr_kcenter_outliers, MrOutliersConfig};
+use kcenter_core::sequential::{sequential_kcenter_outliers, SequentialOutliersConfig};
+use kcenter_core::solution::{radius, radius_with_outliers};
+use kcenter_core::streaming_outliers::CoresetOutliers;
+use kcenter_core::tuning;
+use kcenter_data::csv::{load_csv, save_csv};
+use kcenter_data::normalize::Normalization;
+use kcenter_data::{higgs_like, inject_outliers, power_like, wiki_like};
+use kcenter_metric::doubling::{estimate_doubling_dimension, DoublingConfig};
+use kcenter_metric::pairwise::diameter_bounds;
+use kcenter_metric::{Euclidean, Point};
+use kcenter_stream::run_stream;
+
+use crate::args::{Algo, ClusterArgs, GenerateArgs, InfoArgs, Normalize};
+
+/// Runs `kcenter cluster`, writing a human-readable report to stdout.
+pub fn run_cluster(args: &ClusterArgs) -> Result<(), Box<dyn Error>> {
+    let raw = load_csv(&args.input)?;
+    if raw.is_empty() {
+        return Err("input file contains no points".into());
+    }
+    println!(
+        "loaded {} points of dimension {} from {}",
+        raw.len(),
+        raw[0].dim(),
+        args.input
+    );
+
+    let norm = match args.normalize {
+        Normalize::None => None,
+        Normalize::Zscore => Some(Normalization::zscore(&raw)),
+        Normalize::MinMax => Some(Normalization::min_max(&raw)),
+    };
+    let points = match &norm {
+        Some(n) => n.apply_all(&raw),
+        None => raw.clone(),
+    };
+
+    let ell = if args.ell > 0 {
+        args.ell
+    } else if args.z > 0 {
+        tuning::ell_for_outliers(points.len(), args.k, args.z)
+    } else {
+        tuning::ell_for_kcenter(points.len(), args.k)
+    };
+
+    let start = Instant::now();
+    let centers: Vec<Point> = match args.algo {
+        Algo::Gmm => {
+            let result = gmm_select(&points, &Euclidean, args.k, 0);
+            result
+                .centers
+                .into_iter()
+                .map(|i| points[i].clone())
+                .collect()
+        }
+        Algo::Mr => {
+            let result = mr_kcenter(
+                &points,
+                &Euclidean,
+                &MrKCenterConfig {
+                    k: args.k,
+                    ell,
+                    coreset: CoresetSpec::Multiplier { mu: args.mu },
+                    seed: args.seed,
+                },
+            )?;
+            result.clustering.centers
+        }
+        Algo::MrOutliers | Algo::MrRandomized => {
+            let mut config = if args.algo == Algo::MrOutliers {
+                MrOutliersConfig::deterministic(
+                    args.k,
+                    args.z,
+                    ell,
+                    CoresetSpec::Multiplier { mu: args.mu },
+                )
+            } else {
+                MrOutliersConfig::randomized(
+                    args.k,
+                    args.z,
+                    ell,
+                    CoresetSpec::Multiplier { mu: args.mu },
+                )
+            };
+            config.seed = args.seed;
+            mr_kcenter_outliers(&points, &Euclidean, &config)?
+                .clustering
+                .centers
+        }
+        Algo::Sequential => {
+            let mut config = SequentialOutliersConfig::new(args.k, args.z, args.mu);
+            config.seed = args.seed;
+            sequential_kcenter_outliers(&points, &Euclidean, &config)?
+                .clustering
+                .centers
+        }
+        Algo::Stream => {
+            let tau = args.mu * (args.k + args.z);
+            let alg = CoresetOutliers::new(Euclidean, args.k, args.z, tau, 0.25);
+            let (out, report) = run_stream(alg, points.iter().cloned());
+            println!(
+                "streaming pass: {} points/s, peak memory {} points",
+                report.throughput().map(|t| t as u64).unwrap_or(0),
+                report.peak_memory_items
+            );
+            out.centers
+        }
+        Algo::Charikar => {
+            charikar_kcenter_outliers(&points, &Euclidean, args.k, args.z)?
+                .clustering
+                .centers
+        }
+    };
+    let elapsed = start.elapsed();
+
+    let objective = if args.z > 0 {
+        radius_with_outliers(&points, &centers, args.z, &Euclidean)
+    } else {
+        radius(&points, &centers, &Euclidean)
+    };
+    println!(
+        "algo = {:?}, k = {}, z = {}, ell = {ell}, mu = {}",
+        args.algo, args.k, args.z, args.mu
+    );
+    println!(
+        "radius = {objective:.6} ({} space), time = {:.2?}",
+        if norm.is_some() { "normalized" } else { "data" },
+        elapsed
+    );
+
+    if let Some(path) = &args.output {
+        // Map centers back to data space before writing.
+        let out_centers: Vec<Point> = match &norm {
+            Some(n) => centers.iter().map(|c| n.invert(c)).collect(),
+            None => centers.clone(),
+        };
+        save_csv(path, &out_centers)?;
+        println!("wrote {} centers to {path}", out_centers.len());
+    }
+    Ok(())
+}
+
+/// Runs `kcenter generate`.
+pub fn run_generate(args: &GenerateArgs) -> Result<(), Box<dyn Error>> {
+    let mut points = match args.dataset.as_str() {
+        "higgs" => higgs_like(args.n, args.seed),
+        "power" => power_like(args.n, args.seed),
+        "wiki" => wiki_like(args.n, args.seed),
+        other => return Err(format!("unknown dataset {other:?}").into()),
+    };
+    if args.outliers > 0 {
+        let report = inject_outliers(&mut points, args.outliers, args.seed ^ 0xBAD);
+        println!(
+            "injected {} outliers at 100 x r_MEB = {:.3}",
+            args.outliers,
+            100.0 * report.meb_radius
+        );
+    }
+    save_csv(&args.output, &points)?;
+    println!(
+        "wrote {} points ({}-dimensional) to {}",
+        points.len(),
+        points[0].dim(),
+        args.output
+    );
+    Ok(())
+}
+
+/// Runs `kcenter info`.
+pub fn run_info(args: &InfoArgs) -> Result<(), Box<dyn Error>> {
+    let points = load_csv(&args.input)?;
+    if points.is_empty() {
+        return Err("input file contains no points".into());
+    }
+    let (lo, hi) = diameter_bounds(&points, &Euclidean);
+    let doubling = estimate_doubling_dimension(&points, &Euclidean, DoublingConfig::default());
+    println!("file          : {}", args.input);
+    println!("points        : {}", points.len());
+    println!("dimension     : {}", points[0].dim());
+    println!("diameter      : in [{lo:.6}, {hi:.6}]");
+    println!("doubling dim  : ~{doubling:.2} (estimated)");
+    println!(
+        "suggested ell : {} (k-center, k = 10, Corollary 1)",
+        tuning::ell_for_kcenter(points.len(), 10)
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Normalize;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("kcenter-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn write_fixture(name: &str) -> std::path::PathBuf {
+        let path = temp_path(name);
+        // Two clusters plus an outlier.
+        let mut rows = String::new();
+        for i in 0..20 {
+            rows.push_str(&format!("{},0.0\n", i as f64 * 0.1));
+        }
+        for i in 0..20 {
+            rows.push_str(&format!("{},100.0\n", i as f64 * 0.1));
+        }
+        rows.push_str("5000,5000\n");
+        std::fs::write(&path, rows).unwrap();
+        path
+    }
+
+    #[test]
+    fn cluster_command_end_to_end() {
+        let input = write_fixture("cluster_in.csv");
+        let output = temp_path("centers_out.csv");
+        let args = ClusterArgs {
+            input: input.to_string_lossy().into_owned(),
+            k: 2,
+            z: 1,
+            algo: Algo::Sequential,
+            ell: 0,
+            mu: 4,
+            normalize: Normalize::Zscore,
+            output: Some(output.to_string_lossy().into_owned()),
+            seed: 1,
+        };
+        run_cluster(&args).unwrap();
+        let centers = load_csv(&output).unwrap();
+        assert_eq!(centers.len(), 2);
+        // Centers written back in data space: one near y=0, one near y=100.
+        let mut ys: Vec<f64> = centers.iter().map(|c| c[1]).collect();
+        ys.sort_by(f64::total_cmp);
+        assert!(ys[0].abs() < 10.0, "center y {} not near 0", ys[0]);
+        assert!(
+            (ys[1] - 100.0).abs() < 10.0,
+            "center y {} not near 100",
+            ys[1]
+        );
+    }
+
+    #[test]
+    fn cluster_all_algorithms_run() {
+        let input = write_fixture("cluster_algos.csv");
+        for algo in [
+            Algo::Gmm,
+            Algo::Mr,
+            Algo::MrOutliers,
+            Algo::MrRandomized,
+            Algo::Sequential,
+            Algo::Stream,
+            Algo::Charikar,
+        ] {
+            let args = ClusterArgs {
+                input: input.to_string_lossy().into_owned(),
+                k: 2,
+                z: if algo == Algo::Gmm || algo == Algo::Mr {
+                    0
+                } else {
+                    1
+                },
+                algo,
+                ell: 2,
+                mu: 2,
+                normalize: Normalize::None,
+                output: None,
+                seed: 0,
+            };
+            run_cluster(&args).unwrap_or_else(|e| panic!("{algo:?} failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn generate_then_info_round_trip() {
+        let out = temp_path("generated.csv");
+        run_generate(&GenerateArgs {
+            dataset: "higgs".into(),
+            n: 200,
+            outliers: 3,
+            seed: 4,
+            output: out.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        let pts = load_csv(&out).unwrap();
+        assert_eq!(pts.len(), 203);
+        run_info(&InfoArgs {
+            input: out.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let args = InfoArgs {
+            input: "/nonexistent/nowhere.csv".into(),
+        };
+        assert!(run_info(&args).is_err());
+    }
+}

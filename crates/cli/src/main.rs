@@ -1,0 +1,36 @@
+//! `kcenter` — command-line k-center clustering (with outliers) over CSV
+//! files, built on the `kcenter-*` workspace.
+//!
+//! ```text
+//! kcenter generate --dataset power --n 50000 --outliers 100 --output pts.csv
+//! kcenter info     --input pts.csv
+//! kcenter cluster  --input pts.csv --k 20 --z 100 --algo mr-randomized --output centers.csv
+//! ```
+
+mod args;
+mod commands;
+
+use args::Command;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = args::parse(raw.iter().map(String::as_str));
+    let command = match parsed {
+        Ok(command) => command,
+        Err(err) => {
+            eprintln!("{err}");
+            eprintln!();
+            eprintln!("{}", args::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let result = match &command {
+        Command::Cluster(a) => commands::run_cluster(a),
+        Command::Generate(a) => commands::run_generate(a),
+        Command::Info(a) => commands::run_info(a),
+    };
+    if let Err(err) = result {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    }
+}

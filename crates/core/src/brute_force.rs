@@ -1,0 +1,169 @@
+//! Exact optimal k-center by exhaustive enumeration — the test oracle.
+//!
+//! k-center is NP-hard, so exact optima are only computable on tiny
+//! instances; the test suites use these to assert the approximation factors
+//! (GMM ≤ 2·OPT, the coreset algorithms ≤ (2+ε)/(3+ε)·OPT, Lemma 1's subset
+//! property) against ground truth. Enumeration is over all `C(n, k)` center
+//! subsets, guarded to stay cheap.
+
+use kcenter_metric::selection::radius_excluding_outliers;
+use kcenter_metric::Metric;
+
+/// Hard cap on the number of candidate subsets enumerated.
+const MAX_SUBSETS: u128 = 2_000_000;
+
+fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result * (n - i) as u128 / (i + 1) as u128;
+        if result > MAX_SUBSETS * 1000 {
+            return u128::MAX;
+        }
+    }
+    result
+}
+
+/// Iterates over all k-subsets of `0..n` in lexicographic order, invoking
+/// `visit` with each.
+fn for_each_combination(n: usize, k: usize, mut visit: impl FnMut(&[usize])) {
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        visit(&idx);
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// The exact optimal k-center solution (center indices and radius).
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `k > n`, or `C(n, k)` exceeds the enumeration cap —
+/// this is a test oracle, not a solver.
+pub fn optimal_kcenter<P, M: Metric<P>>(points: &[P], metric: &M, k: usize) -> (Vec<usize>, f64) {
+    optimal_kcenter_outliers(points, metric, k, 0)
+}
+
+/// The exact optimal k-center-with-outliers solution.
+///
+/// # Panics
+///
+/// As [`optimal_kcenter`].
+pub fn optimal_kcenter_outliers<P, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    k: usize,
+    z: usize,
+) -> (Vec<usize>, f64) {
+    let n = points.len();
+    assert!(k > 0 && k <= n, "need 0 < k <= n");
+    assert!(
+        binomial(n, k) <= MAX_SUBSETS,
+        "instance too large for brute force: C({n},{k})"
+    );
+
+    let mut best_radius = f64::INFINITY;
+    let mut best: Vec<usize> = Vec::new();
+    let mut dists = vec![0.0f64; n];
+    for_each_combination(n, k, |centers| {
+        for (i, p) in points.iter().enumerate() {
+            dists[i] = centers
+                .iter()
+                .map(|&c| metric.distance(p, &points[c]))
+                .fold(f64::INFINITY, f64::min);
+        }
+        let radius = radius_excluding_outliers(&mut dists, z);
+        if radius < best_radius {
+            best_radius = radius;
+            best = centers.to_vec();
+        }
+    });
+    (best, best_radius)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcenter_metric::{Euclidean, Point};
+
+    fn pts(coords: &[f64]) -> Vec<Point> {
+        coords.iter().map(|&c| Point::new(vec![c])).collect()
+    }
+
+    #[test]
+    fn finds_the_obvious_optimum() {
+        // Two clusters; optimal 2-center radius is 0.5 (centers 0.5 & 10.5
+        // are not data points; best data-point centers give radius 1).
+        let points = pts(&[0.0, 1.0, 10.0, 11.0]);
+        let (centers, radius) = optimal_kcenter(&points, &Euclidean, 2);
+        assert_eq!(radius, 1.0);
+        assert_eq!(centers.len(), 2);
+    }
+
+    #[test]
+    fn outliers_reduce_the_optimal_radius() {
+        let points = pts(&[0.0, 1.0, 2.0, 50.0]);
+        let (_, r0) = optimal_kcenter_outliers(&points, &Euclidean, 1, 0);
+        let (_, r1) = optimal_kcenter_outliers(&points, &Euclidean, 1, 1);
+        assert_eq!(r0, 48.0); // center 2.0: max(2, 1, 0, 48)
+        assert_eq!(r1, 1.0); // discard 50, center at 1.0
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero() {
+        let points = pts(&[3.0, 7.0, 9.0]);
+        let (_, r) = optimal_kcenter(&points, &Euclidean, 3);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn eq_one_reduces_to_center_selection() {
+        let points = pts(&[0.0, 4.0, 10.0]);
+        let (centers, r) = optimal_kcenter(&points, &Euclidean, 1);
+        assert_eq!(centers, vec![1]); // 4.0 minimizes max(4, 6) = 6
+        assert_eq!(r, 6.0);
+    }
+
+    #[test]
+    fn combination_count_is_exhaustive() {
+        let mut count = 0;
+        for_each_combination(6, 3, |_| count += 1);
+        assert_eq!(count, 20);
+        let mut count1 = 0;
+        for_each_combination(5, 1, |_| count1 += 1);
+        assert_eq!(count1, 5);
+        let mut count_all = 0;
+        for_each_combination(4, 4, |c| {
+            assert_eq!(c, &[0, 1, 2, 3]);
+            count_all += 1;
+        });
+        assert_eq!(count_all, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_instance_panics() {
+        let points: Vec<Point> = (0..200).map(|i| Point::new(vec![i as f64])).collect();
+        let _ = optimal_kcenter(&points, &Euclidean, 20);
+    }
+}

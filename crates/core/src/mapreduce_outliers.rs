@@ -1,0 +1,484 @@
+//! The 2-round (3+ε)-approximation MapReduce algorithms for k-center with
+//! `z` outliers (paper §3.2), deterministic and randomized.
+//!
+//! Round 1 builds a *weighted* GMM coreset per partition (every coreset
+//! point carries the number of input points it proxies). Round 2 gathers the
+//! weighted union `T` into one reducer and estimates the minimum radius at
+//! which `OutliersCluster(T, k, r, ε̂)` leaves at most `z` weight uncovered
+//! ([`crate::radius_search`]); its centers are the output. Theorem 2: a
+//! `(3+ε)`-approximation with `ε̂ = ε/6`.
+//!
+//! The two variants differ in round 1 (paper §3.2.1):
+//!
+//! * **deterministic** — arbitrary (chunked) partition, coreset base
+//!   `k + z`: each partition must be able to absorb *all* outliers, because
+//!   an adversary could put them all in one partition;
+//! * **randomized** — uniform random partition; with high probability each
+//!   partition receives only `z' = 6(z/ℓ + log₂|S|)` outliers (Lemma 7), so
+//!   the coreset base shrinks to `k + z'` — a large memory/time saving when
+//!   `z ≫ k` (Corollary 3). The experiments drop the `log₂|S|` term, which
+//!   is only needed when `z ≈ ℓ` (§5.2); both forms are supported.
+//!
+//! With [`CoresetSpec::Multiplier`]` { mu: 1 }` the deterministic variant is
+//! exactly the algorithm of Malkomes et al. (2015), the Fig. 4 baseline.
+
+use std::time::{Duration, Instant};
+
+use kcenter_mapreduce::{
+    Adversarial, Chunked, MapReduceEngine, MemoryReport, Partitioner, RandomPartition,
+};
+use kcenter_metric::Metric;
+
+use crate::coreset::{build_weighted_coreset, CoresetSpec, WeightedPoint};
+use crate::error::{check_eps, check_kz, InputError};
+use crate::radius_search::{solve_coreset, SearchMode, DEFAULT_MATRIX_THRESHOLD};
+use crate::solution::{radius_with_outliers, Clustering};
+
+/// Which §3.2 variant to run (controls the coreset base).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MrOutliersVariant {
+    /// Coreset base `k + z` per partition.
+    Deterministic,
+    /// Coreset base `k + z'`, `z' = 6·z/ℓ (+ 6·log₂|S|)`.
+    Randomized {
+        /// Include the `6·log₂|S|` term of Lemma 7 (the experiments omit
+        /// it; it only matters when `z ≈ ℓ`).
+        include_log_term: bool,
+    },
+}
+
+/// How round 1 partitions the input.
+#[derive(Clone, Debug)]
+pub enum MrPartitioning {
+    /// Deterministic equal-size chunks (the paper's default).
+    Chunked,
+    /// Uniform random assignment (the randomized variant's default).
+    Random,
+    /// All `special` indices (e.g. injected outliers) forced into one
+    /// partition — the adversarial setup of Fig. 4.
+    Adversarial {
+        /// Indices routed to partition 0.
+        special: Vec<usize>,
+    },
+}
+
+/// Configuration of the MapReduce k-center-with-outliers algorithm.
+#[derive(Clone, Debug)]
+pub struct MrOutliersConfig {
+    /// Number of centers `k`.
+    pub k: usize,
+    /// Outlier budget `z`.
+    pub z: usize,
+    /// Parallelism `ℓ`.
+    pub ell: usize,
+    /// Precision `ε̂ ∈ (0, 1]` for `OutliersCluster` and the radius search
+    /// (Theorem 2 uses `ε̂ = ε/6`).
+    pub eps_hat: f64,
+    /// Coreset sizing rule (base is `k + z` or `k + z'` per the variant).
+    pub coreset: CoresetSpec,
+    /// Deterministic or randomized variant.
+    pub variant: MrOutliersVariant,
+    /// Partitioning of round 1.
+    pub partitioning: MrPartitioning,
+    /// Seed for the random partition and GMM start points.
+    pub seed: u64,
+    /// Radius search mode.
+    pub search: SearchMode,
+    /// Cache the coreset distance matrix when `|T|` is at most this.
+    pub matrix_threshold: usize,
+}
+
+impl MrOutliersConfig {
+    /// The paper's deterministic algorithm with sensible defaults.
+    pub fn deterministic(k: usize, z: usize, ell: usize, coreset: CoresetSpec) -> Self {
+        MrOutliersConfig {
+            k,
+            z,
+            ell,
+            eps_hat: 1.0 / 6.0,
+            coreset,
+            variant: MrOutliersVariant::Deterministic,
+            partitioning: MrPartitioning::Chunked,
+            seed: 0,
+            search: SearchMode::GeometricGrid,
+            matrix_threshold: DEFAULT_MATRIX_THRESHOLD,
+        }
+    }
+
+    /// The paper's randomized algorithm with sensible defaults
+    /// (experimental form: no `log₂|S|` term).
+    pub fn randomized(k: usize, z: usize, ell: usize, coreset: CoresetSpec) -> Self {
+        MrOutliersConfig {
+            variant: MrOutliersVariant::Randomized {
+                include_log_term: false,
+            },
+            partitioning: MrPartitioning::Random,
+            ..Self::deterministic(k, z, ell, coreset)
+        }
+    }
+
+    /// The coreset base `k + z` (deterministic) or `k + z'` (randomized)
+    /// for a dataset of `n` points.
+    pub fn coreset_base(&self, n: usize) -> usize {
+        match self.variant {
+            MrOutliersVariant::Deterministic => self.k + self.z,
+            MrOutliersVariant::Randomized { include_log_term } => {
+                let z_over_ell = (6 * self.z).div_ceil(self.ell);
+                let log_term = if include_log_term {
+                    6 * (n.max(2) as f64).log2().ceil() as usize
+                } else {
+                    0
+                };
+                self.k + z_over_ell + log_term
+            }
+        }
+    }
+}
+
+/// Result of one MapReduce k-center-with-outliers run.
+#[derive(Clone, Debug)]
+pub struct MrOutliersResult<P> {
+    /// The final (at most) k centers; `radius` is the objective
+    /// `r_{T,Z_T}(S)` measured on the full input with `z` outliers.
+    pub clustering: Clustering<P>,
+    /// The radius `r̃min` found on the coreset by the search.
+    pub r_min: f64,
+    /// Weight left uncovered on the coreset at `r̃min` (≤ z).
+    pub uncovered_weight: u64,
+    /// Coreset base used (`k + z` or `k + z'`).
+    pub base: usize,
+    /// Size of each partition's coreset.
+    pub coreset_sizes: Vec<usize>,
+    /// `|T|`, the weighted union's size.
+    pub union_size: usize,
+    /// Number of `OutliersCluster` evaluations in the radius search.
+    pub search_evaluations: usize,
+    /// Memory accounting for both rounds.
+    pub memory: MemoryReport,
+    /// Wall-clock time of round 1 (coreset construction).
+    pub round1_time: Duration,
+    /// Wall-clock time of round 2 (radius search + final cover).
+    pub round2_time: Duration,
+}
+
+#[inline]
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut x = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 31)
+}
+
+/// Runs the 2-round MapReduce k-center-with-outliers algorithm.
+///
+/// # Errors
+///
+/// Returns [`InputError`] for empty input, `k`/`z` out of range, `ℓ = 0`,
+/// or an invalid precision/coreset spec.
+pub fn mr_kcenter_outliers<P, M>(
+    points: &[P],
+    metric: &M,
+    config: &MrOutliersConfig,
+) -> Result<MrOutliersResult<P>, InputError>
+where
+    P: Clone + Send + Sync,
+    M: Metric<P>,
+{
+    check_kz(points.len(), config.k, config.z)?;
+    if config.ell == 0 {
+        return Err(InputError::InvalidParallelism);
+    }
+    check_eps(config.eps_hat)?;
+    if let CoresetSpec::EpsStop { eps } = config.coreset {
+        check_eps(eps)?;
+    }
+    let n = points.len();
+    let base = config.coreset_base(n);
+    if let Some(target) = config.coreset.target_size(base) {
+        if target < config.k {
+            return Err(InputError::CoresetTooSmall {
+                tau: target,
+                minimum: config.k,
+            });
+        }
+    }
+
+    let engine = MapReduceEngine::new(config.ell);
+    let ell = config.ell;
+    let spec = config.coreset;
+    let seed = config.seed;
+
+    let partitioner: Box<dyn Partitioner> = match &config.partitioning {
+        MrPartitioning::Chunked => Box::new(Chunked),
+        MrPartitioning::Random => Box::new(RandomPartition::new(mix(seed, 0xF00D))),
+        MrPartitioning::Adversarial { special } => {
+            Box::new(Adversarial::new(special.iter().copied()))
+        }
+    };
+
+    // Round 1: weighted coreset per partition.
+    let round1_start = Instant::now();
+    let inputs: Vec<(usize, P)> = points.iter().cloned().enumerate().collect();
+    let weighted_union: Vec<(usize, WeightedPoint<P>)> = engine.round(
+        inputs,
+        |(i, p)| (partitioner.assign(i, n, ell), p),
+        |&part, members| {
+            let start = (mix(seed, part as u64 + 1) % members.len() as u64) as usize;
+            let build =
+                build_weighted_coreset(&members, metric, base.min(members.len()), &spec, start);
+            build
+                .coreset
+                .points
+                .into_iter()
+                .map(|wp| (part, wp))
+                .collect()
+        },
+    );
+    let round1_time = round1_start.elapsed();
+
+    let mut coreset_sizes = vec![0usize; ell];
+    for (part, _) in &weighted_union {
+        coreset_sizes[*part] += 1;
+    }
+    coreset_sizes.retain(|&s| s > 0);
+    let union_size = weighted_union.len();
+
+    // Round 2: gather the union, search the radius, extract centers.
+    let (k, z, eps_hat, search, matrix_threshold) = (
+        config.k,
+        config.z,
+        config.eps_hat,
+        config.search,
+        config.matrix_threshold,
+    );
+    let round2_start = Instant::now();
+    let mut solutions = engine.round(
+        weighted_union,
+        |(_, wp)| ((), wp),
+        |_, union| {
+            let coreset = union.iter().cloned().collect();
+            vec![solve_coreset(
+                &coreset,
+                metric,
+                k,
+                z as u64,
+                eps_hat,
+                search,
+                matrix_threshold,
+            )]
+        },
+    );
+    let round2_time = round2_start.elapsed();
+    let solution = solutions.pop().expect("round 2 produced a solution");
+
+    let final_radius =
+        engine.run_scoped(|| radius_with_outliers(points, &solution.centers, z, metric));
+
+    Ok(MrOutliersResult {
+        clustering: Clustering {
+            centers: solution.centers,
+            radius: final_radius,
+        },
+        r_min: solution.r_min,
+        uncovered_weight: solution.uncovered_weight,
+        base,
+        coreset_sizes,
+        union_size,
+        search_evaluations: solution.evaluations,
+        memory: engine.memory_report(),
+        round1_time,
+        round2_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force::optimal_kcenter_outliers;
+    use kcenter_metric::{Euclidean, Point};
+
+    /// Three clusters plus `z` far outliers at the tail of the array.
+    fn clustered_with_outliers(per_cluster: usize, z: usize) -> (Vec<Point>, Vec<usize>) {
+        let mut pts = Vec::new();
+        for c in 0..3 {
+            for i in 0..per_cluster {
+                pts.push(Point::new(vec![
+                    c as f64 * 100.0 + (i % 10) as f64 * 0.1,
+                    (i / 10) as f64 * 0.1,
+                ]));
+            }
+        }
+        let base = pts.len();
+        for j in 0..z {
+            pts.push(Point::new(vec![
+                10_000.0 + 500.0 * j as f64,
+                10_000.0 - 700.0 * j as f64,
+            ]));
+        }
+        (pts, (base..base + z).collect())
+    }
+
+    #[test]
+    fn deterministic_finds_clusters_and_drops_outliers() {
+        let (points, outliers) = clustered_with_outliers(60, 4);
+        let config = MrOutliersConfig::deterministic(3, 4, 4, CoresetSpec::Multiplier { mu: 2 });
+        let result = mr_kcenter_outliers(&points, &Euclidean, &config).unwrap();
+        assert!(result.clustering.k() <= 3);
+        // The clusters have diameter ~1.3; outliers are 10⁴ away. A correct
+        // solution must achieve a small radius once z points are excluded.
+        assert!(
+            result.clustering.radius < 10.0,
+            "radius {} did not exclude outliers",
+            result.clustering.radius
+        );
+        // The excluded points are exactly the injected outliers.
+        let excluded =
+            crate::solution::outlier_indices(&points, &result.clustering.centers, 4, &Euclidean);
+        assert_eq!(excluded, outliers);
+    }
+
+    #[test]
+    fn adversarial_partition_hurts_mu1_but_not_mu8() {
+        // All outliers in one partition (paper §5.2): with µ = 1 the coreset
+        // of that partition spends z of its k + z slots on outliers (GMM
+        // picks the farthest points first), leaving the partition's wide
+        // cluster underrepresented. µ = 8 recovers the representation.
+        // Clusters are 10×6 unit grids (diameter ~10.3) so representation
+        // quality is visible in the final radius.
+        let mut points: Vec<Point> = Vec::new();
+        for c in 0..3 {
+            for i in 0..60 {
+                points.push(Point::new(vec![
+                    c as f64 * 300.0 + (i % 10) as f64,
+                    (i / 10) as f64,
+                ]));
+            }
+        }
+        let base = points.len();
+        for j in 0..6 {
+            points.push(Point::new(vec![
+                20_000.0 + 3_000.0 * j as f64,
+                -15_000.0 + 4_000.0 * j as f64,
+            ]));
+        }
+        let outliers: Vec<usize> = (base..base + 6).collect();
+        let mk = |mu: usize| {
+            let mut c = MrOutliersConfig::deterministic(3, 6, 3, CoresetSpec::Multiplier { mu });
+            c.partitioning = MrPartitioning::Adversarial {
+                special: outliers.clone(),
+            };
+            c
+        };
+        let small = mr_kcenter_outliers(&points, &Euclidean, &mk(1)).unwrap();
+        let large = mr_kcenter_outliers(&points, &Euclidean, &mk(8)).unwrap();
+        assert!(
+            large.clustering.radius <= small.clustering.radius + 1e-9,
+            "µ=8 ({}) should not be worse than µ=1 ({})",
+            large.clustering.radius,
+            small.clustering.radius
+        );
+        // Both still separate outliers from clusters.
+        assert!(large.clustering.radius < 50.0);
+        assert!(small.clustering.radius < 300.0);
+    }
+
+    #[test]
+    fn randomized_uses_smaller_coresets() {
+        // z' = 6·z/ℓ beats z only when ℓ > 6 (the regime the randomized
+        // variant targets: many partitions, many outliers).
+        let (points, _) = clustered_with_outliers(80, 16);
+        let det = MrOutliersConfig::deterministic(3, 16, 8, CoresetSpec::Multiplier { mu: 1 });
+        let rand = MrOutliersConfig::randomized(3, 16, 8, CoresetSpec::Multiplier { mu: 1 });
+        let n = points.len();
+        assert_eq!(det.coreset_base(n), 3 + 16);
+        assert_eq!(rand.coreset_base(n), 3 + 12);
+        let det_r = mr_kcenter_outliers(&points, &Euclidean, &det).unwrap();
+        let rand_r = mr_kcenter_outliers(&points, &Euclidean, &rand).unwrap();
+        assert!(rand_r.union_size <= det_r.union_size);
+        // Randomized must still produce a valid solution.
+        assert!(
+            rand_r.clustering.radius < 10.0,
+            "radius {}",
+            rand_r.clustering.radius
+        );
+    }
+
+    #[test]
+    fn log_term_grows_the_base() {
+        let with_log = MrOutliersConfig {
+            variant: MrOutliersVariant::Randomized {
+                include_log_term: true,
+            },
+            ..MrOutliersConfig::randomized(5, 20, 4, CoresetSpec::Multiplier { mu: 1 })
+        };
+        let without = MrOutliersConfig::randomized(5, 20, 4, CoresetSpec::Multiplier { mu: 1 });
+        assert!(with_log.coreset_base(1024) > without.coreset_base(1024));
+        // 6·log2(1024) = 60.
+        assert_eq!(with_log.coreset_base(1024), without.coreset_base(1024) + 60);
+    }
+
+    #[test]
+    fn approximation_versus_brute_force() {
+        // Tiny instance where the exact optimum is computable: 2 clusters
+        // of 6 + 2 outliers, k = 2, z = 2.
+        let mut points: Vec<Point> = Vec::new();
+        for i in 0..6 {
+            points.push(Point::new(vec![i as f64 * 0.3]));
+        }
+        for i in 0..6 {
+            points.push(Point::new(vec![40.0 + i as f64 * 0.3]));
+        }
+        points.push(Point::new(vec![500.0]));
+        points.push(Point::new(vec![-400.0]));
+        let (_, opt) = optimal_kcenter_outliers(&points, &Euclidean, 2, 2);
+        assert!(opt > 0.0);
+        let config = MrOutliersConfig::deterministic(2, 2, 2, CoresetSpec::Multiplier { mu: 4 });
+        let result = mr_kcenter_outliers(&points, &Euclidean, &config).unwrap();
+        // Theorem 2 bound with ε = 6·ε̂ = 1 → factor 4; allow tiny epsilon.
+        assert!(
+            result.clustering.radius <= 4.0 * opt + 1e-9,
+            "radius {} vs opt {opt}",
+            result.clustering.radius
+        );
+    }
+
+    #[test]
+    fn memory_report_covers_two_rounds() {
+        let (points, _) = clustered_with_outliers(40, 3);
+        let config = MrOutliersConfig::deterministic(3, 3, 4, CoresetSpec::Multiplier { mu: 1 });
+        let result = mr_kcenter_outliers(&points, &Euclidean, &config).unwrap();
+        assert_eq!(result.memory.round_count(), 2);
+        assert_eq!(result.memory.rounds[1].max_reducer_load, result.union_size);
+        assert_eq!(result.coreset_sizes.len(), 4);
+    }
+
+    #[test]
+    fn input_validation() {
+        let (points, _) = clustered_with_outliers(5, 1);
+        let bad_z =
+            MrOutliersConfig::deterministic(3, points.len(), 2, CoresetSpec::Multiplier { mu: 1 });
+        assert!(matches!(
+            mr_kcenter_outliers(&points, &Euclidean, &bad_z),
+            Err(InputError::InvalidZ { .. })
+        ));
+        let mut bad_eps =
+            MrOutliersConfig::deterministic(2, 1, 2, CoresetSpec::Multiplier { mu: 1 });
+        bad_eps.eps_hat = 0.0;
+        assert!(matches!(
+            mr_kcenter_outliers(&points, &Euclidean, &bad_eps),
+            Err(InputError::InvalidEpsilon { .. })
+        ));
+    }
+
+    #[test]
+    fn exact_and_grid_search_modes_agree_roughly() {
+        let (points, _) = clustered_with_outliers(30, 3);
+        let mut exact = MrOutliersConfig::deterministic(3, 3, 2, CoresetSpec::Multiplier { mu: 2 });
+        exact.search = SearchMode::ExactCandidates;
+        let grid = MrOutliersConfig::deterministic(3, 3, 2, CoresetSpec::Multiplier { mu: 2 });
+        let a = mr_kcenter_outliers(&points, &Euclidean, &exact).unwrap();
+        let b = mr_kcenter_outliers(&points, &Euclidean, &grid).unwrap();
+        // Both must solve the instance (small radius after excluding z).
+        assert!(a.clustering.radius < 10.0);
+        assert!(b.clustering.radius < 10.0);
+    }
+}

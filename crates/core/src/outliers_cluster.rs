@@ -1,0 +1,377 @@
+//! `OutliersCluster` — the weighted greedy disk cover (paper Algorithm 1).
+//!
+//! Given a weighted coreset `T`, a center budget `k`, a radius guess `r`,
+//! and a precision `ε̂`, the algorithm repeatedly picks the point whose ball
+//! of radius `(1+2ε̂)·r` has the largest aggregate *uncovered* weight, makes
+//! it a center, and marks everything within `(3+4ε̂)·r` of it covered. It
+//! stops after `k` centers or when nothing is uncovered. Lemma 5 shows that
+//! whenever `r ≥ r*_{k,z}(S)`, the weight left uncovered is at most `z`.
+//!
+//! Two implementations are provided:
+//!
+//! * [`outliers_cluster`] — incremental ball-weight maintenance: ball
+//!   weights are computed once (`O(|T|²)` distance evaluations,
+//!   rayon-parallel) and *updated* as points become covered, so a full run
+//!   costs `O(|T|²)` instead of the naive `O(k·|T|²)`;
+//! * [`outliers_cluster_naive`] — the textbook loop, kept as the ablation
+//!   baseline and as a differential-testing oracle (both must return
+//!   identical results).
+//!
+//! Both run on a [`DistanceOracle`] so the radius search can share one
+//! cached [`DistanceMatrix`] across its many
+//! radius guesses when the coreset is small, falling back to on-the-fly
+//! metric evaluation for large coresets.
+
+use rayon::prelude::*;
+
+use kcenter_metric::{DistanceMatrix, Metric};
+
+/// Pairwise distances among coreset points, by index.
+pub trait DistanceOracle: Sync {
+    /// Number of points.
+    fn len(&self) -> usize;
+    /// Whether the point set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Distance between points `i` and `j`.
+    fn dist(&self, i: usize, j: usize) -> f64;
+}
+
+impl DistanceOracle for DistanceMatrix {
+    fn len(&self) -> usize {
+        DistanceMatrix::len(self)
+    }
+
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        self.get(i, j)
+    }
+}
+
+/// A [`DistanceOracle`] that evaluates the metric on demand — no quadratic
+/// memory, used for coresets too large to cache.
+pub struct PointsOracle<'a, P, M> {
+    points: &'a [P],
+    metric: &'a M,
+}
+
+impl<'a, P, M: Metric<P>> PointsOracle<'a, P, M> {
+    /// Wraps a point slice and metric.
+    pub fn new(points: &'a [P], metric: &'a M) -> Self {
+        PointsOracle { points, metric }
+    }
+}
+
+impl<P: Sync, M: Metric<P>> DistanceOracle for PointsOracle<'_, P, M> {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        self.metric.distance(&self.points[i], &self.points[j])
+    }
+}
+
+/// Result of one `OutliersCluster` run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OutliersClusterResult {
+    /// Selected center indices `X` (into the coreset), `|X| <= k`.
+    pub centers: Vec<usize>,
+    /// Indices of the uncovered points `T'` (farther than `(3+4ε̂)·r` from
+    /// every selected center).
+    pub uncovered: Vec<usize>,
+    /// Aggregate weight of `T'` — compared against `z` by the radius search.
+    pub uncovered_weight: u64,
+}
+
+/// Runs `OutliersCluster(T, k, r, ε̂)` with incremental ball-weight
+/// maintenance.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != oracle.len()`, `k == 0`, `r < 0`, or
+/// `eps_hat < 0`.
+pub fn outliers_cluster<O: DistanceOracle>(
+    oracle: &O,
+    weights: &[u64],
+    k: usize,
+    r: f64,
+    eps_hat: f64,
+) -> OutliersClusterResult {
+    let n = oracle.len();
+    assert_eq!(weights.len(), n, "weights misaligned with points");
+    assert!(k > 0, "k must be positive");
+    assert!(
+        r >= 0.0 && eps_hat >= 0.0,
+        "radius and eps must be non-negative"
+    );
+
+    let ball_r = (1.0 + 2.0 * eps_hat) * r;
+    let cover_r = (3.0 + 4.0 * eps_hat) * r;
+
+    let mut covered = vec![false; n];
+    let mut uncovered_count = n;
+
+    // Initial ball weights over all (uncovered) points: O(n²) parallel.
+    let mut ball_weight: Vec<u64> = (0..n)
+        .into_par_iter()
+        .map(|t| {
+            let mut w = 0u64;
+            for (v, &weight) in weights.iter().enumerate() {
+                if oracle.dist(t, v) <= ball_r {
+                    w += weight;
+                }
+            }
+            w
+        })
+        .collect();
+
+    let mut centers = Vec::new();
+    while centers.len() < k && uncovered_count > 0 {
+        // Argmax over all of T (a center need not be uncovered); ties to the
+        // smallest index for determinism.
+        let x = ball_weight
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .expect("nonempty coreset");
+        centers.push(x);
+
+        // E_x: uncovered points within the expanded radius.
+        let removed: Vec<usize> = (0..n)
+            .into_par_iter()
+            .filter(|&v| !covered[v] && oracle.dist(x, v) <= cover_r)
+            .collect();
+        for &v in &removed {
+            covered[v] = true;
+        }
+        uncovered_count -= removed.len();
+
+        // Subtract the removed points' weights from every ball containing
+        // them. Each point is removed exactly once, so the total update work
+        // over the whole run is O(n²).
+        ball_weight.par_iter_mut().enumerate().for_each(|(t, w)| {
+            for &v in &removed {
+                if oracle.dist(t, v) <= ball_r {
+                    *w -= weights[v];
+                }
+            }
+        });
+    }
+
+    let uncovered: Vec<usize> = (0..n).filter(|&v| !covered[v]).collect();
+    let uncovered_weight = uncovered.iter().map(|&v| weights[v]).sum();
+    OutliersClusterResult {
+        centers,
+        uncovered,
+        uncovered_weight,
+    }
+}
+
+/// The textbook `O(k·|T|²)` implementation recomputing every ball weight in
+/// every iteration. Must return exactly the same result as
+/// [`outliers_cluster`]; kept for differential testing and the ablation
+/// benchmark.
+pub fn outliers_cluster_naive<O: DistanceOracle>(
+    oracle: &O,
+    weights: &[u64],
+    k: usize,
+    r: f64,
+    eps_hat: f64,
+) -> OutliersClusterResult {
+    let n = oracle.len();
+    assert_eq!(weights.len(), n, "weights misaligned with points");
+    assert!(k > 0, "k must be positive");
+    assert!(
+        r >= 0.0 && eps_hat >= 0.0,
+        "radius and eps must be non-negative"
+    );
+
+    let ball_r = (1.0 + 2.0 * eps_hat) * r;
+    let cover_r = (3.0 + 4.0 * eps_hat) * r;
+
+    let mut covered = vec![false; n];
+    let mut centers = Vec::new();
+    while centers.len() < k && covered.iter().any(|c| !c) {
+        let mut best = 0usize;
+        let mut best_w = 0u64;
+        let mut first = true;
+        for t in 0..n {
+            let mut w = 0u64;
+            for v in 0..n {
+                if !covered[v] && oracle.dist(t, v) <= ball_r {
+                    w += weights[v];
+                }
+            }
+            if first || w > best_w {
+                best = t;
+                best_w = w;
+                first = false;
+            }
+        }
+        centers.push(best);
+        for (v, cov) in covered.iter_mut().enumerate() {
+            if !*cov && oracle.dist(best, v) <= cover_r {
+                *cov = true;
+            }
+        }
+    }
+
+    let uncovered: Vec<usize> = (0..n).filter(|&v| !covered[v]).collect();
+    let uncovered_weight = uncovered.iter().map(|&v| weights[v]).sum();
+    OutliersClusterResult {
+        centers,
+        uncovered,
+        uncovered_weight,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcenter_metric::{Euclidean, Point};
+
+    fn oracle_of(coords: &[f64]) -> (Vec<Point>, Vec<u64>) {
+        let pts: Vec<Point> = coords.iter().map(|&c| Point::new(vec![c])).collect();
+        let w = vec![1u64; pts.len()];
+        (pts, w)
+    }
+
+    #[test]
+    fn covers_everything_with_generous_radius() {
+        let (pts, w) = oracle_of(&[0.0, 1.0, 2.0, 3.0]);
+        let oracle = PointsOracle::new(&pts, &Euclidean);
+        let result = outliers_cluster(&oracle, &w, 2, 3.0, 0.0);
+        assert!(result.uncovered.is_empty());
+        assert_eq!(result.uncovered_weight, 0);
+        assert!(result.centers.len() <= 2);
+    }
+
+    #[test]
+    fn leaves_far_points_uncovered_with_small_radius() {
+        // Two clusters 100 apart plus an outlier at 1000; k = 2, small r.
+        let (pts, w) = oracle_of(&[0.0, 1.0, 100.0, 101.0, 1000.0]);
+        let oracle = PointsOracle::new(&pts, &Euclidean);
+        let result = outliers_cluster(&oracle, &w, 2, 1.0, 0.0);
+        assert_eq!(result.uncovered, vec![4]);
+        assert_eq!(result.uncovered_weight, 1);
+    }
+
+    #[test]
+    fn picks_heaviest_ball_first() {
+        // Heavy cluster at 0 (weight 10), light cluster at 100 (weight 2).
+        let pts: Vec<Point> = vec![0.0, 100.0]
+            .into_iter()
+            .map(|c| Point::new(vec![c]))
+            .collect();
+        let w = vec![10u64, 2u64];
+        let oracle = PointsOracle::new(&pts, &Euclidean);
+        let result = outliers_cluster(&oracle, &w, 1, 1.0, 0.0);
+        assert_eq!(result.centers, vec![0]);
+        assert_eq!(result.uncovered, vec![1]);
+        assert_eq!(result.uncovered_weight, 2);
+    }
+
+    #[test]
+    fn weighted_selection_beats_cardinality() {
+        // Three points near 0 (weight 1 each) vs one point at 50 carrying
+        // weight 100: the heavy singleton wins the first center.
+        let pts: Vec<Point> = vec![0.0, 0.5, 1.0, 50.0]
+            .into_iter()
+            .map(|c| Point::new(vec![c]))
+            .collect();
+        let w = vec![1u64, 1, 1, 100];
+        let oracle = PointsOracle::new(&pts, &Euclidean);
+        let result = outliers_cluster(&oracle, &w, 1, 1.0, 0.0);
+        assert_eq!(result.centers, vec![3]);
+        assert_eq!(result.uncovered_weight, 3);
+    }
+
+    #[test]
+    fn expanded_radius_covers_more_than_selection_ball() {
+        // Selection ball (1+2ε̂)r around x, removal ball (3+4ε̂)r: a point at
+        // distance 2.5 from the chosen center is removed but not counted in
+        // the selection ball for r = 1, ε̂ = 0.
+        let (pts, w) = oracle_of(&[0.0, 0.5, 2.5, 10.0]);
+        let oracle = PointsOracle::new(&pts, &Euclidean);
+        let result = outliers_cluster(&oracle, &w, 1, 1.0, 0.0);
+        assert_eq!(result.centers, vec![0]);
+        assert_eq!(result.uncovered, vec![3]);
+    }
+
+    #[test]
+    fn uncovered_points_are_far_from_all_centers() {
+        let pts: Vec<Point> = (0..40)
+            .map(|i| Point::new(vec![(i * 7 % 40) as f64]))
+            .collect();
+        let w = vec![1u64; pts.len()];
+        let oracle = PointsOracle::new(&pts, &Euclidean);
+        let r = 2.0;
+        let eps_hat = 0.25;
+        let result = outliers_cluster(&oracle, &w, 3, r, eps_hat);
+        let cover_r = (3.0 + 4.0 * eps_hat) * r;
+        for &u in &result.uncovered {
+            for &c in &result.centers {
+                assert!(oracle.dist(u, c) > cover_r, "uncovered point inside cover");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_and_incremental_agree() {
+        // Differential test on a moderately irregular instance.
+        let pts: Vec<Point> = (0..60)
+            .map(|i| {
+                let x = (i as f64 * 0.37).sin() * 50.0;
+                let y = (i as f64 * 0.89).cos() * 50.0;
+                Point::new(vec![x, y])
+            })
+            .collect();
+        let w: Vec<u64> = (0..60).map(|i| 1 + (i % 5) as u64).collect();
+        let oracle = PointsOracle::new(&pts, &Euclidean);
+        for &(k, r, eps) in &[
+            (1usize, 5.0, 0.0),
+            (3, 10.0, 0.1),
+            (5, 20.0, 0.5),
+            (8, 2.0, 1.0),
+        ] {
+            let fast = outliers_cluster(&oracle, &w, k, r, eps);
+            let naive = outliers_cluster_naive(&oracle, &w, k, r, eps);
+            assert_eq!(fast, naive, "divergence at k={k}, r={r}, eps={eps}");
+        }
+    }
+
+    #[test]
+    fn matrix_oracle_matches_points_oracle() {
+        let pts: Vec<Point> = (0..30)
+            .map(|i| Point::new(vec![(i as f64 * 1.3) % 17.0]))
+            .collect();
+        let w = vec![1u64; 30];
+        let points_oracle = PointsOracle::new(&pts, &Euclidean);
+        let matrix = DistanceMatrix::build(&pts, &Euclidean);
+        let a = outliers_cluster(&points_oracle, &w, 4, 3.0, 0.25);
+        let b = outliers_cluster(&matrix, &w, 4, 3.0, 0.25);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_radius_still_terminates() {
+        let (pts, w) = oracle_of(&[0.0, 0.0, 5.0]);
+        let oracle = PointsOracle::new(&pts, &Euclidean);
+        let result = outliers_cluster(&oracle, &w, 2, 0.0, 0.0);
+        assert!(result.centers.len() <= 2);
+        // Duplicates of the chosen center are covered at r = 0.
+        assert!(result.uncovered_weight <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let (pts, w) = oracle_of(&[0.0]);
+        let oracle = PointsOracle::new(&pts, &Euclidean);
+        let _ = outliers_cluster(&oracle, &w, 0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! CORESETSTREAM — 1-pass streaming k-center without outliers.
+//!
+//! The paper's coreset techniques give a `(2+ε)`-approximation streaming
+//! algorithm using `O(k(1/ε)^D)` working memory (§4, closing remark): run
+//! the weighted doubling algorithm with budget `τ ≥ k` to obtain a coreset
+//! whose proxy radius is `≤ 8ϕ ≤ ε·r*_k`-grade, then run GMM for `k`
+//! centers on the coreset. This is the orange series of Fig. 3, compared
+//! against McCutchen–Khuller (BASESTREAM, `kcenter-baselines`).
+
+use kcenter_metric::Metric;
+use kcenter_stream::StreamingAlgorithm;
+
+use crate::gmm::gmm_select;
+use crate::streaming_coreset::WeightedDoublingCoreset;
+
+/// Final output: the `k` centers plus coreset diagnostics.
+#[derive(Clone, Debug)]
+pub struct StreamKCenterOutput<P> {
+    /// The selected `k` centers (fewer only if the stream had fewer points).
+    pub centers: Vec<P>,
+    /// Size of the coreset the centers were extracted from.
+    pub coreset_size: usize,
+    /// The doubling algorithm's final lower bound `ϕ`.
+    pub phi: f64,
+}
+
+/// 1-pass streaming k-center via a weighted doubling coreset.
+///
+/// `tau` is the working-memory budget; the experiments use `τ = µ·k` with
+/// `µ ∈ {1, 2, 4, 8, 16}` (Fig. 3's space axis).
+pub struct CoresetStream<P, M> {
+    inner: WeightedDoublingCoreset<P, M>,
+    k: usize,
+}
+
+impl<P: Clone + Sync, M: Metric<P>> CoresetStream<P, M> {
+    /// Creates the algorithm for `k` centers with coreset budget `tau`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `tau < k`.
+    pub fn new(metric: M, k: usize, tau: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(tau >= k, "coreset budget below k");
+        CoresetStream {
+            inner: WeightedDoublingCoreset::new(metric, tau),
+            k,
+        }
+    }
+}
+
+impl<P: Clone + Sync, M: Metric<P>> StreamingAlgorithm<P> for CoresetStream<P, M> {
+    type Output = StreamKCenterOutput<P>;
+
+    fn process(&mut self, item: P) {
+        self.inner.process(item);
+    }
+
+    fn memory_items(&self) -> usize {
+        self.inner.memory_items()
+    }
+
+    fn finalize(self) -> StreamKCenterOutput<P> {
+        let k = self.k;
+        let (metric, output) = self.inner.into_parts();
+        let points = output.coreset.points_only();
+        if points.is_empty() {
+            return StreamKCenterOutput {
+                centers: Vec::new(),
+                coreset_size: 0,
+                phi: output.phi,
+            };
+        }
+        let result = gmm_select(&points, &metric, k, 0);
+        StreamKCenterOutput {
+            centers: result
+                .centers
+                .into_iter()
+                .map(|i| points[i].clone())
+                .collect(),
+            coreset_size: points.len(),
+            phi: output.phi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution::radius;
+    use kcenter_metric::{Euclidean, Point};
+    use kcenter_stream::run_stream;
+
+    fn clusters() -> Vec<Point> {
+        let mut pts = Vec::new();
+        for c in 0..4 {
+            for i in 0..100 {
+                pts.push(Point::new(vec![
+                    c as f64 * 50.0 + (i % 10) as f64 * 0.1,
+                    (i / 10) as f64 * 0.1,
+                ]));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn returns_k_centers_with_good_radius() {
+        let pts = clusters();
+        let alg = CoresetStream::new(Euclidean, 4, 16);
+        let (out, report) = run_stream(alg, pts.clone());
+        assert_eq!(out.centers.len(), 4);
+        // Optimal 4-center radius ~ 0.64 (cluster diagonal/1); streaming
+        // 8-approx coreset + GMM must stay well below the cluster gap.
+        let r = radius(&pts, &out.centers, &Euclidean);
+        assert!(r < 25.0, "radius {r} failed to separate clusters");
+        assert!(report.peak_memory_items <= 17);
+    }
+
+    #[test]
+    fn short_stream_returns_all_points() {
+        let pts = vec![Point::new(vec![0.0]), Point::new(vec![9.0])];
+        let alg = CoresetStream::new(Euclidean, 3, 5);
+        let (out, _) = run_stream(alg, pts);
+        assert_eq!(out.centers.len(), 2);
+    }
+
+    #[test]
+    fn empty_stream_yields_no_centers() {
+        let alg = CoresetStream::<Point, _>::new(Euclidean, 2, 4);
+        let (out, _) = run_stream(alg, Vec::<Point>::new());
+        assert!(out.centers.is_empty());
+        assert_eq!(out.coreset_size, 0);
+    }
+
+    #[test]
+    fn bigger_tau_improves_or_matches_quality() {
+        let pts = clusters();
+        let small = run_stream(CoresetStream::new(Euclidean, 4, 4), pts.clone()).0;
+        let large = run_stream(CoresetStream::new(Euclidean, 4, 64), pts.clone()).0;
+        let r_small = radius(&pts, &small.centers, &Euclidean);
+        let r_large = radius(&pts, &large.centers, &Euclidean);
+        assert!(r_large <= r_small * 1.5 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "coreset budget below k")]
+    fn tau_below_k_panics() {
+        let _ = CoresetStream::<Point, _>::new(Euclidean, 5, 4);
+    }
+}

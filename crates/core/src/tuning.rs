@@ -1,0 +1,101 @@
+//! Parallelism tuning per the paper's corollaries.
+//!
+//! Theorem 1/2 local memory is `O(|S|/ℓ + ℓ·base·(c/ε)^D)`; balancing the
+//! two terms gives the corollaries' choices of `ℓ`:
+//!
+//! * Corollary 1 (k-center): `ℓ = √(|S|/k)` → `M_L = O(√(|S|·k)·(4/ε)^D)`;
+//! * Corollary 2 (outliers, deterministic): `ℓ = √(|S|/(k+z))`;
+//! * Corollary 3 (outliers, randomized): `ℓ = √(|S|/(k+log|S|))`;
+//! * the §3.2 Remark: when the doubling dimension `D` *is* known, dividing
+//!   `ℓ` by `√((c/ε)^D)` saves that same factor in local memory.
+//!
+//! These helpers return the balanced `ℓ`, clamped to `[1, n]`, so users and
+//! the experiment harness don't re-derive them.
+
+/// Corollary 1: balanced parallelism for MapReduce k-center.
+pub fn ell_for_kcenter(n: usize, k: usize) -> usize {
+    balanced_ell(n, k)
+}
+
+/// Corollary 2: balanced parallelism for deterministic MapReduce k-center
+/// with `z` outliers.
+pub fn ell_for_outliers(n: usize, k: usize, z: usize) -> usize {
+    balanced_ell(n, k + z)
+}
+
+/// Corollary 3: balanced parallelism for the randomized variant (the `z`
+/// term moves out of the per-partition coreset, leaving `k + log₂|S|`).
+pub fn ell_for_outliers_randomized(n: usize, k: usize) -> usize {
+    let log_term = (n.max(2) as f64).log2().ceil() as usize;
+    balanced_ell(n, k + log_term)
+}
+
+/// The §3.2 Remark: when `D` is known, shrink a balanced `ℓ` by
+/// `√((c/ε)^D)` (with `c = 4` for k-center, `24` for outliers) to save the
+/// same factor in local memory.
+///
+/// # Panics
+///
+/// Panics if `eps` is not in `(0, 1]` or `c < 1`.
+pub fn ell_with_known_dimension(balanced: usize, c: f64, eps: f64, d: f64) -> usize {
+    assert!(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
+    assert!(c >= 1.0, "c must be at least 1");
+    assert!(d >= 0.0, "dimension must be non-negative");
+    let shrink = (c / eps).powf(d / 2.0);
+    ((balanced as f64 / shrink).floor() as usize).max(1)
+}
+
+fn balanced_ell(n: usize, base: usize) -> usize {
+    assert!(n > 0, "empty dataset");
+    assert!(base > 0, "base must be positive");
+    let ell = ((n as f64) / (base as f64)).sqrt().round() as usize;
+    ell.clamp(1, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corollary_one_balances_the_two_terms() {
+        let (n, k) = (1_000_000usize, 100usize);
+        let ell = ell_for_kcenter(n, k);
+        assert_eq!(ell, 100); // √(10^6 / 100)
+                              // Balanced: n/ℓ == ℓ·k.
+        assert_eq!(n / ell, ell * k);
+    }
+
+    #[test]
+    fn corollary_two_uses_k_plus_z() {
+        let ell = ell_for_outliers(1_000_000, 100, 300);
+        assert_eq!(ell, 50); // √(10^6 / 400)
+    }
+
+    #[test]
+    fn corollary_three_replaces_z_with_log() {
+        let with_z = ell_for_outliers(1 << 20, 20, 10_000);
+        let randomized = ell_for_outliers_randomized(1 << 20, 20);
+        // log₂(2^20) = 20 → base 40 ≪ 10_020 → far more parallelism.
+        assert!(randomized > with_z);
+        assert_eq!(
+            randomized,
+            (((1u64 << 20) as f64) / 40.0).sqrt().round() as usize
+        );
+    }
+
+    #[test]
+    fn known_dimension_shrinks_ell() {
+        // c/ε = 16, D = 2 → shrink by 16.
+        assert_eq!(ell_with_known_dimension(160, 4.0, 0.25, 2.0), 10);
+        // Never below 1.
+        assert_eq!(ell_with_known_dimension(4, 24.0, 0.1, 6.0), 1);
+        // D = 0: no shrink.
+        assert_eq!(ell_with_known_dimension(7, 4.0, 0.5, 0.0), 7);
+    }
+
+    #[test]
+    fn degenerate_sizes_clamp() {
+        assert_eq!(ell_for_kcenter(10, 1_000), 1);
+        assert_eq!(ell_for_kcenter(1, 1), 1);
+    }
+}

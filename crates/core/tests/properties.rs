@@ -1,0 +1,246 @@
+//! Property-based tests tying the core algorithms to the paper's lemmas.
+
+use proptest::prelude::*;
+
+use kcenter_core::brute_force::{optimal_kcenter, optimal_kcenter_outliers};
+use kcenter_core::coreset::{build_weighted_coreset, CoresetSpec};
+use kcenter_core::gmm::gmm_select;
+use kcenter_core::outliers_cluster::{outliers_cluster, outliers_cluster_naive, PointsOracle};
+use kcenter_core::radius_search::{find_min_feasible_radius, SearchMode};
+use kcenter_core::solution::{radius, radius_with_outliers};
+use kcenter_core::streaming_coreset::WeightedDoublingCoreset;
+use kcenter_metric::{Euclidean, Metric, Point};
+use kcenter_stream::StreamingAlgorithm;
+
+fn arb_points(dim: usize, min_n: usize, max_n: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0..100.0f64, dim).prop_map(Point::new),
+        min_n..max_n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Gonzalez' theorem: GMM is a 2-approximation.
+    #[test]
+    fn gmm_is_a_two_approximation(points in arb_points(2, 4, 14), k in 1usize..4) {
+        prop_assume!(k < points.len());
+        let (_, opt) = optimal_kcenter(&points, &Euclidean, k);
+        let result = gmm_select(&points, &Euclidean, k, 0);
+        prop_assert!(
+            result.radius <= 2.0 * opt + 1e-9,
+            "GMM radius {} > 2 * OPT = {}",
+            result.radius,
+            2.0 * opt
+        );
+    }
+
+    /// Lemma 1: GMM run on a subset X ⊆ S achieves radius ≤ 2·r*_k(S) on X.
+    #[test]
+    fn lemma1_subset_property(points in arb_points(2, 6, 14), k in 1usize..4) {
+        prop_assume!(k < points.len() / 2);
+        let (_, opt_full) = optimal_kcenter(&points, &Euclidean, k);
+        // X = every other point.
+        let subset: Vec<Point> = points.iter().step_by(2).cloned().collect();
+        prop_assume!(subset.len() > k);
+        let result = gmm_select(&subset, &Euclidean, k, 0);
+        prop_assert!(
+            result.radius <= 2.0 * opt_full + 1e-9,
+            "subset GMM radius {} > 2 * r*_k(S) = {}",
+            result.radius,
+            2.0 * opt_full
+        );
+    }
+
+    /// GMM radius history is non-increasing for any input.
+    #[test]
+    fn gmm_radius_monotone(points in arb_points(3, 2, 24)) {
+        let mut gmm = kcenter_core::gmm::Gmm::new(&points, &Euclidean, 0);
+        gmm.run_until(points.len());
+        for w in gmm.radius_history().windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    /// Coreset weights always total the partition size and the proxy radius
+    /// bounds every point's distance to the coreset.
+    #[test]
+    fn coreset_build_postconditions(
+        points in arb_points(2, 3, 30),
+        base in 1usize..4,
+        mu in 1usize..4,
+    ) {
+        let build = build_weighted_coreset(
+            &points, &Euclidean, base, &CoresetSpec::Multiplier { mu }, 0,
+        );
+        prop_assert_eq!(build.coreset.total_weight(), points.len() as u64);
+        let cpoints = build.coreset.points_only();
+        for p in &points {
+            let d = cpoints
+                .iter()
+                .map(|c| Euclidean.distance(p, c))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(d <= build.proxy_radius + 1e-9);
+        }
+    }
+
+    /// Lemma 5 (coreset = input, unit weights): for any r ≥ r*_{k,z}, the
+    /// cover leaves at most z weight uncovered.
+    #[test]
+    fn lemma5_feasibility_at_optimal_radius(
+        points in arb_points(2, 5, 13),
+        k in 1usize..3,
+        z in 0usize..3,
+        eps_hat in 0.05..1.0f64,
+    ) {
+        prop_assume!(k + z < points.len());
+        let (_, opt) = optimal_kcenter_outliers(&points, &Euclidean, k, z);
+        let weights = vec![1u64; points.len()];
+        let oracle = PointsOracle::new(&points, &Euclidean);
+        let result = outliers_cluster(&oracle, &weights, k, opt, eps_hat);
+        prop_assert!(
+            result.uncovered_weight <= z as u64,
+            "uncovered {} > z = {z} at r = r* = {opt}",
+            result.uncovered_weight
+        );
+    }
+
+    /// The incremental and naive OutliersCluster implementations agree
+    /// exactly on arbitrary weighted instances.
+    #[test]
+    fn outliers_cluster_implementations_agree(
+        points in arb_points(2, 2, 24),
+        weights_seed in prop::collection::vec(1u64..20, 24),
+        k in 1usize..5,
+        r in 0.0..250.0f64,
+        eps_hat in 0.0..1.0f64,
+    ) {
+        let weights: Vec<u64> = points.iter().enumerate()
+            .map(|(i, _)| weights_seed[i % weights_seed.len()])
+            .collect();
+        let oracle = PointsOracle::new(&points, &Euclidean);
+        let fast = outliers_cluster(&oracle, &weights, k, r, eps_hat);
+        let naive = outliers_cluster_naive(&oracle, &weights, k, r, eps_hat);
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// Uncovered points returned by the cover really are far from all
+    /// centers, and covered weight + uncovered weight is conserved.
+    #[test]
+    fn outliers_cluster_postconditions(
+        points in arb_points(2, 2, 20),
+        k in 1usize..4,
+        r in 0.1..100.0f64,
+    ) {
+        let eps_hat = 0.25;
+        let weights = vec![1u64; points.len()];
+        let oracle = PointsOracle::new(&points, &Euclidean);
+        let result = outliers_cluster(&oracle, &weights, k, r, eps_hat);
+        prop_assert!(result.centers.len() <= k);
+        let cover_r = (3.0 + 4.0 * eps_hat) * r;
+        for &u in &result.uncovered {
+            for &c in &result.centers {
+                prop_assert!(Euclidean.distance(&points[u], &points[c]) > cover_r);
+            }
+        }
+        prop_assert_eq!(
+            result.uncovered_weight,
+            result.uncovered.len() as u64
+        );
+    }
+
+    /// The paper's tolerance argument (Theorem 2): Lemma 5 makes every
+    /// radius ≥ r*_{k,z} feasible, so the exact search lands at ≤ r* and
+    /// the geometric grid at ≤ (1+δ)·r*. (Comparing the two modes directly
+    /// is not sound — below r* feasibility is not monotone.)
+    #[test]
+    fn search_modes_bounded_by_optimum(
+        points in arb_points(2, 4, 14),
+        k in 1usize..3,
+        z in 0usize..3,
+    ) {
+        prop_assume!(k + z < points.len());
+        let eps_hat = 0.25;
+        let weights = vec![1u64; points.len()];
+        let oracle = PointsOracle::new(&points, &Euclidean);
+        let (_, opt) = optimal_kcenter_outliers(&points, &Euclidean, k, z);
+        let exact = find_min_feasible_radius(
+            &oracle, &weights, k, z as u64, eps_hat, SearchMode::ExactCandidates,
+        );
+        let grid = find_min_feasible_radius(
+            &oracle, &weights, k, z as u64, eps_hat, SearchMode::GeometricGrid,
+        );
+        prop_assert!(exact.clustering.uncovered_weight <= z as u64);
+        prop_assert!(grid.clustering.uncovered_weight <= z as u64);
+        prop_assert!(
+            exact.radius <= opt + 1e-9,
+            "exact search {} above r* = {opt}",
+            exact.radius
+        );
+        let delta = eps_hat / (3.0 + 4.0 * eps_hat);
+        prop_assert!(
+            grid.radius <= opt * (1.0 + delta) + 1e-9,
+            "grid search {} above (1+δ)·r* = {}",
+            grid.radius,
+            opt * (1.0 + delta)
+        );
+    }
+
+    /// Streaming doubling coreset: invariants (a), (b), (d) after every
+    /// point; invariant (c) as coverage of the whole prefix.
+    #[test]
+    fn streaming_invariants(points in arb_points(2, 1, 60), tau in 2usize..8) {
+        let mut alg = WeightedDoublingCoreset::new(Euclidean, tau);
+        for (i, p) in points.iter().enumerate() {
+            alg.process(p.clone());
+            alg.check_invariants().map_err(TestCaseError::fail)?;
+            if alg.phi() > 0.0 {
+                for s in &points[..=i] {
+                    let d = alg
+                        .centers()
+                        .iter()
+                        .map(|c| Euclidean.distance(s, c))
+                        .fold(f64::INFINITY, f64::min);
+                    prop_assert!(d <= 8.0 * alg.phi() + 1e-9, "invariant (c) violated");
+                }
+            }
+        }
+    }
+
+    /// Streaming invariant (e): ϕ ≤ r*_τ(S) against brute force.
+    #[test]
+    fn streaming_phi_lower_bounds_optimum(points in arb_points(1, 5, 12), tau in 2usize..4) {
+        prop_assume!(tau < points.len());
+        let mut alg = WeightedDoublingCoreset::new(Euclidean, tau);
+        for p in &points {
+            alg.process(p.clone());
+        }
+        let (_, opt) = optimal_kcenter(&points, &Euclidean, tau);
+        prop_assert!(
+            alg.phi() <= opt + 1e-9,
+            "ϕ = {} exceeds r*_τ = {opt}",
+            alg.phi()
+        );
+    }
+
+    /// End-to-end sanity: the objective evaluators agree with definitions.
+    #[test]
+    fn objective_definitions(points in arb_points(2, 2, 20), z in 0usize..5) {
+        let centers = vec![points[0].clone()];
+        let r_all = radius(&points, &centers, &Euclidean);
+        let r_out = radius_with_outliers(&points, &centers, z, &Euclidean);
+        prop_assert!(r_out <= r_all + 1e-12);
+        let mut dists: Vec<f64> = points
+            .iter()
+            .map(|p| Euclidean.distance(p, &centers[0]))
+            .collect();
+        dists.sort_by(f64::total_cmp);
+        let expect = if z >= points.len() {
+            0.0
+        } else {
+            dists[points.len() - 1 - z]
+        };
+        prop_assert!((r_out - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,216 @@
+//! Minimal CSV I/O for point datasets.
+//!
+//! Enough for the examples to load user data without pulling in a CSV
+//! dependency: one point per line, coordinates separated by commas, optional
+//! `#`-prefixed comment lines, whitespace tolerated. Buffered I/O per the
+//! performance guide.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use kcenter_metric::{Point, PointError};
+
+/// Error type for CSV reading.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A field failed to parse as `f64`.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field text.
+        field: String,
+    },
+    /// A parsed row was not a valid point (empty / non-finite).
+    BadPoint {
+        /// 1-based line number.
+        line: usize,
+        /// Underlying validation error.
+        source: PointError,
+    },
+    /// Rows had inconsistent dimensions.
+    DimensionMismatch {
+        /// 1-based line number.
+        line: usize,
+        /// Dimension of the first row.
+        expected: usize,
+        /// Dimension of this row.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::Parse { line, field } => {
+                write!(f, "line {line}: cannot parse {field:?} as a number")
+            }
+            CsvError::BadPoint { line, source } => write!(f, "line {line}: {source}"),
+            CsvError::DimensionMismatch {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: expected {expected} coordinates, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Reads points from a CSV reader.
+pub fn read_points<R: BufRead>(reader: R) -> Result<Vec<Point>, CsvError> {
+    let mut points = Vec::new();
+    let mut expected_dim: Option<usize> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut coords = Vec::new();
+        for field in trimmed.split(',') {
+            let field = field.trim();
+            let value: f64 = field.parse().map_err(|_| CsvError::Parse {
+                line: line_no,
+                field: field.to_string(),
+            })?;
+            coords.push(value);
+        }
+        if let Some(expected) = expected_dim {
+            if coords.len() != expected {
+                return Err(CsvError::DimensionMismatch {
+                    line: line_no,
+                    expected,
+                    found: coords.len(),
+                });
+            }
+        } else {
+            expected_dim = Some(coords.len());
+        }
+        let point = Point::try_new(coords).map_err(|source| CsvError::BadPoint {
+            line: line_no,
+            source,
+        })?;
+        points.push(point);
+    }
+    Ok(points)
+}
+
+/// Reads points from a CSV file.
+pub fn load_csv<P: AsRef<Path>>(path: P) -> Result<Vec<Point>, CsvError> {
+    read_points(BufReader::new(File::open(path)?))
+}
+
+/// Writes points to a CSV writer, one point per line.
+pub fn write_points<W: Write>(writer: W, points: &[Point]) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for p in points {
+        let mut first = true;
+        for c in p.coords() {
+            if !first {
+                write!(w, ",")?;
+            }
+            write!(w, "{c}")?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Writes points to a CSV file.
+pub fn save_csv<P: AsRef<Path>>(path: P, points: &[Point]) -> io::Result<()> {
+    write_points(File::create(path)?, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_csv() {
+        let input = "1.0,2.0\n3.5,-4.5\n";
+        let pts = read_points(input.as_bytes()).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].coords(), &[3.5, -4.5]);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let input = "# header\n\n1,2\n  \n# trailer\n3,4\n";
+        let pts = read_points(input.as_bytes()).unwrap();
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn tolerates_whitespace_around_fields() {
+        let pts = read_points(" 1.0 , 2.0 \n".as_bytes()).unwrap();
+        assert_eq!(pts[0].coords(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn reports_parse_error_with_line() {
+        let err = read_points("1,2\n3,abc\n".as_bytes()).unwrap_err();
+        match err {
+            CsvError::Parse { line, field } => {
+                assert_eq!(line, 2);
+                assert_eq!(field, "abc");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn reports_dimension_mismatch() {
+        let err = read_points("1,2\n1,2,3\n".as_bytes()).unwrap_err();
+        match err {
+            CsvError::DimensionMismatch {
+                line,
+                expected,
+                found,
+            } => {
+                assert_eq!((line, expected, found), (2, 2, 3));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        let err = read_points("1,NaN\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::BadPoint { line: 1, .. }));
+    }
+
+    #[test]
+    fn roundtrips_through_write_and_read() {
+        let pts = vec![Point::new(vec![1.5, -2.25]), Point::new(vec![0.0, 1e-9])];
+        let mut buf = Vec::new();
+        write_points(&mut buf, &pts).unwrap();
+        let back = read_points(buf.as_slice()).unwrap();
+        assert_eq!(back, pts);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("kcenter-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pts.csv");
+        let pts = vec![Point::new(vec![1.0, 2.0, 3.0])];
+        save_csv(&path, &pts).unwrap();
+        assert_eq!(load_csv(&path).unwrap(), pts);
+        std::fs::remove_file(&path).ok();
+    }
+}

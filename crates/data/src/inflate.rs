@@ -1,0 +1,108 @@
+//! SMOTE-like dataset inflation (paper §5.3).
+//!
+//! To test scalability the paper builds instances `h` times larger than the
+//! originals: repeatedly sample a random point and perturb each coordinate
+//! with Gaussian noise whose standard deviation is 10% of that coordinate's
+//! range over the original dataset. The construction preserves the clustered
+//! structure of the original (same rationale as the SMOTE oversampling
+//! technique).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kcenter_metric::Point;
+
+use crate::synthetic::standard_normal;
+
+/// Returns a dataset of `target_size` points generated from `base` by the
+/// paper's SMOTE-like procedure. The original points are *not* included in
+/// the output (matching the paper: the synthetic dataset is built "until the
+/// desired size is reached" from perturbed samples).
+///
+/// # Panics
+///
+/// Panics if `base` is empty.
+pub fn inflate(base: &[Point], target_size: usize, seed: u64) -> Vec<Point> {
+    assert!(!base.is_empty(), "cannot inflate an empty dataset");
+    let dim = base[0].dim();
+
+    // Per-coordinate noise scale: 10% of the coordinate's range.
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for p in base {
+        for (j, &c) in p.coords().iter().enumerate() {
+            lo[j] = lo[j].min(c);
+            hi[j] = hi[j].max(c);
+        }
+    }
+    let sigma: Vec<f64> = lo.iter().zip(&hi).map(|(l, h)| 0.1 * (h - l)).collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..target_size)
+        .map(|_| {
+            let p = &base[rng.random_range(0..base.len())];
+            Point::new(
+                p.coords()
+                    .iter()
+                    .zip(&sigma)
+                    .map(|(&c, &s)| c + s * standard_normal(&mut rng))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{gaussian_mixture, GaussianMixtureConfig};
+
+    #[test]
+    fn inflates_to_requested_size() {
+        let base = gaussian_mixture(&GaussianMixtureConfig::new(100, 3, 4, 1));
+        let big = inflate(&base, 2_500, 2);
+        assert_eq!(big.len(), 2_500);
+        assert!(big.iter().all(|p| p.dim() == 3));
+    }
+
+    #[test]
+    fn inflation_stays_near_base_range() {
+        let base = gaussian_mixture(&GaussianMixtureConfig::new(200, 2, 3, 3));
+        let big = inflate(&base, 1_000, 4);
+        // Noise is 10% of range per coordinate, so inflated points stay
+        // within the base bounding box extended by a generous margin.
+        for j in 0..2 {
+            let (blo, bhi) = base
+                .iter()
+                .map(|p| p[j])
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), c| {
+                    (l.min(c), h.max(c))
+                });
+            let margin = (bhi - blo) * 0.8;
+            for p in &big {
+                assert!(p[j] >= blo - margin && p[j] <= bhi + margin);
+            }
+        }
+    }
+
+    #[test]
+    fn inflation_is_deterministic() {
+        let base = gaussian_mixture(&GaussianMixtureConfig::new(50, 2, 2, 5));
+        assert_eq!(inflate(&base, 300, 7), inflate(&base, 300, 7));
+        assert_ne!(inflate(&base, 300, 7), inflate(&base, 300, 8));
+    }
+
+    #[test]
+    fn degenerate_base_inflates_to_copies() {
+        let base = vec![Point::new(vec![2.0, 3.0]); 5];
+        let big = inflate(&base, 50, 9);
+        // Zero range per coordinate → zero noise → exact copies.
+        assert!(big.iter().all(|p| p == &base[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_base_panics() {
+        let _ = inflate(&[], 10, 0);
+    }
+}

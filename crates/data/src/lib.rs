@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Dataset substrate for the k-center experiments.
+//!
+//! The paper evaluates on three real datasets — Higgs (11M points, 7 derived
+//! attributes), Power (2.07M points, 7 numeric attributes), and Wiki (5.5M
+//! 50-dimensional word2vec vectors) — plus synthetically inflated variants
+//! and artificially injected outliers. Those datasets are not redistributable
+//! here, so this crate builds the closest synthetic equivalents (documented
+//! in `DESIGN.md` §4) exercising the same code paths:
+//!
+//! * [`synthetic`] — seeded Gaussian-mixture and uniform generators
+//!   (Box–Muller; no external distribution crate needed);
+//! * [`datasets`] — stand-ins [`datasets::higgs_like`],
+//!   [`datasets::power_like`], [`datasets::wiki_like`] with cluster structure
+//!   and dimensionality matching the originals' character;
+//! * [`outliers`] — the paper's §5.2 outlier injection: `z` points placed at
+//!   `100 · r_MEB` from the Minimum Enclosing Ball center in random
+//!   directions;
+//! * [`inflate`] — the paper's §5.3 SMOTE-like dataset inflation (sample a
+//!   point, perturb each coordinate with Gaussian noise at 10% of the
+//!   coordinate's range);
+//! * [`shuffle`] — seeded shuffling (streaming experiments shuffle inputs);
+//! * [`csv`] — minimal CSV I/O so the examples can load user data.
+
+pub mod csv;
+pub mod datasets;
+pub mod inflate;
+pub mod normalize;
+pub mod outliers;
+pub mod shuffle;
+pub mod synthetic;
+
+pub use datasets::{higgs_like, power_like, wiki_like};
+pub use inflate::inflate;
+pub use normalize::Normalization;
+pub use outliers::{inject_outliers, OutlierReport};
+pub use shuffle::shuffled;
+pub use synthetic::{embedded_manifold, gaussian_mixture, uniform_cube, GaussianMixtureConfig};

@@ -1,0 +1,185 @@
+//! Per-coordinate dataset normalization.
+//!
+//! k-center radii are dominated by whichever coordinate has the largest
+//! scale; real datasets (e.g. the paper's Power measurements, which mix
+//! kilowatts with volts with amperes) need per-coordinate standardization
+//! before distances mean anything. The CLI normalizes by default.
+
+use kcenter_metric::Point;
+
+/// Per-coordinate affine transform `x ↦ (x - shift) / scale`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Normalization {
+    /// Per-coordinate shift (mean or min).
+    pub shift: Vec<f64>,
+    /// Per-coordinate scale (stddev or range); zero-spread coordinates get
+    /// scale 1 so they pass through unchanged.
+    pub scale: Vec<f64>,
+}
+
+impl Normalization {
+    /// Z-score parameters: shift = mean, scale = standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn zscore(points: &[Point]) -> Normalization {
+        assert!(!points.is_empty(), "cannot fit normalization to no data");
+        let dim = points[0].dim();
+        let n = points.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for p in points {
+            for (m, &c) in mean.iter_mut().zip(p.coords()) {
+                *m += c;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; dim];
+        for p in points {
+            for ((v, &c), m) in var.iter_mut().zip(p.coords()).zip(&mean) {
+                let d = c - m;
+                *v += d * d;
+            }
+        }
+        let scale: Vec<f64> = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Normalization { shift: mean, scale }
+    }
+
+    /// Min–max parameters: shift = min, scale = range (each coordinate maps
+    /// into `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn min_max(points: &[Point]) -> Normalization {
+        assert!(!points.is_empty(), "cannot fit normalization to no data");
+        let dim = points[0].dim();
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for p in points {
+            for (j, &c) in p.coords().iter().enumerate() {
+                lo[j] = lo[j].min(c);
+                hi[j] = hi[j].max(c);
+            }
+        }
+        let scale: Vec<f64> = lo
+            .iter()
+            .zip(&hi)
+            .map(|(l, h)| {
+                let r = h - l;
+                if r > 0.0 {
+                    r
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Normalization { shift: lo, scale }
+    }
+
+    /// Applies the transform to one point.
+    pub fn apply(&self, point: &Point) -> Point {
+        Point::new(
+            point
+                .coords()
+                .iter()
+                .zip(&self.shift)
+                .zip(&self.scale)
+                .map(|((c, s), sc)| (c - s) / sc)
+                .collect(),
+        )
+    }
+
+    /// Applies the transform to a whole dataset.
+    pub fn apply_all(&self, points: &[Point]) -> Vec<Point> {
+        points.iter().map(|p| self.apply(p)).collect()
+    }
+
+    /// Inverts the transform (maps a normalized point back to data space).
+    pub fn invert(&self, point: &Point) -> Point {
+        Point::new(
+            point
+                .coords()
+                .iter()
+                .zip(&self.shift)
+                .zip(&self.scale)
+                .map(|((c, s), sc)| c * sc + s)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(rows: &[&[f64]]) -> Vec<Point> {
+        rows.iter().map(|r| Point::new(r.to_vec())).collect()
+    }
+
+    #[test]
+    fn zscore_centers_and_scales() {
+        let data = pts(&[&[0.0, 100.0], &[2.0, 300.0], &[4.0, 500.0]]);
+        let norm = Normalization::zscore(&data);
+        let out = norm.apply_all(&data);
+        for j in 0..2 {
+            let mean: f64 = out.iter().map(|p| p[j]).sum::<f64>() / 3.0;
+            let var: f64 = out.iter().map(|p| p[j] * p[j]).sum::<f64>() / 3.0 - mean * mean;
+            assert!(mean.abs() < 1e-12, "mean {mean} not centred");
+            assert!((var - 1.0).abs() < 1e-9, "variance {var} not unit");
+        }
+    }
+
+    #[test]
+    fn min_max_maps_to_unit_interval() {
+        let data = pts(&[&[-5.0, 10.0], &[5.0, 20.0], &[0.0, 15.0]]);
+        let norm = Normalization::min_max(&data);
+        for p in norm.apply_all(&data) {
+            for &c in p.coords() {
+                assert!((-1e-12..=1.0 + 1e-12).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn constant_coordinates_pass_through() {
+        let data = pts(&[&[7.0, 1.0], &[7.0, 2.0]]);
+        let z = Normalization::zscore(&data);
+        let out = z.apply_all(&data);
+        // Constant coordinate: scale 1 → shifted to 0, no NaN.
+        assert_eq!(out[0][0], 0.0);
+        assert_eq!(out[1][0], 0.0);
+        assert!(out.iter().all(|p| p.coords().iter().all(|c| c.is_finite())));
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let data = pts(&[&[1.0, -3.0], &[4.0, 9.0], &[-2.0, 6.0]]);
+        for norm in [Normalization::zscore(&data), Normalization::min_max(&data)] {
+            for p in &data {
+                let back = norm.invert(&norm.apply(p));
+                for (a, b) in back.coords().iter().zip(p.coords()) {
+                    assert!((a - b).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_fit_panics() {
+        let _ = Normalization::zscore(&[]);
+    }
+}

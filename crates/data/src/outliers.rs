@@ -1,0 +1,156 @@
+//! The paper's outlier-injection procedure (§5.2).
+//!
+//! For a dataset `S`: compute the radius `r_MEB` and center `c_MEB` of its
+//! Minimum Enclosing Ball, then add `z` points at distance `100 · r_MEB`
+//! from `c_MEB` in random directions. Each injected point is then at distance
+//! `>= 99 · r_MEB` from every point of `S`, making it a true outlier; the
+//! paper additionally verifies that injected points are mutually far apart
+//! (`>= 10 · r_MEB` in their data), which [`OutlierReport`] exposes so the
+//! experiments can assert it.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use kcenter_metric::{minimum_enclosing_ball, Euclidean, Metric, Point};
+
+use crate::synthetic::standard_normal;
+
+/// What [`inject_outliers`] did, for verification in tests and experiments.
+#[derive(Clone, Debug)]
+pub struct OutlierReport {
+    /// Radius of the dataset's approximate MEB.
+    pub meb_radius: f64,
+    /// Center of the dataset's approximate MEB.
+    pub meb_center: Point,
+    /// Indices of the injected points in the returned dataset
+    /// (always the trailing `z` positions before any reshuffling).
+    pub outlier_indices: Vec<usize>,
+    /// Minimum pairwise distance among the injected points.
+    pub min_outlier_separation: f64,
+}
+
+/// Appends `z` outliers to `points` per the paper's procedure and returns a
+/// report describing them. Directions are uniform on the sphere (normalized
+/// Gaussian vectors).
+///
+/// # Panics
+///
+/// Panics if `points` is empty. If the MEB radius is zero (all points
+/// coincide), the injection distance falls back to `100.0` so outliers are
+/// still well separated from the data.
+pub fn inject_outliers(points: &mut Vec<Point>, z: usize, seed: u64) -> OutlierReport {
+    assert!(!points.is_empty(), "cannot inject outliers into empty data");
+    let dim = points[0].dim();
+    let ball = minimum_enclosing_ball(points, 0.05);
+    let distance = if ball.radius > 0.0 {
+        100.0 * ball.radius
+    } else {
+        100.0
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = points.len();
+    let mut injected: Vec<Point> = Vec::with_capacity(z);
+    for _ in 0..z {
+        // Uniform direction on the unit sphere.
+        let mut dir: Vec<f64> = (0..dim).map(|_| standard_normal(&mut rng)).collect();
+        let norm = dir.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let norm = if norm == 0.0 { 1.0 } else { norm };
+        for (d, c) in dir.iter_mut().zip(ball.center.coords()) {
+            *d = c + distance * (*d / norm);
+        }
+        injected.push(Point::new(dir));
+    }
+
+    let mut min_sep = f64::INFINITY;
+    for i in 0..injected.len() {
+        for j in (i + 1)..injected.len() {
+            min_sep = min_sep.min(Euclidean.distance(&injected[i], &injected[j]));
+        }
+    }
+
+    points.extend(injected);
+    OutlierReport {
+        meb_radius: ball.radius,
+        meb_center: ball.center,
+        outlier_indices: (base..base + z).collect(),
+        min_outlier_separation: min_sep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{gaussian_mixture, GaussianMixtureConfig};
+
+    #[test]
+    fn injected_points_are_far_from_data() {
+        let mut pts = gaussian_mixture(&GaussianMixtureConfig::new(300, 3, 5, 1));
+        let original = pts.clone();
+        let report = inject_outliers(&mut pts, 20, 2);
+        assert_eq!(pts.len(), 320);
+        assert_eq!(report.outlier_indices.len(), 20);
+        // The paper's guarantee: every outlier is >= 99 * r_MEB from every
+        // original point (MEB is approximate, allow small slack).
+        let threshold = 98.0 * report.meb_radius;
+        for &oi in &report.outlier_indices {
+            for p in &original {
+                assert!(
+                    Euclidean.distance(&pts[oi], p) >= threshold,
+                    "outlier too close to data"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injected_points_are_mutually_separated_in_high_dim() {
+        // In dimension >= 3 random directions are almost surely far apart;
+        // the paper observed >= 10 * r_MEB separation.
+        let mut pts = gaussian_mixture(&GaussianMixtureConfig::new(300, 7, 5, 3));
+        let report = inject_outliers(&mut pts, 50, 4);
+        assert!(
+            report.min_outlier_separation >= 10.0 * report.meb_radius,
+            "separation {} below 10 r_MEB = {}",
+            report.min_outlier_separation,
+            10.0 * report.meb_radius
+        );
+    }
+
+    #[test]
+    fn zero_outliers_is_a_noop() {
+        let mut pts = gaussian_mixture(&GaussianMixtureConfig::new(50, 2, 2, 5));
+        let before = pts.clone();
+        let report = inject_outliers(&mut pts, 0, 6);
+        assert_eq!(pts, before);
+        assert!(report.outlier_indices.is_empty());
+        assert_eq!(report.min_outlier_separation, f64::INFINITY);
+    }
+
+    #[test]
+    fn degenerate_dataset_still_gets_separated_outliers() {
+        let mut pts = vec![Point::new(vec![1.0, 1.0]); 10];
+        let report = inject_outliers(&mut pts, 3, 7);
+        assert_eq!(report.meb_radius, 0.0);
+        for &oi in &report.outlier_indices {
+            assert!(Euclidean.distance(&pts[oi], &pts[0]) >= 99.0);
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let make = || {
+            let mut pts = gaussian_mixture(&GaussianMixtureConfig::new(100, 2, 3, 8));
+            inject_outliers(&mut pts, 5, 9);
+            pts
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn empty_dataset_panics() {
+        let mut pts: Vec<Point> = Vec::new();
+        let _ = inject_outliers(&mut pts, 1, 0);
+    }
+}

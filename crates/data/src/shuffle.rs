@@ -1,0 +1,58 @@
+//! Seeded shuffling.
+//!
+//! The paper shuffles datasets before streaming them ("the points are
+//! shuffled before being streamed to the algorithms") and before each
+//! repetition of the sequential experiments, noting that GMM-based coreset
+//! construction is sensitive to input order. Seeded shuffles keep the
+//! experiment harness reproducible.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Returns a copy of `items` shuffled with a seeded Fisher–Yates pass.
+pub fn shuffled<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    let mut out: Vec<T> = items.to_vec();
+    shuffle_in_place(&mut out, seed);
+    out
+}
+
+/// Shuffles `items` in place with a seeded Fisher–Yates pass.
+pub fn shuffle_in_place<T>(items: &mut [T], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    items.shuffle(&mut rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let v: Vec<u32> = (0..100).collect();
+        let mut s = shuffled(&v, 1);
+        s.sort_unstable();
+        assert_eq!(s, v);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let v: Vec<u32> = (0..50).collect();
+        assert_eq!(shuffled(&v, 2), shuffled(&v, 2));
+        assert_ne!(shuffled(&v, 2), shuffled(&v, 3));
+    }
+
+    #[test]
+    fn shuffle_moves_elements() {
+        let v: Vec<u32> = (0..1000).collect();
+        let s = shuffled(&v, 4);
+        let fixed = v.iter().zip(&s).filter(|(a, b)| a == b).count();
+        assert!(fixed < 50, "{fixed} fixed points looks unshuffled");
+    }
+
+    #[test]
+    fn empty_and_singleton_are_fine() {
+        assert_eq!(shuffled::<u32>(&[], 0), Vec::<u32>::new());
+        assert_eq!(shuffled(&[7], 0), vec![7]);
+    }
+}

@@ -1,0 +1,291 @@
+//! Seeded synthetic point generators.
+//!
+//! Gaussian samples are produced with the Box–Muller transform so the crate
+//! needs no distribution dependency; all generators are deterministic given a
+//! seed, which the experiment harness relies on for its ≥10-repetition
+//! confidence intervals.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kcenter_metric::Point;
+
+/// Configuration for [`gaussian_mixture`].
+#[derive(Clone, Debug)]
+pub struct GaussianMixtureConfig {
+    /// Number of points to generate.
+    pub n: usize,
+    /// Dimension of each point.
+    pub dim: usize,
+    /// Number of mixture components (ground-truth clusters).
+    pub clusters: usize,
+    /// Half-side of the cube cluster centers are drawn from.
+    pub center_box: f64,
+    /// Standard deviation of each cluster.
+    pub spread: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GaussianMixtureConfig {
+    /// A reasonable default mixture: `n` points, `dim` dimensions,
+    /// `clusters` components in a `[-10, 10]^dim` box with unit spread.
+    pub fn new(n: usize, dim: usize, clusters: usize, seed: u64) -> Self {
+        GaussianMixtureConfig {
+            n,
+            dim,
+            clusters,
+            center_box: 10.0,
+            spread: 1.0,
+            seed,
+        }
+    }
+}
+
+/// One standard-normal sample via the Box–Muller transform.
+///
+/// Uses the polar-free (trigonometric) form; one of the two antithetic
+/// outputs is discarded for simplicity — generation is not a bottleneck.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Guard against log(0).
+    let u1: f64 = loop {
+        let u = rng.random::<f64>();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Generates a seeded Gaussian mixture.
+///
+/// Cluster centers are drawn uniformly from `[-center_box, center_box]^dim`;
+/// each point picks a uniformly random component and adds
+/// `N(0, spread^2)` noise per coordinate.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `dim == 0`, or `clusters == 0`.
+pub fn gaussian_mixture(config: &GaussianMixtureConfig) -> Vec<Point> {
+    assert!(config.n > 0, "n must be positive");
+    assert!(config.dim > 0, "dim must be positive");
+    assert!(config.clusters > 0, "clusters must be positive");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let centers: Vec<Vec<f64>> = (0..config.clusters)
+        .map(|_| {
+            (0..config.dim)
+                .map(|_| rng.random_range(-config.center_box..=config.center_box))
+                .collect()
+        })
+        .collect();
+
+    (0..config.n)
+        .map(|_| {
+            let c = &centers[rng.random_range(0..config.clusters)];
+            Point::new(
+                c.iter()
+                    .map(|&coord| coord + config.spread * standard_normal(&mut rng))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Generates `n` points uniformly from the cube `[0, side]^dim`.
+pub fn uniform_cube(n: usize, dim: usize, side: f64, seed: u64) -> Vec<Point> {
+    assert!(n > 0 && dim > 0, "n and dim must be positive");
+    assert!(side > 0.0, "side must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new((0..dim).map(|_| rng.random_range(0.0..side)).collect()))
+        .collect()
+}
+
+/// Generates `n` points on an `intrinsic_dim`-dimensional random linear
+/// manifold embedded in `R^ambient_dim`, plus isotropic noise of standard
+/// deviation `noise`.
+///
+/// The Euclidean doubling dimension of such a set tracks `intrinsic_dim`
+/// regardless of the ambient dimension — the construction behind the
+/// paper's observation that "the notion of doubling dimension can be
+/// defined for an individual dataset and may turn out much lower than the
+/// one of the underlying metric space" (its example: collinear points in
+/// R²). The doubling-dimension ablation sweeps `intrinsic_dim` to expose
+/// the `(4/ε)^D` coreset-size growth of Lemma 3.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `intrinsic_dim` is `0` or exceeds `ambient_dim`.
+pub fn embedded_manifold(
+    n: usize,
+    intrinsic_dim: usize,
+    ambient_dim: usize,
+    noise: f64,
+    seed: u64,
+) -> Vec<Point> {
+    assert!(n > 0, "n must be positive");
+    assert!(
+        intrinsic_dim > 0 && intrinsic_dim <= ambient_dim,
+        "need 0 < intrinsic_dim <= ambient_dim"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random Gaussian basis: rows are (unnormalized) directions of the
+    // manifold. Gaussian vectors in high dimension are nearly orthogonal,
+    // which suffices to preserve the intrinsic dimensionality.
+    let basis: Vec<Vec<f64>> = (0..intrinsic_dim)
+        .map(|_| {
+            let v: Vec<f64> = (0..ambient_dim)
+                .map(|_| standard_normal(&mut rng))
+                .collect();
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+            v.into_iter().map(|x| x / norm).collect()
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            let coeffs: Vec<f64> = (0..intrinsic_dim)
+                .map(|_| rng.random_range(-10.0..10.0))
+                .collect();
+            let coords: Vec<f64> = (0..ambient_dim)
+                .map(|j| {
+                    let on_manifold: f64 = coeffs.iter().zip(&basis).map(|(c, b)| c * b[j]).sum();
+                    on_manifold + noise * standard_normal(&mut rng)
+                })
+                .collect();
+            Point::new(coords)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcenter_metric::{Euclidean, Metric};
+
+    #[test]
+    fn mixture_has_requested_shape() {
+        let pts = gaussian_mixture(&GaussianMixtureConfig::new(500, 3, 4, 42));
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|p| p.dim() == 3));
+    }
+
+    #[test]
+    fn mixture_is_deterministic_per_seed() {
+        let cfg = GaussianMixtureConfig::new(100, 2, 3, 7);
+        assert_eq!(gaussian_mixture(&cfg), gaussian_mixture(&cfg));
+        let mut cfg2 = cfg.clone();
+        cfg2.seed = 8;
+        assert_ne!(gaussian_mixture(&cfg), gaussian_mixture(&cfg2));
+    }
+
+    #[test]
+    fn mixture_respects_spread() {
+        // With tiny spread, points should hug their cluster centers: the
+        // 4-center optimal radius of a 4-cluster mixture is about the spread,
+        // far below the center-box scale.
+        let mut cfg = GaussianMixtureConfig::new(400, 2, 4, 3);
+        cfg.spread = 0.01;
+        let pts = gaussian_mixture(&cfg);
+        // Every point must be within 1.0 of some other point from the same
+        // tight cluster unless it is alone in its cluster; sanity-check the
+        // scale by measuring nearest-neighbor distances.
+        let mut nn_far = 0;
+        for (i, p) in pts.iter().enumerate() {
+            let nn = pts
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, q)| Euclidean.distance(p, q))
+                .fold(f64::INFINITY, f64::min);
+            if nn > 1.0 {
+                nn_far += 1;
+            }
+        }
+        assert!(nn_far == 0, "{nn_far} points far from all others");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn uniform_cube_in_bounds() {
+        let pts = uniform_cube(200, 4, 5.0, 11);
+        assert_eq!(pts.len(), 200);
+        for p in &pts {
+            for &c in p.coords() {
+                assert!((0.0..5.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be positive")]
+    fn zero_points_panics() {
+        let _ = gaussian_mixture(&GaussianMixtureConfig::new(0, 2, 2, 1));
+    }
+
+    #[test]
+    fn manifold_has_ambient_shape() {
+        let pts = embedded_manifold(200, 2, 16, 0.01, 7);
+        assert_eq!(pts.len(), 200);
+        assert!(pts.iter().all(|p| p.dim() == 16));
+    }
+
+    #[test]
+    fn manifold_intrinsic_dimension_tracks_parameter() {
+        use kcenter_metric::doubling::{estimate_doubling_dimension, DoublingConfig};
+        let cfg = DoublingConfig::default();
+        let low = embedded_manifold(800, 1, 12, 0.0, 3);
+        let high = embedded_manifold(800, 6, 12, 0.0, 3);
+        let d_low = estimate_doubling_dimension(&low, &Euclidean, cfg);
+        let d_high = estimate_doubling_dimension(&high, &Euclidean, cfg);
+        assert!(
+            d_high > d_low + 0.5,
+            "intrinsic 6 ({d_high}) should exceed intrinsic 1 ({d_low})"
+        );
+    }
+
+    #[test]
+    fn manifold_noise_zero_lies_in_span() {
+        // With one basis vector and no noise, all points are collinear:
+        // pairwise distances satisfy the additivity of points on a line
+        // (max = sum of distances to the extremes through any point).
+        let pts = embedded_manifold(50, 1, 5, 0.0, 9);
+        // Project each point onto the first point's direction: collinear
+        // points have rank-1 differences; verify via the Cauchy-Schwarz
+        // equality |<a,b>| = |a||b| for difference vectors.
+        let base = pts[0].coords();
+        let d1: Vec<f64> = pts[1]
+            .coords()
+            .iter()
+            .zip(base)
+            .map(|(a, b)| a - b)
+            .collect();
+        for p in &pts[2..] {
+            let d2: Vec<f64> = p.coords().iter().zip(base).map(|(a, b)| a - b).collect();
+            let dot: f64 = d1.iter().zip(&d2).map(|(a, b)| a * b).sum();
+            let n1: f64 = d1.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let n2: f64 = d2.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!(
+                (dot.abs() - n1 * n2).abs() <= 1e-6 * (1.0 + n1 * n2),
+                "points not collinear"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "intrinsic_dim <= ambient_dim")]
+    fn manifold_rejects_bad_dims() {
+        let _ = embedded_manifold(10, 5, 3, 0.0, 1);
+    }
+}

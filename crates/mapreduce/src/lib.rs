@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! A MapReduce simulation substrate.
+//!
+//! The paper's distributed algorithms are 2-round MapReduce computations and
+//! were evaluated on a 16-machine Spark cluster. This crate provides the
+//! stand-in substrate (see DESIGN.md §4): a key–value MapReduce engine whose
+//! rounds execute map and reduce phases on a rayon thread pool with a
+//! configurable degree of parallelism `ℓ`, together with
+//!
+//! * [`partition`] — the partitioning strategies the experiments need:
+//!   deterministic equal-size chunks, uniform random assignment (the
+//!   randomized algorithm of §3.2.1), and the *adversarial* partitioner of
+//!   §5.2 that routes all outliers to a single partition;
+//! * [`memory`] — accounting of the model's two memory parameters, the local
+//!   memory `M_L` of each reducer and the aggregate memory `M_A` across
+//!   reducers, measured in items exactly as the paper states its bounds.
+//!
+//! The engine is deliberately faithful to the MR(γ) model of the paper's
+//! §2.1: a round maps every key–value pair independently, shuffles by key,
+//! and reduces each key group independently; mappers are constant-space
+//! transformations, so memory accounting is attached to reducer inputs.
+
+pub mod engine;
+pub mod memory;
+pub mod partition;
+
+pub use engine::MapReduceEngine;
+pub use memory::{MemoryReport, RoundStats};
+pub use partition::{partition_dataset, Adversarial, Chunked, Partitioner, RandomPartition};

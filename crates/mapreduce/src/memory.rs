@@ -1,0 +1,87 @@
+//! Memory accounting for the MapReduce model.
+//!
+//! The paper states its bounds in terms of `M_L` (the local memory available
+//! to each reducer) and `M_A` (the aggregate memory across all reducers),
+//! both measured in stored items. The engine records, for every executed
+//! round, the largest reducer input and the total shuffled volume, so tests
+//! can assert e.g. that the k-center algorithm's round-2 reducer receives
+//! `ℓ · τ` coreset points and nothing more.
+
+/// Statistics for one executed MapReduce round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Number of distinct keys (= reducer instances) in the round.
+    pub reducers: usize,
+    /// Largest number of values delivered to a single reducer — the round's
+    /// local memory requirement `M_L` in items.
+    pub max_reducer_load: usize,
+    /// Total number of key–value pairs shuffled — the round's aggregate
+    /// memory `M_A` in items.
+    pub total_pairs: usize,
+}
+
+/// Memory report accumulated over the rounds of a MapReduce computation.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryReport {
+    /// Per-round statistics in execution order.
+    pub rounds: Vec<RoundStats>,
+}
+
+impl MemoryReport {
+    /// Local memory requirement of the whole computation: the maximum
+    /// reducer load over all rounds (items).
+    pub fn local_memory(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.max_reducer_load)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Aggregate memory requirement: the maximum total shuffled volume over
+    /// all rounds (items).
+    pub fn aggregate_memory(&self) -> usize {
+        self.rounds.iter().map(|r| r.total_pairs).max().unwrap_or(0)
+    }
+
+    /// Number of rounds executed.
+    pub fn round_count(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Appends the statistics of a completed round.
+    pub fn record(&mut self, stats: RoundStats) {
+        self.rounds.push(stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = MemoryReport::default();
+        assert_eq!(r.local_memory(), 0);
+        assert_eq!(r.aggregate_memory(), 0);
+        assert_eq!(r.round_count(), 0);
+    }
+
+    #[test]
+    fn maxima_across_rounds() {
+        let mut r = MemoryReport::default();
+        r.record(RoundStats {
+            reducers: 4,
+            max_reducer_load: 100,
+            total_pairs: 400,
+        });
+        r.record(RoundStats {
+            reducers: 1,
+            max_reducer_load: 250,
+            total_pairs: 250,
+        });
+        assert_eq!(r.local_memory(), 250);
+        assert_eq!(r.aggregate_memory(), 400);
+        assert_eq!(r.round_count(), 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Partitioning strategies for round 1 of the MapReduce algorithms.
+//!
+//! A [`Partitioner`] assigns each input index to one of `ℓ` partitions.
+//! Three strategies are needed by the paper:
+//!
+//! * [`Chunked`] — deterministic equal-size contiguous chunks (§3.1/§3.2,
+//!   "S is partitioned into ℓ subsets of equal size");
+//! * [`RandomPartition`] — every point goes to a uniformly random partition,
+//!   independently (§3.2.1, the randomized space-efficient variant);
+//! * [`Adversarial`] — a designated set of indices (the injected outliers in
+//!   Fig. 4's setup) is forced into partition 0, the rest are chunked, "so
+//!   to better test the benefits of randomization" (§5.2).
+
+use std::collections::HashSet;
+
+/// Assigns input indices to partitions `0..ell`.
+pub trait Partitioner: Sync {
+    /// Partition of item `index` among `n` items split `ell` ways.
+    ///
+    /// Implementations must return a value `< ell`.
+    fn assign(&self, index: usize, n: usize, ell: usize) -> usize;
+}
+
+/// Deterministic equal-size contiguous chunks: item `i` of `n` goes to
+/// partition `⌊i·ℓ/n⌋`, so chunk sizes differ by at most one.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Chunked;
+
+impl Partitioner for Chunked {
+    #[inline]
+    fn assign(&self, index: usize, n: usize, ell: usize) -> usize {
+        debug_assert!(index < n);
+        // usize arithmetic: (index * ell) fits for any realistic n * ell.
+        (index * ell / n).min(ell - 1)
+    }
+}
+
+/// Uniform independent random assignment (seeded, stateless).
+///
+/// Each index is hashed with SplitMix64 so assignment is deterministic per
+/// `(seed, index)` without storing per-item state — the property the engine
+/// needs to partition in parallel.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomPartition {
+    /// Seed defining the random assignment.
+    pub seed: u64,
+}
+
+impl RandomPartition {
+    /// Creates a seeded random partitioner.
+    pub fn new(seed: u64) -> Self {
+        RandomPartition { seed }
+    }
+}
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Partitioner for RandomPartition {
+    #[inline]
+    fn assign(&self, index: usize, _n: usize, ell: usize) -> usize {
+        (splitmix64(self.seed ^ (index as u64).wrapping_mul(0xA24B_AED4_963E_E407)) % ell as u64)
+            as usize
+    }
+}
+
+/// Adversarial partitioner: all `special` indices land in partition 0, the
+/// rest are chunked across all `ℓ` partitions.
+#[derive(Clone, Debug)]
+pub struct Adversarial {
+    special: HashSet<usize>,
+}
+
+impl Adversarial {
+    /// Creates an adversarial partitioner forcing `special` indices (e.g.
+    /// the injected outliers) into partition 0.
+    pub fn new<I: IntoIterator<Item = usize>>(special: I) -> Self {
+        Adversarial {
+            special: special.into_iter().collect(),
+        }
+    }
+}
+
+impl Partitioner for Adversarial {
+    #[inline]
+    fn assign(&self, index: usize, n: usize, ell: usize) -> usize {
+        if self.special.contains(&index) {
+            0
+        } else {
+            Chunked.assign(index, n, ell)
+        }
+    }
+}
+
+/// Materializes the partition of `items` into `ell` buckets according to
+/// `partitioner`, preserving relative order within each bucket.
+///
+/// # Panics
+///
+/// Panics if `ell == 0` or a partitioner returns an out-of-range partition.
+pub fn partition_dataset<T: Clone, P: Partitioner>(
+    items: &[T],
+    ell: usize,
+    partitioner: &P,
+) -> Vec<Vec<T>> {
+    assert!(ell > 0, "need at least one partition");
+    let mut buckets: Vec<Vec<T>> = vec![Vec::new(); ell];
+    for (i, item) in items.iter().enumerate() {
+        let p = partitioner.assign(i, items.len(), ell);
+        assert!(p < ell, "partitioner returned {p} >= ell = {ell}");
+        buckets[p].push(item.clone());
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_is_balanced() {
+        let items: Vec<u32> = (0..103).collect();
+        let parts = partition_dataset(&items, 4, &Chunked);
+        assert_eq!(parts.len(), 4);
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+        assert!(sizes.iter().all(|&s| s == 25 || s == 26), "{sizes:?}");
+    }
+
+    #[test]
+    fn chunked_is_contiguous() {
+        let items: Vec<u32> = (0..100).collect();
+        let parts = partition_dataset(&items, 5, &Chunked);
+        for part in &parts {
+            for w in part.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "chunk not contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn random_partition_is_deterministic_and_covers() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let a = partition_dataset(&items, 8, &RandomPartition::new(1));
+        let b = partition_dataset(&items, 8, &RandomPartition::new(1));
+        assert_eq!(a, b);
+        // All partitions are used and roughly balanced (Chernoff: each gets
+        // ~1250 ± a few hundred).
+        for part in &a {
+            assert!(
+                (900..1600).contains(&part.len()),
+                "unbalanced partition: {}",
+                part.len()
+            );
+        }
+    }
+
+    #[test]
+    fn random_partition_changes_with_seed() {
+        let items: Vec<u32> = (0..1000).collect();
+        let a = partition_dataset(&items, 4, &RandomPartition::new(1));
+        let b = partition_dataset(&items, 4, &RandomPartition::new(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn adversarial_sends_special_to_partition_zero() {
+        let items: Vec<u32> = (0..100).collect();
+        let special: Vec<usize> = (90..100).collect();
+        let parts = partition_dataset(&items, 4, &Adversarial::new(special.clone()));
+        for &s in &special {
+            assert!(parts[0].contains(&(s as u32)));
+        }
+        // Non-special items still spread across partitions.
+        assert!(parts[1..].iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn single_partition_collects_everything() {
+        let items: Vec<u32> = (0..10).collect();
+        let parts = partition_dataset(&items, 1, &Chunked);
+        assert_eq!(parts, vec![items]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        let _ = partition_dataset(&[1u32], 0, &Chunked);
+    }
+}

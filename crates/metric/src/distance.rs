@@ -1,0 +1,321 @@
+//! Distance functions.
+//!
+//! The [`Metric`] trait is the single abstraction every clustering algorithm
+//! in the workspace is generic over. Implementations must satisfy the metric
+//! axioms (non-negativity, identity of indiscernibles, symmetry, triangle
+//! inequality); the approximation guarantees of all algorithms rely on the
+//! triangle inequality.
+
+use crate::point::Point;
+
+/// A distance function over points of type `P`.
+///
+/// Implementations must be proper metrics: the k-center approximation bounds
+/// (Gonzalez' 2-approximation, Charikar et al.'s 3-approximation, and all the
+/// coreset arguments built on them) are triangle-inequality arguments.
+///
+/// The `Sync + Send` bounds allow distance evaluation from rayon worker
+/// threads in the MapReduce simulator and the parallel kernels.
+pub trait Metric<P: ?Sized>: Sync + Send {
+    /// The distance `d(a, b) >= 0`.
+    fn distance(&self, a: &P, b: &P) -> f64;
+}
+
+/// Blanket implementation so `&M` can be passed where `M: Metric` is needed.
+impl<P: ?Sized, M: Metric<P> + ?Sized> Metric<P> for &M {
+    #[inline]
+    fn distance(&self, a: &P, b: &P) -> f64 {
+        (**self).distance(a, b)
+    }
+}
+
+/// The Euclidean (L2) metric — the distance used by all of the paper's
+/// experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl Euclidean {
+    /// Squared Euclidean distance; cheaper than [`Metric::distance`] when only
+    /// comparisons are needed (monotone in the true distance).
+    #[inline]
+    pub fn distance_squared(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+        a.coords()
+            .iter()
+            .zip(b.coords())
+            .map(|(x, y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum()
+    }
+}
+
+impl Metric<Point> for Euclidean {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        self.distance_squared(a, b).sqrt()
+    }
+}
+
+/// The Manhattan (L1) metric.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Manhattan;
+
+impl Metric<Point> for Manhattan {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+        a.coords()
+            .iter()
+            .zip(b.coords())
+            .map(|(x, y)| (x - y).abs())
+            .sum()
+    }
+}
+
+/// The Chebyshev (L∞) metric.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Chebyshev;
+
+impl Metric<Point> for Chebyshev {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+        a.coords()
+            .iter()
+            .zip(b.coords())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The angular distance `d(a, b) = arccos(cos_sim(a, b))` in radians.
+///
+/// Unlike raw cosine *similarity*, the angle is a proper metric on nonzero
+/// vectors, so the clustering guarantees carry over to embedding spaces such
+/// as the word2vec vectors of the paper's Wiki dataset. Zero vectors are
+/// assigned angle `π/2` to every other vector (and `0` to themselves) so the
+/// function stays total.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CosineAngular;
+
+impl Metric<Point> for CosineAngular {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+        let (mut dot, mut na, mut nb) = (0.0, 0.0, 0.0);
+        for (x, y) in a.coords().iter().zip(b.coords()) {
+            dot += x * y;
+            na += x * x;
+            nb += y * y;
+        }
+        if na == 0.0 && nb == 0.0 {
+            return 0.0;
+        }
+        if na == 0.0 || nb == 0.0 {
+            return std::f64::consts::FRAC_PI_2;
+        }
+        // Clamp for floating-point drift before acos.
+        (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0).acos()
+    }
+}
+
+/// An explicit distance matrix over point indices `0..n`.
+///
+/// This is the adversary's metric: property tests use it to exercise the
+/// algorithms on arbitrary (non-Euclidean) metrics, with
+/// [`Precomputed::check_metric_axioms`] guarding that generated matrices are
+/// genuine metrics.
+#[derive(Clone, Debug)]
+pub struct Precomputed {
+    n: usize,
+    /// Row-major `n × n` distances.
+    d: Vec<f64>,
+}
+
+impl Precomputed {
+    /// Builds a precomputed metric from a row-major `n × n` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix.len() != n * n`.
+    pub fn new(n: usize, matrix: Vec<f64>) -> Self {
+        assert_eq!(matrix.len(), n * n, "matrix must be n*n");
+        Precomputed { n, d: matrix }
+    }
+
+    /// Builds the metric from the distances of `points` under `metric`,
+    /// so index-based algorithms can be cross-checked against point-based
+    /// ones.
+    pub fn from_points<P, M: Metric<P>>(points: &[P], metric: &M) -> Self {
+        let n = points.len();
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dist = metric.distance(&points[i], &points[j]);
+                d[i * n + j] = dist;
+                d[j * n + i] = dist;
+            }
+        }
+        Precomputed { n, d }
+    }
+
+    /// Number of points in the space.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Verifies the metric axioms up to tolerance `tol`, returning a
+    /// description of the first violation found.
+    pub fn check_metric_axioms(&self, tol: f64) -> Result<(), String> {
+        let n = self.n;
+        for i in 0..n {
+            if self.d[i * n + i].abs() > tol {
+                return Err(format!("d({i},{i}) = {} != 0", self.d[i * n + i]));
+            }
+            for j in 0..n {
+                let dij = self.d[i * n + j];
+                if dij < 0.0 {
+                    return Err(format!("d({i},{j}) = {dij} < 0"));
+                }
+                if (dij - self.d[j * n + i]).abs() > tol {
+                    return Err(format!("asymmetric at ({i},{j})"));
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let lhs = self.d[i * n + j];
+                    let rhs = self.d[i * n + k] + self.d[k * n + j];
+                    if lhs > rhs + tol {
+                        return Err(format!(
+                            "triangle inequality violated: d({i},{j})={lhs} > d({i},{k})+d({k},{j})={rhs}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Metric<usize> for Precomputed {
+    #[inline]
+    fn distance(&self, a: &usize, b: &usize) -> f64 {
+        self.d[a * self.n + b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(coords: &[f64]) -> Point {
+        Point::new(coords.to_vec())
+    }
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        let a = p(&[0.0, 0.0]);
+        let b = p(&[3.0, 4.0]);
+        assert_eq!(Euclidean.distance(&a, &b), 5.0);
+        assert_eq!(Euclidean.distance_squared(&a, &b), 25.0);
+    }
+
+    #[test]
+    fn manhattan_matches_hand_computation() {
+        let a = p(&[1.0, -1.0]);
+        let b = p(&[4.0, 3.0]);
+        assert_eq!(Manhattan.distance(&a, &b), 3.0 + 4.0);
+    }
+
+    #[test]
+    fn chebyshev_matches_hand_computation() {
+        let a = p(&[1.0, -1.0]);
+        let b = p(&[4.0, 3.0]);
+        assert_eq!(Chebyshev.distance(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn cosine_orthogonal_vectors() {
+        let a = p(&[1.0, 0.0]);
+        let b = p(&[0.0, 2.0]);
+        let d = CosineAngular.distance(&a, &b);
+        assert!((d - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_parallel_vectors_are_identical() {
+        let a = p(&[1.0, 1.0]);
+        let b = p(&[2.0, 2.0]);
+        // acos amplifies rounding near cos = 1: acos(1 - 1e-16) ~ 1.5e-8.
+        assert!(CosineAngular.distance(&a, &b) < 1e-7);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_half_pi_from_everything() {
+        let z = p(&[0.0, 0.0]);
+        let a = p(&[1.0, 0.0]);
+        assert_eq!(CosineAngular.distance(&z, &a), std::f64::consts::FRAC_PI_2);
+        assert_eq!(CosineAngular.distance(&z, &z), 0.0);
+    }
+
+    #[test]
+    // The needless borrow IS the test subject: the blanket `&M` impl.
+    #[allow(clippy::needless_borrows_for_generic_args)]
+    fn metric_through_reference() {
+        // The blanket `&M` impl allows passing borrowed metrics.
+        fn radius<M: Metric<Point>>(m: M, a: &Point, b: &Point) -> f64 {
+            m.distance(a, b)
+        }
+        let a = p(&[0.0]);
+        let b = p(&[2.0]);
+        assert_eq!(radius(Euclidean, &a, &b), 2.0);
+        assert_eq!(radius(&Euclidean, &a, &b), 2.0);
+    }
+
+    #[test]
+    fn precomputed_round_trips_euclidean() {
+        let pts = vec![p(&[0.0]), p(&[1.0]), p(&[5.0])];
+        let pre = Precomputed::from_points(&pts, &Euclidean);
+        assert_eq!(pre.len(), 3);
+        assert_eq!(pre.distance(&0, &2), 5.0);
+        assert_eq!(pre.distance(&2, &1), 4.0);
+        pre.check_metric_axioms(1e-9).unwrap();
+    }
+
+    #[test]
+    fn precomputed_detects_triangle_violation() {
+        // d(0,2)=10 but d(0,1)+d(1,2)=2.
+        let m = Precomputed::new(
+            3,
+            vec![
+                0.0, 1.0, 10.0, //
+                1.0, 0.0, 1.0, //
+                10.0, 1.0, 0.0,
+            ],
+        );
+        let err = m.check_metric_axioms(1e-9).unwrap_err();
+        assert!(err.contains("triangle"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn precomputed_detects_asymmetry() {
+        let m = Precomputed::new(2, vec![0.0, 1.0, 2.0, 0.0]);
+        let err = m.check_metric_axioms(1e-9).unwrap_err();
+        assert!(err.contains("asymmetric"), "unexpected error: {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix must be n*n")]
+    fn precomputed_rejects_bad_shape() {
+        let _ = Precomputed::new(2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Empirical doubling-dimension estimation.
+//!
+//! The doubling dimension `D` of a metric space is the smallest value such
+//! that every ball of radius `r` can be covered by `2^D` balls of radius
+//! `r/2`. The paper's coreset sizes scale with `(c/ε)^D`, and a key selling
+//! point of the MapReduce algorithms is that they are *oblivious* to `D` —
+//! it appears only in the analysis. This module provides a diagnostic
+//! estimator so users can anticipate coreset growth on their own data.
+//!
+//! The estimator lower-bounds `D` by the growth-ratio method: for sampled
+//! anchor points `u` and a ladder of radii `r`, it measures
+//! `|B(u, r)| / |B(u, r/2)|`; the base-2 logarithm of the largest observed
+//! ratio is a proxy for the doubling dimension of the point set. It is a
+//! heuristic (exact doubling dimension is NP-hard to compute) but tracks the
+//! intrinsic dimension well on synthetic data of known dimension.
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use crate::distance::Metric;
+use crate::pairwise::diameter_bounds;
+
+/// Configuration for [`estimate_doubling_dimension`].
+#[derive(Clone, Copy, Debug)]
+pub struct DoublingConfig {
+    /// Number of anchor points sampled.
+    pub anchors: usize,
+    /// Number of radius scales per anchor (halving each step from the
+    /// diameter down).
+    pub scales: usize,
+    /// RNG seed for anchor sampling.
+    pub seed: u64,
+}
+
+impl Default for DoublingConfig {
+    fn default() -> Self {
+        DoublingConfig {
+            anchors: 16,
+            scales: 8,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Estimates the doubling dimension of `points` under `metric`.
+///
+/// Returns `0.0` for datasets with fewer than two distinct points.
+pub fn estimate_doubling_dimension<P: Sync, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    config: DoublingConfig,
+) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let (_, diameter_hi) = diameter_bounds(points, metric);
+    if diameter_hi == 0.0 {
+        return 0.0;
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let anchor_count = config.anchors.min(points.len());
+    let anchors: Vec<usize> = sample(&mut rng, points.len(), anchor_count).into_vec();
+
+    let max_ratio = anchors
+        .par_iter()
+        .map(|&a| {
+            // Distances from this anchor, reused across all scales.
+            let dists: Vec<f64> = points
+                .iter()
+                .map(|p| metric.distance(&points[a], p))
+                .collect();
+            let mut anchor_best: f64 = 1.0;
+            let mut r = diameter_hi;
+            for _ in 0..config.scales {
+                let outer = dists.iter().filter(|&&d| d <= r).count();
+                let inner = dists.iter().filter(|&&d| d <= r / 2.0).count();
+                // `inner >= 1` always holds (the anchor itself).
+                if outer > 1 {
+                    anchor_best = anchor_best.max(outer as f64 / inner as f64);
+                }
+                r /= 2.0;
+            }
+            anchor_best
+        })
+        .reduce(|| 1.0, f64::max);
+
+    max_ratio.log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Euclidean;
+    use crate::point::Point;
+    use rand::Rng;
+
+    fn uniform_cube(n: usize, dim: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new((0..dim).map(|_| rng.random::<f64>()).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn collinear_points_have_low_dimension() {
+        // Collinear points in R^2: intrinsic dimension 1, as in the paper's
+        // example of dataset doubling dimension below the ambient space's.
+        let pts: Vec<Point> = (0..512)
+            .map(|i| Point::new(vec![i as f64, 2.0 * i as f64]))
+            .collect();
+        let d = estimate_doubling_dimension(&pts, &Euclidean, DoublingConfig::default());
+        assert!(d <= 2.0, "estimated D = {d} too high for a line");
+        assert!(d >= 0.5, "estimated D = {d} too low for a line");
+    }
+
+    #[test]
+    fn higher_dimensional_data_scores_higher() {
+        let line = uniform_cube(600, 1, 7);
+        let cube = uniform_cube(600, 6, 7);
+        let d_line = estimate_doubling_dimension(&line, &Euclidean, DoublingConfig::default());
+        let d_cube = estimate_doubling_dimension(&cube, &Euclidean, DoublingConfig::default());
+        assert!(
+            d_cube > d_line,
+            "expected cube ({d_cube}) > line ({d_line})"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_zero() {
+        let single = vec![Point::new(vec![1.0])];
+        assert_eq!(
+            estimate_doubling_dimension(&single, &Euclidean, DoublingConfig::default()),
+            0.0
+        );
+        let dupes = vec![Point::new(vec![1.0]); 5];
+        assert_eq!(
+            estimate_doubling_dimension(&dupes, &Euclidean, DoublingConfig::default()),
+            0.0
+        );
+    }
+}

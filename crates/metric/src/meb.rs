@@ -1,0 +1,153 @@
+//! Approximate Minimum Enclosing Ball (MEB) for Euclidean point sets.
+//!
+//! The paper's outlier-injection procedure (§5.2) needs the MEB of a dataset:
+//! outliers are planted at distance `100 · r_MEB` from the MEB center in
+//! random directions. We implement the Badoiu–Clarkson subgradient iteration:
+//! starting from an arbitrary point, repeatedly move the candidate center a
+//! `1/(i+1)` step towards the current farthest point. After `⌈1/ε²⌉`
+//! iterations the ball of radius `max distance` around the candidate center
+//! is a `(1+ε)`-approximation of the MEB.
+//!
+//! The farthest-point scan is rayon-parallel; each iteration is `O(n·d)`.
+
+use rayon::prelude::*;
+
+use crate::distance::{Euclidean, Metric};
+use crate::point::Point;
+
+/// A ball in `R^d`: a center (not necessarily a dataset point) and a radius
+/// covering every input point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ball {
+    /// The ball center.
+    pub center: Point,
+    /// The covering radius.
+    pub radius: f64,
+}
+
+impl Ball {
+    /// Whether `point` lies inside the ball (within `tol` slack).
+    pub fn contains(&self, point: &Point, tol: f64) -> bool {
+        Euclidean.distance(&self.center, point) <= self.radius + tol
+    }
+}
+
+/// Computes a `(1+eps)`-approximate minimum enclosing ball of `points` using
+/// Badoiu–Clarkson iteration (`⌈1/eps²⌉` passes over the data).
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `eps` is not in `(0, 1]`.
+pub fn minimum_enclosing_ball(points: &[Point], eps: f64) -> Ball {
+    assert!(!points.is_empty(), "MEB of empty set is undefined");
+    assert!(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
+
+    let iterations = (1.0 / (eps * eps)).ceil() as usize;
+    let dim = points[0].dim();
+    let mut center: Vec<f64> = points[0].coords().to_vec();
+
+    for i in 1..=iterations {
+        let (far_idx, _far_d2) = farthest_from(points, &center);
+        let far = points[far_idx].coords();
+        let step = 1.0 / (i as f64 + 1.0);
+        for (c, f) in center.iter_mut().zip(far) {
+            *c += step * (f - *c);
+        }
+        debug_assert_eq!(center.len(), dim);
+    }
+
+    let (_, max_d2) = farthest_from(points, &center);
+    Ball {
+        center: Point::new(center),
+        radius: max_d2.sqrt(),
+    }
+}
+
+/// Index and squared distance of the point farthest from `center`.
+fn farthest_from(points: &[Point], center: &[f64]) -> (usize, f64) {
+    points
+        .par_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let d2: f64 = p
+                .coords()
+                .iter()
+                .zip(center)
+                .map(|(x, c)| {
+                    let d = x - c;
+                    d * d
+                })
+                .sum();
+            (i, d2)
+        })
+        .reduce(
+            || (0, f64::NEG_INFINITY),
+            |a, b| if a.1 >= b.1 { a } else { b },
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(coords: &[f64]) -> Point {
+        Point::new(coords.to_vec())
+    }
+
+    #[test]
+    fn single_point_ball_has_zero_radius() {
+        let ball = minimum_enclosing_ball(&[p(&[3.0, 4.0])], 0.1);
+        assert_eq!(ball.radius, 0.0);
+        assert_eq!(ball.center, p(&[3.0, 4.0]));
+    }
+
+    #[test]
+    fn covers_all_points() {
+        let pts: Vec<Point> = (0..50)
+            .map(|i| p(&[(i % 10) as f64, (i / 10) as f64]))
+            .collect();
+        let ball = minimum_enclosing_ball(&pts, 0.1);
+        for q in &pts {
+            assert!(ball.contains(q, 1e-9), "point {q:?} outside ball");
+        }
+    }
+
+    #[test]
+    fn near_optimal_on_symmetric_pair() {
+        // The optimal MEB of {-1, +1} on a line is centered at 0 with radius 1.
+        let pts = vec![p(&[-1.0]), p(&[1.0])];
+        let ball = minimum_enclosing_ball(&pts, 0.05);
+        assert!(ball.radius <= 1.0 * 1.1, "radius {} too large", ball.radius);
+        assert!(ball.radius >= 1.0 - 1e-9, "ball must cover both endpoints");
+    }
+
+    #[test]
+    fn near_optimal_on_circle() {
+        // Points on a unit circle: optimal radius 1 around the origin.
+        let pts: Vec<Point> = (0..64)
+            .map(|i| {
+                let t = i as f64 / 64.0 * std::f64::consts::TAU;
+                p(&[t.cos(), t.sin()])
+            })
+            .collect();
+        let ball = minimum_enclosing_ball(&pts, 0.05);
+        assert!(ball.radius <= 1.12, "radius {} too large", ball.radius);
+        assert!(
+            ball.center.norm() < 0.15,
+            "center {:?} far from origin",
+            ball.center
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "MEB of empty set")]
+    fn empty_set_panics() {
+        let _ = minimum_enclosing_ball(&[], 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in")]
+    fn bad_eps_panics() {
+        let _ = minimum_enclosing_ball(&[p(&[0.0])], 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Parallel pairwise-distance utilities.
+//!
+//! The radius searches of the outlier algorithms need (a) bounds on the range
+//! of meaningful radii — derived here from the minimum positive pairwise
+//! distance and a 2-approximate diameter — and (b), for the exact-candidates
+//! search mode on small coresets, the full multiset of pairwise distances.
+//! The quadratic scans are rayon-parallel over rows.
+
+use rayon::prelude::*;
+
+use crate::distance::Metric;
+
+/// Minimum strictly-positive pairwise distance, or `None` if fewer than two
+/// points exist or all points coincide.
+pub fn min_positive_distance<P: Sync, M: Metric<P>>(points: &[P], metric: &M) -> Option<f64> {
+    if points.len() < 2 {
+        return None;
+    }
+    let min = points
+        .par_iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let mut row_min = f64::INFINITY;
+            for b in &points[i + 1..] {
+                let d = metric.distance(a, b);
+                if d > 0.0 && d < row_min {
+                    row_min = d;
+                }
+            }
+            row_min
+        })
+        .reduce(|| f64::INFINITY, f64::min);
+    (min != f64::INFINITY).then_some(min)
+}
+
+/// Lower and upper bounds on the diameter of `points`.
+///
+/// Computes `r = max_j d(points[0], points[j])`; by the triangle inequality
+/// the diameter lies in `[r, 2r]`. One `O(n)` pass instead of `O(n^2)`.
+pub fn diameter_bounds<P: Sync, M: Metric<P>>(points: &[P], metric: &M) -> (f64, f64) {
+    if points.len() < 2 {
+        return (0.0, 0.0);
+    }
+    let r = points[1..]
+        .par_iter()
+        .map(|p| metric.distance(&points[0], p))
+        .reduce(|| 0.0, f64::max);
+    (r, 2.0 * r)
+}
+
+/// All `n(n-1)/2` pairwise distances (unordered pairs).
+///
+/// Memory is quadratic; the exact-candidates radius search only calls this
+/// for coresets below a configurable size threshold.
+pub fn all_pairwise_distances<P: Sync, M: Metric<P>>(points: &[P], metric: &M) -> Vec<f64> {
+    let n = points.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    (0..n - 1)
+        .into_par_iter()
+        .flat_map_iter(|i| {
+            let a = &points[i];
+            points[i + 1..].iter().map(move |b| metric.distance(a, b))
+        })
+        .collect()
+}
+
+/// A condensed symmetric distance matrix storing only the strict upper
+/// triangle (`n(n-1)/2` entries), with `d(i,i) = 0`.
+///
+/// Used by `OutliersCluster` to avoid recomputing distances across the
+/// multiple radius guesses of the binary search when the coreset is small
+/// enough to cache.
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Upper-triangular entries in row-major order:
+    /// `(0,1), (0,2), …, (0,n-1), (1,2), …`.
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds the matrix from `points` under `metric` (parallel over rows).
+    pub fn build<P: Sync, M: Metric<P>>(points: &[P], metric: &M) -> Self {
+        let n = points.len();
+        let data: Vec<f64> = (0..n.saturating_sub(1))
+            .into_par_iter()
+            .flat_map_iter(|i| {
+                let a = &points[i];
+                points[i + 1..].iter().map(move |b| metric.distance(a, b))
+            })
+            .collect();
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is over an empty point set.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Bytes of heap memory held by the condensed matrix.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        // Offset of row i in the condensed layout plus column offset.
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// The distance between points `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        use std::cmp::Ordering::*;
+        match i.cmp(&j) {
+            Equal => 0.0,
+            Less => self.data[self.index(i, j)],
+            Greater => self.data[self.index(j, i)],
+        }
+    }
+
+    /// The condensed upper-triangle entries (for selection over candidates).
+    pub fn condensed(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::Euclidean;
+    use crate::point::Point;
+
+    fn pts(coords: &[f64]) -> Vec<Point> {
+        coords.iter().map(|&c| Point::new(vec![c])).collect()
+    }
+
+    #[test]
+    fn min_positive_skips_duplicates() {
+        let points = pts(&[0.0, 0.0, 5.0, 5.5]);
+        assert_eq!(min_positive_distance(&points, &Euclidean), Some(0.5));
+    }
+
+    #[test]
+    fn min_positive_none_for_identical_points() {
+        let points = pts(&[2.0, 2.0, 2.0]);
+        assert_eq!(min_positive_distance(&points, &Euclidean), None);
+    }
+
+    #[test]
+    fn min_positive_none_for_singleton() {
+        assert_eq!(min_positive_distance(&pts(&[1.0]), &Euclidean), None);
+        assert_eq!(min_positive_distance::<Point, _>(&[], &Euclidean), None);
+    }
+
+    #[test]
+    fn diameter_bounds_bracket_true_diameter() {
+        let points = pts(&[0.0, 1.0, 10.0, -3.0]);
+        let (lo, hi) = diameter_bounds(&points, &Euclidean);
+        let true_diameter = 13.0;
+        assert!(lo <= true_diameter + 1e-12, "lo={lo}");
+        assert!(hi >= true_diameter - 1e-12, "hi={hi}");
+    }
+
+    #[test]
+    fn diameter_bounds_degenerate() {
+        assert_eq!(diameter_bounds(&pts(&[7.0]), &Euclidean), (0.0, 0.0));
+    }
+
+    #[test]
+    fn all_pairwise_count_and_values() {
+        let points = pts(&[0.0, 1.0, 3.0]);
+        let mut d = all_pairwise_distances(&points, &Euclidean);
+        d.sort_by(f64::total_cmp);
+        assert_eq!(d, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn distance_matrix_symmetric_lookup() {
+        let points = pts(&[0.0, 2.0, 7.0, -1.0]);
+        let m = DistanceMatrix::build(&points, &Euclidean);
+        assert_eq!(m.len(), 4);
+        for i in 0..4 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..4 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+                assert_eq!(
+                    m.get(i, j),
+                    Euclidean.distance(&points[i], &points[j]),
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+        assert_eq!(m.condensed().len(), 6);
+    }
+
+    #[test]
+    fn distance_matrix_empty_and_singleton() {
+        let m = DistanceMatrix::build::<Point, _>(&[], &Euclidean);
+        assert!(m.is_empty());
+        assert_eq!(m.condensed().len(), 0);
+        let m1 = DistanceMatrix::build(&pts(&[1.0]), &Euclidean);
+        assert_eq!(m1.len(), 1);
+        assert_eq!(m1.get(0, 0), 0.0);
+    }
+}

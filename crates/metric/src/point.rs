@@ -1,0 +1,188 @@
+//! A validated point in `R^d`.
+//!
+//! Every coordinate is required to be finite at construction time so that the
+//! distance kernels never have to re-check for `NaN`/`inf` in their hot loops
+//! and order comparisons on distances are total.
+
+use std::fmt;
+use std::ops::Index;
+
+/// Error returned when constructing a [`Point`] from invalid data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointError {
+    /// A coordinate was `NaN` or infinite.
+    NonFinite {
+        /// Index of the offending coordinate.
+        index: usize,
+    },
+    /// The coordinate vector was empty.
+    Empty,
+}
+
+impl fmt::Display for PointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointError::NonFinite { index } => {
+                write!(f, "coordinate {index} is not finite")
+            }
+            PointError::Empty => write!(f, "points must have at least one coordinate"),
+        }
+    }
+}
+
+impl std::error::Error for PointError {}
+
+/// A point in `R^d` with finite `f64` coordinates.
+///
+/// Coordinates are stored in a boxed slice (two words instead of `Vec`'s
+/// three, and no spare capacity) because datasets hold millions of points.
+#[derive(Clone, PartialEq)]
+pub struct Point {
+    coords: Box<[f64]>,
+}
+
+impl Point {
+    /// Creates a point, validating that every coordinate is finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PointError::Empty`] for zero-dimensional input and
+    /// [`PointError::NonFinite`] if any coordinate is `NaN` or infinite.
+    pub fn try_new(coords: Vec<f64>) -> Result<Self, PointError> {
+        if coords.is_empty() {
+            return Err(PointError::Empty);
+        }
+        if let Some(index) = coords.iter().position(|c| !c.is_finite()) {
+            return Err(PointError::NonFinite { index });
+        }
+        Ok(Point {
+            coords: coords.into_boxed_slice(),
+        })
+    }
+
+    /// Creates a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is empty or contains a non-finite coordinate; use
+    /// [`Point::try_new`] to handle untrusted input.
+    pub fn new(coords: Vec<f64>) -> Self {
+        Self::try_new(coords).expect("invalid point")
+    }
+
+    /// The dimension `d` of the point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// The coordinates as a slice.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Squared Euclidean norm of the point.
+    #[inline]
+    pub fn norm_squared(&self) -> f64 {
+        self.coords.iter().map(|c| c * c).sum()
+    }
+
+    /// Euclidean norm of the point.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm_squared().sqrt()
+    }
+
+    /// The origin of `R^d`.
+    pub fn origin(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Point {
+            coords: vec![0.0; dim].into_boxed_slice(),
+        }
+    }
+}
+
+impl Index<usize> for Point {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.coords[i]
+    }
+}
+
+impl From<Vec<f64>> for Point {
+    fn from(coords: Vec<f64>) -> Self {
+        Point::new(coords)
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.coords.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_valid_point() {
+        let p = Point::new(vec![1.0, -2.5, 3.25]);
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p[1], -2.5);
+        assert_eq!(p.coords(), &[1.0, -2.5, 3.25]);
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let err = Point::try_new(vec![0.0, f64::NAN]).unwrap_err();
+        assert_eq!(err, PointError::NonFinite { index: 1 });
+    }
+
+    #[test]
+    fn rejects_infinity() {
+        let err = Point::try_new(vec![f64::INFINITY]).unwrap_err();
+        assert_eq!(err, PointError::NonFinite { index: 0 });
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Point::try_new(vec![]).unwrap_err(), PointError::Empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid point")]
+    fn new_panics_on_nan() {
+        let _ = Point::new(vec![f64::NAN]);
+    }
+
+    #[test]
+    fn norms() {
+        let p = Point::new(vec![3.0, 4.0]);
+        assert_eq!(p.norm_squared(), 25.0);
+        assert_eq!(p.norm(), 5.0);
+    }
+
+    #[test]
+    fn origin_is_zero() {
+        let o = Point::origin(4);
+        assert_eq!(o.dim(), 4);
+        assert!(o.coords().iter().all(|&c| c == 0.0));
+        assert_eq!(o.norm(), 0.0);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let p: Point = vec![1.0, 2.0].into();
+        assert_eq!(p.coords(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn debug_format_lists_coords() {
+        let p = Point::new(vec![1.0, 2.0]);
+        assert_eq!(format!("{p:?}"), "[1.0, 2.0]");
+    }
+}

@@ -1,0 +1,106 @@
+//! Order-statistic selection over distances.
+//!
+//! The k-center-with-outliers objective is the `(z+1)`-th largest distance to
+//! the center set. Evaluating it by sorting costs `O(n log n)`; these helpers
+//! use `select_nth_unstable` (introselect) for expected `O(n)`.
+//!
+//! The paper cites the Munro–Paterson streaming selection algorithm to locate
+//! candidate radii without materializing all `O(|T|^2)` pairwise distances.
+//! Our radius search (see `kcenter-core::radius_search`) instead binary
+//! searches a geometric grid, which needs only the extreme order statistics
+//! computed here; for the exact-candidates mode on small coresets the full
+//! selection below is used. Both achieve the same `(1+δ)` tolerance with
+//! `O(|T|)` working memory.
+
+/// Returns the `k`-th smallest value (0-based) of `values`, reordering the
+/// slice in place.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `k >= values.len()`.
+pub fn kth_smallest(values: &mut [f64], k: usize) -> f64 {
+    assert!(!values.is_empty(), "selection over empty slice");
+    assert!(k < values.len(), "k = {k} out of bounds {}", values.len());
+    let (_, kth, _) = values.select_nth_unstable_by(k, |a, b| {
+        a.partial_cmp(b).expect("distances must not be NaN")
+    });
+    *kth
+}
+
+/// Returns the `k`-th largest value (0-based) of `values`, reordering the
+/// slice in place. `kth_largest(v, 0)` is the maximum.
+pub fn kth_largest(values: &mut [f64], k: usize) -> f64 {
+    let n = values.len();
+    assert!(k < n, "k = {k} out of bounds {n}");
+    kth_smallest(values, n - 1 - k)
+}
+
+/// The k-center-with-outliers objective: the maximum of `distances` after
+/// discarding the `z` largest values.
+///
+/// With `z = 0` this is the plain radius; with `z >= distances.len()` the
+/// objective is `0` (every point may be discarded).
+pub fn radius_excluding_outliers(distances: &mut [f64], z: usize) -> f64 {
+    if distances.len() <= z {
+        return 0.0;
+    }
+    kth_largest(distances, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kth_smallest_selects_correctly() {
+        let mut v = vec![5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(kth_smallest(&mut v.clone(), 0), 1.0);
+        assert_eq!(kth_smallest(&mut v.clone(), 2), 3.0);
+        assert_eq!(kth_smallest(&mut v, 4), 5.0);
+    }
+
+    #[test]
+    fn kth_largest_mirrors_kth_smallest() {
+        let mut v = vec![5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(kth_largest(&mut v.clone(), 0), 5.0);
+        assert_eq!(kth_largest(&mut v, 1), 4.0);
+    }
+
+    #[test]
+    fn radius_with_zero_outliers_is_max() {
+        let mut v = vec![1.0, 7.0, 3.0];
+        assert_eq!(radius_excluding_outliers(&mut v, 0), 7.0);
+    }
+
+    #[test]
+    fn radius_discards_largest() {
+        let mut v = vec![1.0, 7.0, 3.0, 9.0];
+        assert_eq!(radius_excluding_outliers(&mut v, 2), 3.0);
+    }
+
+    #[test]
+    fn radius_with_all_outliers_is_zero() {
+        let mut v = vec![1.0, 7.0];
+        assert_eq!(radius_excluding_outliers(&mut v, 2), 0.0);
+        assert_eq!(radius_excluding_outliers(&mut v, 5), 0.0);
+        assert_eq!(radius_excluding_outliers(&mut [], 0), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_handled() {
+        let mut v = vec![2.0, 2.0, 2.0, 2.0];
+        assert_eq!(radius_excluding_outliers(&mut v, 2), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "selection over empty slice")]
+    fn empty_selection_panics() {
+        let _ = kth_smallest(&mut [], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_k_panics() {
+        let _ = kth_smallest(&mut [1.0], 1);
+    }
+}

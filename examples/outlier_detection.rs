@@ -1,0 +1,86 @@
+//! Outlier detection on noisy sensor readings.
+//!
+//! Scenario: a fleet of sensors reports 7-dimensional measurements; a few
+//! report garbage (stuck registers, transmission noise). k-center with
+//! outliers recovers the operating regimes *and* pinpoints the bad
+//! readings, using the paper's randomized MapReduce algorithm.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example outlier_detection
+//! ```
+
+use kcenter::core::solution::outlier_indices;
+use kcenter::data::{inject_outliers, power_like, shuffled};
+use kcenter::prelude::*;
+
+fn main() {
+    // 40k clean readings from ~120 operating regimes + 60 corrupted ones.
+    let mut points = power_like(40_000, 99);
+    let z = 60;
+    let report = inject_outliers(&mut points, z, 7);
+    println!(
+        "injected {z} corrupted readings at 100 × r_MEB = {:.1} from the data center",
+        100.0 * report.meb_radius
+    );
+    let truth: std::collections::BTreeSet<usize> = report.outlier_indices.iter().copied().collect();
+
+    // Shuffle (sensors report in arbitrary order), remembering where the
+    // injected outliers land.
+    let order: Vec<usize> = shuffled(&(0..points.len()).collect::<Vec<_>>(), 3);
+    let shuffled_points: Vec<Point> = order.iter().map(|&i| points[i].clone()).collect();
+    let truth_shuffled: std::collections::BTreeSet<usize> = order
+        .iter()
+        .enumerate()
+        .filter(|(_, &orig)| truth.contains(&orig))
+        .map(|(pos, _)| pos)
+        .collect();
+
+    // Randomized MapReduce: coresets of µ(k + 6z/ℓ) per partition.
+    let k = 20;
+    let config = MrOutliersConfig::randomized(k, z, 8, CoresetSpec::Multiplier { mu: 4 });
+    let result =
+        mr_kcenter_outliers(&shuffled_points, &Euclidean, &config).expect("valid configuration");
+
+    println!(
+        "clustered into {} regimes, radius (excluding {z} outliers) = {:.3}",
+        result.clustering.k(),
+        result.clustering.radius
+    );
+    println!(
+        "coreset union: {} points (local memory {} pts, 2 rounds)",
+        result.union_size,
+        result.memory.local_memory()
+    );
+
+    // The z points farthest from the centers are the flagged outliers.
+    let flagged = outlier_indices(&shuffled_points, &result.clustering.centers, z, &Euclidean);
+    let hits = flagged
+        .iter()
+        .filter(|i| truth_shuffled.contains(i))
+        .count();
+    println!("flagged {z} readings; {hits}/{z} are the injected corruptions");
+
+    // A corruption can escape the flagged set only by being *absorbed as a
+    // center*: once the data is covered, OutliersCluster spends leftover
+    // center budget on the heaviest uncovered points — which may be
+    // corrupted readings (at distance 0 from themselves). At most k of the
+    // z corruptions can be absorbed this way.
+    let absorbed = result
+        .clustering
+        .centers
+        .iter()
+        .filter(|c| {
+            shuffled_points
+                .iter()
+                .enumerate()
+                .any(|(i, p)| truth_shuffled.contains(&i) && p == *c)
+        })
+        .count();
+    println!("({absorbed} corruptions were absorbed as leftover centers)");
+    assert!(
+        hits + absorbed >= z,
+        "every corruption must be flagged or absorbed: {hits} + {absorbed} < {z}"
+    );
+    println!("✔ all corrupted readings accounted for");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: cluster a synthetic dataset three ways — sequential GMM,
+//! 2-round MapReduce, and 1-pass streaming — and compare the radii.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use kcenter::core::gmm::gmm_select;
+use kcenter::data::{higgs_like, shuffled};
+use kcenter::prelude::*;
+
+fn main() {
+    let n = 20_000;
+    let k = 20;
+    let points = shuffled(&higgs_like(n, 7), 1);
+    println!("dataset: {n} points, 7 dimensions, k = {k}\n");
+
+    // 1. Sequential GMM — the 2-approximation everything builds on.
+    let gmm = gmm_select(&points, &Euclidean, k, 0);
+    println!(
+        "GMM (sequential, 2-approx)        radius = {:.4}",
+        gmm.radius
+    );
+
+    // 2. MapReduce with composable coresets — (2+ε)-approx, 2 rounds.
+    for mu in [1usize, 4] {
+        let result = mr_kcenter(
+            &points,
+            &Euclidean,
+            &MrKCenterConfig {
+                k,
+                ell: 8,
+                coreset: CoresetSpec::Multiplier { mu },
+                seed: 1,
+            },
+        )
+        .expect("valid configuration");
+        println!(
+            "MapReduce ℓ=8, µ={mu} (coreset {:>4})  radius = {:.4}   [local memory: {} pts]",
+            result.union_size,
+            result.clustering.radius,
+            result.memory.local_memory(),
+        );
+    }
+
+    // 3. Streaming with a doubling coreset — one pass, tiny memory.
+    let alg = CoresetStream::new(Euclidean, k, 8 * k);
+    let (out, report) = run_stream(alg, points.iter().cloned());
+    let streaming_radius = radius(&points, &out.centers, &Euclidean);
+    println!(
+        "Streaming τ=8k (1 pass)           radius = {:.4}   [peak memory: {} pts, {:.0}k pts/s]",
+        streaming_radius,
+        report.peak_memory_items,
+        report.throughput().unwrap_or(f64::INFINITY) / 1_000.0,
+    );
+
+    println!("\nAll three should be within a small factor of each other;");
+    println!("the MapReduce radius approaches the GMM radius as µ grows.");
+}

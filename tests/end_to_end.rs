@@ -1,0 +1,242 @@
+//! End-to-end pipelines across crates: generated data → partitioning →
+//! coresets → final clustering, with the paper's qualitative claims checked
+//! on every path.
+
+use kcenter::baselines::malkomes::{malkomes_mr_kcenter, malkomes_mr_outliers};
+use kcenter::core::gmm::gmm_select;
+use kcenter::core::solution::outlier_indices;
+use kcenter::data::{higgs_like, inject_outliers, power_like, shuffled};
+use kcenter::prelude::*;
+
+#[test]
+fn mr_kcenter_tracks_sequential_gmm() {
+    let points = shuffled(&higgs_like(8_000, 1), 2);
+    let k = 15;
+    let gmm = gmm_select(&points, &Euclidean, k, 0);
+    for mu in [1usize, 2, 4] {
+        let result = mr_kcenter(
+            &points,
+            &Euclidean,
+            &MrKCenterConfig {
+                k,
+                ell: 4,
+                coreset: CoresetSpec::Multiplier { mu },
+                seed: 3,
+            },
+        )
+        .unwrap();
+        // (2+ε)-approx vs GMM's 2-approx: the MR radius may exceed GMM's
+        // but stays within a modest factor; for µ = 4 it should be close.
+        assert!(
+            result.clustering.radius <= 2.0 * gmm.radius,
+            "µ={mu}: MR radius {} vs GMM {}",
+            result.clustering.radius,
+            gmm.radius
+        );
+    }
+}
+
+#[test]
+fn bigger_coresets_shrink_the_radius_on_average() {
+    // The Fig. 2 trend: mean ratio over seeds improves (or stays equal)
+    // from µ=1 to µ=8.
+    let k = 10;
+    let mut mean = [0.0f64; 2];
+    let reps = 5;
+    for seed in 0..reps {
+        let points = shuffled(&power_like(6_000, seed as u64), seed as u64 + 100);
+        for (slot, mu) in [(0usize, 1usize), (1, 8)] {
+            let result = mr_kcenter(
+                &points,
+                &Euclidean,
+                &MrKCenterConfig {
+                    k,
+                    ell: 4,
+                    coreset: CoresetSpec::Multiplier { mu },
+                    seed: seed as u64,
+                },
+            )
+            .unwrap();
+            mean[slot] += result.clustering.radius / reps as f64;
+        }
+    }
+    assert!(
+        mean[1] <= mean[0] * 1.02,
+        "mean radius µ=8 ({}) should not exceed µ=1 ({})",
+        mean[1],
+        mean[0]
+    );
+}
+
+#[test]
+fn mr_outliers_recovers_injected_outliers() {
+    let mut points = power_like(6_000, 5);
+    let z = 30;
+    let report = inject_outliers(&mut points, z, 6);
+    let truth: Vec<usize> = report.outlier_indices;
+
+    let config = MrOutliersConfig::deterministic(12, z, 4, CoresetSpec::Multiplier { mu: 4 });
+    let result = mr_kcenter_outliers(&points, &Euclidean, &config).unwrap();
+
+    // Radius must be at data scale, not outlier scale.
+    assert!(
+        result.clustering.radius < 2.0 * report.meb_radius,
+        "radius {} vs MEB radius {}",
+        result.clustering.radius,
+        report.meb_radius
+    );
+    // Flagged points ∪ absorbed centers ⊇ injected outliers.
+    let flagged = outlier_indices(&points, &result.clustering.centers, z, &Euclidean);
+    let absorbed: Vec<usize> = truth
+        .iter()
+        .copied()
+        .filter(|&i| result.clustering.centers.iter().any(|c| *c == points[i]))
+        .collect();
+    for i in &truth {
+        assert!(
+            flagged.contains(i) || absorbed.contains(i),
+            "outlier {i} neither flagged nor absorbed"
+        );
+    }
+}
+
+#[test]
+fn randomized_mr_beats_deterministic_under_adversarial_partitioning() {
+    // Fig. 4's headline at µ = 1: all outliers in one partition break the
+    // deterministic µ=1 coreset, while random partitioning dilutes them.
+    let mut points = higgs_like(4_000, 7);
+    let z = 64;
+    let report = inject_outliers(&mut points, z, 8);
+    let ell = 16;
+
+    let mut det = MrOutliersConfig::deterministic(8, z, ell, CoresetSpec::Multiplier { mu: 1 });
+    det.partitioning = MrPartitioning::Adversarial {
+        special: report.outlier_indices.clone(),
+    };
+    let mut rand = MrOutliersConfig::randomized(8, z, ell, CoresetSpec::Multiplier { mu: 1 });
+    rand.partitioning = MrPartitioning::Random;
+    rand.seed = 9;
+
+    let det_result = mr_kcenter_outliers(&points, &Euclidean, &det).unwrap();
+    let rand_result = mr_kcenter_outliers(&points, &Euclidean, &rand).unwrap();
+
+    // Randomized uses a much smaller union (k + 6z/ℓ vs k + z per part).
+    assert!(rand_result.union_size < det_result.union_size);
+    // And must still solve the instance.
+    assert!(
+        rand_result.clustering.radius < 2.0 * report.meb_radius,
+        "randomized radius {}",
+        rand_result.clustering.radius
+    );
+}
+
+#[test]
+fn sequential_equals_mapreduce_with_one_partition() {
+    let mut points = power_like(2_000, 11);
+    inject_outliers(&mut points, 10, 12);
+    let points = shuffled(&points, 13);
+
+    let seq = sequential_kcenter_outliers(
+        &points,
+        &Euclidean,
+        &SequentialOutliersConfig::new(6, 10, 2),
+    )
+    .unwrap();
+    let mut mr_cfg = MrOutliersConfig::deterministic(6, 10, 1, CoresetSpec::Multiplier { mu: 2 });
+    mr_cfg.seed = 0;
+    let mr = mr_kcenter_outliers(&points, &Euclidean, &mr_cfg).unwrap();
+
+    // ℓ = 1 MapReduce is definitionally the sequential algorithm. The two
+    // entry points derive the GMM start point differently from the seed, so
+    // coresets differ by start-point arbitrariness; structure and quality
+    // must match.
+    assert_eq!(seq.coreset_size, mr.union_size);
+    assert!(
+        (seq.r_min - mr.r_min).abs() <= 0.10 * seq.r_min,
+        "r_min diverged: {} vs {}",
+        seq.r_min,
+        mr.r_min
+    );
+    assert!(
+        (seq.clustering.radius - mr.clustering.radius).abs() <= 0.15 * seq.clustering.radius,
+        "radius diverged: {} vs {}",
+        seq.clustering.radius,
+        mr.clustering.radius
+    );
+}
+
+#[test]
+fn malkomes_baselines_are_the_mu1_points() {
+    let points = shuffled(&higgs_like(3_000, 17), 18);
+    let ours = mr_kcenter(
+        &points,
+        &Euclidean,
+        &MrKCenterConfig {
+            k: 8,
+            ell: 4,
+            coreset: CoresetSpec::Multiplier { mu: 1 },
+            seed: 5,
+        },
+    )
+    .unwrap();
+    let baseline = malkomes_mr_kcenter(&points, &Euclidean, 8, 4, 5).unwrap();
+    assert_eq!(ours.clustering.radius, baseline.clustering.radius);
+
+    let mut with_outliers = points.clone();
+    inject_outliers(&mut with_outliers, 12, 19);
+    let baseline = malkomes_mr_outliers(&with_outliers, &Euclidean, 8, 12, 4, 5).unwrap();
+    assert!(baseline.union_size <= 4 * (8 + 12));
+}
+
+#[test]
+fn streaming_and_mapreduce_agree_on_easy_instances() {
+    let mut points = power_like(5_000, 23);
+    let z = 20;
+    let report = inject_outliers(&mut points, z, 24);
+    let points = shuffled(&points, 25);
+    let k = 10;
+
+    let mr = mr_kcenter_outliers(
+        &points,
+        &Euclidean,
+        &MrOutliersConfig::deterministic(k, z, 4, CoresetSpec::Multiplier { mu: 4 }),
+    )
+    .unwrap();
+
+    let alg = CoresetOutliers::new(Euclidean, k, z, 8 * (k + z), 0.25);
+    let (stream_out, _) = run_stream(alg, points.iter().cloned());
+    let stream_radius = radius_with_outliers(&points, &stream_out.centers, z, &Euclidean);
+
+    // Both must exclude the planted outliers (data scale ≪ outlier scale).
+    assert!(mr.clustering.radius < 2.0 * report.meb_radius);
+    assert!(stream_radius < 2.0 * report.meb_radius);
+}
+
+#[test]
+fn two_pass_matches_one_pass_quality_without_knowing_tau() {
+    let mut points = power_like(3_000, 31);
+    let z = 15;
+    let report = inject_outliers(&mut points, z, 32);
+    let points = shuffled(&points, 33);
+    let k = 8;
+
+    let two = two_pass_outliers(&points, &Euclidean, k, z, 1.0).unwrap();
+    assert_eq!(two.passes.pass_count(), 2);
+    assert!(
+        two.clustering.radius < 2.0 * report.meb_radius,
+        "2-pass radius {}",
+        two.clustering.radius
+    );
+}
+
+#[test]
+fn deterministic_reproducibility_across_runs() {
+    let mut points = higgs_like(2_000, 41);
+    inject_outliers(&mut points, 10, 42);
+    let config = MrOutliersConfig::deterministic(5, 10, 4, CoresetSpec::Multiplier { mu: 2 });
+    let a = mr_kcenter_outliers(&points, &Euclidean, &config).unwrap();
+    let b = mr_kcenter_outliers(&points, &Euclidean, &config).unwrap();
+    assert_eq!(a.clustering.radius, b.clustering.radius);
+    assert_eq!(a.r_min, b.r_min);
+    assert_eq!(a.union_size, b.union_size);
+}

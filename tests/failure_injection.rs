@@ -1,0 +1,187 @@
+//! Failure injection: degenerate and hostile inputs across the public API.
+
+use kcenter::core::InputError;
+use kcenter::prelude::*;
+
+fn dupes(n: usize) -> Vec<Point> {
+    vec![Point::new(vec![3.0, 3.0]); n]
+}
+
+#[test]
+fn empty_input_is_rejected_everywhere() {
+    let empty: Vec<Point> = Vec::new();
+    assert!(matches!(
+        mr_kcenter(
+            &empty,
+            &Euclidean,
+            &MrKCenterConfig {
+                k: 1,
+                ell: 1,
+                coreset: CoresetSpec::Multiplier { mu: 1 },
+                seed: 0
+            }
+        ),
+        Err(InputError::EmptyInput)
+    ));
+    assert!(matches!(
+        mr_kcenter_outliers(
+            &empty,
+            &Euclidean,
+            &MrOutliersConfig::deterministic(1, 0, 1, CoresetSpec::Multiplier { mu: 1 })
+        ),
+        Err(InputError::EmptyInput)
+    ));
+    assert!(matches!(
+        sequential_kcenter_outliers(&empty, &Euclidean, &SequentialOutliersConfig::new(1, 0, 1)),
+        Err(InputError::EmptyInput)
+    ));
+    assert!(two_pass_outliers(&empty, &Euclidean, 1, 0, 0.5).is_err());
+}
+
+#[test]
+fn k_at_least_n_is_rejected() {
+    let points = dupes(5);
+    assert!(matches!(
+        mr_kcenter(
+            &points,
+            &Euclidean,
+            &MrKCenterConfig {
+                k: 5,
+                ell: 2,
+                coreset: CoresetSpec::Multiplier { mu: 1 },
+                seed: 0
+            }
+        ),
+        Err(InputError::InvalidK { k: 5, n: 5 })
+    ));
+}
+
+#[test]
+fn all_duplicate_points_cluster_to_radius_zero() {
+    let points = dupes(64);
+    let result = mr_kcenter(
+        &points,
+        &Euclidean,
+        &MrKCenterConfig {
+            k: 3,
+            ell: 4,
+            coreset: CoresetSpec::Multiplier { mu: 2 },
+            seed: 0,
+        },
+    )
+    .unwrap();
+    assert_eq!(result.clustering.radius, 0.0);
+    // Coresets saturate at one distinct point per partition.
+    assert!(result.union_size <= 4);
+}
+
+#[test]
+fn duplicates_with_outliers_are_solved_exactly() {
+    let mut points = dupes(40);
+    points.push(Point::new(vec![1_000.0, 0.0]));
+    points.push(Point::new(vec![0.0, 1_000.0]));
+    let config = MrOutliersConfig::deterministic(1, 2, 2, CoresetSpec::Multiplier { mu: 2 });
+    let result = mr_kcenter_outliers(&points, &Euclidean, &config).unwrap();
+    assert_eq!(result.clustering.radius, 0.0);
+}
+
+#[test]
+fn single_point_partitions_work() {
+    // ℓ much larger than sensible: partitions of one point each.
+    let points: Vec<Point> = (0..8).map(|i| Point::new(vec![i as f64])).collect();
+    let result = mr_kcenter(
+        &points,
+        &Euclidean,
+        &MrKCenterConfig {
+            k: 2,
+            ell: 8,
+            coreset: CoresetSpec::Multiplier { mu: 4 },
+            seed: 0,
+        },
+    )
+    .unwrap();
+    assert_eq!(result.clustering.k(), 2);
+    // Every point survives into the union (coresets saturate at size 1).
+    assert_eq!(result.union_size, 8);
+}
+
+#[test]
+fn z_larger_than_realistic_is_rejected_but_large_z_works() {
+    let points: Vec<Point> = (0..30).map(|i| Point::new(vec![i as f64])).collect();
+    // k + z = n → rejected.
+    assert!(mr_kcenter_outliers(
+        &points,
+        &Euclidean,
+        &MrOutliersConfig::deterministic(2, 28, 2, CoresetSpec::Multiplier { mu: 1 })
+    )
+    .is_err());
+    // k + z = n - 1 → accepted; everything but one cluster is outlier.
+    let result = mr_kcenter_outliers(
+        &points,
+        &Euclidean,
+        &MrOutliersConfig::deterministic(2, 27, 2, CoresetSpec::Multiplier { mu: 1 }),
+    )
+    .unwrap();
+    assert!(result.clustering.radius <= 29.0);
+}
+
+#[test]
+fn streaming_handles_singleton_and_empty_streams() {
+    let alg = CoresetOutliers::<Point, _>::new(Euclidean, 1, 1, 4, 0.5);
+    let (out, report) = run_stream(alg, vec![Point::new(vec![1.0])]);
+    assert_eq!(out.coreset_size, 1);
+    assert_eq!(report.items, 1);
+
+    let alg = CoresetStream::<Point, _>::new(Euclidean, 2, 2);
+    let (out, _) = run_stream(alg, Vec::<Point>::new());
+    assert!(out.centers.is_empty());
+}
+
+#[test]
+fn nan_points_are_rejected_at_the_boundary() {
+    // The type system makes NaN unrepresentable inside the algorithms: the
+    // only way in is Point construction, which validates.
+    assert!(Point::try_new(vec![f64::NAN]).is_err());
+    assert!(Point::try_new(vec![f64::INFINITY, 0.0]).is_err());
+    assert!(Point::try_new(vec![]).is_err());
+}
+
+#[test]
+fn adversarial_partitioning_with_all_points_special_is_legal() {
+    // Degenerate adversary: every index "special" → partition 0 gets all.
+    let points: Vec<Point> = (0..20).map(|i| Point::new(vec![i as f64])).collect();
+    let mut config = MrOutliersConfig::deterministic(2, 2, 4, CoresetSpec::Multiplier { mu: 1 });
+    config.partitioning = MrPartitioning::Adversarial {
+        special: (0..20).collect(),
+    };
+    let result = mr_kcenter_outliers(&points, &Euclidean, &config).unwrap();
+    assert_eq!(result.coreset_sizes.len(), 1);
+    assert!(result.clustering.radius <= 19.0);
+}
+
+#[test]
+fn coreset_spec_validation_end_to_end() {
+    let points: Vec<Point> = (0..40).map(|i| Point::new(vec![i as f64])).collect();
+    // Fixed τ below k is rejected up front.
+    let bad = MrKCenterConfig {
+        k: 6,
+        ell: 2,
+        coreset: CoresetSpec::Fixed { tau: 3 },
+        seed: 0,
+    };
+    assert!(matches!(
+        mr_kcenter(&points, &Euclidean, &bad),
+        Err(InputError::CoresetTooSmall { tau: 3, minimum: 6 })
+    ));
+    // EpsStop with invalid ε rejected.
+    let bad_eps = MrKCenterConfig {
+        k: 4,
+        ell: 2,
+        coreset: CoresetSpec::EpsStop { eps: 2.0 },
+        seed: 0,
+    };
+    assert!(matches!(
+        mr_kcenter(&points, &Euclidean, &bad_eps),
+        Err(InputError::InvalidEpsilon { .. })
+    ));
+}

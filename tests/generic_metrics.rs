@@ -1,0 +1,119 @@
+//! The algorithms are generic over the metric space: run the full pipelines
+//! on non-Euclidean metrics (angular distance on embeddings; arbitrary
+//! finite metrics given as validated distance matrices over indices).
+
+use kcenter::core::gmm::gmm_select;
+use kcenter::metric::{CosineAngular, Precomputed};
+use kcenter::prelude::*;
+
+#[test]
+fn mr_kcenter_on_angular_distance() {
+    // Unit-norm-ish embedding vectors in 3 bands of direction.
+    let points: Vec<Point> = (0..300)
+        .map(|i| {
+            let band = (i % 3) as f64;
+            let jitter = ((i * 7) % 13) as f64 * 0.01;
+            let angle = band * 1.0 + jitter; // radians
+            Point::new(vec![angle.cos(), angle.sin()])
+        })
+        .collect();
+    let result = mr_kcenter(
+        &points,
+        &CosineAngular,
+        &MrKCenterConfig {
+            k: 3,
+            ell: 3,
+            coreset: CoresetSpec::Multiplier { mu: 4 },
+            seed: 2,
+        },
+    )
+    .unwrap();
+    // Bands are 1 radian apart with jitter ≤ 0.13: a correct 3-clustering
+    // has angular radius ≪ half the band gap.
+    assert!(
+        result.clustering.radius < 0.2,
+        "angular radius {} did not separate the bands",
+        result.clustering.radius
+    );
+}
+
+#[test]
+fn pipelines_run_on_arbitrary_finite_metrics() {
+    // A validated non-Euclidean metric: shortest-path distances on a cycle
+    // of 24 nodes (doubling dimension 1).
+    let n = 24usize;
+    let mut matrix = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let around = (i as i64 - j as i64).unsigned_abs() as usize % n;
+            matrix[i * n + j] = around.min(n - around) as f64;
+        }
+    }
+    let metric = Precomputed::new(n, matrix);
+    metric.check_metric_axioms(1e-9).unwrap();
+
+    let indices: Vec<usize> = (0..n).collect();
+
+    // GMM on the cycle: k = 4 evenly spaced centers give radius 3.
+    let gmm = gmm_select(&indices, &metric, 4, 0);
+    assert!(gmm.radius <= 2.0 * 3.0, "cycle radius {}", gmm.radius);
+
+    // Full MapReduce pipeline on index points.
+    let result = mr_kcenter(
+        &indices,
+        &metric,
+        &MrKCenterConfig {
+            k: 4,
+            ell: 2,
+            coreset: CoresetSpec::Multiplier { mu: 2 },
+            seed: 0,
+        },
+    )
+    .unwrap();
+    assert!(result.clustering.radius <= 6.0);
+
+    // Outlier variant on the same metric.
+    let outliers = mr_kcenter_outliers(
+        &indices,
+        &metric,
+        &MrOutliersConfig::deterministic(4, 2, 2, CoresetSpec::Multiplier { mu: 2 }),
+    )
+    .unwrap();
+    assert!(outliers.clustering.radius <= 6.0);
+}
+
+#[test]
+fn streaming_on_arbitrary_finite_metrics() {
+    // Two far-apart cliques plus two isolated nodes (the outliers), as an
+    // explicit metric.
+    let n = 18usize;
+    let mut matrix = vec![0.0f64; n * n];
+    let group = |i: usize| -> f64 {
+        if i < 8 {
+            0.0
+        } else if i < 16 {
+            100.0
+        } else {
+            10_000.0 + (i as f64) * 5_000.0
+        }
+    };
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let base = (group(i) - group(j)).abs();
+                matrix[i * n + j] = base + 1.0; // intra-group distance 1
+            }
+        }
+    }
+    let metric = Precomputed::new(n, matrix.clone());
+    metric.check_metric_axioms(1e-9).unwrap();
+
+    let indices: Vec<usize> = (0..n).collect();
+    let alg = CoresetOutliers::new(metric.clone(), 2, 2, 3 * 4, 0.5);
+    let (out, _) = run_stream(alg, indices.iter().copied());
+    let r = radius_with_outliers(&indices, &out.centers, 2, &metric);
+    assert!(
+        r <= 2.0,
+        "streaming failed to separate cliques from isolates: r = {r}"
+    );
+}

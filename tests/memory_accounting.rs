@@ -1,0 +1,126 @@
+//! The paper's memory bounds, checked against the engine's accounting.
+
+use kcenter::data::{higgs_like, inject_outliers};
+use kcenter::prelude::*;
+
+#[test]
+fn round1_local_memory_is_one_partition() {
+    let n = 4_096;
+    let points = higgs_like(n, 1);
+    for ell in [2usize, 4, 8] {
+        let result = mr_kcenter(
+            &points,
+            &Euclidean,
+            &MrKCenterConfig {
+                k: 8,
+                ell,
+                coreset: CoresetSpec::Multiplier { mu: 2 },
+                seed: 0,
+            },
+        )
+        .unwrap();
+        let round1 = result.memory.rounds[0];
+        assert_eq!(round1.reducers, ell);
+        // Chunked partitions differ by at most one point.
+        assert!(round1.max_reducer_load <= n / ell + 1);
+        assert_eq!(round1.total_pairs, n);
+    }
+}
+
+#[test]
+fn round2_local_memory_is_the_coreset_union() {
+    let n = 4_096;
+    let points = higgs_like(n, 2);
+    let (k, ell, mu) = (8usize, 4usize, 2usize);
+    let result = mr_kcenter(
+        &points,
+        &Euclidean,
+        &MrKCenterConfig {
+            k,
+            ell,
+            coreset: CoresetSpec::Multiplier { mu },
+            seed: 0,
+        },
+    )
+    .unwrap();
+    let round2 = result.memory.rounds[1];
+    assert_eq!(round2.reducers, 1);
+    assert_eq!(round2.max_reducer_load, ell * mu * k);
+    assert_eq!(result.union_size, ell * mu * k);
+}
+
+#[test]
+fn theorem1_memory_tradeoff_sqrt_choice() {
+    // With ℓ = √(n/k), ML = max(n/ℓ, ℓ·µ·k) ≈ √(n·k)·µ — the Corollary 1
+    // choice. Verify the accounting reflects it.
+    let n = 6_400;
+    let k = 4;
+    let ell = kcenter::core::tuning::ell_for_kcenter(n, k); // 40
+    let points = higgs_like(n, 3);
+    let result = mr_kcenter(
+        &points,
+        &Euclidean,
+        &MrKCenterConfig {
+            k,
+            ell,
+            coreset: CoresetSpec::Multiplier { mu: 1 },
+            seed: 0,
+        },
+    )
+    .unwrap();
+    let ml = result.memory.local_memory();
+    let sqrt_nk = ((n * k) as f64).sqrt();
+    assert!(
+        (ml as f64) <= 2.0 * sqrt_nk,
+        "ML = {ml} far above √(nk) = {sqrt_nk}"
+    );
+    assert!(result.memory.aggregate_memory() <= n);
+}
+
+#[test]
+fn randomized_outliers_memory_shrinks_with_ell() {
+    // Corollary 3: the z term is divided across partitions.
+    let mut points = higgs_like(4_000, 4);
+    let z = 128;
+    inject_outliers(&mut points, z, 5);
+    let k = 4;
+
+    let union_for = |ell: usize| {
+        let config = MrOutliersConfig::randomized(k, z, ell, CoresetSpec::Multiplier { mu: 1 });
+        mr_kcenter_outliers(&points, &Euclidean, &config)
+            .unwrap()
+            .union_size
+    };
+    // Per-partition coreset ≈ k + 6z/ℓ, so the union is ℓ·k + 6z — the z
+    // term stops growing with ℓ while the deterministic union grows as
+    // ℓ·(k+z).
+    let u8 = union_for(8);
+    let u16 = union_for(16);
+    let det16 = {
+        let config = MrOutliersConfig::deterministic(k, z, 16, CoresetSpec::Multiplier { mu: 1 });
+        mr_kcenter_outliers(&points, &Euclidean, &config)
+            .unwrap()
+            .union_size
+    };
+    assert!(
+        u16 < det16,
+        "randomized union {u16} not below deterministic {det16}"
+    );
+    assert!(u16 <= u8 + 16 * k, "z-term grew with ℓ: {u8} -> {u16}");
+}
+
+#[test]
+fn streaming_memory_independent_of_stream_length() {
+    // Corollary 4: working memory O(k+z), independent of |S|.
+    let (k, z) = (6usize, 10usize);
+    let tau = 4 * (k + z);
+    let mut peaks = Vec::new();
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let mut points = higgs_like(n, 6);
+        inject_outliers(&mut points, z, 7);
+        let alg = CoresetOutliers::new(Euclidean, k, z, tau, 0.25);
+        let (_, report) = run_stream(alg, points);
+        peaks.push(report.peak_memory_items);
+    }
+    assert!(peaks.iter().all(|&p| p <= tau + 1), "peaks {peaks:?}");
+}

@@ -1,0 +1,151 @@
+//! Cross-crate property tests: whole pipelines on randomized instances.
+
+use proptest::prelude::*;
+
+use kcenter::core::brute_force::{optimal_kcenter, optimal_kcenter_outliers};
+use kcenter::data::csv::{read_points, write_points};
+use kcenter::prelude::*;
+
+fn arb_points(min_n: usize, max_n: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        prop::collection::vec(-50.0..50.0f64, 2).prop_map(Point::new),
+        min_n..max_n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full MapReduce pipeline stays within (2+ε)·OPT on arbitrary
+    /// small instances, for every partition count.
+    #[test]
+    fn mr_pipeline_respects_theorem_one(
+        points in arb_points(6, 16),
+        k in 1usize..4,
+        ell in 1usize..4,
+    ) {
+        prop_assume!(k < points.len());
+        let (_, opt) = optimal_kcenter(&points, &Euclidean, k);
+        let result = mr_kcenter(
+            &points,
+            &Euclidean,
+            &MrKCenterConfig {
+                k,
+                ell,
+                coreset: CoresetSpec::Multiplier { mu: 8 },
+                seed: 0,
+            },
+        )
+        .unwrap();
+        // µ = 8 on tiny partitions saturates the coresets, so the bound is
+        // essentially GMM-on-union ≤ 2·OPT plus negligible proxy error.
+        prop_assert!(
+            result.clustering.radius <= 2.0 * opt + 1e-9,
+            "radius {} vs 2·OPT = {}",
+            result.clustering.radius,
+            2.0 * opt
+        );
+    }
+
+    /// The outlier pipeline respects the Theorem 2 envelope with ε̂ = 1/6
+    /// (⇒ (3 + 6·ε̂) = 4 factor) on arbitrary instances.
+    #[test]
+    fn mr_outliers_pipeline_respects_theorem_two(
+        points in arb_points(8, 16),
+        k in 1usize..3,
+        z in 0usize..3,
+        ell in 1usize..3,
+    ) {
+        prop_assume!(k + z < points.len());
+        let (_, opt) = optimal_kcenter_outliers(&points, &Euclidean, k, z);
+        let config = MrOutliersConfig::deterministic(
+            k,
+            z,
+            ell,
+            CoresetSpec::Multiplier { mu: 8 },
+        );
+        let result = mr_kcenter_outliers(&points, &Euclidean, &config).unwrap();
+        prop_assert!(
+            result.clustering.radius <= 4.0 * opt + 1e-9,
+            "radius {} vs 4·OPT = {opt}",
+            result.clustering.radius
+        );
+        // The coreset-level uncovered weight never exceeds z.
+        prop_assert!(result.uncovered_weight <= z as u64);
+    }
+
+    /// Streaming with outliers returns ≤ k centers and never exceeds its
+    /// memory budget, whatever the stream.
+    #[test]
+    fn streaming_outliers_budget_and_size(
+        points in arb_points(2, 40),
+        k in 1usize..3,
+        z in 0usize..3,
+        mu in 1usize..4,
+    ) {
+        let tau = mu * (k + z).max(1);
+        let alg = CoresetOutliers::new(Euclidean, k, z, tau.max(k + z), 0.5);
+        let (out, report) = run_stream(alg, points.iter().cloned());
+        prop_assert!(out.centers.len() <= k);
+        prop_assert!(report.peak_memory_items <= tau.max(k + z) + 1);
+    }
+
+    /// Randomized and deterministic MapReduce both solve planted instances
+    /// whose outliers are far from the data.
+    #[test]
+    fn planted_outliers_always_excluded(
+        seed in 0u64..500,
+        ell in 1usize..4,
+        randomized in proptest::bool::ANY,
+    ) {
+        let mut points = kcenter::data::higgs_like(400, seed);
+        let z = 6;
+        let report = kcenter::data::inject_outliers(&mut points, z, seed + 1);
+        let config = if randomized {
+            MrOutliersConfig::randomized(4, z, ell, CoresetSpec::Multiplier { mu: 4 })
+        } else {
+            MrOutliersConfig::deterministic(4, z, ell, CoresetSpec::Multiplier { mu: 4 })
+        };
+        let result = mr_kcenter_outliers(&points, &Euclidean, &config).unwrap();
+        prop_assert!(
+            result.clustering.radius < 3.0 * report.meb_radius,
+            "radius {} vs MEB {}",
+            result.clustering.radius,
+            report.meb_radius
+        );
+    }
+
+    /// CSV round-trips arbitrary generated datasets exactly.
+    #[test]
+    fn csv_roundtrip_is_lossless(points in arb_points(1, 30)) {
+        let mut buf = Vec::new();
+        write_points(&mut buf, &points).unwrap();
+        let back = read_points(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, points);
+    }
+
+    /// The Fig. 2 monotonicity claim in property form: on *clustered* data
+    /// (where coresets matter), µ = 8 never does much worse than µ = 1.
+    #[test]
+    fn bigger_coresets_never_much_worse(seed in 0u64..200) {
+        let points = kcenter::data::power_like(600, seed);
+        let run = |mu: usize| {
+            mr_kcenter(
+                &points,
+                &Euclidean,
+                &MrKCenterConfig {
+                    k: 6,
+                    ell: 3,
+                    coreset: CoresetSpec::Multiplier { mu },
+                    seed,
+                },
+            )
+            .unwrap()
+            .clustering
+            .radius
+        };
+        let r1 = run(1);
+        let r8 = run(8);
+        prop_assert!(r8 <= r1 * 1.35 + 1e-9, "µ=8 ({r8}) ≫ µ=1 ({r1})");
+    }
+}
