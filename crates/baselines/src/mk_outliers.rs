@@ -57,9 +57,21 @@ impl<P: Clone> OutlierInstance<P> {
     fn process<M: Metric<P>>(&mut self, metric: &M, k: usize, z: usize, offset: f64, item: P) {
         match self.eta {
             None => {
-                // Seeding phase: buffer distinct points in the free set
-                // until it overflows, then pick the first guess.
-                if self.free.iter().any(|p| metric.distance(p, &item) == 0.0) {
+                // Seeding phase: buffer points in the free set until it
+                // overflows, then pick the first guess. Multiplicity
+                // matters for the witness rule (z+1 coincident points are a
+                // legitimate cluster), so duplicates are retained up to the
+                // z+1 copies any witness decision can need; beyond that a
+                // copy adds no information and is dropped. The cap keeps
+                // every location at ≤ z+1 copies, so an overflowing buffer
+                // necessarily holds ≥ k+1 distinct locations and the
+                // minimum positive distance below is well-defined.
+                let copies = self
+                    .free
+                    .iter()
+                    .filter(|p| metric.distance(p, &item) == 0.0)
+                    .count();
+                if copies > z {
                     return;
                 }
                 self.free.push(item);

@@ -1,0 +1,62 @@
+//! Regression tests pinning the outlier accounting of the McCutchen–Khuller
+//! streaming baseline (`BaseOutliers`): a location holding at most `z`
+//! points must never spend a cluster on its own — those points are exactly
+//! the ones the radius is allowed to ignore.
+
+use kcenter_baselines::mk_outliers::BaseOutliers;
+use kcenter_core::solution::radius_with_outliers;
+use kcenter_metric::{Euclidean, Point};
+use kcenter_stream::run_stream;
+
+/// A cluster needs strictly more than `z` witnesses (i.e. `z+1` free points
+/// within `2η`). Exactly `z` coincident far points must therefore never
+/// open a cluster — with `k = 1` and the far points arriving *first*, an
+/// off-by-one (`>= z`) would hand them the only cluster budget and leave
+/// the genuine 100-point cluster uncovered.
+#[test]
+fn z_far_points_never_consume_the_cluster_budget() {
+    let z = 3usize;
+    let mut stream: Vec<Point> = (0..z)
+        .map(|_| Point::new(vec![50_000.0, 50_000.0]))
+        .collect();
+    for i in 0..100 {
+        stream.push(Point::new(vec![
+            (i % 10) as f64 * 0.4,
+            (i / 10) as f64 * 0.4,
+        ]));
+    }
+
+    let alg = BaseOutliers::new(Euclidean, 1, z, 4);
+    let (out, _) = run_stream(alg, stream.iter().cloned());
+    assert!(!out.centers.is_empty());
+    let r = radius_with_outliers(&stream, &out.centers, z, &Euclidean);
+    assert!(
+        r < 100.0,
+        "radius {r}: the z far duplicates grabbed the cluster budget"
+    );
+}
+
+/// With `z+1` points at the far location the witnesses are genuine: given
+/// budget (`k = 2`) both regions must be represented and the radius with
+/// zero outliers allowed stays at cluster scale.
+#[test]
+fn z_plus_one_far_points_do_open_a_cluster() {
+    let z = 3usize;
+    let mut stream: Vec<Point> = (0..=z)
+        .map(|_| Point::new(vec![50_000.0, 50_000.0]))
+        .collect();
+    for i in 0..100 {
+        stream.push(Point::new(vec![
+            (i % 10) as f64 * 0.4,
+            (i / 10) as f64 * 0.4,
+        ]));
+    }
+
+    let alg = BaseOutliers::new(Euclidean, 2, z, 4);
+    let (out, _) = run_stream(alg, stream.iter().cloned());
+    let r = radius_with_outliers(&stream, &out.centers, 0, &Euclidean);
+    assert!(
+        r < 100.0,
+        "radius {r}: the z+1 far points were not given a center"
+    );
+}

@@ -1,0 +1,116 @@
+//! Regression tests pinning boundary semantics the paper's guarantees
+//! depend on: closed-ball coverage in `OutliersCluster`, GMM's farthest-
+//! point bookkeeping, and the exactness of the radius search at the
+//! feasibility boundary. These lock in behaviour that an innocent-looking
+//! `<` vs `<=` or off-by-one edit would silently break while most
+//! statistical tests kept passing.
+
+use kcenter_core::brute_force::optimal_kcenter;
+use kcenter_core::gmm::{gmm_select, Gmm};
+use kcenter_core::outliers_cluster::{outliers_cluster, PointsOracle};
+use kcenter_core::solution::radius;
+use kcenter_metric::{Euclidean, Point};
+
+fn pts(coords: &[f64]) -> Vec<Point> {
+    coords.iter().map(|&c| Point::new(vec![c])).collect()
+}
+
+/// The paper's balls are closed: a point at distance *exactly* `(3+4ε̂)·r`
+/// from a center is covered. All constants below are exactly representable,
+/// so equality is exact and a `<` in the coverage comparison (instead of
+/// `<=`) flips the result.
+#[test]
+fn outliers_cluster_covers_closed_balls() {
+    // ε̂ = 0.25 → cover factor 3 + 4·0.25 = 4 (exact); D = 7, r = 7/4.
+    let points = pts(&[0.0, 7.0]);
+    let weights = vec![1u64, 1u64];
+    let oracle = PointsOracle::new(&points, &Euclidean);
+
+    let at_boundary = outliers_cluster(&oracle, &weights, 1, 7.0 / 4.0, 0.25);
+    assert_eq!(
+        at_boundary.uncovered_weight, 0,
+        "a point at exactly (3+4ε̂)·r must be covered (closed ball)"
+    );
+    assert!(at_boundary.uncovered.is_empty());
+
+    // Infinitesimally below the boundary the far point is uncovered.
+    let below = outliers_cluster(&oracle, &weights, 1, 7.0 / 4.0 * (1.0 - 1e-12), 0.25);
+    assert_eq!(below.uncovered_weight, 1);
+    assert_eq!(below.uncovered.len(), 1);
+}
+
+/// Same closed-ball rule for the *selection* ball `(1+2ε̂)·r`: the greedy
+/// weighs candidate centers by the weight within exactly that radius.
+#[test]
+fn outliers_cluster_selection_ball_is_closed() {
+    // ε̂ = 0.5 → selection factor 1 + 2·0.5 = 2 (exact). With r = 1 the
+    // center candidate at 0 sees weight 3 within distance exactly 2 and is
+    // picked over the candidate at 6 (weight 2 in its selection ball);
+    // cover factor 5 then reaches to distance 5, leaving {6, 8} uncovered.
+    let points = pts(&[0.0, 2.0, -2.0, 6.0, 8.0]);
+    let weights = vec![1u64; 5];
+    let oracle = PointsOracle::new(&points, &Euclidean);
+    let result = outliers_cluster(&oracle, &weights, 1, 1.0, 0.5);
+    assert_eq!(result.centers, vec![0], "selection ball must be closed");
+    assert_eq!(result.uncovered_weight, 2);
+}
+
+/// GMM must return exactly `k` centers whenever `k` distinct points exist —
+/// the classic off-by-one (stopping a step early or late) changes the
+/// count or reports the radius of the wrong prefix.
+#[test]
+fn gmm_selects_exactly_k_centers_with_consistent_radius() {
+    let points: Vec<Point> = (0..100)
+        .map(|i| Point::new(vec![(i as f64 * 37.0) % 101.0, (i as f64 * 53.0) % 89.0]))
+        .collect();
+    for k in [1usize, 2, 7, 31, 100] {
+        let result = gmm_select(&points, &Euclidean, k, 0);
+        assert_eq!(result.centers.len(), k, "k = {k}");
+        // The reported radius must agree with an independent assignment of
+        // every point to its closest selected center.
+        let centers: Vec<Point> = result.centers.iter().map(|&i| points[i].clone()).collect();
+        let independent = radius(&points, &centers, &Euclidean);
+        assert!(
+            (result.radius - independent).abs() <= 1e-12 * (1.0 + independent),
+            "k = {k}: reported {} vs recomputed {}",
+            result.radius,
+            independent
+        );
+    }
+}
+
+/// Pin the exact farthest-first trace on a hand-checkable instance: from 0
+/// the farthest point is 10 (radius 10), then 4 splits the gap (radius 4),
+/// then the set is exhausted (radius 0).
+#[test]
+fn gmm_farthest_first_trace_is_exact() {
+    let points = pts(&[0.0, 4.0, 10.0]);
+    let mut gmm = Gmm::new(&points, &Euclidean, 0);
+    gmm.run_until(3);
+    assert_eq!(gmm.centers(), &[0, 2, 1]);
+    assert_eq!(gmm.radius_history(), &[10.0, 4.0, 0.0]);
+}
+
+/// Gonzalez' guarantee (the paper's Lemma 1 foundation): the GMM radius is
+/// within 2× the brute-force optimum on a deterministic instance.
+#[test]
+fn gmm_two_approximation_against_brute_force() {
+    let points: Vec<Point> = (0..14)
+        .map(|i| {
+            Point::new(vec![
+                (i % 3) as f64 * 40.0 + (i as f64 * 0.37) % 2.0,
+                (i / 5) as f64 * 1.1,
+            ])
+        })
+        .collect();
+    for k in [2usize, 3, 4] {
+        let (_, opt) = optimal_kcenter(&points, &Euclidean, k);
+        let result = gmm_select(&points, &Euclidean, k, 0);
+        assert!(
+            result.radius <= 2.0 * opt + 1e-9,
+            "k = {k}: GMM {} > 2·OPT = {}",
+            result.radius,
+            2.0 * opt
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! Offline API-compatible shim for `criterion`.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the macro/type surface the workspace's benches use —
+//! `criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_with_input`, `bench_function`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput` — backed by a simple median-of-samples wall-clock timer
+//! printed to stdout. There is no statistical analysis, HTML report, or
+//! baseline comparison; benches compile and produce useful rough numbers.
+//!
+//! Sample counts are intentionally small (and overridable via the
+//! `CRITERION_SHIM_SAMPLES` environment variable) so accidentally *running*
+//! the benches — e.g. `cargo test --benches` — stays fast.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark (recorded, reported per-element).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter value.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id consisting only of a parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Top-level benchmark driver, handed to every `criterion_group!` function.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let samples = std::env::var("CRITERION_SHIM_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(5);
+        Criterion { samples }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.samples;
+        run_benchmark(name, samples, None, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the sample count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(1, 20);
+        self
+    }
+
+    /// Benchmarks `f` with `input` passed by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_benchmark(&label, self.samples, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&label, self.samples, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording the median over the configured samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.elapsed = Some(times[times.len() / 2]);
+    }
+}
+
+fn run_benchmark<F>(label: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: samples.max(1),
+        elapsed: None,
+    };
+    f(&mut bencher);
+    match bencher.elapsed {
+        Some(t) => {
+            let per_unit = match throughput {
+                Some(Throughput::Elements(n)) if n > 0 => {
+                    format!(" ({:.1} ns/elem)", t.as_nanos() as f64 / n as f64)
+                }
+                Some(Throughput::Bytes(n)) if n > 0 => {
+                    format!(" ({:.1} ns/byte)", t.as_nanos() as f64 / n as f64)
+                }
+                _ => String::new(),
+            };
+            println!("bench: {label:<50} {t:>12.2?}{per_unit}");
+        }
+        None => println!("bench: {label:<50} (no measurement)"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (e.g. `--bench`,
+            // `--test`); this shim accepts and ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(128));
+        group.bench_with_input(BenchmarkId::new("sum", 128), &128u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>());
+        });
+        group.bench_function(BenchmarkId::from_parameter("noop"), |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_time() {
+        let mut b = Bencher {
+            samples: 3,
+            elapsed: None,
+        };
+        b.iter(|| std::thread::sleep(std::time::Duration::from_micros(50)));
+        assert!(b.elapsed.unwrap() >= std::time::Duration::from_micros(50));
+    }
+}

@@ -1,0 +1,127 @@
+//! Offline API-compatible shim for `crossbeam` (channel module only).
+//!
+//! Backed by `std::sync::mpsc::sync_channel`, which provides the same
+//! bounded blocking-send semantics the workspace relies on (`bounded(0)` is
+//! a rendezvous channel in both implementations). Multi-consumer cloning of
+//! `Receiver` — a crossbeam extra that std lacks — is intentionally not
+//! exposed; nothing in the workspace uses it.
+
+pub mod channel {
+    //! Bounded multi-producer channels.
+
+    use std::sync::mpsc;
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Error returned when sending into a disconnected channel.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error returned when receiving from an empty, disconnected channel.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Receives a value, blocking while the channel is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Attempts to receive without blocking.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocking iterator over received values, ending on disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Creates a bounded channel of the given capacity (`0` = rendezvous).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_roundtrip_in_order() {
+            let (tx, rx) = bounded(4);
+            let producer = std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<u32> = rx.iter().collect();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+            producer.join().unwrap();
+        }
+
+        #[test]
+        fn send_fails_after_disconnect() {
+            let (tx, rx) = bounded(1);
+            drop(rx);
+            assert_eq!(tx.send(7u32), Err(SendError(7)));
+        }
+
+        #[test]
+        fn cloned_senders_feed_one_receiver() {
+            let (tx, rx) = bounded(8);
+            let tx2 = tx.clone();
+            let a = std::thread::spawn(move || (0..50u32).for_each(|i| tx.send(i).unwrap()));
+            let b = std::thread::spawn(move || (50..100u32).for_each(|i| tx2.send(i).unwrap()));
+            let mut got: Vec<u32> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+            a.join().unwrap();
+            b.join().unwrap();
+        }
+    }
+}

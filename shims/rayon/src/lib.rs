@@ -1,0 +1,389 @@
+//! Offline API-compatible shim for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides rayon's entry points (`par_iter`, `par_iter_mut`,
+//! `into_par_iter`, thread pools) with **sequential** execution: every
+//! "parallel" iterator is a thin lazy wrapper over a standard iterator, and
+//! `ThreadPool::install` runs its closure on the calling thread while
+//! recording the configured parallelism in a thread-local so
+//! [`current_num_threads`] reports the simulated processor count `ℓ` (which
+//! the MapReduce memory-accounting model observes).
+//!
+//! Semantics match rayon for every combinator used in this workspace:
+//! `reduce(identity, op)` folds from `identity()`, order-sensitive
+//! operations see items in input order (a legal rayon schedule), and
+//! side-effecting `for_each`/`map` closures observe each item exactly once.
+//! Swapping in the real crate re-enables true parallelism without source
+//! changes.
+
+use std::cell::Cell;
+
+thread_local! {
+    static SIMULATED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads of the current pool scope (the simulated parallelism
+/// inside [`ThreadPool::install`], otherwise the machine's parallelism).
+pub fn current_num_threads() -> usize {
+    SIMULATED_THREADS.with(|t| {
+        t.get().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    })
+}
+
+/// Error building a thread pool (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool's thread count.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = self.num_threads.filter(|&n| n > 0).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A scoped "thread pool": work installed into it runs on the calling
+/// thread, with [`current_num_threads`] reporting the configured size.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` within the pool's scope.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        SIMULATED_THREADS.with(|t| {
+            let prev = t.replace(Some(self.num_threads));
+            let out = f();
+            t.set(prev);
+            out
+        })
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// A "parallel" iterator: a lazy sequential wrapper with rayon's combinator
+/// names. Construct via the traits in [`prelude`].
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each item through `f`.
+    pub fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Keeps items matching `f`.
+    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Maps each item to a filtered option.
+    pub fn filter_map<F, R>(self, f: F) -> ParIter<std::iter::FilterMap<I, F>>
+    where
+        F: FnMut(I::Item) -> Option<R>,
+    {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Maps each item to a *serial* iterator and flattens (rayon's
+    /// `flat_map_iter`).
+    pub fn flat_map_iter<F, U>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        F: FnMut(I::Item) -> U,
+        U: IntoIterator,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Zips with another parallel iterator.
+    pub fn zip<J>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>>
+    where
+        J: Iterator,
+    {
+        ParIter(self.0.zip(other.0))
+    }
+
+    /// Chains another parallel iterator after this one.
+    pub fn chain<J>(self, other: ParIter<J>) -> ParIter<std::iter::Chain<I, J>>
+    where
+        J: Iterator<Item = I::Item>,
+    {
+        ParIter(self.0.chain(other.0))
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.0.for_each(f)
+    }
+
+    /// Folds all items starting from `identity()` (rayon's reduce contract:
+    /// `identity()` must be a neutral element of `op`).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Collects into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Minimum by a comparison function.
+    pub fn min_by<F>(self, f: F) -> Option<I::Item>
+    where
+        F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering,
+    {
+        self.0.min_by(f)
+    }
+
+    /// Maximum by a comparison function.
+    pub fn max_by<F>(self, f: F) -> Option<I::Item>
+    where
+        F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering,
+    {
+        self.0.max_by(f)
+    }
+
+    /// Maximum by a key function.
+    pub fn max_by_key<K: Ord, F>(self, f: F) -> Option<I::Item>
+    where
+        F: FnMut(&I::Item) -> K,
+    {
+        self.0.max_by_key(f)
+    }
+
+    /// Whether any item matches.
+    pub fn any<F>(mut self, f: F) -> bool
+    where
+        F: FnMut(I::Item) -> bool,
+    {
+        self.0.any(f)
+    }
+
+    /// Whether all items match.
+    pub fn all<F>(mut self, f: F) -> bool
+    where
+        F: FnMut(I::Item) -> bool,
+    {
+        self.0.all(f)
+    }
+
+    /// First position matching a predicate (rayon: any position; this shim:
+    /// the first).
+    pub fn position_any<F>(mut self, f: F) -> Option<usize>
+    where
+        F: FnMut(I::Item) -> bool,
+    {
+        self.0.position(f)
+    }
+
+    /// First item matching a predicate (rayon: any match; this shim: the
+    /// first).
+    pub fn find_any<F>(mut self, mut f: F) -> Option<I::Item>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        self.0.find(|x| f(x))
+    }
+}
+
+pub mod iter {
+    //! Parallel-iterator conversion traits (rayon's `rayon::iter` shape).
+
+    use super::ParIter;
+
+    /// Types convertible into a parallel iterator by value.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item;
+        /// Underlying sequential iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Converts into a parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Iter>;
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {
+        type Item = T::Item;
+        type Iter = T::IntoIter;
+        fn into_par_iter(self) -> ParIter<Self::Iter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    /// Types whose references convert into a parallel iterator.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type (a shared reference).
+        type Item: 'a;
+        /// Underlying sequential iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Borrowing parallel iterator.
+        fn par_iter(&'a self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+    where
+        &'a T: IntoIterator,
+    {
+        type Item = <&'a T as IntoIterator>::Item;
+        type Iter = <&'a T as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> ParIter<Self::Iter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    /// Types whose mutable references convert into a parallel iterator.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Item type (an exclusive reference).
+        type Item: 'a;
+        /// Underlying sequential iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Mutably borrowing parallel iterator.
+        fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
+    where
+        &'a mut T: IntoIterator,
+    {
+        type Item = <&'a mut T as IntoIterator>::Item;
+        type Iter = <&'a mut T as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+            ParIter(self.into_iter())
+        }
+    }
+}
+
+pub mod prelude {
+    //! The traits users import wholesale, mirroring `rayon::prelude`.
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+    pub use crate::ParIter;
+}
+
+/// Runs two closures (sequentially in this shim), returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn entry_points_and_combinators() {
+        let v = vec![1i64, 2, 3, 4, 5];
+        let doubled: Vec<i64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+
+        let total = (0..10u64).into_par_iter().map(|x| x * x).sum::<u64>();
+        assert_eq!(total, 285);
+
+        let max = v
+            .par_iter()
+            .map(|&x| x as f64)
+            .reduce(|| f64::NEG_INFINITY, f64::max);
+        assert_eq!(max, 5.0);
+
+        let mut w = vec![0u32; 4];
+        w.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u32);
+        assert_eq!(w, vec![0, 1, 2, 3]);
+
+        let pairs: Vec<(usize, &i64)> = (0..5usize)
+            .into_par_iter()
+            .zip(v.par_iter())
+            .filter(|&(i, _)| i % 2 == 0)
+            .collect();
+        assert_eq!(pairs.len(), 3);
+
+        let flat: Vec<usize> = (0..3usize)
+            .into_par_iter()
+            .flat_map_iter(|i| 0..i)
+            .collect();
+        assert_eq!(flat, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn pool_scopes_simulated_parallelism() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let nested = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let observed = pool.install(|| nested.install(current_num_threads));
+        assert_eq!(observed, 7);
+        assert_eq!(pool.install(current_num_threads), 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+}

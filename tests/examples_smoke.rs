@@ -1,0 +1,47 @@
+//! Smoke test: every example in `examples/` must build and run to
+//! completion. Examples are documentation that compiles; this test keeps
+//! them from silently rotting as the workspace evolves.
+//!
+//! Each example is executed through `cargo run --release --example` (release
+//! because the examples cluster thousands of points; the recursive cargo
+//! invocation serializes on cargo's own target-dir lock, so the examples run
+//! one after another inside a single test).
+
+use std::path::Path;
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "outlier_detection",
+    "streaming_pipeline",
+    "compare_sequential",
+];
+
+#[test]
+fn all_examples_run_to_completion() {
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    for example in EXAMPLES {
+        let source = Path::new(manifest_dir)
+            .join("examples")
+            .join(format!("{example}.rs"));
+        assert!(
+            source.exists(),
+            "example source {} disappeared; update EXAMPLES in {}",
+            source.display(),
+            file!()
+        );
+        let output = Command::new(&cargo)
+            .args(["run", "--release", "--example", example])
+            .current_dir(manifest_dir)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {example} exited with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}
