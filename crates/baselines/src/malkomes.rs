@@ -8,6 +8,13 @@
 //! baseline explicit in the experiment harness instead of leaving "µ = 1"
 //! implicit, and pin the configuration so it cannot drift from the
 //! baseline's definition.
+//!
+//! Coincident points: audited against the seeding-phase multiplicity-loss
+//! bug fixed in `mk_outliers.rs` (PR 1) — no such loss exists here. Both
+//! wrappers run on weighted GMM coresets whose weights count every proxied
+//! input point (coincident copies included), so duplicate multiplicities
+//! survive into the outlier budget arithmetic (see the duplicate-heavy
+//! regression test below).
 
 use kcenter_core::coreset::CoresetSpec;
 use kcenter_core::mapreduce_kcenter::{mr_kcenter, MrKCenterConfig, MrKCenterResult};
@@ -89,6 +96,26 @@ mod tests {
         // µ = 1 deterministic: per-partition coreset of k + z = 6.
         assert!(result.union_size <= 2 * 6);
         assert!(result.clustering.radius < 40.0);
+    }
+
+    #[test]
+    fn duplicate_heavy_outliers_keep_multiplicity() {
+        // A main grid plus z + 1 = 3 coincident far points with budget
+        // z = 2 and k = 2: the far location's weight exceeds the budget,
+        // so a center must land there — the full-dataset objective (which
+        // keeps the third coincident copy after discarding z) stays at
+        // grid scale. Multiplicity loss in the coreset weights would let
+        // the solver drop the location and blow the measured radius.
+        let mut points = grid(300);
+        for _ in 0..3 {
+            points.push(Point::new(vec![10_000.0, 10_000.0]));
+        }
+        let result = malkomes_mr_outliers(&points, &Euclidean, 2, 2, 2, 1).unwrap();
+        assert!(
+            result.clustering.radius < 50.0,
+            "radius {} — coincident far points lost their multiplicity",
+            result.clustering.radius
+        );
     }
 
     #[test]

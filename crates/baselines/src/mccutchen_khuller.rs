@@ -45,14 +45,15 @@ impl<P: Clone> ScaleInstance<P> {
                 if let Some(d) = self
                     .centers
                     .iter()
-                    .map(|c| metric.distance(&item, c))
+                    .map(|c| metric.cmp_distance(&item, c))
                     .reduce(f64::min)
                 {
                     if d == 0.0 {
                         return;
                     }
-                    // Largest ladder value ≤ d/2 on this instance's rungs.
-                    let target = d / 2.0;
+                    // Largest ladder value ≤ d/2 on this instance's rungs
+                    // (one proxy → distance conversion at the boundary).
+                    let target = metric.cmp_to_distance(d) / 2.0;
                     let rung = (target / offset).log2().floor();
                     self.eta = Some(offset * 2f64.powf(rung).max(f64::MIN_POSITIVE));
                 }
@@ -62,12 +63,13 @@ impl<P: Clone> ScaleInstance<P> {
                 }
             }
             Some(eta) => {
+                // Sqrt-free nearest-center scan against the 2η threshold.
                 let d = self
                     .centers
                     .iter()
-                    .map(|c| metric.distance(&item, c))
+                    .map(|c| metric.cmp_distance(&item, c))
                     .fold(f64::INFINITY, f64::min);
-                if d > 2.0 * eta {
+                if d > metric.distance_to_cmp(2.0 * eta) {
                     self.centers.push(item);
                     self.enforce_budget(metric, k);
                 }
@@ -81,10 +83,11 @@ impl<P: Clone> ScaleInstance<P> {
         while self.centers.len() > k {
             let eta = self.eta.expect("budget enforced only after seeding") * self.step;
             self.eta = Some(eta);
+            let merge_r = metric.distance_to_cmp(2.0 * eta);
             let mut survivors: Vec<P> = Vec::with_capacity(self.centers.len());
             'outer: for c in self.centers.drain(..) {
                 for s in &survivors {
-                    if metric.distance(&c, s) <= 2.0 * eta {
+                    if metric.cmp_distance(&c, s) <= merge_r {
                         continue 'outer;
                     }
                 }

@@ -69,7 +69,7 @@ impl<P: Clone> OutlierInstance<P> {
                 let copies = self
                     .free
                     .iter()
-                    .filter(|p| metric.distance(p, &item) == 0.0)
+                    .filter(|p| metric.cmp_distance(p, &item) == 0.0)
                     .count();
                 if copies > z {
                     return;
@@ -93,13 +93,17 @@ impl<P: Clone> OutlierInstance<P> {
         }
     }
 
-    /// Route one point at the current guess.
+    /// Route one point at the current guess. The per-point scans compare
+    /// sqrt-free proxies against the guess thresholds mapped once onto the
+    /// comparison scale.
     fn insert<M: Metric<P>>(&mut self, metric: &M, k: usize, z: usize, eta: f64, item: P) {
+        let absorb = metric.distance_to_cmp(4.0 * eta);
+        let support_r = metric.distance_to_cmp(2.0 * eta);
         for cluster in &mut self.clusters {
-            let d = metric.distance(&cluster.center, &item);
-            if d <= 4.0 * eta {
+            let d = metric.cmp_distance(&cluster.center, &item);
+            if d <= absorb {
                 // Absorbed; retain as support if close and budget allows.
-                if d <= 2.0 * eta && cluster.support.len() < z + 1 {
+                if d <= support_r && cluster.support.len() < z + 1 {
                     cluster.support.push(item);
                 }
                 return;
@@ -125,16 +129,18 @@ impl<P: Clone> OutlierInstance<P> {
         anchor: usize,
     ) {
         let anchor_point = self.free[anchor].clone();
+        let witness_r = metric.distance_to_cmp(2.0 * eta);
+        let capture_r = metric.distance_to_cmp(4.0 * eta);
         loop {
             if self.clusters.len() >= k {
                 return;
             }
             let witness = self.free.iter().position(|p| {
-                metric.distance(p, &anchor_point) <= 2.0 * eta
+                metric.cmp_distance(p, &anchor_point) <= witness_r
                     && self
                         .free
                         .iter()
-                        .filter(|q| metric.distance(p, q) <= 2.0 * eta)
+                        .filter(|q| metric.cmp_distance(p, q) <= witness_r)
                         .count()
                         > z
             });
@@ -144,19 +150,19 @@ impl<P: Clone> OutlierInstance<P> {
                     // Support: closest z+1 free points within 2η.
                     let mut support: Vec<P> = Vec::with_capacity(z + 1);
                     for q in &self.free {
-                        if support.len() < z + 1 && metric.distance(&center, q) <= 2.0 * eta {
+                        if support.len() < z + 1 && metric.cmp_distance(&center, q) <= witness_r {
                             support.push(q.clone());
                         }
                     }
                     self.free
-                        .retain(|q| metric.distance(&center, q) > 4.0 * eta);
+                        .retain(|q| metric.cmp_distance(&center, q) > capture_r);
                     self.clusters.push(Cluster { center, support });
                     // The anchor may have been captured; if so, no further
                     // counts around it can have increased.
                     if !self
                         .free
                         .iter()
-                        .any(|q| metric.distance(q, &anchor_point) == 0.0)
+                        .any(|q| metric.cmp_distance(q, &anchor_point) == 0.0)
                     {
                         return;
                     }
@@ -196,6 +202,7 @@ impl<P: Clone> OutlierInstance<P> {
         let mut centers: Vec<P> = self.clusters.iter().map(|c| c.center.clone()).collect();
         if centers.len() < k {
             let eta = self.eta.unwrap_or(0.0);
+            let neighbour_r = metric.distance_to_cmp(2.0 * eta);
             let mut ranked: Vec<(usize, usize)> = self
                 .free
                 .iter()
@@ -204,7 +211,7 @@ impl<P: Clone> OutlierInstance<P> {
                     let neighbours = self
                         .free
                         .iter()
-                        .filter(|q| metric.distance(p, q) <= 2.0 * eta)
+                        .filter(|q| metric.cmp_distance(p, q) <= neighbour_r)
                         .count();
                     (i, neighbours)
                 })
@@ -215,7 +222,9 @@ impl<P: Clone> OutlierInstance<P> {
                     break;
                 }
                 let candidate = &self.free[i];
-                let dup = centers.iter().any(|c| metric.distance(c, candidate) == 0.0);
+                let dup = centers
+                    .iter()
+                    .any(|c| metric.cmp_distance(c, candidate) == 0.0);
                 if !dup {
                     centers.push(candidate.clone());
                 }
@@ -229,13 +238,13 @@ fn min_positive_distance<P, M: Metric<P>>(metric: &M, points: &[P]) -> Option<f6
     let mut min = f64::INFINITY;
     for i in 0..points.len() {
         for j in i + 1..points.len() {
-            let d = metric.distance(&points[i], &points[j]);
+            let d = metric.cmp_distance(&points[i], &points[j]);
             if d > 0.0 && d < min {
                 min = d;
             }
         }
     }
-    (min != f64::INFINITY).then_some(min)
+    (min != f64::INFINITY).then(|| metric.cmp_to_distance(min))
 }
 
 /// Output: winning centers plus diagnostics.

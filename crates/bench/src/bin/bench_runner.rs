@@ -1,0 +1,234 @@
+//! Bench runner: measures the hot kernels (GMM, `OutliersCluster`, radius
+//! search, `DistanceMatrix` construction) on the 10k-point `Power` workload
+//! and writes machine-readable `BENCH_pr2.json` — the perf trajectory's
+//! baseline record.
+//!
+//! Every number comes from the criterion shim's measurement kernel
+//! (warmup, N samples, MAD-based outlier rejection, median of survivors)
+//! and is recorded per thread count: once with a 1-thread pool (the
+//! sequential reference — identical code path to the old sequential shim)
+//! and once with the machine's full parallelism when that differs.
+//!
+//! Usage: `bench_runner [--out PATH] [--samples N] [--warmup N] [--n N]`
+
+use std::fmt::Write as _;
+
+use criterion::{measure, Measurement};
+use kcenter_bench::Dataset;
+use kcenter_core::coreset::{build_weighted_coreset, CoresetSpec};
+use kcenter_core::gmm::gmm_select;
+use kcenter_core::outliers_cluster::{outliers_cluster, PointsOracle};
+use kcenter_core::radius_search::{find_min_feasible_radius, SearchMode};
+use kcenter_metric::{DistanceMatrix, Euclidean, Metric, Point};
+
+/// `Euclidean` with the proxy hooks forced back to their defaults: every
+/// comparison pays the `sqrt`, i.e. the pre-PR code path. Benchmarked
+/// alongside the proxied metric to record the sqrt-free before/after on
+/// identical hardware and identical surrounding code.
+struct SqrtEuclidean;
+
+impl Metric<Point> for SqrtEuclidean {
+    #[inline]
+    fn distance(&self, a: &Point, b: &Point) -> f64 {
+        Euclidean.distance(a, b)
+    }
+}
+
+struct Record {
+    kernel: &'static str,
+    dataset: &'static str,
+    /// Input size the kernel ran on (points for gmm/matrix, coreset size
+    /// for outliers_cluster/radius_search).
+    n: usize,
+    /// Distance evaluations (or equivalent inner-loop items) per run, the
+    /// denominator of `ns_per_op`.
+    ops: u64,
+    threads: usize,
+    m: Measurement,
+}
+
+fn json_record(r: &Record) -> String {
+    let median_ns = r.m.median.as_nanos();
+    let mad_ns = r.m.mad.as_nanos();
+    let ns_per_op = median_ns as f64 / r.ops.max(1) as f64;
+    format!(
+        "    {{\"kernel\": \"{}\", \"dataset\": \"{}\", \"n\": {}, \"threads\": {}, \
+         \"median_ns\": {median_ns}, \"mad_ns\": {mad_ns}, \"samples\": {}, \
+         \"rejected\": {}, \"ops\": {}, \"ns_per_op\": {ns_per_op:.3}}}",
+        r.kernel, r.dataset, r.n, r.threads, r.m.samples, r.m.rejected, r.ops
+    )
+}
+
+fn run_kernels(
+    threads: usize,
+    warmup: usize,
+    samples: usize,
+    n: usize,
+    records: &mut Vec<Record>,
+) {
+    let (k, z, mu) = (20usize, 50usize, 8usize);
+    let points = Dataset::Power.generate(n, 1);
+
+    // Kernel 1: GMM farthest-first traversal, k = paper's Power k (100),
+    // with the sqrt-free proxy metric and the forced-sqrt "before" path.
+    let gmm_k = Dataset::Power.paper_k();
+    let m = measure(warmup, samples, || gmm_select(&points, &Euclidean, gmm_k, 0));
+    records.push(Record {
+        kernel: "gmm_select",
+        dataset: "Power",
+        n,
+        ops: (n * gmm_k) as u64,
+        threads,
+        m,
+    });
+    eprintln!("  gmm_select/k={gmm_k}            {:>12.2?} ±{:.2?}", m.median, m.mad);
+
+    let m = measure(warmup, samples, || {
+        gmm_select(&points, &SqrtEuclidean, gmm_k, 0)
+    });
+    records.push(Record {
+        kernel: "gmm_select_sqrt_before",
+        dataset: "Power",
+        n,
+        ops: (n * gmm_k) as u64,
+        threads,
+        m,
+    });
+    eprintln!("  gmm_select (sqrt before)    {:>12.2?} ±{:.2?}", m.median, m.mad);
+
+    // Shared coreset fixture for the outlier kernels: τ = µ(k+z) = 560.
+    let build = build_weighted_coreset(&points, &Euclidean, k + z, &CoresetSpec::Multiplier { mu }, 0);
+    let cpoints = build.coreset.points_only();
+    let weights = build.coreset.weights();
+    let t = cpoints.len();
+
+    // Kernel 2: condensed distance-matrix construction over the coreset.
+    let m = measure(warmup, samples, || DistanceMatrix::build(&cpoints, &Euclidean));
+    records.push(Record {
+        kernel: "distance_matrix_build",
+        dataset: "Power",
+        n: t,
+        ops: (t * t / 2) as u64,
+        threads,
+        m,
+    });
+    eprintln!("  distance_matrix/|T|={t}     {:>12.2?} ±{:.2?}", m.median, m.mad);
+
+    let matrix = DistanceMatrix::build(&cpoints, &Euclidean);
+
+    // Kernel 3: one OutliersCluster run (incremental ball weights).
+    let (r_guess, eps) = (5.0f64, 0.25f64);
+    let m = measure(warmup, samples, || {
+        outliers_cluster(&matrix, &weights, k, r_guess, eps)
+    });
+    records.push(Record {
+        kernel: "outliers_cluster",
+        dataset: "Power",
+        n: t,
+        ops: (t * t) as u64,
+        threads,
+        m,
+    });
+    eprintln!("  outliers_cluster/|T|={t}    {:>12.2?} ±{:.2?}", m.median, m.mad);
+
+    // Kernel 3b: the same run through a metric-backed oracle, proxied vs
+    // forced-sqrt — the sqrt-free before/after on the O(|T|²) scans.
+    let proxied = PointsOracle::new(&cpoints, &Euclidean);
+    let m = measure(warmup, samples, || {
+        outliers_cluster(&proxied, &weights, k, r_guess, eps)
+    });
+    records.push(Record {
+        kernel: "outliers_cluster_points_oracle",
+        dataset: "Power",
+        n: t,
+        ops: (t * t) as u64,
+        threads,
+        m,
+    });
+    eprintln!("  outliers_cluster (oracle)   {:>12.2?} ±{:.2?}", m.median, m.mad);
+
+    let sqrt_oracle = PointsOracle::new(&cpoints, &SqrtEuclidean);
+    let m = measure(warmup, samples, || {
+        outliers_cluster(&sqrt_oracle, &weights, k, r_guess, eps)
+    });
+    records.push(Record {
+        kernel: "outliers_cluster_points_oracle_sqrt_before",
+        dataset: "Power",
+        n: t,
+        ops: (t * t) as u64,
+        threads,
+        m,
+    });
+    eprintln!("  outliers_cluster (sqrt)     {:>12.2?} ±{:.2?}", m.median, m.mad);
+
+    // Kernel 4: the full geometric-grid radius search.
+    let m = measure(warmup, samples, || {
+        find_min_feasible_radius(&matrix, &weights, k, z as u64, eps, SearchMode::GeometricGrid)
+    });
+    records.push(Record {
+        kernel: "radius_search_grid",
+        dataset: "Power",
+        n: t,
+        ops: (t * t) as u64,
+        threads,
+        m,
+    });
+    eprintln!("  radius_search/|T|={t}       {:>12.2?} ±{:.2?}", m.median, m.mad);
+}
+
+fn main() {
+    let mut out = "BENCH_pr2.json".to_string();
+    let mut samples = 7usize;
+    let mut warmup = 2usize;
+    let mut n = 10_000usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => out = value("--out"),
+            "--samples" => samples = value("--samples").parse().expect("--samples: integer"),
+            "--warmup" => warmup = value("--warmup").parse().expect("--warmup: integer"),
+            "--n" => n = value("--n").parse().expect("--n: integer"),
+            other => {
+                eprintln!("unknown argument {other}; usage: [--out PATH] [--samples N] [--warmup N] [--n N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let machine = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1usize];
+    if machine > 1 {
+        thread_counts.push(machine);
+    }
+
+    let mut records = Vec::new();
+    for &tc in &thread_counts {
+        eprintln!("threads = {tc}:");
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(tc)
+            .build()
+            .expect("pool build");
+        pool.install(|| run_kernels(tc, warmup, samples, n, &mut records));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"generated_by\": \"bench_runner (crates/bench)\",");
+    let _ = writeln!(json, "  \"machine_threads\": {machine},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"median over {samples} samples after {warmup} warmup runs, MAD outlier rejection; threads=1 is the sequential reference (inline execution, no pool overhead)\","
+    );
+    json.push_str("  \"records\": [\n");
+    let lines: Vec<String> = records.iter().map(json_record).collect();
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("failed to write {out}: {e}"));
+    eprintln!("wrote {} records to {out}", records.len());
+}

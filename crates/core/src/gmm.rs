@@ -17,11 +17,18 @@ use rayon::prelude::*;
 
 use kcenter_metric::Metric;
 
+/// Items per parallel chunk of the distance scan: small enough to split a
+/// 10k-point scan across several workers, large enough that per-chunk
+/// scheduling cost vanishes against the distance evaluations.
+const SCAN_CHUNK: usize = 1024;
+
 /// Incremental GMM state over a fixed point set.
 pub struct Gmm<'a, P, M> {
     points: &'a [P],
     metric: &'a M,
-    /// Distance from each point to its closest selected center.
+    /// Comparison proxy ([`Metric::cmp_distance`]) from each point to its
+    /// closest selected center. True distances are recovered at the API
+    /// boundary with [`Metric::cmp_to_distance`].
     dist: Vec<f64>,
     /// For each point, the position (in `centers`) of its closest center —
     /// the proxy function of the coreset constructions.
@@ -62,25 +69,39 @@ impl<'a, P: Sync, M: Metric<P>> Gmm<'a, P, M> {
         let c = &self.points[idx];
         let metric = self.metric;
         let points = self.points;
-        let (far_idx, far_d) = self
+        // One O(n) scan, chunked for the pool: each chunk relaxes its
+        // points against the new center (comparing sqrt-free proxies) and
+        // reports its local farthest point; chunk winners combine
+        // left-to-right, earliest index winning ties — identical to a
+        // sequential scan.
+        let (far_idx, far_cmp) = self
             .dist
-            .par_iter_mut()
-            .zip(self.nearest.par_iter_mut())
+            .par_chunks_mut(SCAN_CHUNK)
+            .zip(self.nearest.par_chunks_mut(SCAN_CHUNK))
             .enumerate()
-            .map(|(i, (d, near))| {
-                let nd = metric.distance(&points[i], c);
-                if nd < *d {
-                    *d = nd;
-                    *near = center_pos;
+            .map(|(ci, (dist_chunk, near_chunk))| {
+                let base = ci * SCAN_CHUNK;
+                let mut best = (usize::MAX, f64::NEG_INFINITY);
+                for (j, (d, near)) in dist_chunk.iter_mut().zip(near_chunk.iter_mut()).enumerate()
+                {
+                    let nd = metric.cmp_distance(&points[base + j], c);
+                    if nd < *d {
+                        *d = nd;
+                        *near = center_pos;
+                    }
+                    if *d > best.1 {
+                        best = (base + j, *d);
+                    }
                 }
-                (i, *d)
+                best
             })
             .reduce(
                 || (usize::MAX, f64::NEG_INFINITY),
                 |a, b| if a.1 >= b.1 { a } else { b },
             );
         self.farthest = far_idx;
-        self.radii.push(far_d);
+        // The single sqrt of the whole step: proxy → reported radius.
+        self.radii.push(metric.cmp_to_distance(far_cmp));
     }
 
     /// Adds the next farthest point as a center. Returns `false` (and leaves
@@ -135,8 +156,15 @@ impl<'a, P: Sync, M: Metric<P>> Gmm<'a, P, M> {
     }
 
     /// Distance of each input point from its closest selected center.
-    pub fn distances(&self) -> &[f64] {
-        &self.dist
+    ///
+    /// Internally the scan keeps sqrt-free comparison proxies; this
+    /// materializes true distances (one [`Metric::cmp_to_distance`] per
+    /// point) at the boundary.
+    pub fn distances(&self) -> Vec<f64> {
+        self.dist
+            .iter()
+            .map(|&c| self.metric.cmp_to_distance(c))
+            .collect()
     }
 }
 

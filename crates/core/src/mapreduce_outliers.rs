@@ -31,7 +31,7 @@ use kcenter_metric::Metric;
 
 use crate::coreset::{build_weighted_coreset, CoresetSpec, WeightedPoint};
 use crate::error::{check_eps, check_kz, InputError};
-use crate::radius_search::{solve_coreset, SearchMode, DEFAULT_MATRIX_THRESHOLD};
+use crate::radius_search::{default_matrix_threshold, solve_coreset, SearchMode};
 use crate::solution::{radius_with_outliers, Clustering};
 
 /// Which §3.2 variant to run (controls the coreset base).
@@ -101,7 +101,7 @@ impl MrOutliersConfig {
             partitioning: MrPartitioning::Chunked,
             seed: 0,
             search: SearchMode::GeometricGrid,
-            matrix_threshold: DEFAULT_MATRIX_THRESHOLD,
+            matrix_threshold: default_matrix_threshold(),
         }
     }
 

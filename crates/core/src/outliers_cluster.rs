@@ -26,6 +26,10 @@ use rayon::prelude::*;
 
 use kcenter_metric::{DistanceMatrix, Metric};
 
+/// Balls per parallel chunk: each ball already costs an `O(|T|)` inner
+/// scan, so chunks stay small to split coresets of a few hundred points.
+const BALL_CHUNK: usize = 16;
+
 /// Pairwise distances among coreset points, by index.
 pub trait DistanceOracle: Sync {
     /// Number of points.
@@ -36,6 +40,28 @@ pub trait DistanceOracle: Sync {
     }
     /// Distance between points `i` and `j`.
     fn dist(&self, i: usize, j: usize) -> f64;
+
+    /// Comparison proxy for [`DistanceOracle::dist`] — order-isomorphic to
+    /// the distance, zero iff the distance is zero (mirrors
+    /// [`Metric::cmp_distance`]). Threshold scans call this together with
+    /// [`DistanceOracle::radius_to_cmp`] so metric-backed oracles can skip
+    /// the final `sqrt` of every evaluation. Default: the distance itself.
+    #[inline]
+    fn cmp_dist(&self, i: usize, j: usize) -> f64 {
+        self.dist(i, j)
+    }
+
+    /// Maps a true radius onto the [`DistanceOracle::cmp_dist`] scale.
+    #[inline]
+    fn radius_to_cmp(&self, r: f64) -> f64 {
+        r
+    }
+
+    /// Maps a [`DistanceOracle::cmp_dist`] value back to a true distance.
+    #[inline]
+    fn cmp_to_radius(&self, cmp: f64) -> f64 {
+        cmp
+    }
 }
 
 impl DistanceOracle for DistanceMatrix {
@@ -43,6 +69,8 @@ impl DistanceOracle for DistanceMatrix {
         DistanceMatrix::len(self)
     }
 
+    // The matrix caches true distances, so the default identity proxy is
+    // already sqrt-free.
     #[inline]
     fn dist(&self, i: usize, j: usize) -> f64 {
         self.get(i, j)
@@ -63,6 +91,67 @@ impl<'a, P, M: Metric<P>> PointsOracle<'a, P, M> {
     }
 }
 
+/// A cached [`DistanceMatrix`] of *comparison proxies* paired with its
+/// metric's conversions.
+///
+/// This is the matrix-backed counterpart of [`PointsOracle`] that applies
+/// the **same comparison rule**: both compare on the metric's
+/// [`Metric::cmp_distance`] scale, so an algorithm's output is bitwise
+/// independent of whether distances were cached or evaluated on demand —
+/// even at threshold boundaries within one ulp, where a true-distance rule
+/// (`sqrt(c) <= r`) and a proxy rule (`c <= r²`) can disagree. Building
+/// the proxy matrix is also cheaper: no `sqrt` per entry.
+pub struct CmpMatrixOracle<'a, P, M> {
+    matrix: DistanceMatrix,
+    metric: &'a M,
+    _points: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<'a, P: Sync, M: Metric<P>> CmpMatrixOracle<'a, P, M> {
+    /// Builds the proxy matrix over `points` under `metric`.
+    pub fn build(points: &[P], metric: &'a M) -> Self {
+        CmpMatrixOracle {
+            matrix: DistanceMatrix::build_cmp(points, metric),
+            metric,
+            _points: std::marker::PhantomData,
+        }
+    }
+
+    /// Bytes of heap memory held by the cached matrix.
+    pub fn heap_bytes(&self) -> usize {
+        self.matrix.heap_bytes()
+    }
+}
+
+impl<P: Sync, M: Metric<P>> DistanceOracle for CmpMatrixOracle<'_, P, M> {
+    fn len(&self) -> usize {
+        self.matrix.len()
+    }
+
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        // cmp_to_distance(cmp_distance(..)) == distance(..) exactly, per
+        // the Metric contract, so true-distance reads stay bit-identical
+        // to on-demand evaluation.
+        self.metric.cmp_to_distance(self.matrix.get(i, j))
+    }
+
+    #[inline]
+    fn cmp_dist(&self, i: usize, j: usize) -> f64 {
+        self.matrix.get(i, j)
+    }
+
+    #[inline]
+    fn radius_to_cmp(&self, r: f64) -> f64 {
+        self.metric.distance_to_cmp(r)
+    }
+
+    #[inline]
+    fn cmp_to_radius(&self, cmp: f64) -> f64 {
+        self.metric.cmp_to_distance(cmp)
+    }
+}
+
 impl<P: Sync, M: Metric<P>> DistanceOracle for PointsOracle<'_, P, M> {
     fn len(&self) -> usize {
         self.points.len()
@@ -71,6 +160,21 @@ impl<P: Sync, M: Metric<P>> DistanceOracle for PointsOracle<'_, P, M> {
     #[inline]
     fn dist(&self, i: usize, j: usize) -> f64 {
         self.metric.distance(&self.points[i], &self.points[j])
+    }
+
+    #[inline]
+    fn cmp_dist(&self, i: usize, j: usize) -> f64 {
+        self.metric.cmp_distance(&self.points[i], &self.points[j])
+    }
+
+    #[inline]
+    fn radius_to_cmp(&self, r: f64) -> f64 {
+        self.metric.distance_to_cmp(r)
+    }
+
+    #[inline]
+    fn cmp_to_radius(&self, cmp: f64) -> f64 {
+        self.metric.cmp_to_distance(cmp)
     }
 }
 
@@ -108,25 +212,33 @@ pub fn outliers_cluster<O: DistanceOracle>(
         "radius and eps must be non-negative"
     );
 
-    let ball_r = (1.0 + 2.0 * eps_hat) * r;
-    let cover_r = (3.0 + 4.0 * eps_hat) * r;
+    // Thresholds on the oracle's comparison scale: every O(n²) scan below
+    // tests `cmp_dist <= cmp-threshold`, sqrt-free for metric oracles.
+    let ball_cmp = oracle.radius_to_cmp((1.0 + 2.0 * eps_hat) * r);
+    let cover_cmp = oracle.radius_to_cmp((3.0 + 4.0 * eps_hat) * r);
 
     let mut covered = vec![false; n];
     let mut uncovered_count = n;
 
-    // Initial ball weights over all (uncovered) points: O(n²) parallel.
-    let mut ball_weight: Vec<u64> = (0..n)
-        .into_par_iter()
-        .map(|t| {
-            let mut w = 0u64;
-            for (v, &weight) in weights.iter().enumerate() {
-                if oracle.dist(t, v) <= ball_r {
-                    w += weight;
+    // Initial ball weights over all (uncovered) points: O(n²), chunked for
+    // the pool with a plain sequential inner scan per ball.
+    let mut ball_weight: Vec<u64> = vec![0; n];
+    ball_weight
+        .par_chunks_mut(BALL_CHUNK)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let base = ci * BALL_CHUNK;
+            for (j, w) in chunk.iter_mut().enumerate() {
+                let t = base + j;
+                let mut acc = 0u64;
+                for (v, &weight) in weights.iter().enumerate() {
+                    if oracle.cmp_dist(t, v) <= ball_cmp {
+                        acc += weight;
+                    }
                 }
+                *w = acc;
             }
-            w
-        })
-        .collect();
+        });
 
     let mut centers = Vec::new();
     while centers.len() < k && uncovered_count > 0 {
@@ -143,7 +255,7 @@ pub fn outliers_cluster<O: DistanceOracle>(
         // E_x: uncovered points within the expanded radius.
         let removed: Vec<usize> = (0..n)
             .into_par_iter()
-            .filter(|&v| !covered[v] && oracle.dist(x, v) <= cover_r)
+            .filter(|&v| !covered[v] && oracle.cmp_dist(x, v) <= cover_cmp)
             .collect();
         for &v in &removed {
             covered[v] = true;
@@ -153,13 +265,20 @@ pub fn outliers_cluster<O: DistanceOracle>(
         // Subtract the removed points' weights from every ball containing
         // them. Each point is removed exactly once, so the total update work
         // over the whole run is O(n²).
-        ball_weight.par_iter_mut().enumerate().for_each(|(t, w)| {
-            for &v in &removed {
-                if oracle.dist(t, v) <= ball_r {
-                    *w -= weights[v];
+        ball_weight
+            .par_chunks_mut(BALL_CHUNK)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let base = ci * BALL_CHUNK;
+                for (j, w) in chunk.iter_mut().enumerate() {
+                    let t = base + j;
+                    for &v in &removed {
+                        if oracle.cmp_dist(t, v) <= ball_cmp {
+                            *w -= weights[v];
+                        }
+                    }
                 }
-            }
-        });
+            });
     }
 
     let uncovered: Vec<usize> = (0..n).filter(|&v| !covered[v]).collect();
@@ -190,8 +309,9 @@ pub fn outliers_cluster_naive<O: DistanceOracle>(
         "radius and eps must be non-negative"
     );
 
-    let ball_r = (1.0 + 2.0 * eps_hat) * r;
-    let cover_r = (3.0 + 4.0 * eps_hat) * r;
+    // Same comparison rule as the incremental implementation: proxy scale.
+    let ball_cmp = oracle.radius_to_cmp((1.0 + 2.0 * eps_hat) * r);
+    let cover_cmp = oracle.radius_to_cmp((3.0 + 4.0 * eps_hat) * r);
 
     let mut covered = vec![false; n];
     let mut centers = Vec::new();
@@ -202,7 +322,7 @@ pub fn outliers_cluster_naive<O: DistanceOracle>(
         for t in 0..n {
             let mut w = 0u64;
             for v in 0..n {
-                if !covered[v] && oracle.dist(t, v) <= ball_r {
+                if !covered[v] && oracle.cmp_dist(t, v) <= ball_cmp {
                     w += weights[v];
                 }
             }
@@ -214,7 +334,7 @@ pub fn outliers_cluster_naive<O: DistanceOracle>(
         }
         centers.push(best);
         for (v, cov) in covered.iter_mut().enumerate() {
-            if !*cov && oracle.dist(best, v) <= cover_r {
+            if !*cov && oracle.cmp_dist(best, v) <= cover_cmp {
                 *cov = true;
             }
         }
@@ -355,6 +475,39 @@ mod tests {
         let a = outliers_cluster(&points_oracle, &w, 4, 3.0, 0.25);
         let b = outliers_cluster(&matrix, &w, 4, 3.0, 0.25);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cmp_matrix_oracle_is_bitwise_consistent_with_points_oracle() {
+        // The cached-proxy oracle must apply the exact comparison rule of
+        // the on-demand oracle — including at a radius engineered to sit
+        // on a ball boundary, where the proxy rule (d² ≤ r²) and a
+        // true-distance rule (√d² ≤ r) can disagree by one ulp.
+        let pts: Vec<Point> = (0..40)
+            .map(|i| Point::new(vec![(i as f64 * 2.3) % 19.0, (i as f64 * 0.7) % 5.0]))
+            .collect();
+        let w: Vec<u64> = (0..40).map(|i| 1 + (i % 3) as u64).collect();
+        let points_oracle = PointsOracle::new(&pts, &Euclidean);
+        let cmp_matrix = CmpMatrixOracle::build(&pts, &Euclidean);
+        // Exact pairwise distances as radii put thresholds on boundaries.
+        let mut radii: Vec<f64> = vec![3.0, 7.5];
+        radii.push(Euclidean.distance(&pts[0], &pts[7]));
+        radii.push(Euclidean.distance(&pts[3], &pts[22]) / (3.0 + 4.0 * 0.25));
+        for &r in &radii {
+            let a = outliers_cluster(&points_oracle, &w, 4, r, 0.25);
+            let b = outliers_cluster(&cmp_matrix, &w, 4, r, 0.25);
+            assert_eq!(a, b, "divergence at r = {r}");
+        }
+        // And the true-distance reads round-trip exactly.
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                assert_eq!(
+                    cmp_matrix.dist(i, j).to_bits(),
+                    points_oracle.dist(i, j).to_bits(),
+                    "dist mismatch at ({i},{j})"
+                );
+            }
+        }
     }
 
     #[test]

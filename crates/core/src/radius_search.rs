@@ -22,11 +22,11 @@
 
 use rayon::prelude::*;
 
-use kcenter_metric::{DistanceMatrix, Metric};
+use kcenter_metric::Metric;
 
 use crate::coreset::WeightedCoreset;
 use crate::outliers_cluster::{
-    outliers_cluster, DistanceOracle, OutliersClusterResult, PointsOracle,
+    outliers_cluster, CmpMatrixOracle, DistanceOracle, OutliersClusterResult, PointsOracle,
 };
 
 /// Which candidate-radius structure the search walks.
@@ -120,12 +120,15 @@ pub fn find_min_feasible_radius<O: DistanceOracle>(
                 None => Vec::new(), // all points identical; r = 0 handled above
                 Some(r_lo) => {
                     // Upper bound: twice the max distance from point 0
-                    // bounds the diameter (triangle inequality).
+                    // bounds the diameter (triangle inequality). The scan
+                    // compares proxies; one conversion at the boundary.
                     let r_hi = 2.0
-                        * (1..n)
-                            .into_par_iter()
-                            .map(|j| oracle.dist(0, j))
-                            .reduce(|| 0.0, f64::max);
+                        * oracle.cmp_to_radius(
+                            (1..n)
+                                .into_par_iter()
+                                .map(|j| oracle.cmp_dist(0, j))
+                                .reduce(|| 0.0, f64::max),
+                        );
                     let steps = ((r_hi / r_lo).ln() / (1.0 + delta).ln()).ceil() as usize + 1;
                     (0..=steps)
                         .map(|i| r_lo * (1.0 + delta).powi(i as i32))
@@ -201,13 +204,60 @@ pub fn find_min_feasible_radius<O: DistanceOracle>(
     }
 }
 
-/// Default coreset size up to which the radius search caches the full
+/// Cap on the coreset size up to which the radius search caches the full
 /// pairwise [`DistanceMatrix`] (`10_000² / 2` f64 ≈ 400 MiB) instead of
 /// re-evaluating the metric on the fly. The cache pays for itself across
 /// the ~log-many `OutliersCluster` evaluations of the search; above the
 /// threshold (e.g. the paper-scale Fig. 4 unions of ~28k points, whose
 /// matrix would be ~3 GiB) distances are evaluated on demand.
+///
+/// This constant is the *fallback and upper bound*; the algorithms consult
+/// [`default_matrix_threshold`], which additionally shrinks the threshold
+/// when the machine's available memory could not hold the cache.
 pub const DEFAULT_MATRIX_THRESHOLD: usize = 10_000;
+
+/// The matrix-caching threshold derived from the machine's available
+/// memory: the largest `n` whose condensed `n(n-1)/2`-entry `f64` matrix
+/// fits in a quarter of available memory, capped at
+/// [`DEFAULT_MATRIX_THRESHOLD`]. Falls back to the cap when available
+/// memory cannot be determined (non-Linux, or `/proc` unavailable).
+///
+/// Computed once per process (first call) and cached: repeated config
+/// construction must not re-read `/proc/meminfo`, and — more importantly —
+/// one process must observe one threshold, so identical solves within a
+/// run cannot flip between the cached-matrix and on-demand paths as free
+/// memory fluctuates.
+pub fn default_matrix_threshold() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| matrix_threshold_for_memory(available_memory_bytes()))
+}
+
+/// Pure sizing rule behind [`default_matrix_threshold`], split out for
+/// testing: `None` means "unknown", yielding the fallback cap.
+fn matrix_threshold_for_memory(available: Option<u64>) -> usize {
+    match available {
+        None => DEFAULT_MATRIX_THRESHOLD,
+        Some(bytes) => {
+            // n(n-1)/2 entries of 8 bytes ≈ 4n² bytes; budget a quarter of
+            // what is available so the cache never dominates memory.
+            let budget = bytes / 4;
+            let n = ((budget as f64) / 4.0).sqrt() as usize;
+            n.min(DEFAULT_MATRIX_THRESHOLD)
+        }
+    }
+}
+
+/// Available physical memory in bytes (Linux `MemAvailable`), if known.
+fn available_memory_bytes() -> Option<u64> {
+    let meminfo = std::fs::read_to_string("/proc/meminfo").ok()?;
+    for line in meminfo.lines() {
+        if let Some(rest) = line.strip_prefix("MemAvailable:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb.saturating_mul(1024));
+        }
+    }
+    None
+}
 
 /// The solved coreset: what round 2 of the outlier algorithms produces.
 #[derive(Clone, Debug)]
@@ -250,9 +300,12 @@ where
     let points = coreset.points_only();
     let weights = coreset.weights();
 
+    // Both branches compare on the metric's proxy scale (the cached matrix
+    // stores cmp values), so the result is bitwise independent of which
+    // side of the threshold — itself environment-derived — a run lands on.
     let search = if points.len() <= matrix_threshold {
-        let matrix = DistanceMatrix::build(&points, metric);
-        find_min_feasible_radius(&matrix, &weights, k, z, eps_hat, mode)
+        let oracle = CmpMatrixOracle::build(&points, metric);
+        find_min_feasible_radius(&oracle, &weights, k, z, eps_hat, mode)
     } else {
         let oracle = PointsOracle::new(&points, metric);
         find_min_feasible_radius(&oracle, &weights, k, z, eps_hat, mode)
@@ -271,7 +324,8 @@ where
     }
 }
 
-/// Minimum positive pairwise distance through the oracle.
+/// Minimum positive pairwise distance through the oracle (sqrt-free scan,
+/// one conversion at the boundary).
 fn min_positive_distance<O: DistanceOracle>(oracle: &O) -> Option<f64> {
     let n = oracle.len();
     let min = (0..n)
@@ -279,7 +333,7 @@ fn min_positive_distance<O: DistanceOracle>(oracle: &O) -> Option<f64> {
         .map(|i| {
             let mut row = f64::INFINITY;
             for j in i + 1..n {
-                let d = oracle.dist(i, j);
+                let d = oracle.cmp_dist(i, j);
                 if d > 0.0 && d < row {
                     row = d;
                 }
@@ -287,7 +341,7 @@ fn min_positive_distance<O: DistanceOracle>(oracle: &O) -> Option<f64> {
             row
         })
         .reduce(|| f64::INFINITY, f64::min);
-    (min != f64::INFINITY).then_some(min)
+    (min != f64::INFINITY).then(|| oracle.cmp_to_radius(min))
 }
 
 #[cfg(test)]
@@ -485,6 +539,27 @@ mod tests {
             without_matrix.uncovered_weight
         );
         assert_eq!(with_matrix.centers.len(), without_matrix.centers.len());
+    }
+
+    #[test]
+    fn matrix_threshold_scales_with_memory_and_caps() {
+        // Unknown memory: the historical cap.
+        assert_eq!(
+            super::matrix_threshold_for_memory(None),
+            DEFAULT_MATRIX_THRESHOLD
+        );
+        // Plentiful memory: still capped.
+        assert_eq!(
+            super::matrix_threshold_for_memory(Some(1 << 40)),
+            DEFAULT_MATRIX_THRESHOLD
+        );
+        // 64 MiB available: budget 16 MiB, 4n² ≤ 16 MiB → n ≈ 2048.
+        let n = super::matrix_threshold_for_memory(Some(64 << 20));
+        assert!((1_900..=2_100).contains(&n), "n = {n}");
+        // Degenerate: no memory, no cache.
+        assert_eq!(super::matrix_threshold_for_memory(Some(0)), 0);
+        // The live value must respect the cap and be usable as a threshold.
+        assert!(default_matrix_threshold() <= DEFAULT_MATRIX_THRESHOLD);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use kcenter_metric::Metric;
 
 use crate::coreset::{build_weighted_coreset, CoresetSpec};
 use crate::error::{check_eps, check_kz, InputError};
-use crate::radius_search::{solve_coreset, SearchMode, DEFAULT_MATRIX_THRESHOLD};
+use crate::radius_search::{default_matrix_threshold, solve_coreset, SearchMode};
 use crate::solution::{radius_with_outliers, Clustering};
 
 /// Configuration of the sequential coreset algorithm.
@@ -49,7 +49,7 @@ impl SequentialOutliersConfig {
             coreset: CoresetSpec::Multiplier { mu },
             seed: 0,
             search: SearchMode::GeometricGrid,
-            matrix_threshold: DEFAULT_MATRIX_THRESHOLD,
+            matrix_threshold: default_matrix_threshold(),
         }
     }
 }

@@ -31,6 +31,10 @@ impl<P> Clustering<P> {
 }
 
 /// Distance from each point to its closest center.
+///
+/// The inner nearest-center loop compares [`Metric::cmp_distance`]
+/// proxies; one conversion per *point* (not per point–center pair)
+/// recovers the true distance.
 pub fn assignment_distances<P, M>(points: &[P], centers: &[P], metric: &M) -> Vec<f64>
 where
     P: Sync,
@@ -40,10 +44,12 @@ where
     points
         .par_iter()
         .map(|p| {
-            centers
-                .iter()
-                .map(|c| metric.distance(p, c))
-                .fold(f64::INFINITY, f64::min)
+            metric.cmp_to_distance(
+                centers
+                    .iter()
+                    .map(|c| metric.cmp_distance(p, c))
+                    .fold(f64::INFINITY, f64::min),
+            )
         })
         .collect()
 }
@@ -58,10 +64,11 @@ where
     points
         .par_iter()
         .map(|p| {
+            // Pure comparison: proxies only, no sqrt at all.
             let mut best = 0usize;
             let mut best_d = f64::INFINITY;
             for (i, c) in centers.iter().enumerate() {
-                let d = metric.distance(p, c);
+                let d = metric.cmp_distance(p, c);
                 if d < best_d {
                     best_d = d;
                     best = i;
@@ -79,15 +86,18 @@ where
     M: Metric<P>,
 {
     assert!(!centers.is_empty(), "no centers to assign to");
-    points
-        .par_iter()
-        .map(|p| {
-            centers
-                .iter()
-                .map(|c| metric.distance(p, c))
-                .fold(f64::INFINITY, f64::min)
-        })
-        .reduce(|| 0.0, f64::max)
+    // Max-of-min over proxies, one sqrt for the reported radius.
+    metric.cmp_to_distance(
+        points
+            .par_iter()
+            .map(|p| {
+                centers
+                    .iter()
+                    .map(|c| metric.cmp_distance(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .reduce(|| 0.0, f64::max),
+    )
 }
 
 /// The k-center-with-outliers objective `r_{T,Z_T}(S)`: the maximum

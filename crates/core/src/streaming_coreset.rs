@@ -110,18 +110,19 @@ impl<P: Clone, M: Metric<P>> WeightedDoublingCoreset<P, M> {
         self.tau
     }
 
-    /// Smallest positive pairwise distance among centers, if any.
+    /// Smallest positive pairwise distance among centers, if any
+    /// (sqrt-free scan, one conversion at the boundary).
     fn min_positive_center_distance(&self) -> Option<f64> {
         let mut min = f64::INFINITY;
         for i in 0..self.centers.len() {
             for j in i + 1..self.centers.len() {
-                let d = self.metric.distance(&self.centers[i], &self.centers[j]);
+                let d = self.metric.cmp_distance(&self.centers[i], &self.centers[j]);
                 if d > 0.0 && d < min {
                     min = d;
                 }
             }
         }
-        (min != f64::INFINITY).then_some(min)
+        (min != f64::INFINITY).then(|| self.metric.cmp_to_distance(min))
     }
 
     /// The merge rule: raise `ϕ` and greedily merge centers closer than
@@ -155,12 +156,14 @@ impl<P: Clone, M: Metric<P>> WeightedDoublingCoreset<P, M> {
     /// farther than `4ϕ` from every survivor; fold discarded weights into
     /// the closest survivor (`≤ 4ϕ` away), re-pointing its proxies.
     fn merge_pass(&mut self) {
-        let threshold = 4.0 * self.phi;
+        // The O(τ²) sweep compares proxies against the threshold mapped
+        // once onto the comparison scale.
+        let threshold = self.metric.distance_to_cmp(4.0 * self.phi);
         let mut survivors: Vec<P> = Vec::with_capacity(self.centers.len());
         let mut survivor_weights: Vec<u64> = Vec::with_capacity(self.centers.len());
         'outer: for (c, w) in self.centers.drain(..).zip(self.weights.drain(..)) {
             for (s, sw) in survivors.iter().zip(survivor_weights.iter_mut()) {
-                if self.metric.distance(&c, s) <= threshold {
+                if self.metric.cmp_distance(&c, s) <= threshold {
                     *sw += w;
                     continue 'outer;
                 }
@@ -236,15 +239,16 @@ impl<P: Clone, M: Metric<P>> StreamingAlgorithm<P> for WeightedDoublingCoreset<P
             return;
         }
 
-        // Update rule.
+        // Update rule: the O(τ) nearest-center scan per stream item is
+        // sqrt-free; the 8ϕ threshold maps onto the proxy scale once.
         let (closest, d) = self
             .centers
             .iter()
             .enumerate()
-            .map(|(i, c)| (i, self.metric.distance(&item, c)))
+            .map(|(i, c)| (i, self.metric.cmp_distance(&item, c)))
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
             .expect("initialized coreset is nonempty");
-        if d <= 8.0 * self.phi {
+        if d <= self.metric.distance_to_cmp(8.0 * self.phi) {
             self.weights[closest] += 1;
         } else {
             self.centers.push(item);

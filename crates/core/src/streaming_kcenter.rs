@@ -6,6 +6,11 @@
 //! whose proxy radius is `≤ 8ϕ ≤ ε·r*_k`-grade, then run GMM for `k`
 //! centers on the coreset. This is the orange series of Fig. 3, compared
 //! against McCutchen–Khuller (BASESTREAM, `kcenter-baselines`).
+//!
+//! Both phases inherit the sqrt-free inner loops of their kernels: the
+//! doubling pass compares [`kcenter_metric::Metric::cmp_distance`] proxies
+//! per stream item, and the GMM finalization's farthest-point scans take
+//! one `sqrt` per selected center.
 
 use kcenter_metric::Metric;
 use kcenter_stream::StreamingAlgorithm;

@@ -14,7 +14,7 @@
 use kcenter_metric::Metric;
 use kcenter_stream::StreamingAlgorithm;
 
-use crate::radius_search::{solve_coreset, SearchMode, DEFAULT_MATRIX_THRESHOLD};
+use crate::radius_search::{default_matrix_threshold, solve_coreset, SearchMode};
 use crate::streaming_coreset::WeightedDoublingCoreset;
 
 /// Output of the pass: centers plus coreset diagnostics.
@@ -61,7 +61,7 @@ impl<P: Clone + Sync, M: Metric<P>> CoresetOutliers<P, M> {
             z,
             eps_hat,
             search: SearchMode::GeometricGrid,
-            matrix_threshold: DEFAULT_MATRIX_THRESHOLD,
+            matrix_threshold: default_matrix_threshold(),
         }
     }
 

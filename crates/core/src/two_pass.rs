@@ -22,7 +22,7 @@ use kcenter_metric::Metric;
 use kcenter_stream::{run_stream, MultiPass, StreamingAlgorithm};
 
 use crate::error::{check_eps, check_kz, InputError};
-use crate::radius_search::{solve_coreset, SearchMode, DEFAULT_MATRIX_THRESHOLD};
+use crate::radius_search::{default_matrix_threshold, solve_coreset, SearchMode};
 use crate::solution::{radius_with_outliers, Clustering};
 use crate::streaming_coreset::WeightedDoublingCoreset;
 
@@ -142,7 +142,7 @@ where
         z as u64,
         eps / 6.0,
         SearchMode::GeometricGrid,
-        DEFAULT_MATRIX_THRESHOLD,
+        default_matrix_threshold(),
     );
     let final_radius = radius_with_outliers(points, &solution.centers, z, metric);
 

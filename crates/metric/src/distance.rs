@@ -19,6 +19,45 @@ use crate::point::Point;
 pub trait Metric<P: ?Sized>: Sync + Send {
     /// The distance `d(a, b) >= 0`.
     fn distance(&self, a: &P, b: &P) -> f64;
+
+    /// A *comparison proxy* for the distance: any value order-isomorphic to
+    /// `distance(a, b)` (strictly monotone, zero iff the distance is zero).
+    ///
+    /// Nearest-center and farthest-point scans — the `O(n·τ)` / `O(|T|²)`
+    /// kernels of every algorithm here — only ever *compare* distances;
+    /// they call this instead of [`Metric::distance`] and convert one final
+    /// value at the boundary with [`Metric::cmp_to_distance`]. The default
+    /// is the distance itself; [`Euclidean`] returns the **squared**
+    /// distance, eliding one `sqrt` per evaluation.
+    ///
+    /// Contract: `cmp_to_distance(cmp_distance(a, b))` must equal
+    /// `distance(a, b)` exactly, and `cmp_distance` must preserve the
+    /// order of `distance` (ties included, up to the proxy being *more*
+    /// discriminating than the rounded true distance).
+    #[inline]
+    fn cmp_distance(&self, a: &P, b: &P) -> f64 {
+        self.distance(a, b)
+    }
+
+    /// Converts a [`Metric::cmp_distance`] value back to a true distance
+    /// (the one `sqrt` at the reporting boundary). Default: identity.
+    #[inline]
+    fn cmp_to_distance(&self, cmp: f64) -> f64 {
+        cmp
+    }
+
+    /// Converts a true distance/radius to the [`Metric::cmp_distance`]
+    /// scale, for threshold tests (`d(a, b) <= r` becomes
+    /// `cmp_distance(a, b) <= distance_to_cmp(r)`). Default: identity.
+    ///
+    /// Threshold tests on the proxy scale may disagree with tests on the
+    /// rounded true distance within one ulp of the boundary; algorithms
+    /// must apply one rule consistently (as the paired implementations in
+    /// this workspace do).
+    #[inline]
+    fn distance_to_cmp(&self, d: f64) -> f64 {
+        d
+    }
 }
 
 /// Blanket implementation so `&M` can be passed where `M: Metric` is needed.
@@ -26,6 +65,21 @@ impl<P: ?Sized, M: Metric<P> + ?Sized> Metric<P> for &M {
     #[inline]
     fn distance(&self, a: &P, b: &P) -> f64 {
         (**self).distance(a, b)
+    }
+
+    #[inline]
+    fn cmp_distance(&self, a: &P, b: &P) -> f64 {
+        (**self).cmp_distance(a, b)
+    }
+
+    #[inline]
+    fn cmp_to_distance(&self, cmp: f64) -> f64 {
+        (**self).cmp_to_distance(cmp)
+    }
+
+    #[inline]
+    fn distance_to_cmp(&self, d: f64) -> f64 {
+        (**self).distance_to_cmp(d)
     }
 }
 
@@ -55,6 +109,25 @@ impl Metric<Point> for Euclidean {
     #[inline]
     fn distance(&self, a: &Point, b: &Point) -> f64 {
         self.distance_squared(a, b).sqrt()
+    }
+
+    // The proxy is the squared distance: `distance` is *defined* as
+    // `sqrt(distance_squared)`, so `cmp_to_distance(cmp_distance(a, b))`
+    // reproduces `distance(a, b)` bit-for-bit, and `sqrt`'s monotonicity
+    // makes the square order-isomorphic to the true distance.
+    #[inline]
+    fn cmp_distance(&self, a: &Point, b: &Point) -> f64 {
+        self.distance_squared(a, b)
+    }
+
+    #[inline]
+    fn cmp_to_distance(&self, cmp: f64) -> f64 {
+        cmp.sqrt()
+    }
+
+    #[inline]
+    fn distance_to_cmp(&self, d: f64) -> f64 {
+        d * d
     }
 }
 
@@ -279,6 +352,47 @@ mod tests {
         let b = p(&[2.0]);
         assert_eq!(radius(Euclidean, &a, &b), 2.0);
         assert_eq!(radius(&Euclidean, &a, &b), 2.0);
+    }
+
+    #[test]
+    fn cmp_proxy_round_trips_and_orders() {
+        let pts = [
+            p(&[0.0, 0.0]),
+            p(&[3.0, 4.0]),
+            p(&[1.0, 1.0]),
+            p(&[-2.5, 7.1]),
+        ];
+        for a in &pts {
+            for b in &pts {
+                let d = Euclidean.distance(a, b);
+                let c = Euclidean.cmp_distance(a, b);
+                // Exact round-trip: sqrt of the square IS the distance.
+                assert_eq!(Euclidean.cmp_to_distance(c).to_bits(), d.to_bits());
+                assert_eq!(c == 0.0, d == 0.0);
+                // Default impls on other metrics are the identity.
+                let m = Manhattan.distance(a, b);
+                assert_eq!(Manhattan.cmp_distance(a, b), m);
+                assert_eq!(Manhattan.distance_to_cmp(m), m);
+            }
+        }
+        // Order isomorphism across pairs.
+        let d01 = Euclidean.distance(&pts[0], &pts[1]);
+        let d02 = Euclidean.distance(&pts[0], &pts[2]);
+        let c01 = Euclidean.cmp_distance(&pts[0], &pts[1]);
+        let c02 = Euclidean.cmp_distance(&pts[0], &pts[2]);
+        assert_eq!(d01 > d02, c01 > c02);
+        // Threshold mapping: radius 5 on the proxy scale is 25.
+        assert_eq!(Euclidean.distance_to_cmp(5.0), 25.0);
+    }
+
+    #[test]
+    fn cmp_proxy_forwards_through_references() {
+        let a = p(&[0.0]);
+        let b = p(&[3.0]);
+        let by_ref: &dyn Metric<Point> = &Euclidean;
+        assert_eq!((&by_ref).cmp_distance(&a, &b), 9.0);
+        assert_eq!((&by_ref).cmp_to_distance(9.0), 3.0);
+        assert_eq!((&by_ref).distance_to_cmp(3.0), 9.0);
     }
 
     #[test]

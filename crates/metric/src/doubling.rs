@@ -67,16 +67,19 @@ pub fn estimate_doubling_dimension<P: Sync, M: Metric<P>>(
     let max_ratio = anchors
         .par_iter()
         .map(|&a| {
-            // Distances from this anchor, reused across all scales.
+            // Proxy distances from this anchor, reused across all scales;
+            // the radius ladder maps onto the proxy scale per rung.
             let dists: Vec<f64> = points
                 .iter()
-                .map(|p| metric.distance(&points[a], p))
+                .map(|p| metric.cmp_distance(&points[a], p))
                 .collect();
             let mut anchor_best: f64 = 1.0;
             let mut r = diameter_hi;
             for _ in 0..config.scales {
-                let outer = dists.iter().filter(|&&d| d <= r).count();
-                let inner = dists.iter().filter(|&&d| d <= r / 2.0).count();
+                let outer_r = metric.distance_to_cmp(r);
+                let inner_r = metric.distance_to_cmp(r / 2.0);
+                let outer = dists.iter().filter(|&&d| d <= outer_r).count();
+                let inner = dists.iter().filter(|&&d| d <= inner_r).count();
                 // `inner >= 1` always holds (the anchor itself).
                 if outer > 1 {
                     anchor_best = anchor_best.max(outer as f64 / inner as f64);

@@ -12,6 +12,9 @@ use crate::distance::Metric;
 
 /// Minimum strictly-positive pairwise distance, or `None` if fewer than two
 /// points exist or all points coincide.
+///
+/// The `O(n²)` scan compares [`Metric::cmp_distance`] proxies; one
+/// [`Metric::cmp_to_distance`] converts the winner at the boundary.
 pub fn min_positive_distance<P: Sync, M: Metric<P>>(points: &[P], metric: &M) -> Option<f64> {
     if points.len() < 2 {
         return None;
@@ -22,7 +25,7 @@ pub fn min_positive_distance<P: Sync, M: Metric<P>>(points: &[P], metric: &M) ->
         .map(|(i, a)| {
             let mut row_min = f64::INFINITY;
             for b in &points[i + 1..] {
-                let d = metric.distance(a, b);
+                let d = metric.cmp_distance(a, b);
                 if d > 0.0 && d < row_min {
                     row_min = d;
                 }
@@ -30,7 +33,7 @@ pub fn min_positive_distance<P: Sync, M: Metric<P>>(points: &[P], metric: &M) ->
             row_min
         })
         .reduce(|| f64::INFINITY, f64::min);
-    (min != f64::INFINITY).then_some(min)
+    (min != f64::INFINITY).then(|| metric.cmp_to_distance(min))
 }
 
 /// Lower and upper bounds on the diameter of `points`.
@@ -41,10 +44,12 @@ pub fn diameter_bounds<P: Sync, M: Metric<P>>(points: &[P], metric: &M) -> (f64,
     if points.len() < 2 {
         return (0.0, 0.0);
     }
-    let r = points[1..]
-        .par_iter()
-        .map(|p| metric.distance(&points[0], p))
-        .reduce(|| 0.0, f64::max);
+    let r = metric.cmp_to_distance(
+        points[1..]
+            .par_iter()
+            .map(|p| metric.cmp_distance(&points[0], p))
+            .reduce(|| 0.0, f64::max),
+    );
     (r, 2.0 * r)
 }
 
@@ -81,16 +86,44 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Builds the matrix from `points` under `metric` (parallel over rows).
+    /// Builds the matrix from `points` under `metric`.
+    ///
+    /// The condensed buffer is allocated once and filled in place, parallel
+    /// over rows: each row is a chunk-sized work unit for the pool, and its
+    /// inner loop is a plain sequential scan (no per-element collection).
     pub fn build<P: Sync, M: Metric<P>>(points: &[P], metric: &M) -> Self {
+        Self::build_with(points, |a, b| metric.distance(a, b))
+    }
+
+    /// Builds a matrix of [`Metric::cmp_distance`] comparison proxies —
+    /// entirely sqrt-free for metrics with a non-trivial proxy. Lookups
+    /// through [`DistanceMatrix::get`] then return *proxy* values; callers
+    /// own the conversion discipline (see `CmpMatrixOracle` in
+    /// `kcenter-core`, which pairs this with the metric's conversions so
+    /// matrix-backed and metric-backed scans apply one comparison rule).
+    pub fn build_cmp<P: Sync, M: Metric<P>>(points: &[P], metric: &M) -> Self {
+        Self::build_with(points, |a, b| metric.cmp_distance(a, b))
+    }
+
+    /// Shared parallel row-fill behind [`DistanceMatrix::build`] and
+    /// [`DistanceMatrix::build_cmp`].
+    fn build_with<P: Sync>(points: &[P], eval: impl Fn(&P, &P) -> f64 + Sync) -> Self {
         let n = points.len();
-        let data: Vec<f64> = (0..n.saturating_sub(1))
-            .into_par_iter()
-            .flat_map_iter(|i| {
-                let a = &points[i];
-                points[i + 1..].iter().map(move |b| metric.distance(a, b))
-            })
-            .collect();
+        let mut data = vec![0.0f64; n * n.saturating_sub(1) / 2];
+        // Carve the condensed buffer into one mutable slice per row.
+        let mut rows: Vec<(usize, &mut [f64])> = Vec::with_capacity(n.saturating_sub(1));
+        let mut rest = data.as_mut_slice();
+        for i in 0..n.saturating_sub(1) {
+            let (row, tail) = rest.split_at_mut(n - 1 - i);
+            rows.push((i, row));
+            rest = tail;
+        }
+        rows.into_par_iter().for_each(|(i, row)| {
+            let a = &points[i];
+            for (slot, b) in row.iter_mut().zip(&points[i + 1..]) {
+                *slot = eval(a, b);
+            }
+        });
         DistanceMatrix { n, data }
     }
 

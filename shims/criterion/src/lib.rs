@@ -4,13 +4,19 @@
 //! provides the macro/type surface the workspace's benches use —
 //! `criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
 //! `bench_with_input`, `bench_function`, `Bencher::iter`, `BenchmarkId`,
-//! `Throughput` — backed by a simple median-of-samples wall-clock timer
-//! printed to stdout. There is no statistical analysis, HTML report, or
-//! baseline comparison; benches compile and produce useful rough numbers.
+//! `Throughput` — backed by the measurement procedure in [`measure`]:
+//! warmup iterations (discarded) followed by `N` timed samples, with
+//! MAD-based outlier rejection (samples farther than `3·MAD` from the
+//! median are dropped) and the median of the surviving samples reported.
+//! There is no HTML report or baseline comparison, but the per-benchmark
+//! statistics (median, MAD, rejected count) are printed and exposed
+//! programmatically as [`Measurement`] so harnesses (e.g. the workspace's
+//! bench-runner binary) can persist machine-readable numbers.
 //!
 //! Sample counts are intentionally small (and overridable via the
-//! `CRITERION_SHIM_SAMPLES` environment variable) so accidentally *running*
-//! the benches — e.g. `cargo test --benches` — stays fast.
+//! `CRITERION_SHIM_SAMPLES` / `CRITERION_SHIM_WARMUP` environment
+//! variables) so accidentally *running* the benches — e.g.
+//! `cargo test --benches` — stays fast.
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
@@ -64,9 +70,75 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// One benchmark measurement: warmup + samples + MAD outlier rejection.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Median of the samples surviving outlier rejection.
+    pub median: Duration,
+    /// Median absolute deviation of *all* samples around their median —
+    /// the robust spread estimate the rejection rule is based on.
+    pub mad: Duration,
+    /// Samples taken (after warmup).
+    pub samples: usize,
+    /// Samples rejected as outliers (farther than `3·MAD` from the median).
+    pub rejected: usize,
+}
+
+/// Runs `f` `warmup` times unrecorded, then `samples` recorded times, and
+/// reduces the timings to a [`Measurement`]: the median of the samples
+/// within `3·MAD` of the raw median. With `MAD = 0` (quiescent machine, or
+/// timer granularity) nothing is rejected.
+///
+/// This is the measurement kernel behind [`Bencher::iter`], exposed so
+/// harnesses can collect machine-readable numbers without going through
+/// the macro surface.
+pub fn measure<R, F: FnMut() -> R>(warmup: usize, samples: usize, mut f: F) -> Measurement {
+    for _ in 0..warmup {
+        std_black_box(f());
+    }
+    let samples = samples.max(1);
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        std_black_box(f());
+        times.push(start.elapsed());
+    }
+    let mut sorted = times.clone();
+    sorted.sort_unstable();
+    let raw_median = sorted[sorted.len() / 2];
+    let mut deviations: Vec<Duration> = times
+        .iter()
+        .map(|&t| {
+            if t >= raw_median {
+                t - raw_median
+            } else {
+                raw_median - t
+            }
+        })
+        .collect();
+    deviations.sort_unstable();
+    let mad = deviations[deviations.len() / 2];
+    let cutoff = raw_median + 3 * mad;
+    let floor = raw_median.saturating_sub(3 * mad);
+    let mut kept: Vec<Duration> = times
+        .iter()
+        .copied()
+        .filter(|&t| t >= floor && t <= cutoff)
+        .collect();
+    let rejected = samples - kept.len();
+    kept.sort_unstable();
+    Measurement {
+        median: kept[kept.len() / 2],
+        mad,
+        samples,
+        rejected,
+    }
+}
+
 /// Top-level benchmark driver, handed to every `criterion_group!` function.
 pub struct Criterion {
     samples: usize,
+    warmup: usize,
 }
 
 impl Default for Criterion {
@@ -74,8 +146,12 @@ impl Default for Criterion {
         let samples = std::env::var("CRITERION_SHIM_SAMPLES")
             .ok()
             .and_then(|s| s.parse().ok())
-            .unwrap_or(5);
-        Criterion { samples }
+            .unwrap_or(7);
+        let warmup = std::env::var("CRITERION_SHIM_WARMUP")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2);
+        Criterion { samples, warmup }
     }
 }
 
@@ -85,6 +161,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             samples: self.samples,
+            warmup: self.warmup,
             throughput: None,
             _criterion: self,
         }
@@ -95,8 +172,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let samples = self.samples;
-        run_benchmark(name, samples, None, f);
+        run_benchmark(name, self.samples, self.warmup, None, f);
     }
 }
 
@@ -104,6 +180,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     samples: usize,
+    warmup: usize,
     throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
@@ -132,7 +209,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.id);
-        run_benchmark(&label, self.samples, self.throughput, |b| f(b, input));
+        run_benchmark(&label, self.samples, self.warmup, self.throughput, |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -142,7 +221,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into().id);
-        run_benchmark(&label, self.samples, self.throughput, f);
+        run_benchmark(&label, self.samples, self.warmup, self.throughput, f);
         self
     }
 
@@ -153,34 +232,36 @@ impl BenchmarkGroup<'_> {
 /// Times closures handed to it by a benchmark body.
 pub struct Bencher {
     samples: usize,
-    elapsed: Option<Duration>,
+    warmup: usize,
+    measurement: Option<Measurement>,
 }
 
 impl Bencher {
-    /// Times `f`, recording the median over the configured samples.
-    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
-        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
-        for _ in 0..self.samples {
-            let start = Instant::now();
-            std_black_box(f());
-            times.push(start.elapsed());
-        }
-        times.sort_unstable();
-        self.elapsed = Some(times[times.len() / 2]);
+    /// Times `f` via [`measure`]: warmup, `samples` timed runs, MAD-based
+    /// outlier rejection, median of the survivors.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, f: F) {
+        self.measurement = Some(measure(self.warmup, self.samples, f));
     }
 }
 
-fn run_benchmark<F>(label: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
-where
+fn run_benchmark<F>(
+    label: &str,
+    samples: usize,
+    warmup: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
     F: FnMut(&mut Bencher),
 {
     let mut bencher = Bencher {
         samples: samples.max(1),
-        elapsed: None,
+        warmup,
+        measurement: None,
     };
     f(&mut bencher);
-    match bencher.elapsed {
-        Some(t) => {
+    match bencher.measurement {
+        Some(m) => {
+            let t = m.median;
             let per_unit = match throughput {
                 Some(Throughput::Elements(n)) if n > 0 => {
                     format!(" ({:.1} ns/elem)", t.as_nanos() as f64 / n as f64)
@@ -190,7 +271,15 @@ where
                 }
                 _ => String::new(),
             };
-            println!("bench: {label:<50} {t:>12.2?}{per_unit}");
+            let rejected = if m.rejected > 0 {
+                format!(", {} outlier(s) rejected", m.rejected)
+            } else {
+                String::new()
+            };
+            println!(
+                "bench: {label:<50} {t:>12.2?} ±{:.2?} [n={}{rejected}]{per_unit}",
+                m.mad, m.samples
+            );
         }
         None => println!("bench: {label:<50} (no measurement)"),
     }
@@ -251,9 +340,44 @@ mod tests {
     fn bencher_records_time() {
         let mut b = Bencher {
             samples: 3,
-            elapsed: None,
+            warmup: 1,
+            measurement: None,
         };
         b.iter(|| std::thread::sleep(std::time::Duration::from_micros(50)));
-        assert!(b.elapsed.unwrap() >= std::time::Duration::from_micros(50));
+        let m = b.measurement.unwrap();
+        assert!(m.median >= std::time::Duration::from_micros(50));
+        assert_eq!(m.samples, 3);
+    }
+
+    #[test]
+    fn measure_runs_warmup_and_samples() {
+        let mut calls = 0u32;
+        let m = measure(2, 5, || calls += 1);
+        assert_eq!(calls, 7, "warmup runs must execute but not be recorded");
+        assert_eq!(m.samples, 5);
+        assert!(m.rejected < 5, "median itself can never be rejected");
+    }
+
+    #[test]
+    fn mad_rejection_discards_a_single_spike() {
+        // 9 fast runs and one deliberate spike: the spike must be rejected
+        // whenever the fast runs show any timer-visible spread (MAD > 0);
+        // with MAD == 0 the cutoff collapses to the median and the spike is
+        // rejected too. Either way the median must stay at fast-run scale.
+        let mut i = 0;
+        let m = measure(0, 10, || {
+            i += 1;
+            if i == 4 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        });
+        assert!(
+            m.median < std::time::Duration::from_millis(15),
+            "median {:?} dragged up by the spike",
+            m.median
+        );
+        assert!(m.rejected >= 1, "spike not rejected (mad = {:?})", m.mad);
     }
 }

@@ -1,0 +1,315 @@
+//! The work-stealing executor behind the shim's parallel iterators.
+//!
+//! One [`Pool`] owns `threads - 1` long-lived worker threads (the thread
+//! that submits a job is the remaining executor). Each worker has its own
+//! deque of chunk-sized work units; a submitting thread scatters units
+//! round-robin across the deques, keeps the first chunk for itself, and
+//! then *participates*: it executes any unit it can find until its own
+//! job's completion count drops to zero. Workers pop their own deque from
+//! the back (LIFO, cache-warm) and steal from other deques' front (FIFO,
+//! oldest first) — the crossbeam-deque discipline, implemented here with
+//! one small mutex per deque because the units are coarse (hundreds of
+//! items each), so queue contention is negligible against chunk runtime.
+//!
+//! Blocking-by-participation is what makes nested parallelism safe: a
+//! worker that submits a sub-job while executing a unit simply executes
+//! further units (its own sub-job's or anyone else's) until the sub-job
+//! completes, so no thread ever parks while work it depends on is runnable
+//! and nested `ThreadPool::install` calls cannot deadlock.
+//!
+//! Panics inside a unit are caught, flagged on the owning job, and
+//! re-raised on the submitting thread once the job drains.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// One chunk of one parallel job.
+///
+/// The raw job pointer is valid for exactly as long as units of that job
+/// exist: the submitting thread keeps the [`JobCore`] alive on its stack
+/// until `remaining` reaches zero, and a unit is popped at most once.
+#[derive(Copy, Clone)]
+struct Unit {
+    job: *const JobCore,
+    chunk: u32,
+}
+
+// SAFETY: `Unit` crosses threads by design; the pointed-to `JobCore` is
+// kept alive by the submitting thread until every unit has executed (see
+// `Shared::run_chunks`), and `task` is `Sync`.
+unsafe impl Send for Unit {}
+
+/// Shared state of one in-flight parallel job.
+struct JobCore {
+    /// The chunk executor. The `'static` lifetime is a lie told to the type
+    /// system (see `run_chunks`); validity is guaranteed by the completion
+    /// protocol.
+    task: &'static (dyn Fn(usize) + Sync),
+    /// Units not yet finished executing.
+    remaining: AtomicUsize,
+    /// First panic payload caught in a unit; re-raised by the submitter so
+    /// the original assert/panic message survives the pool boundary.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Executes one unit, catching panics so a worker thread survives them.
+/// The thread completing a job's last unit posts a wakeup so a parked
+/// submitter (see `run_chunks`) notices promptly.
+///
+/// # Safety
+///
+/// `unit.job` must point to a live `JobCore` (upheld by the completion
+/// protocol described on [`Unit`]).
+unsafe fn execute(unit: Unit, shared: &Shared) {
+    let job = &*unit.job;
+    let task = job.task;
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(unit.chunk as usize))) {
+        let mut slot = job.panic_payload.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+    // Last touch of the JobCore: after this decrement the submitter may
+    // free it. The wakeup goes through the pool-owned condvar, which
+    // outlives every job, so notifying *after* the decrement is safe.
+    if job.remaining.fetch_sub(1, Ordering::Release) == 1 {
+        shared.notify();
+    }
+}
+
+/// State shared between a pool's workers and its submitters.
+pub(crate) struct Shared {
+    /// One work deque per worker thread.
+    deques: Vec<Mutex<VecDeque<Unit>>>,
+    /// Wake generation: bumped on every submission so sleeping workers can
+    /// detect work that arrived between their failed scan and their sleep.
+    generation: Mutex<u64>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    /// Round-robin scatter cursor for submissions.
+    cursor: AtomicUsize,
+}
+
+impl Shared {
+    /// Pops a unit: own deque back first (if a worker), then any deque's
+    /// front (stealing).
+    fn find_unit(&self, own: Option<usize>) -> Option<Unit> {
+        if let Some(i) = own {
+            if let Some(u) = self.deques[i].lock().unwrap().pop_back() {
+                return Some(u);
+            }
+        }
+        let n = self.deques.len();
+        let start = own.unwrap_or_else(|| self.cursor.load(Ordering::Relaxed));
+        for k in 0..n {
+            let j = (start + k) % n;
+            if Some(j) == own {
+                continue;
+            }
+            if let Some(u) = self.deques[j].lock().unwrap().pop_front() {
+                return Some(u);
+            }
+        }
+        None
+    }
+
+    fn notify(&self) {
+        *self.generation.lock().unwrap() += 1;
+        self.wake.notify_all();
+    }
+
+    /// Runs `task(i)` for every `i in 0..num_chunks`, distributing chunks
+    /// `1..` over the worker deques and executing chunk `0` (plus anything
+    /// it can steal) on the calling thread. Returns when all chunks have
+    /// finished; re-raises the first panic observed.
+    pub(crate) fn run_chunks(self: &Arc<Self>, num_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+        if num_chunks == 0 {
+            return;
+        }
+        if num_chunks == 1 || self.deques.is_empty() {
+            for i in 0..num_chunks {
+                task(i);
+            }
+            return;
+        }
+
+        // SAFETY: widening the borrow to 'static is sound because this
+        // function does not return until `remaining` hits zero, i.e. until
+        // no live `Unit` (and therefore no worker) can reach `task` again.
+        let task_static: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task) };
+        let core = JobCore {
+            task: task_static,
+            remaining: AtomicUsize::new(num_chunks),
+            panic_payload: Mutex::new(None),
+        };
+
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        for i in 1..num_chunks {
+            let w = (start + i) % self.deques.len();
+            self.deques[w].lock().unwrap().push_back(Unit {
+                job: &core,
+                chunk: i as u32,
+            });
+        }
+        self.notify();
+
+        // SAFETY: `core` is live for the whole loop below.
+        unsafe {
+            execute(
+                Unit {
+                    job: &core,
+                    chunk: 0,
+                },
+                self,
+            );
+            // Participate until our job drains. Executing units of *other*
+            // jobs here is deliberate: it is what keeps nested submissions
+            // deadlock-free. With nothing runnable, park on the pool's
+            // condvar (woken by new submissions and by the job's final
+            // decrement in `execute`) instead of burning a core spinning.
+            while core.remaining.load(Ordering::Acquire) > 0 {
+                match self.find_unit(None) {
+                    Some(unit) => execute(unit, self),
+                    None => {
+                        let guard = self.generation.lock().unwrap();
+                        // Recheck under the lock: `notify` bumps the
+                        // generation under this same lock, so a completion
+                        // between the load above and this wait cannot be
+                        // lost. The timeout is belt-and-braces only.
+                        if core.remaining.load(Ordering::Acquire) > 0 {
+                            let _ = self
+                                .wake
+                                .wait_timeout(guard, Duration::from_millis(1))
+                                .unwrap();
+                        }
+                    }
+                }
+            }
+        }
+        let payload = core.panic_payload.lock().unwrap().take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// The execution context a thread resolves parallel operations against:
+/// the simulated thread count `ℓ` plus the pool (if any) carrying it.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) threads: usize,
+    pub(crate) shared: Option<Arc<Shared>>,
+}
+
+thread_local! {
+    /// Innermost-first stack of installed contexts. Worker threads carry
+    /// their home pool as the base entry so work executed *on* a pool
+    /// resolves nested parallel operations to that same pool.
+    static CONTEXT: RefCell<Vec<Ctx>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost context, if any.
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CONTEXT.with(|c| c.borrow().last().cloned())
+}
+
+/// Pushes `ctx` for the duration of `f` (panic-safe).
+pub(crate) fn with_ctx<R>(ctx: Ctx, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            CONTEXT.with(|c| {
+                c.borrow_mut().pop();
+            });
+        }
+    }
+    CONTEXT.with(|c| c.borrow_mut().push(ctx));
+    let _guard = Guard;
+    f()
+}
+
+/// A work-stealing pool of `workers` threads (plus participating
+/// submitters).
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Builds a pool whose jobs report `threads` as the simulated
+    /// parallelism; `threads - 1` OS worker threads are spawned (the
+    /// submitting thread is the remaining executor). `threads <= 1` spawns
+    /// nothing and executes jobs inline.
+    pub(crate) fn new(threads: usize) -> Pool {
+        let workers = threads.saturating_sub(1);
+        let shared = Arc::new(Shared {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            generation: Mutex::new(0),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cursor: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{index}"))
+                    .spawn(move || worker_main(shared, index, threads))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Pool { shared, handles }
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_main(shared: Arc<Shared>, index: usize, home_threads: usize) {
+    // Everything a worker executes resolves nested parallelism to its home
+    // pool (matching rayon, where workers belong to a registry).
+    CONTEXT.with(|c| {
+        c.borrow_mut().push(Ctx {
+            threads: home_threads,
+            shared: Some(Arc::clone(&shared)),
+        })
+    });
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Read the generation *before* scanning so a submission racing with
+        // the failed scan bumps it and the sleep below falls through.
+        let gen = *shared.generation.lock().unwrap();
+        if let Some(unit) = shared.find_unit(Some(index)) {
+            // SAFETY: units in deques always reference live jobs.
+            unsafe { execute(unit, &shared) };
+            continue;
+        }
+        let guard = shared.generation.lock().unwrap();
+        if *guard == gen && !shared.shutdown.load(Ordering::Acquire) {
+            // Timeout only as a belt-and-braces recheck; wakeups are posted
+            // by `notify` under the same lock.
+            let _ = shared
+                .wake
+                .wait_timeout(guard, Duration::from_millis(50))
+                .unwrap();
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Parallel slice chunking (rayon's `rayon::slice` traits).
+//!
+//! `par_chunks` / `par_chunks_mut` are the chunk-friendly entry points the
+//! workspace's hot kernels use: the caller picks the chunk granularity,
+//! each chunk is one work unit for the pool, and per-chunk inner loops
+//! stay plain sequential code the optimizer can vectorize.
+
+use crate::ParIter;
+
+/// Parallel chunked iteration over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Splits into contiguous chunks of at most `chunk_size` items (the
+    /// last may be shorter), iterated in parallel in order.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel chunked iteration over exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits into contiguous mutable chunks of at most `chunk_size` items
+    /// (the last may be shorter), iterated in parallel in order.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
