@@ -22,11 +22,11 @@
 
 use std::time::{Duration, Instant};
 
-use kcenter_core::outliers_cluster::CmpMatrixOracle;
+use kcenter_core::outliers_cluster::CmpMatrixRef;
 use kcenter_core::radius_search::{find_min_feasible_radius, SearchMode};
-use kcenter_core::solution::{radius_with_outliers, Clustering};
+use kcenter_core::solution::{oracle_radius_with_outliers, Clustering};
 use kcenter_core::InputError;
-use kcenter_metric::Metric;
+use kcenter_metric::{DistanceMatrix, Metric};
 
 /// Result of a CHARIKARETAL run.
 #[derive(Clone, Debug)]
@@ -68,13 +68,15 @@ where
     }
 
     let start = Instant::now();
-    // Proxy-scale matrix: one comparison rule with the metric-backed
-    // oracles, and no sqrt per cached entry.
-    let matrix = CmpMatrixOracle::build(points, metric);
+    // Proxy-scale matrix behind a borrowed view: one comparison rule with
+    // the metric-backed oracles, no sqrt per cached entry, and the same
+    // matrix prices both the binary search and the final objective below.
+    let matrix = DistanceMatrix::build_cmp(points, metric);
+    let view = CmpMatrixRef::<P, M>::new(&matrix, metric);
     let weights = vec![1u64; n];
     // ε̂ = 0: selection ball r, removal ball 3r — the original algorithm.
     let search = find_min_feasible_radius(
-        &matrix,
+        &view,
         &weights,
         k,
         z as u64,
@@ -87,7 +89,7 @@ where
         .iter()
         .map(|&i| points[i].clone())
         .collect();
-    let objective = radius_with_outliers(points, &centers, z, metric);
+    let objective = oracle_radius_with_outliers(&view, &search.clustering.centers, z);
     let time = start.elapsed();
 
     Ok(CharikarResult {

@@ -1,7 +1,7 @@
 //! Bench runner: measures the hot kernels (GMM, `OutliersCluster`, radius
-//! search, `DistanceMatrix` construction) on the 10k-point `Power` workload
-//! and writes machine-readable `BENCH_pr2.json` — the perf trajectory's
-//! baseline record.
+//! search, `DistanceMatrix` construction, cached-vs-rebuilt radius-search
+//! sweeps) on the 10k-point `Power` workload and writes machine-readable
+//! `BENCH_pr3.json` — the perf trajectory's record.
 //!
 //! Every number comes from the criterion shim's measurement kernel
 //! (warmup, N samples, MAD-based outlier rejection, median of survivors)
@@ -13,13 +13,13 @@
 
 use std::fmt::Write as _;
 
-use criterion::{measure, Measurement};
+use criterion::{measure, measure_paired, Measurement};
 use kcenter_bench::Dataset;
 use kcenter_core::coreset::{build_weighted_coreset, CoresetSpec};
 use kcenter_core::gmm::gmm_select;
 use kcenter_core::outliers_cluster::{outliers_cluster, PointsOracle};
-use kcenter_core::radius_search::{find_min_feasible_radius, SearchMode};
-use kcenter_metric::{DistanceMatrix, Euclidean, Metric, Point};
+use kcenter_core::radius_search::{find_min_feasible_radius, solve_coreset_cached, SearchMode};
+use kcenter_metric::{CachedOracle, DistanceMatrix, Euclidean, Metric, Point};
 
 /// `Euclidean` with the proxy hooks forced back to their defaults: every
 /// comparison pays the `sqrt`, i.e. the pre-PR code path. Benchmarked
@@ -59,20 +59,16 @@ fn json_record(r: &Record) -> String {
     )
 }
 
-fn run_kernels(
-    threads: usize,
-    warmup: usize,
-    samples: usize,
-    n: usize,
-    records: &mut Vec<Record>,
-) {
+fn run_kernels(threads: usize, warmup: usize, samples: usize, n: usize, records: &mut Vec<Record>) {
     let (k, z, mu) = (20usize, 50usize, 8usize);
     let points = Dataset::Power.generate(n, 1);
 
     // Kernel 1: GMM farthest-first traversal, k = paper's Power k (100),
     // with the sqrt-free proxy metric and the forced-sqrt "before" path.
     let gmm_k = Dataset::Power.paper_k();
-    let m = measure(warmup, samples, || gmm_select(&points, &Euclidean, gmm_k, 0));
+    let m = measure(warmup, samples, || {
+        gmm_select(&points, &Euclidean, gmm_k, 0)
+    });
     records.push(Record {
         kernel: "gmm_select",
         dataset: "Power",
@@ -81,7 +77,10 @@ fn run_kernels(
         threads,
         m,
     });
-    eprintln!("  gmm_select/k={gmm_k}            {:>12.2?} ±{:.2?}", m.median, m.mad);
+    eprintln!(
+        "  gmm_select/k={gmm_k}            {:>12.2?} ±{:.2?}",
+        m.median, m.mad
+    );
 
     let m = measure(warmup, samples, || {
         gmm_select(&points, &SqrtEuclidean, gmm_k, 0)
@@ -94,16 +93,27 @@ fn run_kernels(
         threads,
         m,
     });
-    eprintln!("  gmm_select (sqrt before)    {:>12.2?} ±{:.2?}", m.median, m.mad);
+    eprintln!(
+        "  gmm_select (sqrt before)    {:>12.2?} ±{:.2?}",
+        m.median, m.mad
+    );
 
     // Shared coreset fixture for the outlier kernels: τ = µ(k+z) = 560.
-    let build = build_weighted_coreset(&points, &Euclidean, k + z, &CoresetSpec::Multiplier { mu }, 0);
+    let build = build_weighted_coreset(
+        &points,
+        &Euclidean,
+        k + z,
+        &CoresetSpec::Multiplier { mu },
+        0,
+    );
     let cpoints = build.coreset.points_only();
     let weights = build.coreset.weights();
     let t = cpoints.len();
 
     // Kernel 2: condensed distance-matrix construction over the coreset.
-    let m = measure(warmup, samples, || DistanceMatrix::build(&cpoints, &Euclidean));
+    let m = measure(warmup, samples, || {
+        DistanceMatrix::build(&cpoints, &Euclidean)
+    });
     records.push(Record {
         kernel: "distance_matrix_build",
         dataset: "Power",
@@ -112,7 +122,10 @@ fn run_kernels(
         threads,
         m,
     });
-    eprintln!("  distance_matrix/|T|={t}     {:>12.2?} ±{:.2?}", m.median, m.mad);
+    eprintln!(
+        "  distance_matrix/|T|={t}     {:>12.2?} ±{:.2?}",
+        m.median, m.mad
+    );
 
     let matrix = DistanceMatrix::build(&cpoints, &Euclidean);
 
@@ -129,7 +142,10 @@ fn run_kernels(
         threads,
         m,
     });
-    eprintln!("  outliers_cluster/|T|={t}    {:>12.2?} ±{:.2?}", m.median, m.mad);
+    eprintln!(
+        "  outliers_cluster/|T|={t}    {:>12.2?} ±{:.2?}",
+        m.median, m.mad
+    );
 
     // Kernel 3b: the same run through a metric-backed oracle, proxied vs
     // forced-sqrt — the sqrt-free before/after on the O(|T|²) scans.
@@ -145,7 +161,10 @@ fn run_kernels(
         threads,
         m,
     });
-    eprintln!("  outliers_cluster (oracle)   {:>12.2?} ±{:.2?}", m.median, m.mad);
+    eprintln!(
+        "  outliers_cluster (oracle)   {:>12.2?} ±{:.2?}",
+        m.median, m.mad
+    );
 
     let sqrt_oracle = PointsOracle::new(&cpoints, &SqrtEuclidean);
     let m = measure(warmup, samples, || {
@@ -159,11 +178,21 @@ fn run_kernels(
         threads,
         m,
     });
-    eprintln!("  outliers_cluster (sqrt)     {:>12.2?} ±{:.2?}", m.median, m.mad);
+    eprintln!(
+        "  outliers_cluster (sqrt)     {:>12.2?} ±{:.2?}",
+        m.median, m.mad
+    );
 
     // Kernel 4: the full geometric-grid radius search.
     let m = measure(warmup, samples, || {
-        find_min_feasible_radius(&matrix, &weights, k, z as u64, eps, SearchMode::GeometricGrid)
+        find_min_feasible_radius(
+            &matrix,
+            &weights,
+            k,
+            z as u64,
+            eps,
+            SearchMode::GeometricGrid,
+        )
     });
     records.push(Record {
         kernel: "radius_search_grid",
@@ -173,11 +202,74 @@ fn run_kernels(
         threads,
         m,
     });
-    eprintln!("  radius_search/|T|={t}       {:>12.2?} ±{:.2?}", m.median, m.mad);
+    eprintln!(
+        "  radius_search/|T|={t}       {:>12.2?} ±{:.2?}",
+        m.median, m.mad
+    );
+
+    // Kernel 5: the fig4-style sweep shape — repeated radius searches over
+    // one coreset. "cached" shares a CachedOracle (the proxy matrix is
+    // built once, outside the sweep's inner iterations); "rebuilt" prices
+    // the coreset into a fresh matrix on every search, the pre-PR-3
+    // behaviour of sweeps that called solve_coreset per configuration.
+    // Samples interleave (ABBA) so slow machine drift cannot reorder the
+    // medians of what is a ~5%-of-runtime difference.
+    let shared = CachedOracle::new(cpoints.clone(), &Euclidean, usize::MAX);
+    let _ = shared.matrix(); // warm: sweeps pay the build once, not per search
+    let (m_cached, m_rebuilt) = measure_paired(
+        warmup,
+        samples,
+        || {
+            solve_coreset_cached(
+                &shared,
+                &weights,
+                k,
+                z as u64,
+                eps,
+                SearchMode::GeometricGrid,
+            )
+        },
+        || {
+            let fresh = CachedOracle::new(cpoints.clone(), &Euclidean, usize::MAX);
+            solve_coreset_cached(
+                &fresh,
+                &weights,
+                k,
+                z as u64,
+                eps,
+                SearchMode::GeometricGrid,
+            )
+        },
+    );
+    records.push(Record {
+        kernel: "radius_search_cached_oracle",
+        dataset: "Power",
+        n: t,
+        ops: (t * t) as u64,
+        threads,
+        m: m_cached,
+    });
+    eprintln!(
+        "  radius_search (cached)      {:>12.2?} ±{:.2?}",
+        m_cached.median, m_cached.mad
+    );
+    assert_eq!(shared.build_count(), 1, "cached sweep must build once");
+    records.push(Record {
+        kernel: "radius_search_rebuilt_matrix",
+        dataset: "Power",
+        n: t,
+        ops: (t * t) as u64,
+        threads,
+        m: m_rebuilt,
+    });
+    eprintln!(
+        "  radius_search (rebuilt)     {:>12.2?} ±{:.2?}",
+        m_rebuilt.median, m_rebuilt.mad
+    );
 }
 
 fn main() {
-    let mut out = "BENCH_pr2.json".to_string();
+    let mut out = "BENCH_pr3.json".to_string();
     let mut samples = 7usize;
     let mut warmup = 2usize;
     let mut n = 10_000usize;

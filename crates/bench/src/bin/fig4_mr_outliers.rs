@@ -106,4 +106,10 @@ fn main() {
         }
         println!("best radius found: {:.4}\n", table.best_radius());
     }
+    // One matrix per radius search, never more: sweeps that re-search a
+    // shared coreset reuse its CachedOracle matrix (pinned by fig_golden).
+    println!(
+        "distance matrices built: {}",
+        kcenter_metric::matrix_build_count()
+    );
 }

@@ -17,11 +17,6 @@ use rayon::prelude::*;
 
 use kcenter_metric::Metric;
 
-/// Items per parallel chunk of the distance scan: small enough to split a
-/// 10k-point scan across several workers, large enough that per-chunk
-/// scheduling cost vanishes against the distance evaluations.
-const SCAN_CHUNK: usize = 1024;
-
 /// Incremental GMM state over a fixed point set.
 pub struct Gmm<'a, P, M> {
     points: &'a [P],
@@ -69,21 +64,23 @@ impl<'a, P: Sync, M: Metric<P>> Gmm<'a, P, M> {
         let c = &self.points[idx];
         let metric = self.metric;
         let points = self.points;
-        // One O(n) scan, chunked for the pool: each chunk relaxes its
-        // points against the new center (comparing sqrt-free proxies) and
-        // reports its local farthest point; chunk winners combine
-        // left-to-right, earliest index winning ties — identical to a
-        // sequential scan.
+        // One O(n) scan, chunked for the pool at the granularity the
+        // adaptive splitter currently targets (finer while the pool
+        // observes steals, coarser when its workers are saturated): each
+        // chunk relaxes its points against the new center (comparing
+        // sqrt-free proxies) and reports its local farthest point; chunk
+        // winners combine left-to-right, earliest index winning ties —
+        // identical to a sequential scan for every chunk length.
+        let scan_chunk = rayon::adaptive_chunk_len(self.dist.len());
         let (far_idx, far_cmp) = self
             .dist
-            .par_chunks_mut(SCAN_CHUNK)
-            .zip(self.nearest.par_chunks_mut(SCAN_CHUNK))
+            .par_chunks_mut(scan_chunk)
+            .zip(self.nearest.par_chunks_mut(scan_chunk))
             .enumerate()
             .map(|(ci, (dist_chunk, near_chunk))| {
-                let base = ci * SCAN_CHUNK;
+                let base = ci * scan_chunk;
                 let mut best = (usize::MAX, f64::NEG_INFINITY);
-                for (j, (d, near)) in dist_chunk.iter_mut().zip(near_chunk.iter_mut()).enumerate()
-                {
+                for (j, (d, near)) in dist_chunk.iter_mut().zip(near_chunk.iter_mut()).enumerate() {
                     let nd = metric.cmp_distance(&points[base + j], c);
                     if nd < *d {
                         *d = nd;

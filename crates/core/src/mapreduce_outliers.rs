@@ -27,11 +27,11 @@ use std::time::{Duration, Instant};
 use kcenter_mapreduce::{
     Adversarial, Chunked, MapReduceEngine, MemoryReport, Partitioner, RandomPartition,
 };
-use kcenter_metric::Metric;
+use kcenter_metric::{CachedOracle, Metric};
 
-use crate::coreset::{build_weighted_coreset, CoresetSpec, WeightedPoint};
+use crate::coreset::{build_weighted_coreset, CoresetSpec, WeightedCoreset, WeightedPoint};
 use crate::error::{check_eps, check_kz, InputError};
-use crate::radius_search::{default_matrix_threshold, solve_coreset, SearchMode};
+use crate::radius_search::{default_matrix_threshold, solve_coreset_cached, SearchMode};
 use crate::solution::{radius_with_outliers, Clustering};
 
 /// Which §3.2 variant to run (controls the coreset base).
@@ -255,15 +255,20 @@ where
         weighted_union,
         |(_, wp)| ((), wp),
         |_, union| {
-            let coreset = union.iter().cloned().collect();
-            vec![solve_coreset(
-                &coreset,
-                metric,
+            // Price the union into one oracle: the radius search's many
+            // OutliersCluster evaluations share its lazily built proxy
+            // matrix. The handle lives only for this reducer — sweeps
+            // that re-solve one coreset under several parameters hold a
+            // CachedOracle themselves and call solve_coreset_cached.
+            let coreset: WeightedCoreset<P> = union.iter().cloned().collect();
+            let oracle = CachedOracle::new(coreset.points_only(), metric, matrix_threshold);
+            vec![solve_coreset_cached(
+                &oracle,
+                &coreset.weights(),
                 k,
                 z as u64,
                 eps_hat,
                 search,
-                matrix_threshold,
             )]
         },
     );

@@ -24,11 +24,7 @@
 
 use rayon::prelude::*;
 
-use kcenter_metric::{DistanceMatrix, Metric};
-
-/// Balls per parallel chunk: each ball already costs an `O(|T|)` inner
-/// scan, so chunks stay small to split coresets of a few hundred points.
-const BALL_CHUNK: usize = 16;
+use kcenter_metric::{CachedOracle, DistanceMatrix, Metric};
 
 /// Pairwise distances among coreset points, by index.
 pub trait DistanceOracle: Sync {
@@ -62,6 +58,22 @@ pub trait DistanceOracle: Sync {
     fn cmp_to_radius(&self, cmp: f64) -> f64 {
         cmp
     }
+
+    /// Materializes any lazy internal state **on the calling thread**,
+    /// before the parallel scans start. The algorithms in this module (and
+    /// the radius search) call this once at entry; oracles with no lazy
+    /// state keep the no-op default.
+    ///
+    /// This is load-bearing for [`CachedOracle`]: its matrix build runs
+    /// inside a `OnceLock` initializer *and* parallelizes over the pool.
+    /// If the first lookup instead happened inside a pool task, the
+    /// initializing worker — which participates in scheduling while it
+    /// builds — could steal a unit of the outer scan whose task re-enters
+    /// the `OnceLock` on the same thread: a deadlock (every other thread
+    /// is already parked on the same initializer). Resolving the cache
+    /// from the submitting thread makes the build an ordinary nested job,
+    /// which the pool handles deadlock-free.
+    fn prepare(&self) {}
 }
 
 impl DistanceOracle for DistanceMatrix {
@@ -91,39 +103,38 @@ impl<'a, P, M: Metric<P>> PointsOracle<'a, P, M> {
     }
 }
 
-/// A cached [`DistanceMatrix`] of *comparison proxies* paired with its
-/// metric's conversions.
+/// A [`DistanceOracle`] over a borrowed *proxy-scale* [`DistanceMatrix`]
+/// paired with its metric's conversions — the matrix-backed counterpart
+/// of [`PointsOracle`], used to run searches against a [`CachedOracle`]'s
+/// shared matrix (or any `DistanceMatrix::build_cmp` product) without a
+/// per-lookup cache-resolution branch in the `O(|T|²)` inner loops.
 ///
-/// This is the matrix-backed counterpart of [`PointsOracle`] that applies
-/// the **same comparison rule**: both compare on the metric's
-/// [`Metric::cmp_distance`] scale, so an algorithm's output is bitwise
-/// independent of whether distances were cached or evaluated on demand —
-/// even at threshold boundaries within one ulp, where a true-distance rule
-/// (`sqrt(c) <= r`) and a proxy rule (`c <= r²`) can disagree. Building
-/// the proxy matrix is also cheaper: no `sqrt` per entry.
-pub struct CmpMatrixOracle<'a, P, M> {
-    matrix: DistanceMatrix,
+/// Both oracles apply the **same comparison rule**: they compare on the
+/// metric's [`Metric::cmp_distance`] scale, so an algorithm's output is
+/// bitwise independent of whether distances were cached or evaluated on
+/// demand — even at threshold boundaries within one ulp, where a
+/// true-distance rule (`sqrt(c) <= r`) and a proxy rule (`c <= r²`) can
+/// disagree. Building the proxy matrix is also cheaper: no `sqrt` per
+/// entry.
+pub struct CmpMatrixRef<'a, P, M> {
+    matrix: &'a DistanceMatrix,
     metric: &'a M,
     _points: std::marker::PhantomData<fn() -> P>,
 }
 
-impl<'a, P: Sync, M: Metric<P>> CmpMatrixOracle<'a, P, M> {
-    /// Builds the proxy matrix over `points` under `metric`.
-    pub fn build(points: &[P], metric: &'a M) -> Self {
-        CmpMatrixOracle {
-            matrix: DistanceMatrix::build_cmp(points, metric),
+impl<'a, P: Sync, M: Metric<P>> CmpMatrixRef<'a, P, M> {
+    /// Wraps a proxy-scale matrix (entries on the [`Metric::cmp_distance`]
+    /// scale) with the metric that owns its conversions.
+    pub fn new(matrix: &'a DistanceMatrix, metric: &'a M) -> Self {
+        CmpMatrixRef {
+            matrix,
             metric,
             _points: std::marker::PhantomData,
         }
     }
-
-    /// Bytes of heap memory held by the cached matrix.
-    pub fn heap_bytes(&self) -> usize {
-        self.matrix.heap_bytes()
-    }
 }
 
-impl<P: Sync, M: Metric<P>> DistanceOracle for CmpMatrixOracle<'_, P, M> {
+impl<P: Sync, M: Metric<P>> DistanceOracle for CmpMatrixRef<'_, P, M> {
     fn len(&self) -> usize {
         self.matrix.len()
     }
@@ -149,6 +160,44 @@ impl<P: Sync, M: Metric<P>> DistanceOracle for CmpMatrixOracle<'_, P, M> {
     #[inline]
     fn cmp_to_radius(&self, cmp: f64) -> f64 {
         self.metric.cmp_to_distance(cmp)
+    }
+}
+
+/// The shared memoized oracle is itself a [`DistanceOracle`]: lookups go
+/// through its cache (matrix-backed once built, metric-evaluated above the
+/// cache threshold). Hot search loops should prefer resolving the cache
+/// once — [`CachedOracle::matrix`] + [`CmpMatrixRef`], as
+/// `solve_coreset_cached` does — but the direct impl keeps the handle
+/// usable anywhere an oracle is expected.
+impl<P: Send + Sync, M: Metric<P>> DistanceOracle for CachedOracle<'_, P, M> {
+    fn len(&self) -> usize {
+        CachedOracle::len(self)
+    }
+
+    fn prepare(&self) {
+        // Resolve (and, below the threshold, build) the cache on the
+        // calling thread — see the trait method's deadlock note.
+        let _ = self.matrix();
+    }
+
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        CachedOracle::dist(self, i, j)
+    }
+
+    #[inline]
+    fn cmp_dist(&self, i: usize, j: usize) -> f64 {
+        CachedOracle::cmp_dist(self, i, j)
+    }
+
+    #[inline]
+    fn radius_to_cmp(&self, r: f64) -> f64 {
+        self.metric().distance_to_cmp(r)
+    }
+
+    #[inline]
+    fn cmp_to_radius(&self, cmp: f64) -> f64 {
+        self.metric().cmp_to_distance(cmp)
     }
 }
 
@@ -211,6 +260,7 @@ pub fn outliers_cluster<O: DistanceOracle>(
         r >= 0.0 && eps_hat >= 0.0,
         "radius and eps must be non-negative"
     );
+    oracle.prepare();
 
     // Thresholds on the oracle's comparison scale: every O(n²) scan below
     // tests `cmp_dist <= cmp-threshold`, sqrt-free for metric oracles.
@@ -220,14 +270,21 @@ pub fn outliers_cluster<O: DistanceOracle>(
     let mut covered = vec![false; n];
     let mut uncovered_count = n;
 
+    // Balls per parallel chunk: each ball costs an `O(|T|)` inner scan, so
+    // the pool's adaptive splitter decides the granularity (it splits
+    // finer while steals are observed, coarser once workers saturate).
+    // Any positive chunk length yields identical results: writes are
+    // per-element and `base` tracks the chosen length.
+    let ball_chunk = rayon::adaptive_chunk_len(n);
+
     // Initial ball weights over all (uncovered) points: O(n²), chunked for
     // the pool with a plain sequential inner scan per ball.
     let mut ball_weight: Vec<u64> = vec![0; n];
     ball_weight
-        .par_chunks_mut(BALL_CHUNK)
+        .par_chunks_mut(ball_chunk)
         .enumerate()
         .for_each(|(ci, chunk)| {
-            let base = ci * BALL_CHUNK;
+            let base = ci * ball_chunk;
             for (j, w) in chunk.iter_mut().enumerate() {
                 let t = base + j;
                 let mut acc = 0u64;
@@ -266,10 +323,10 @@ pub fn outliers_cluster<O: DistanceOracle>(
         // them. Each point is removed exactly once, so the total update work
         // over the whole run is O(n²).
         ball_weight
-            .par_chunks_mut(BALL_CHUNK)
+            .par_chunks_mut(ball_chunk)
             .enumerate()
             .for_each(|(ci, chunk)| {
-                let base = ci * BALL_CHUNK;
+                let base = ci * ball_chunk;
                 for (j, w) in chunk.iter_mut().enumerate() {
                     let t = base + j;
                     for &v in &removed {
@@ -488,7 +545,8 @@ mod tests {
             .collect();
         let w: Vec<u64> = (0..40).map(|i| 1 + (i % 3) as u64).collect();
         let points_oracle = PointsOracle::new(&pts, &Euclidean);
-        let cmp_matrix = CmpMatrixOracle::build(&pts, &Euclidean);
+        let matrix = DistanceMatrix::build_cmp(&pts, &Euclidean);
+        let cmp_matrix = CmpMatrixRef::<Point, _>::new(&matrix, &Euclidean);
         // Exact pairwise distances as radii put thresholds on boundaries.
         let mut radii: Vec<f64> = vec![3.0, 7.5];
         radii.push(Euclidean.distance(&pts[0], &pts[7]));

@@ -22,11 +22,11 @@
 
 use rayon::prelude::*;
 
-use kcenter_metric::Metric;
+use kcenter_metric::{CachedOracle, Metric};
 
 use crate::coreset::WeightedCoreset;
 use crate::outliers_cluster::{
-    outliers_cluster, CmpMatrixOracle, DistanceOracle, OutliersClusterResult, PointsOracle,
+    outliers_cluster, CmpMatrixRef, DistanceOracle, OutliersClusterResult, PointsOracle,
 };
 
 /// Which candidate-radius structure the search walks.
@@ -68,6 +68,11 @@ pub fn find_min_feasible_radius<O: DistanceOracle>(
     assert!(n > 0, "radius search over an empty coreset");
     assert_eq!(weights.len(), n, "weights misaligned with points");
     assert!(k > 0, "k must be positive");
+    // Materialize lazy oracle state here, on the submitting thread, before
+    // the parallel candidate/min-distance scans first touch it (see
+    // `DistanceOracle::prepare` for why this must not happen inside a
+    // pool task).
+    oracle.prepare();
 
     let evaluations = std::cell::Cell::new(0usize);
     let feasible = |r: f64| -> Option<OutliersClusterResult> {
@@ -277,8 +282,12 @@ pub struct CoresetSolution<P> {
 /// shared second phase of the deterministic/randomized MapReduce algorithms,
 /// the sequential algorithm, and both streaming finalizations.
 ///
-/// Distances are cached in a [`DistanceMatrix`] when the coreset has at most
-/// `matrix_threshold` points.
+/// Distances are cached in a proxy-scale matrix when the coreset has at
+/// most `matrix_threshold` points. Internally this prices the coreset into
+/// a fresh [`CachedOracle`]; callers that run **multiple** searches over
+/// one coreset (ε sweeps, search-mode ablations, repeated solves) should
+/// hold a [`CachedOracle`] themselves and call [`solve_coreset_cached`] so
+/// the matrix is built at most once across all of them.
 ///
 /// # Panics
 ///
@@ -297,20 +306,50 @@ where
     M: Metric<P>,
 {
     assert!(!coreset.is_empty(), "cannot solve an empty coreset");
-    let points = coreset.points_only();
-    let weights = coreset.weights();
+    let oracle = CachedOracle::new(coreset.points_only(), metric, matrix_threshold);
+    solve_coreset_cached(&oracle, &coreset.weights(), k, z, eps_hat, mode)
+}
 
-    // Both branches compare on the metric's proxy scale (the cached matrix
-    // stores cmp values), so the result is bitwise independent of which
-    // side of the threshold — itself environment-derived — a run lands on.
-    let search = if points.len() <= matrix_threshold {
-        let oracle = CmpMatrixOracle::build(&points, metric);
-        find_min_feasible_radius(&oracle, &weights, k, z, eps_hat, mode)
-    } else {
-        let oracle = PointsOracle::new(&points, metric);
-        find_min_feasible_radius(&oracle, &weights, k, z, eps_hat, mode)
+/// [`solve_coreset`] over an externally shared [`CachedOracle`]: the
+/// oracle's proxy matrix is built lazily on the first search and reused by
+/// every subsequent search on the same handle (or any clone of it), so a
+/// sweep that solves one coreset under many parameters prices it into a
+/// matrix exactly once per process.
+///
+/// Both the cached and the on-demand path compare on the metric's proxy
+/// scale, so the result is bitwise independent of which side of the
+/// oracle's cache threshold — itself environment-derived — a run lands on.
+///
+/// # Panics
+///
+/// Panics if the oracle is empty, `weights` is misaligned, or `k == 0`.
+pub fn solve_coreset_cached<P, M>(
+    oracle: &CachedOracle<'_, P, M>,
+    weights: &[u64],
+    k: usize,
+    z: u64,
+    eps_hat: f64,
+    mode: SearchMode,
+) -> CoresetSolution<P>
+where
+    P: Clone + Sync,
+    M: Metric<P>,
+{
+    assert!(!oracle.is_empty(), "cannot solve an empty coreset");
+    // Resolve the cache once: the search loops then read the matrix (or
+    // the metric) directly, with no per-lookup cache branch.
+    let search = match oracle.matrix() {
+        Some(matrix) => {
+            let view = CmpMatrixRef::<P, M>::new(matrix, oracle.metric());
+            find_min_feasible_radius(&view, weights, k, z, eps_hat, mode)
+        }
+        None => {
+            let view = PointsOracle::new(oracle.points(), oracle.metric());
+            find_min_feasible_radius(&view, weights, k, z, eps_hat, mode)
+        }
     };
 
+    let points = oracle.points();
     CoresetSolution {
         centers: search
             .clustering

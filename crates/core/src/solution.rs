@@ -12,6 +12,8 @@ use rayon::prelude::*;
 use kcenter_metric::selection::radius_excluding_outliers;
 use kcenter_metric::Metric;
 
+use crate::outliers_cluster::DistanceOracle;
+
 /// A k-center solution: the chosen centers and the objective value that was
 /// measured for them.
 #[derive(Clone, Debug)]
@@ -108,6 +110,40 @@ where
     M: Metric<P>,
 {
     let mut dists = assignment_distances(points, centers, metric);
+    radius_excluding_outliers(&mut dists, z)
+}
+
+/// Distance from every oracle point to the closest of the centers given
+/// *by index*, through the oracle — so a matrix-backed oracle (e.g. a
+/// `CachedOracle` whose proxy matrix a radius search already built) prices
+/// the evaluation from the shared cache instead of re-running the metric.
+/// The inner loop compares proxies; one conversion per point.
+pub fn oracle_assignment_distances<O: DistanceOracle>(oracle: &O, centers: &[usize]) -> Vec<f64> {
+    assert!(!centers.is_empty(), "no centers to assign to");
+    oracle.prepare();
+    (0..oracle.len())
+        .into_par_iter()
+        .map(|i| {
+            oracle.cmp_to_radius(
+                centers
+                    .iter()
+                    .map(|&c| oracle.cmp_dist(i, c))
+                    .fold(f64::INFINITY, f64::min),
+            )
+        })
+        .collect()
+}
+
+/// The coreset-side objective for index centers: the maximum oracle
+/// assignment distance after discarding the `z` farthest points. The
+/// matrix-backed counterpart of [`radius_with_outliers`], used by sweeps
+/// to score a search result on the same cached matrix the search ran on.
+pub fn oracle_radius_with_outliers<O: DistanceOracle>(
+    oracle: &O,
+    centers: &[usize],
+    z: usize,
+) -> f64 {
+    let mut dists = oracle_assignment_distances(oracle, centers);
     radius_excluding_outliers(&mut dists, z)
 }
 
@@ -253,6 +289,35 @@ mod tests {
         assert_eq!(clusters[1], vec![3, 4]);
         let assigned: usize = clusters.iter().map(Vec::len).sum();
         assert_eq!(assigned + outliers.len(), points.len());
+    }
+
+    #[test]
+    fn oracle_objective_matches_point_objective() {
+        use crate::outliers_cluster::PointsOracle;
+        use kcenter_metric::CachedOracle;
+        let points = pts(&[0.0, 1.0, 2.0, 100.0, 5.0]);
+        let center_idx = [0usize, 3];
+        let center_pts = pts(&[0.0, 100.0]);
+        let on_demand = PointsOracle::new(&points, &Euclidean);
+        let cached = CachedOracle::new(points.clone(), &Euclidean, 1_000);
+        for z in 0..=3usize {
+            let reference = radius_with_outliers(&points, &center_pts, z, &Euclidean);
+            assert_eq!(
+                oracle_radius_with_outliers(&on_demand, &center_idx, z).to_bits(),
+                reference.to_bits(),
+                "on-demand oracle diverged at z = {z}"
+            );
+            assert_eq!(
+                oracle_radius_with_outliers(&cached, &center_idx, z).to_bits(),
+                reference.to_bits(),
+                "cached oracle diverged at z = {z}"
+            );
+        }
+        assert_eq!(cached.build_count(), 1);
+        assert_eq!(
+            oracle_assignment_distances(&cached, &center_idx),
+            assignment_distances(&points, &center_pts, &Euclidean)
+        );
     }
 
     #[test]

@@ -18,11 +18,11 @@
 //! `ε̂ = ε/6`, giving the same `(3+ε)` guarantee and memory bounds as
 //! Theorem 3.
 
-use kcenter_metric::Metric;
+use kcenter_metric::{CachedOracle, Metric};
 use kcenter_stream::{run_stream, MultiPass, StreamingAlgorithm};
 
 use crate::error::{check_eps, check_kz, InputError};
-use crate::radius_search::{default_matrix_threshold, solve_coreset, SearchMode};
+use crate::radius_search::{default_matrix_threshold, solve_coreset_cached, SearchMode};
 use crate::solution::{radius_with_outliers, Clustering};
 use crate::streaming_coreset::WeightedDoublingCoreset;
 
@@ -128,21 +128,18 @@ where
     let ((centers, weights), report2) = run_stream(pass2, points.iter().cloned());
     passes.record(report2);
 
-    let coreset: crate::coreset::WeightedCoreset<P> = centers
-        .into_iter()
-        .zip(weights)
-        .map(|(point, weight)| crate::coreset::WeightedPoint { point, weight })
-        .collect();
-    let coreset_size = coreset.len();
-
-    let solution = solve_coreset(
-        &coreset,
-        metric,
+    let coreset_size = centers.len();
+    // The pass-2 centers ARE the coreset points: hand them straight to a
+    // shared oracle (no WeightedCoreset round-trip) so the finalization's
+    // radius search prices them into one lazily built proxy matrix.
+    let oracle = CachedOracle::new(centers, metric, default_matrix_threshold());
+    let solution = solve_coreset_cached(
+        &oracle,
+        &weights,
         k,
         z as u64,
         eps / 6.0,
         SearchMode::GeometricGrid,
-        default_matrix_threshold(),
     );
     let final_radius = radius_with_outliers(points, &solution.centers, z, metric);
 

@@ -5,11 +5,13 @@ use proptest::prelude::*;
 use kcenter_core::brute_force::{optimal_kcenter, optimal_kcenter_outliers};
 use kcenter_core::coreset::{build_weighted_coreset, CoresetSpec};
 use kcenter_core::gmm::gmm_select;
-use kcenter_core::outliers_cluster::{outliers_cluster, outliers_cluster_naive, PointsOracle};
+use kcenter_core::outliers_cluster::{
+    outliers_cluster, outliers_cluster_naive, DistanceOracle, PointsOracle,
+};
 use kcenter_core::radius_search::{find_min_feasible_radius, SearchMode};
 use kcenter_core::solution::{radius, radius_with_outliers};
 use kcenter_core::streaming_coreset::WeightedDoublingCoreset;
-use kcenter_metric::{Euclidean, Metric, Point};
+use kcenter_metric::{CachedOracle, Euclidean, Metric, Point};
 use kcenter_stream::StreamingAlgorithm;
 
 fn arb_points(dim: usize, min_n: usize, max_n: usize) -> impl Strategy<Value = Vec<Point>> {
@@ -222,6 +224,50 @@ proptest! {
             "ϕ = {} exceeds r*_τ = {opt}",
             alg.phi()
         );
+    }
+
+    /// The shared cached oracle and the on-demand oracle agree bitwise on
+    /// `cmp_distance` and `distance` for random point sets — on both sides
+    /// of the cache threshold, so a run landing above the threshold can
+    /// never diverge from one landing below it.
+    #[test]
+    fn cached_and_on_demand_oracles_agree(points in arb_points(3, 2, 24)) {
+        let n = points.len();
+        let on_demand = PointsOracle::new(&points, &Euclidean);
+        let cached = CachedOracle::new(points.clone(), &Euclidean, n);
+        let uncached = CachedOracle::new(points.clone(), &Euclidean, 0);
+        for i in 0..n {
+            for j in 0..n {
+                let reference_cmp = DistanceOracle::cmp_dist(&on_demand, i, j);
+                let reference = DistanceOracle::dist(&on_demand, i, j);
+                prop_assert_eq!(cached.cmp_dist(i, j).to_bits(), reference_cmp.to_bits());
+                prop_assert_eq!(uncached.cmp_dist(i, j).to_bits(), reference_cmp.to_bits());
+                prop_assert_eq!(cached.dist(i, j).to_bits(), reference.to_bits());
+                prop_assert_eq!(uncached.dist(i, j).to_bits(), reference.to_bits());
+            }
+        }
+        prop_assert_eq!(cached.build_count(), 1);
+        prop_assert_eq!(uncached.build_count(), 0); // threshold 0 must never cache
+    }
+
+    /// Full searches through the cached oracle match the on-demand oracle
+    /// exactly (same radius, same clustering) for both search modes.
+    #[test]
+    fn cached_oracle_searches_match_on_demand(
+        points in arb_points(2, 3, 16),
+        k in 1usize..3,
+        z in 0usize..3,
+    ) {
+        prop_assume!(k + z < points.len());
+        let weights = vec![1u64; points.len()];
+        let on_demand = PointsOracle::new(&points, &Euclidean);
+        let cached = CachedOracle::new(points.clone(), &Euclidean, points.len());
+        for mode in [SearchMode::ExactCandidates, SearchMode::GeometricGrid] {
+            let a = find_min_feasible_radius(&on_demand, &weights, k, z as u64, 0.25, mode);
+            let b = find_min_feasible_radius(&cached, &weights, k, z as u64, 0.25, mode);
+            prop_assert_eq!(a.radius.to_bits(), b.radius.to_bits());
+            prop_assert_eq!(a.clustering, b.clustering);
+        }
     }
 
     /// End-to-end sanity: the objective evaluators agree with definitions.

@@ -114,3 +114,82 @@ fn gmm_two_approximation_against_brute_force() {
         );
     }
 }
+
+/// A fig4-style double sweep — several full radius searches over one
+/// coreset under different parameters — must price the coreset into a
+/// proxy matrix exactly once: the `CachedOracle` handle is cloned across
+/// the searches and every clone reads the one lazily built cache.
+#[test]
+fn double_sweep_builds_the_matrix_exactly_once() {
+    use kcenter_core::radius_search::{solve_coreset_cached, SearchMode};
+    use kcenter_metric::CachedOracle;
+
+    let points: Vec<Point> = (0..60)
+        .map(|i| Point::new(vec![(i as f64 * 3.7) % 41.0, ((i * i) as f64 * 1.3) % 13.0]))
+        .collect();
+    let weights: Vec<u64> = (0..60).map(|i| 1 + (i % 4) as u64).collect();
+    let oracle = CachedOracle::new(points, &Euclidean, 10_000);
+    assert_eq!(oracle.build_count(), 0, "the cache must be lazy");
+
+    // Sweep: two search modes × three outlier budgets, through clones of
+    // the handle (the shape of the fig4/ablation sweeps).
+    let mut radii = Vec::new();
+    for mode in [SearchMode::GeometricGrid, SearchMode::ExactCandidates] {
+        for z in [0u64, 3, 9] {
+            let handle = oracle.clone();
+            let solution = solve_coreset_cached(&handle, &weights, 4, z, 0.25, mode);
+            assert!(solution.uncovered_weight <= z);
+            radii.push(solution.r_min);
+        }
+    }
+    assert_eq!(
+        oracle.build_count(),
+        1,
+        "six radius searches must share one matrix build"
+    );
+    // Larger outlier budgets never increase the found radius within a mode.
+    assert!(radii[0] >= radii[1] && radii[1] >= radii[2]);
+    assert!(radii[3] >= radii[4] && radii[4] >= radii[5]);
+}
+
+/// Regression for a first-touch deadlock: handing a *lazy* `CachedOracle`
+/// straight to the radius search while running on a multi-thread pool.
+/// The search's first parallel scan used to be the first cache touch, so
+/// the matrix build (itself parallel, inside the `OnceLock` initializer)
+/// started inside a pool task; the initializing worker could steal an
+/// outer-scan unit that re-entered the initializer on its own thread and
+/// every thread parked forever. `DistanceOracle::prepare()` now resolves
+/// the cache on the submitting thread first. The searches run on a helper
+/// thread joined with a timeout, so a regression fails the test with a
+/// diagnosis instead of wedging the whole suite (the pre-fix behaviour of
+/// the ablation binary, whose shape this reproduces).
+#[test]
+fn lazy_cached_oracle_search_on_a_pool_does_not_deadlock() {
+    use kcenter_core::radius_search::{find_min_feasible_radius, SearchMode};
+    use kcenter_metric::CachedOracle;
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let points: Vec<Point> = (0..300)
+            .map(|i| Point::new(vec![(i as f64 * 1.7) % 53.0, (i as f64 * 0.9) % 11.0]))
+            .collect();
+        let weights = vec![1u64; points.len()];
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool build");
+        for mode in [SearchMode::GeometricGrid, SearchMode::ExactCandidates] {
+            let oracle = CachedOracle::new(points.clone(), &Euclidean, usize::MAX);
+            assert_eq!(oracle.build_count(), 0, "cache must start unresolved");
+            let result =
+                pool.install(|| find_min_feasible_radius(&oracle, &weights, 5, 10, 0.25, mode));
+            assert!(result.clustering.uncovered_weight <= 10);
+            assert_eq!(oracle.build_count(), 1);
+        }
+        tx.send(()).expect("main test thread gone");
+    });
+    rx.recv_timeout(std::time::Duration::from_secs(120)).expect(
+        "lazy first-touch search deadlocked on the pool \
+         (is DistanceOracle::prepare still called at every entry point?)",
+    );
+}

@@ -32,5 +32,5 @@ pub mod selection;
 
 pub use distance::{Chebyshev, CosineAngular, Euclidean, Manhattan, Metric, Precomputed};
 pub use meb::{minimum_enclosing_ball, Ball};
-pub use pairwise::DistanceMatrix;
+pub use pairwise::{matrix_build_count, CachedOracle, DistanceMatrix};
 pub use point::{Point, PointError};

@@ -6,9 +6,23 @@
 //! search mode on small coresets, the full multiset of pairwise distances.
 //! The quadratic scans are rayon-parallel over rows.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
 use rayon::prelude::*;
 
 use crate::distance::Metric;
+
+/// Process-wide count of [`DistanceMatrix`] builds (both true-distance and
+/// proxy-scale). The figure sweeps report it so a run can show that every
+/// coreset was priced into a matrix at most once; tests pin it to catch
+/// regressions that silently reintroduce per-search rebuilds.
+static MATRIX_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of [`DistanceMatrix`] builds performed by this process so far.
+pub fn matrix_build_count() -> usize {
+    MATRIX_BUILDS.load(Ordering::Relaxed)
+}
 
 /// Minimum strictly-positive pairwise distance, or `None` if fewer than two
 /// points exist or all points coincide.
@@ -98,7 +112,7 @@ impl DistanceMatrix {
     /// Builds a matrix of [`Metric::cmp_distance`] comparison proxies —
     /// entirely sqrt-free for metrics with a non-trivial proxy. Lookups
     /// through [`DistanceMatrix::get`] then return *proxy* values; callers
-    /// own the conversion discipline (see `CmpMatrixOracle` in
+    /// own the conversion discipline (see `CmpMatrixRef` in
     /// `kcenter-core`, which pairs this with the metric's conversions so
     /// matrix-backed and metric-backed scans apply one comparison rule).
     pub fn build_cmp<P: Sync, M: Metric<P>>(points: &[P], metric: &M) -> Self {
@@ -124,6 +138,7 @@ impl DistanceMatrix {
                 *slot = eval(a, b);
             }
         });
+        MATRIX_BUILDS.fetch_add(1, Ordering::Relaxed);
         DistanceMatrix { n, data }
     }
 
@@ -163,6 +178,131 @@ impl DistanceMatrix {
     /// The condensed upper-triangle entries (for selection over candidates).
     pub fn condensed(&self) -> &[f64] {
         &self.data
+    }
+}
+
+/// A shared, memoized distance oracle over an owned point set.
+///
+/// The handle owns its points behind an `Arc` and lazily prices them into a
+/// *proxy-scale* [`DistanceMatrix`] ([`Metric::cmp_distance`] entries, built
+/// row-parallel) the first time a cached lookup is needed. Cloning the
+/// handle shares the cache: every clone sees the same matrix, and the
+/// matrix is built **at most once per handle family** no matter how many
+/// radius searches, sweep configurations, or clones interrogate it — the
+/// fix for sweeps that used to re-derive the same `O(|T|²)` matrix for
+/// every ε and parallelism setting.
+///
+/// Point sets larger than `threshold` are never cached; lookups then
+/// evaluate the metric on demand (the [`DistanceMatrix`] memory ceiling
+/// discipline of the radius search). Either way all comparisons happen on
+/// the metric's proxy scale, so cached and on-demand reads are bitwise
+/// interchangeable (see the `Metric::cmp_distance` contract).
+pub struct CachedOracle<'m, P, M> {
+    points: Arc<[P]>,
+    metric: &'m M,
+    cache: Arc<OnceLock<DistanceMatrix>>,
+    builds: Arc<AtomicUsize>,
+    threshold: usize,
+}
+
+impl<P, M> Clone for CachedOracle<'_, P, M> {
+    fn clone(&self) -> Self {
+        CachedOracle {
+            points: Arc::clone(&self.points),
+            metric: self.metric,
+            cache: Arc::clone(&self.cache),
+            builds: Arc::clone(&self.builds),
+            threshold: self.threshold,
+        }
+    }
+}
+
+impl<'m, P: Sync, M: Metric<P>> CachedOracle<'m, P, M> {
+    /// Wraps `points` under `metric`; the proxy matrix is cached lazily
+    /// when the point count is at most `threshold`.
+    pub fn new(points: Vec<P>, metric: &'m M, threshold: usize) -> Self {
+        CachedOracle {
+            points: points.into(),
+            metric,
+            cache: Arc::new(OnceLock::new()),
+            builds: Arc::new(AtomicUsize::new(0)),
+            threshold,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the point set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The owned points.
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// The metric the oracle evaluates and converts with.
+    pub fn metric(&self) -> &'m M {
+        self.metric
+    }
+
+    /// The cached proxy-scale matrix, building it on first use — or `None`
+    /// when the point set exceeds the cache threshold. Shared across all
+    /// clones of the handle; at most one build ever happens.
+    ///
+    /// The build runs inside the `OnceLock` initializer **and**
+    /// parallelizes over the pool, so the *first* call for a handle family
+    /// must come from a thread that is not currently executing a pool task
+    /// scanning this same oracle — otherwise the initializing worker,
+    /// which participates in scheduling while it builds, can steal a unit
+    /// of that outer scan and re-enter the initializer on its own thread
+    /// (deadlock). Algorithms consume the handle through
+    /// `kcenter-core`'s `DistanceOracle` trait, whose `prepare()` hook
+    /// resolves the cache on the submitting thread before any parallel
+    /// scan; call `matrix()` (or `prepare()`) the same way in custom
+    /// drivers.
+    pub fn matrix(&self) -> Option<&DistanceMatrix> {
+        if self.points.len() > self.threshold {
+            return None;
+        }
+        Some(self.cache.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            DistanceMatrix::build_cmp(&self.points, self.metric)
+        }))
+    }
+
+    /// How many times this handle family actually built its matrix (0
+    /// before first cached use, never more than 1).
+    pub fn build_count(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of heap memory held by the cached matrix (0 while unbuilt).
+    pub fn heap_bytes(&self) -> usize {
+        self.cache.get().map_or(0, DistanceMatrix::heap_bytes)
+    }
+
+    /// Comparison proxy for the distance between points `i` and `j` —
+    /// matrix-backed when cached, metric-evaluated otherwise. Both paths
+    /// return the exact same value ([`Metric::cmp_distance`]).
+    #[inline]
+    pub fn cmp_dist(&self, i: usize, j: usize) -> f64 {
+        match self.matrix() {
+            Some(m) => m.get(i, j),
+            None => self.metric.cmp_distance(&self.points[i], &self.points[j]),
+        }
+    }
+
+    /// True distance between points `i` and `j` (one conversion over
+    /// [`CachedOracle::cmp_dist`]; bit-identical to `metric.distance` per
+    /// the [`Metric`] round-trip contract).
+    #[inline]
+    pub fn dist(&self, i: usize, j: usize) -> f64 {
+        self.metric.cmp_to_distance(self.cmp_dist(i, j))
     }
 }
 
@@ -233,6 +373,71 @@ mod tests {
             }
         }
         assert_eq!(m.condensed().len(), 6);
+    }
+
+    #[test]
+    fn cached_oracle_builds_once_across_clones() {
+        let points = pts(&[0.0, 2.0, 7.0, -1.0]);
+        let oracle = CachedOracle::new(points.clone(), &Euclidean, 1_000);
+        assert_eq!(oracle.build_count(), 0);
+        assert_eq!(oracle.heap_bytes(), 0);
+        let clone_a = oracle.clone();
+        let clone_b = oracle.clone();
+        // Interrogate the clones in any order: exactly one build.
+        for o in [&clone_a, &oracle, &clone_b] {
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert_eq!(
+                        o.dist(i, j).to_bits(),
+                        Euclidean.distance(&points[i], &points[j]).to_bits()
+                    );
+                    assert_eq!(
+                        o.cmp_dist(i, j).to_bits(),
+                        Euclidean.cmp_distance(&points[i], &points[j]).to_bits()
+                    );
+                }
+            }
+        }
+        assert_eq!(oracle.build_count(), 1);
+        assert_eq!(clone_b.build_count(), 1);
+        assert!(oracle.heap_bytes() > 0);
+        assert!(oracle.matrix().is_some());
+        assert_eq!(oracle.build_count(), 1, "matrix() must not rebuild");
+    }
+
+    #[test]
+    fn cached_oracle_above_threshold_stays_on_demand() {
+        let points = pts(&[0.0, 3.0, 5.0]);
+        let oracle = CachedOracle::new(points.clone(), &Euclidean, 2);
+        assert!(oracle.matrix().is_none());
+        assert_eq!(oracle.dist(0, 2), 5.0);
+        assert_eq!(oracle.build_count(), 0);
+        assert_eq!(oracle.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn cached_oracle_reports_shape() {
+        let oracle = CachedOracle::new(pts(&[1.0, 4.0]), &Euclidean, 10);
+        assert_eq!(oracle.len(), 2);
+        assert!(!oracle.is_empty());
+        assert_eq!(oracle.points().len(), 2);
+        let empty: CachedOracle<Point, _> = CachedOracle::new(Vec::new(), &Euclidean, 10);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn matrix_build_counter_is_monotone() {
+        // The counter is process-global and tests run concurrently, so only
+        // lower bounds are asserted.
+        let before = matrix_build_count();
+        let _ = DistanceMatrix::build(&pts(&[0.0, 1.0]), &Euclidean);
+        assert!(matrix_build_count() > before);
+        let oracle = CachedOracle::new(pts(&[0.0, 1.0, 2.0]), &Euclidean, 10);
+        let mid = matrix_build_count();
+        let _ = oracle.cmp_dist(0, 1);
+        let _ = oracle.cmp_dist(1, 2);
+        assert!(matrix_build_count() > mid);
+        assert_eq!(oracle.build_count(), 1);
     }
 
     #[test]

@@ -103,19 +103,64 @@ pub fn measure<R, F: FnMut() -> R>(warmup: usize, samples: usize, mut f: F) -> M
         std_black_box(f());
         times.push(start.elapsed());
     }
+    reduce_samples(times)
+}
+
+/// Measures two kernels with **interleaved** samples in ABBA order: pair
+/// `2i` runs `a` then `b`, pair `2i+1` runs `b` then `a`. Any drift that
+/// is slow against the pair period (thermal throttling, a background
+/// process ramping up) then hits both kernels equally, so their *medians
+/// stay comparable* — exactly what back-to-back [`measure`] calls cannot
+/// guarantee on a noisy machine. Use for A/B comparisons (cached vs
+/// rebuilt, before vs after); the absolute numbers mean the same as
+/// [`measure`]'s.
+pub fn measure_paired<RA, RB, FA, FB>(
+    warmup: usize,
+    samples: usize,
+    mut a: FA,
+    mut b: FB,
+) -> (Measurement, Measurement)
+where
+    FA: FnMut() -> RA,
+    FB: FnMut() -> RB,
+{
+    for _ in 0..warmup {
+        std_black_box(a());
+        std_black_box(b());
+    }
+    let samples = samples.max(1);
+    let mut times_a: Vec<Duration> = Vec::with_capacity(samples);
+    let mut times_b: Vec<Duration> = Vec::with_capacity(samples);
+    let mut time_a = |times_a: &mut Vec<Duration>| {
+        let start = Instant::now();
+        std_black_box(a());
+        times_a.push(start.elapsed());
+    };
+    let mut time_b = |times_b: &mut Vec<Duration>| {
+        let start = Instant::now();
+        std_black_box(b());
+        times_b.push(start.elapsed());
+    };
+    for i in 0..samples {
+        if i % 2 == 0 {
+            time_a(&mut times_a);
+            time_b(&mut times_b);
+        } else {
+            time_b(&mut times_b);
+            time_a(&mut times_a);
+        }
+    }
+    (reduce_samples(times_a), reduce_samples(times_b))
+}
+
+/// The shared sample reduction: median of the samples within `3·MAD` of
+/// the raw median (see [`measure`]).
+fn reduce_samples(times: Vec<Duration>) -> Measurement {
+    let samples = times.len();
     let mut sorted = times.clone();
     sorted.sort_unstable();
     let raw_median = sorted[sorted.len() / 2];
-    let mut deviations: Vec<Duration> = times
-        .iter()
-        .map(|&t| {
-            if t >= raw_median {
-                t - raw_median
-            } else {
-                raw_median - t
-            }
-        })
-        .collect();
+    let mut deviations: Vec<Duration> = times.iter().map(|&t| t.abs_diff(raw_median)).collect();
     deviations.sort_unstable();
     let mad = deviations[deviations.len() / 2];
     let cutoff = raw_median + 3 * mad;
@@ -356,6 +401,26 @@ mod tests {
         assert_eq!(calls, 7, "warmup runs must execute but not be recorded");
         assert_eq!(m.samples, 5);
         assert!(m.rejected < 5, "median itself can never be rejected");
+    }
+
+    #[test]
+    fn measure_paired_interleaves_and_records_both() {
+        let mut a_calls = 0u32;
+        let mut b_calls = 0u32;
+        let (ma, mb) = measure_paired(2, 6, || a_calls += 1, || b_calls += 1);
+        assert_eq!(a_calls, 8, "2 warmup + 6 samples for kernel a");
+        assert_eq!(b_calls, 8, "2 warmup + 6 samples for kernel b");
+        assert_eq!(ma.samples, 6);
+        assert_eq!(mb.samples, 6);
+        // A deliberately slower kernel must measure slower than a faster
+        // one even though their samples interleave.
+        let (fast, slow) = measure_paired(
+            1,
+            5,
+            || std::thread::sleep(std::time::Duration::from_micros(100)),
+            || std::thread::sleep(std::time::Duration::from_micros(900)),
+        );
+        assert!(fast.median < slow.median);
     }
 
     #[test]

@@ -6,11 +6,21 @@
 //! `?`-compatible bodies), `prop_assert!`/`prop_assert_eq!`/`prop_assume!`,
 //! range and collection strategies, and `Strategy::prop_map`.
 //!
-//! Differences from real proptest, deliberately accepted for a shim:
-//! cases are generated from a seed derived from the test name (fully
-//! deterministic across runs — there is no `PROPTEST_CASES`/persistence
-//! machinery), and failing inputs are **not shrunk**; the failure message
-//! instead reports the generated values via `Debug` where available.
+//! Failing inputs **are shrunk**: every strategy can propose
+//! smaller-or-simpler candidates via [`Strategy::shrink`], and the runner
+//! greedily walks candidates that still fail until none does, reporting
+//! the minimized counterexample next to the original one. Integer ranges
+//! shrink by binary search toward their lower bound; `vec` strategies
+//! shrink their length by halving toward the minimum size and then shrink
+//! elements pointwise; tuples (one per `proptest!` binding) shrink one
+//! component at a time. `prop_map` does not shrink (the shim keeps no
+//! pre-image to re-map), and float ranges are left unshrunk — both
+//! deliberate shim simplifications.
+//!
+//! Other differences from real proptest, deliberately accepted for a
+//! shim: cases are generated from a seed derived from the test name
+//! (fully deterministic across runs — there is no
+//! `PROPTEST_CASES`/persistence machinery).
 
 use std::ops::Range;
 
@@ -57,6 +67,8 @@ pub struct ProptestConfig {
     pub cases: u32,
     /// Maximum rejected cases (via `prop_assume!`) tolerated globally.
     pub max_global_rejects: u32,
+    /// Cap on candidate evaluations during shrinking of a failing case.
+    pub max_shrink_iters: u32,
 }
 
 impl Default for ProptestConfig {
@@ -64,6 +76,7 @@ impl Default for ProptestConfig {
         ProptestConfig {
             cases: 256,
             max_global_rejects: 65_536,
+            max_shrink_iters: 4_096,
         }
     }
 }
@@ -85,6 +98,17 @@ pub trait Strategy {
 
     /// Generates one value.
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first. The runner greedily adopts the first candidate that still
+    /// fails and re-shrinks from there, so a halving sequence (jump to the
+    /// minimum, then successively smaller jumps back toward `value`)
+    /// converges like a binary search for monotone failure predicates.
+    /// Default: no candidates (the value is already minimal).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<F, U>(self, f: F) -> Map<Self, F>
@@ -114,6 +138,9 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn generate(&self, rng: &mut StdRng) -> Self::Value {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 /// Strategy adapter produced by [`Strategy::prop_map`].
@@ -131,6 +158,9 @@ where
     fn generate(&self, rng: &mut StdRng) -> U {
         (self.f)(self.inner.generate(rng))
     }
+    // No shrink: the shim keeps no pre-image of the mapped value, so it
+    // cannot shrink the source and re-map (real proptest's ValueTree
+    // machinery does; deliberately out of scope here).
 }
 
 /// Strategy adapter produced by [`Strategy::prop_filter`].
@@ -157,6 +187,14 @@ where
             "prop_filter rejected 1000 consecutive values: {}",
             self.reason
         );
+    }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        // Only candidates that still satisfy the filter are admissible.
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|v| (self.f)(v))
+            .collect()
     }
 }
 
@@ -192,16 +230,97 @@ macro_rules! impl_strategy_int_range {
             fn generate(&self, rng: &mut StdRng) -> $t {
                 rng.random_range(self.start..self.end)
             }
+            fn shrink(&self, &value: &$t) -> Vec<$t> {
+                int_shrink_candidates(value, self.start)
+            }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut StdRng) -> $t {
                 rng.random_range(self.clone())
             }
+            fn shrink(&self, &value: &$t) -> Vec<$t> {
+                int_shrink_candidates(value, *self.start())
+            }
+        }
+
+        impl IntShrink for $t {
+            fn int_shrink(self, lo: Self) -> Vec<Self> {
+                if self <= lo {
+                    return Vec::new();
+                }
+                // Halving toward `lo`: jump straight to the minimum, then
+                // back off by successively halved decrements. Greedy
+                // first-failing-candidate descent over this list is a
+                // binary search for the smallest failing value.
+                let mut out = vec![lo];
+                let Some(mut delta) = self.checked_sub(lo) else {
+                    // Span exceeds the type (extreme signed ranges): the
+                    // jump-to-minimum candidate alone still shrinks.
+                    return out;
+                };
+                loop {
+                    delta /= 2;
+                    if delta == 0 {
+                        break;
+                    }
+                    let candidate = self - delta;
+                    if candidate != lo {
+                        out.push(candidate);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
+
+/// Halving-shrink support for the integer types with range strategies.
+trait IntShrink: Sized {
+    /// Candidates between `lo` and `self` (exclusive), most aggressive
+    /// first; empty when `self` is already at `lo`.
+    fn int_shrink(self, lo: Self) -> Vec<Self>;
+}
+
+fn int_shrink_candidates<T: IntShrink>(value: T, lo: T) -> Vec<T> {
+    value.int_shrink(lo)
+}
+
 impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A: 0);
+impl_strategy_tuple!(A: 0, B: 1);
+impl_strategy_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
 
 pub mod bool {
     //! Boolean strategies.
@@ -278,7 +397,10 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut rand::rngs::StdRng) -> Vec<S::Value> {
             let n = if self.size.lo + 1 >= self.size.hi {
@@ -288,16 +410,56 @@ pub mod collection {
             };
             (0..n).map(|_| self.elem.generate(rng)).collect()
         }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let len = value.len();
+            let min = self.size.lo.min(len);
+            let mut out = Vec::new();
+            // Length shrink by halving toward the minimum size (truncating
+            // the tail): jump to the minimum first, then back off by
+            // halved decrements — the same binary-search discipline as the
+            // integer shrinker.
+            if len > min {
+                out.push(value[..min].to_vec());
+                let mut delta = len - min;
+                loop {
+                    delta /= 2;
+                    if delta == 0 {
+                        break;
+                    }
+                    let l = len - delta;
+                    if l != min {
+                        out.push(value[..l].to_vec());
+                    }
+                }
+            }
+            // Pointwise element shrink at the (now minimal) length: one
+            // candidate vector per element candidate.
+            for (i, elem) in value.iter().enumerate() {
+                for candidate in self.elem.shrink(elem) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
+        }
     }
 }
 
-/// Drives one property: repeatedly generates cases via `body` until
-/// `config.cases` succeed, panicking on the first failure.
+/// Drives one property: repeatedly generates value tuples from `strategy`
+/// until `config.cases` succeed. On the first failure the value is shrunk
+/// — candidates from [`Strategy::shrink`] are walked greedily, adopting
+/// the first candidate that still fails and re-shrinking from it until no
+/// candidate fails (or `config.max_shrink_iters` evaluations are spent) —
+/// and the panic reports both the original and the minimized
+/// counterexample.
 ///
 /// Used by the [`proptest!`] macro; not part of the public proptest API.
-pub fn run_property<F>(name: &str, config: ProptestConfig, mut body: F)
+pub fn run_property<S, F>(name: &str, config: ProptestConfig, strategy: &S, test: F)
 where
-    F: FnMut(&mut StdRng) -> TestCaseResult,
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value) -> TestCaseResult,
 {
     // Seed derived from the test name (FNV-1a) so each property sees a
     // distinct but fully reproducible stream.
@@ -312,7 +474,8 @@ where
     let mut case_index = 0u64;
     while passed < config.cases {
         case_index += 1;
-        match body(&mut rng) {
+        let value = strategy.generate(&mut rng);
+        match test(value.clone()) {
             Ok(()) => passed += 1,
             Err(TestCaseError::Reject(_)) => {
                 rejected += 1;
@@ -325,13 +488,53 @@ where
                 }
             }
             Err(TestCaseError::Fail(msg)) => {
+                let (minimal, minimal_msg, steps, evals) =
+                    shrink_failure(strategy, &test, value.clone(), msg, config.max_shrink_iters);
                 panic!(
                     "property {name} failed at case #{case_index} \
-                     (seed {seed:#x}): {msg}"
+                     (seed {seed:#x}): {minimal_msg}\n\
+                     \x20   original failing input: {value:?}\n\
+                     \x20   minimal failing input ({steps} shrink steps, \
+                     {evals} candidate evaluations): {minimal:?}"
                 );
             }
         }
     }
+}
+
+/// Greedy shrink descent: adopt the first candidate that still fails,
+/// restart from it, stop when no candidate fails or the evaluation budget
+/// runs out. Rejected candidates (`prop_assume!`) count as non-failing.
+fn shrink_failure<S, F>(
+    strategy: &S,
+    test: &F,
+    mut current: S::Value,
+    mut current_msg: String,
+    max_iters: u32,
+) -> (S::Value, String, u32, u32)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let mut evals = 0u32;
+    let mut steps = 0u32;
+    'descend: loop {
+        for candidate in strategy.shrink(&current) {
+            if evals >= max_iters {
+                break 'descend;
+            }
+            evals += 1;
+            if let Err(TestCaseError::Fail(msg)) = test(candidate.clone()) {
+                current = candidate;
+                current_msg = msg;
+                steps += 1;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    (current, current_msg, steps, evals)
 }
 
 /// Asserts a condition inside a `proptest!` body, failing the case (not
@@ -404,14 +607,14 @@ macro_rules! proptest {
         fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
     )*) => {$(
         $(#[$meta])*
+        #[allow(unused_mut)]
         fn $name() {
             let config: $crate::ProptestConfig = $config;
-            $crate::run_property(stringify!($name), config, |rng| {
-                $(
-                    #[allow(unused_mut)]
-                    let $pat = $crate::Strategy::generate(&($strategy), rng);
-                )+
-                #[allow(unused_mut)]
+            // One tuple strategy per test: generation AND shrinking treat
+            // the bindings as a unit, so failing cases minimize across all
+            // of them (one component at a time).
+            let strategy = ($($strategy,)+);
+            $crate::run_property(stringify!($name), config, &strategy, |($($pat,)+)| {
                 let mut body = || -> $crate::TestCaseResult {
                     $body
                     #[allow(unreachable_code)]
@@ -475,8 +678,121 @@ mod tests {
     #[test]
     #[should_panic(expected = "property")]
     fn failures_panic_with_context() {
-        crate::run_property("always_fails", ProptestConfig::with_cases(4), |_rng| {
-            Err(TestCaseError::fail("nope"))
-        });
+        crate::run_property(
+            "always_fails",
+            ProptestConfig::with_cases(4),
+            &(0u32..10,),
+            |_v| Err(TestCaseError::fail("nope")),
+        );
+    }
+
+    /// Captures the panic message of a seeded failing property.
+    fn failing_property_message<S>(strategy: S, fails: impl Fn(&S::Value) -> bool) -> String
+    where
+        S: Strategy,
+        S::Value: Clone + std::fmt::Debug,
+    {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_property(
+                "seeded_shrink_case",
+                ProptestConfig::with_cases(64),
+                &strategy,
+                |v| {
+                    if fails(&v) {
+                        Err(TestCaseError::fail(format!("failing value {v:?}")))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let payload = result.expect_err("the property must fail");
+        payload
+            .downcast_ref::<String>()
+            .expect("panic carries a String message")
+            .clone()
+    }
+
+    #[test]
+    fn integer_failure_shrinks_to_the_known_minimum() {
+        // Fails for every n >= 37 in 0..10_000: the halving shrinker must
+        // land exactly on 37, the minimal counterexample.
+        let msg = failing_property_message((0usize..10_000,), |&(n,)| n >= 37);
+        assert!(
+            msg.contains("minimal failing input") && msg.contains("(37,)"),
+            "expected minimized value 37 in:\n{msg}"
+        );
+        assert!(
+            msg.contains("original failing input"),
+            "report must keep the original case:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn vec_failure_shrinks_length_and_elements_to_minimum() {
+        // Fails whenever the vector has >= 3 elements: minimal failing
+        // input is exactly three minimal elements.
+        let msg = failing_property_message(
+            (crate::collection::vec(0u64..100, 0..12),),
+            |(v,): &(Vec<u64>,)| v.len() >= 3,
+        );
+        assert!(
+            msg.contains("([0, 0, 0],)"),
+            "expected [0, 0, 0] as the minimized vector in:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn multi_binding_failure_shrinks_componentwise() {
+        // Fails whenever a >= 20, regardless of b: the unique greedy fixed
+        // point is (20, 0) — a binary-searched to its threshold, b shrunk
+        // all the way to its floor because it never affects the failure.
+        let msg = failing_property_message((0u32..100, 0u32..100), |&(a, _b)| a >= 20);
+        assert!(
+            msg.contains("(20, 0)"),
+            "expected the minimal pair (20, 0) in:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn shrink_respects_range_lower_bounds() {
+        // The failure covers the whole range, so the minimum IS the lower
+        // bound — shrinking must not escape the strategy's domain.
+        let msg = failing_property_message((5usize..50,), |_| true);
+        assert!(
+            msg.contains("minimal failing input") && msg.contains("(5,)"),
+            "expected the range floor 5 in:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn filter_shrink_keeps_the_predicate() {
+        use crate::Strategy as _;
+        // Shrink candidates of a filtered strategy must all satisfy the
+        // filter (halving produces odd decrements, which get dropped).
+        let even = (0u32..1_000).prop_filter("even", |n| n % 2 == 0);
+        let candidates = even.shrink(&100);
+        assert!(!candidates.is_empty());
+        assert!(candidates.iter().all(|c| c % 2 == 0), "{candidates:?}");
+        assert!(candidates.contains(&0));
+        // A filter away from the shrink path does not impede convergence.
+        let bounded = (0u32..1_000).prop_filter("bounded", |&n| n < 900);
+        let msg = failing_property_message((bounded,), |&(n,)| n >= 12);
+        assert!(
+            msg.contains("(12,)"),
+            "expected minimized value 12 in:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn int_shrink_candidate_order_is_halving() {
+        use crate::Strategy as _;
+        let s = 0usize..1_000;
+        assert_eq!(s.shrink(&100), vec![0, 50, 75, 88, 94, 97, 99]);
+        assert_eq!(s.shrink(&1), vec![0]);
+        assert!(s.shrink(&0).is_empty());
+        let inc = 3usize..=10;
+        assert_eq!(inc.shrink(&3), Vec::<usize>::new());
+        assert_eq!(inc.shrink(&7), vec![3, 5, 6]);
     }
 }

@@ -5,9 +5,11 @@
 //! provides rayon's entry points (`par_iter`, `par_iter_mut`,
 //! `into_par_iter`, `par_chunks`, thread pools, `join`) backed by the
 //! executor in [`pool`]: per-worker deques with LIFO pop / FIFO steal
-//! (crossbeam-deque discipline), chunked splitting of iterator jobs, and
+//! (crossbeam-deque discipline), steal-feedback-adaptive chunked splitting
+//! of iterator jobs (see [`current_chunks_per_thread`]), and
 //! blocking-by-participation so nested `ThreadPool::install` calls cannot
-//! deadlock. See `pool.rs` for the scheduler itself.
+//! deadlock. See `pool.rs` for the scheduler itself. The default thread
+//! count honours `RAYON_NUM_THREADS` like upstream rayon.
 //!
 //! ## How this deviates from upstream rayon
 //!
@@ -55,16 +57,23 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 pub use slice::{ParallelSlice, ParallelSliceMut};
 
-/// Target number of chunks per executing thread: enough slack for the
-/// stealing to balance uneven chunks without drowning in per-chunk
-/// bookkeeping.
-const CHUNKS_PER_THREAD: usize = 4;
-
-/// The machine's available parallelism (fallback 1).
+/// The default parallelism: `RAYON_NUM_THREADS` when set to a positive
+/// integer (matching upstream rayon's global-pool override — the CI
+/// determinism matrix relies on it), otherwise the machine's available
+/// parallelism (fallback 1). Read once per process.
 fn machine_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
 }
 
 /// The global pool, built lazily the first time a parallel operation runs
@@ -98,10 +107,53 @@ pub fn current_num_threads() -> usize {
         .unwrap_or_else(machine_threads)
 }
 
+/// The chunks-per-thread target of the current pool's adaptive splitter
+/// (1 when execution is inline — single thread, no pool).
+///
+/// The splitter replaces the old fixed `CHUNKS_PER_THREAD = 4`: each pool
+/// watches its workers' cross-deque steals and doubles the target (up to
+/// 16) while steals are observed — idle workers rebalancing means finer
+/// chunks would spread work better — and halves it (down to 2) once the
+/// workers are saturated and stop stealing. See `Shared::chunks_per_thread`
+/// in `pool.rs` for the feedback rule.
+pub fn current_chunks_per_thread() -> usize {
+    let ctx = current_context();
+    if ctx.threads <= 1 {
+        return 1;
+    }
+    ctx.shared
+        .as_ref()
+        .map(|s| s.chunks_per_thread())
+        .unwrap_or(1)
+}
+
+/// The chunk length the adaptive splitter currently targets for a
+/// `len`-item parallel scan: `ceil(len / (threads × chunks-per-thread))`,
+/// clamped to at least 1. Callers that chunk manually (`par_chunks` /
+/// `par_chunks_mut` with per-chunk base-index arithmetic) use this instead
+/// of a hard-coded chunk constant; any positive chunk length yields the
+/// same results for order-preserving chunked scans, so adaptivity here is
+/// purely a performance knob.
+pub fn adaptive_chunk_len(len: usize) -> usize {
+    let ctx = current_context();
+    if ctx.threads <= 1 || len <= 1 {
+        return len.max(1);
+    }
+    let cpt = ctx
+        .shared
+        .as_ref()
+        .map(|s| s.chunks_per_thread())
+        .unwrap_or(1);
+    let num_chunks = len.min(ctx.threads * cpt).max(1);
+    len.div_ceil(num_chunks)
+}
+
 /// Splits `items` into contiguous chunks, runs `work(chunk)` for each on
 /// the current pool, and returns the per-chunk results in chunk order.
-/// The chunk layout depends only on `items.len()` and the simulated
-/// thread count, never on scheduling.
+/// The chunk *count* follows the pool's adaptive splitter, so the layout
+/// may differ between runs; every consumer of these per-chunk results
+/// combines them in chunk order (see the determinism notes in the crate
+/// docs), so results never depend on the layout or on scheduling.
 fn execute_chunked<T, R, W>(items: Vec<T>, work: W) -> Vec<R>
 where
     T: Send,
@@ -113,7 +165,12 @@ where
     let num_chunks = if ctx.threads <= 1 || len <= 1 {
         1
     } else {
-        len.min(ctx.threads * CHUNKS_PER_THREAD)
+        let cpt = ctx
+            .shared
+            .as_ref()
+            .map(|s| s.chunks_per_thread())
+            .unwrap_or(1);
+        len.min(ctx.threads * cpt)
     };
     if num_chunks <= 1 || ctx.shared.is_none() {
         return vec![work(items)];
@@ -248,10 +305,21 @@ where
             *results.1.lock().unwrap() = Some(f());
         }
     };
-    ctx.shared.as_ref().expect("checked above").run_chunks(2, &task);
+    ctx.shared
+        .as_ref()
+        .expect("checked above")
+        .run_chunks(2, &task);
     (
-        results.0.into_inner().unwrap().expect("join result missing"),
-        results.1.into_inner().unwrap().expect("join result missing"),
+        results
+            .0
+            .into_inner()
+            .unwrap()
+            .expect("join result missing"),
+        results
+            .1
+            .into_inner()
+            .unwrap()
+            .expect("join result missing"),
     )
 }
 
@@ -319,10 +387,7 @@ impl<T: Send> ParIter<T> {
         U::Item: Send,
     {
         let parts = execute_chunked(self.items, |chunk| {
-            chunk
-                .into_iter()
-                .flat_map(&f)
-                .collect::<Vec<U::Item>>()
+            chunk.into_iter().flat_map(&f).collect::<Vec<U::Item>>()
         });
         ParIter {
             items: parts.into_iter().flatten().collect(),
@@ -359,9 +424,7 @@ impl<T: Send> ParIter<T> {
         ID: Fn() -> T + Sync,
         OP: Fn(T, T) -> T + Sync,
     {
-        let partials = execute_chunked(self.items, |chunk| {
-            chunk.into_iter().fold(identity(), &op)
-        });
+        let partials = execute_chunked(self.items, |chunk| chunk.into_iter().fold(identity(), &op));
         partials.into_iter().fold(identity(), op)
     }
 
@@ -487,9 +550,7 @@ where
         G: Fn(R) + Sync,
     {
         let f = self.f;
-        execute_chunked(self.items, |chunk| {
-            chunk.into_iter().for_each(|x| g(f(x)))
-        });
+        execute_chunked(self.items, |chunk| chunk.into_iter().for_each(|x| g(f(x))));
     }
 
     /// Fused map + fold per chunk, chunk results combined left-to-right

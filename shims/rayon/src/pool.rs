@@ -23,9 +23,22 @@
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+/// Bounds of the adaptive splitter, as log₂ of the chunks-per-thread
+/// target. `MIN` (2 chunks/thread) is the coarsest layout that still lets
+/// one steal rebalance a job; `MAX` (16 chunks/thread) caps the per-chunk
+/// bookkeeping for very uneven workloads.
+const MIN_SPLIT_SHIFT: u32 = 1;
+const MAX_SPLIT_SHIFT: u32 = 4;
+/// Starting point: 4 chunks/thread, the fixed `CHUNKS_PER_THREAD` the
+/// splitter replaces.
+const INIT_SPLIT_SHIFT: u32 = 2;
+/// Jobs between feedback adjustments: long enough to smooth scheduling
+/// noise, short enough to adapt within one figure sweep.
+const ADJUST_WINDOW: usize = 8;
 
 /// One chunk of one parallel job.
 ///
@@ -92,6 +105,19 @@ pub(crate) struct Shared {
     shutdown: AtomicBool,
     /// Round-robin scatter cursor for submissions.
     cursor: AtomicUsize,
+    /// Cross-deque pops by *workers* (a worker whose own deque drained took
+    /// a unit scattered to a sibling). Steals mean the static scatter was
+    /// unbalanced relative to per-chunk runtimes — the signal the adaptive
+    /// splitter reacts to. Submitter pops are not counted: a participating
+    /// submitter has no deque, so its pops carry no imbalance information.
+    steals: AtomicUsize,
+    /// Steal count at the last feedback adjustment.
+    steals_mark: AtomicUsize,
+    /// Multi-chunk jobs completed (drives the adjustment window).
+    jobs: AtomicUsize,
+    /// log₂ of the current chunks-per-thread target, in
+    /// `MIN_SPLIT_SHIFT..=MAX_SPLIT_SHIFT`.
+    split_shift: AtomicU32,
 }
 
 impl Shared {
@@ -111,10 +137,47 @@ impl Shared {
                 continue;
             }
             if let Some(u) = self.deques[j].lock().unwrap().pop_front() {
+                if own.is_some() {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                }
                 return Some(u);
             }
         }
         None
+    }
+
+    /// The splitter's current chunks-per-thread target.
+    ///
+    /// Rayon splits a task further whenever it observes the task being
+    /// stolen (a thief proves idle capacity exists); this executor scatters
+    /// chunks eagerly, so the equivalent feedback runs across jobs instead
+    /// of within one: every [`ADJUST_WINDOW`] completed jobs, the target
+    /// doubles (up to 16/thread) if any steal was observed in the window —
+    /// workers ran dry and rebalanced, so finer chunks would have spread
+    /// the work better — and halves (down to 2/thread) if none was: the
+    /// workers were saturated by their own deques and extra chunks are
+    /// pure bookkeeping. Only the chunk *layout* adapts; reductions stay
+    /// chunk-ordered, so results remain bit-identical (see `lib.rs`).
+    pub(crate) fn chunks_per_thread(&self) -> usize {
+        1usize << self.split_shift.load(Ordering::Relaxed)
+    }
+
+    /// Records one completed multi-chunk job and adjusts the split target
+    /// at window boundaries (see [`Shared::chunks_per_thread`]).
+    fn record_job_feedback(&self) {
+        let jobs = self.jobs.fetch_add(1, Ordering::Relaxed) + 1;
+        if !jobs.is_multiple_of(ADJUST_WINDOW) {
+            return;
+        }
+        let steals = self.steals.load(Ordering::Relaxed);
+        let mark = self.steals_mark.swap(steals, Ordering::Relaxed);
+        let stolen_in_window = steals.wrapping_sub(mark) > 0;
+        let shift = self.split_shift.load(Ordering::Relaxed);
+        if stolen_in_window && shift < MAX_SPLIT_SHIFT {
+            self.split_shift.store(shift + 1, Ordering::Relaxed);
+        } else if !stolen_in_window && shift > MIN_SPLIT_SHIFT {
+            self.split_shift.store(shift - 1, Ordering::Relaxed);
+        }
     }
 
     fn notify(&self) {
@@ -191,6 +254,7 @@ impl Shared {
                 }
             }
         }
+        self.record_job_feedback();
         let payload = core.panic_payload.lock().unwrap().take();
         if let Some(payload) = payload {
             std::panic::resume_unwind(payload);
@@ -253,6 +317,10 @@ impl Pool {
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
             cursor: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+            steals_mark: AtomicUsize::new(0),
+            jobs: AtomicUsize::new(0),
+            split_shift: AtomicU32::new(INIT_SPLIT_SHIFT),
         });
         let handles = (0..workers)
             .map(|index| {

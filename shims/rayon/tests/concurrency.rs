@@ -103,12 +103,7 @@ fn float_sum_matches_iterator_exactly() {
     // sequentially in input order, so the result must equal Iterator::sum
     // bit-for-bit on any pool.
     let expected: f64 = (0..N).map(|i| 1.0 / (i as f64 + 1.0)).sum();
-    let got: f64 = pool(4).install(|| {
-        (0..N)
-            .into_par_iter()
-            .map(|i| 1.0 / (i as f64 + 1.0))
-            .sum()
-    });
+    let got: f64 = pool(4).install(|| (0..N).into_par_iter().map(|i| 1.0 / (i as f64 + 1.0)).sum());
     assert_eq!(expected.to_bits(), got.to_bits());
 }
 
@@ -143,7 +138,12 @@ fn nested_same_pool_does_not_deadlock() {
     let total: u64 = p.install(|| {
         (0..32u64)
             .into_par_iter()
-            .map(|i| (0..2000u64).into_par_iter().map(|j| i * j % 97).sum::<u64>())
+            .map(|i| {
+                (0..2000u64)
+                    .into_par_iter()
+                    .map(|j| i * j % 97)
+                    .sum::<u64>()
+            })
             .sum()
     });
     let expected: u64 = (0..32u64)
@@ -184,4 +184,72 @@ fn par_chunks_matches_sequential_chunking() {
             .map(|c| c.iter().copied().fold(0u64, u64::wrapping_add))
             .collect::<Vec<u64>>()
     });
+}
+
+#[test]
+fn adaptive_splitter_stays_within_bounds_under_load() {
+    // Hammer a pool with deliberately uneven jobs (per-item cost grows with
+    // the index, so late chunks are much heavier): whatever the steal
+    // feedback does, the target must stay inside [2, 16] chunks/thread and
+    // results must remain bit-identical to sequential execution.
+    let p = pool(4);
+    for round in 0..64u64 {
+        let got: u64 = p.install(|| {
+            (0..20_000u64)
+                .into_par_iter()
+                .map(|i| {
+                    let spin = (i / 1000) % 7; // uneven per-item cost
+                    (0..spin).fold(i ^ round, |a, b| a.wrapping_mul(b | 1))
+                })
+                .reduce(|| 0, u64::wrapping_add)
+        });
+        let expected: u64 = (0..20_000u64)
+            .map(|i| {
+                let spin = (i / 1000) % 7;
+                (0..spin).fold(i ^ round, |a, b| a.wrapping_mul(b | 1))
+            })
+            .fold(0, u64::wrapping_add);
+        assert_eq!(got, expected, "divergence in round {round}");
+        let cpt = p.install(rayon::current_chunks_per_thread);
+        assert!(
+            (2..=16).contains(&cpt),
+            "chunks/thread out of bounds: {cpt}"
+        );
+    }
+}
+
+#[test]
+fn adaptive_chunk_len_is_positive_and_covers_the_input() {
+    let p = pool(4);
+    p.install(|| {
+        for len in [0usize, 1, 2, 7, 100, 10_000] {
+            let chunk = rayon::adaptive_chunk_len(len);
+            assert!(chunk >= 1, "chunk length 0 for len = {len}");
+            assert!(chunk <= len.max(1), "chunk {chunk} exceeds len {len}");
+        }
+    });
+    // Inline (1-thread) execution never splits.
+    assert_eq!(pool(1).install(|| rayon::adaptive_chunk_len(5_000)), 5_000);
+    assert_eq!(pool(1).install(rayon::current_chunks_per_thread), 1);
+}
+
+#[test]
+fn adaptive_layout_changes_never_change_results() {
+    // Interleave saturating jobs (no steals → coarsen) with tiny uneven
+    // jobs (steals → refine) and check a pinned reduction after every
+    // adjustment window; the layout may move, the value may not.
+    let p = pool(3);
+    let reference: u64 = (0..50_000u64).map(|x| x.rotate_left(11) ^ 0xA5A5).sum();
+    for _ in 0..40 {
+        let got: u64 = p.install(|| {
+            (0..50_000u64)
+                .into_par_iter()
+                .map(|x| x.rotate_left(11) ^ 0xA5A5)
+                .reduce(|| 0, u64::wrapping_add)
+        });
+        assert_eq!(got, reference);
+        // A micro-job whose chunks all land on one worker invites steals.
+        let tiny: Vec<u64> = p.install(|| (0..16u64).into_par_iter().map(|x| x * x).collect());
+        assert_eq!(tiny, (0..16u64).map(|x| x * x).collect::<Vec<_>>());
+    }
 }

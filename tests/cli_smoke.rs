@@ -13,7 +13,15 @@ fn run_kcenter(args: &[&str]) -> String {
     let manifest_dir = env!("CARGO_MANIFEST_DIR");
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let output = Command::new(&cargo)
-        .args(["run", "--release", "-p", "kcenter-cli", "--bin", "kcenter", "--"])
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "kcenter-cli",
+            "--bin",
+            "kcenter",
+            "--",
+        ])
         .args(args)
         .current_dir(manifest_dir)
         .output()
@@ -42,8 +50,17 @@ fn generate_cluster_and_outliers_golden_output() {
     // `generate` is seeded: exactly 200 higgs-like points + 3 injected
     // outliers, bit-identical on every run.
     let out = run_kcenter(&[
-        "generate", "--dataset", "higgs", "--n", "200", "--outliers", "3", "--seed", "4",
-        "--output", &data_str,
+        "generate",
+        "--dataset",
+        "higgs",
+        "--n",
+        "200",
+        "--outliers",
+        "3",
+        "--seed",
+        "4",
+        "--output",
+        &data_str,
     ]);
     assert!(
         out.contains("wrote 203 points (7-dimensional)"),
@@ -76,8 +93,8 @@ fn generate_cluster_and_outliers_golden_output() {
     // Outliers via the Charikar baseline (z = 3 discards the planted
     // outliers): deterministic binary search, pinned cluster-scale radius.
     let out = run_kcenter(&[
-        "cluster", "--input", &data_str, "--k", "4", "--z", "3", "--algo", "charikar",
-        "--seed", "1",
+        "cluster", "--input", &data_str, "--k", "4", "--z", "3", "--algo", "charikar", "--seed",
+        "1",
     ]);
     assert!(
         out.contains("algo = Charikar, k = 4, z = 3"),
