@@ -13,13 +13,18 @@
 //! cargo run --release -p kcenter-bench --bin fig7_scaling_procs [-- --paper]
 //! ```
 
-use kcenter_bench::{Args, Dataset, Stats};
+use kcenter_bench::{report_cache_accounting, Args, Dataset, Stats};
 use kcenter_core::coreset::CoresetSpec;
 use kcenter_core::mapreduce_outliers::{mr_kcenter_outliers, MrOutliersConfig};
 use kcenter_data::inject_outliers;
 use kcenter_metric::Euclidean;
 
 fn main() {
+    // Opt-in persistent matrix cache; see fig4_mr_outliers for the
+    // cold/warm accounting contract.
+    if let Some(store) = kcenter_store::install_from_env() {
+        eprintln!("persistent cache: {}", store.dir().display());
+    }
     let args = Args::parse();
     let n = args.size(20_000, 200_000);
     let k = 20usize;
@@ -85,4 +90,5 @@ fn main() {
         "distance matrices built: {}",
         kcenter_metric::matrix_build_count()
     );
+    report_cache_accounting();
 }

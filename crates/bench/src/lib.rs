@@ -158,6 +158,27 @@ impl RatioTable {
     }
 }
 
+/// Prints the process-wide matrix-pricing/persistent-store accounting to
+/// **stderr** in a fixed machine-parsable shape:
+///
+/// ```text
+/// cache-accounting: builds=24 hits=0 misses=24
+/// ```
+///
+/// Stderr, deliberately: the counters depend on the cache's state (cold
+/// vs warm), while the binaries' *stdout* must stay a pure function of
+/// the seeded inputs so the cache-determinism CI jobs can diff it
+/// bit-for-bit. `tests/fig_golden.rs` parses this line to assert a warm
+/// run served every matrix from the store (`builds=0`, `hits>0`).
+pub fn report_cache_accounting() {
+    eprintln!(
+        "cache-accounting: builds={} hits={} misses={}",
+        kcenter_metric::matrix_build_count(),
+        kcenter_metric::store_hit_count(),
+        kcenter_metric::store_miss_count(),
+    );
+}
+
 /// Formats a duration in adaptive units.
 pub fn fmt_duration(d: Duration) -> String {
     let s = d.as_secs_f64();
@@ -177,16 +198,21 @@ pub struct Args {
     pub reps: usize,
     /// Dataset size override.
     pub n: Option<usize>,
+    /// Suppress wall-clock columns so stdout is a pure function of the
+    /// seeded inputs — the mode the cache-determinism CI jobs diff
+    /// bit-for-bit across cold/warm cache and thread counts.
+    pub deterministic: bool,
 }
 
 impl Args {
-    /// Parses `--paper`, `--reps N`, `--n N` from `std::env::args`.
-    /// Unknown arguments abort with a usage message.
+    /// Parses `--paper`, `--reps N`, `--n N`, `--deterministic` from
+    /// `std::env::args`. Unknown arguments abort with a usage message.
     pub fn parse() -> Args {
         let mut args = Args {
             paper: false,
             reps: 3,
             n: None,
+            deterministic: false,
         };
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
@@ -195,6 +221,7 @@ impl Args {
                     args.paper = true;
                     args.reps = 10;
                 }
+                "--deterministic" => args.deterministic = true,
                 "--reps" => {
                     let v = iter.next().expect("--reps needs a value");
                     args.reps = v.parse().expect("--reps must be an integer");
@@ -204,11 +231,13 @@ impl Args {
                     args.n = Some(v.parse().expect("--n must be an integer"));
                 }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--paper] [--reps N] [--n N]");
+                    eprintln!("usage: [--paper] [--reps N] [--n N] [--deterministic]");
                     std::process::exit(0);
                 }
                 other => {
-                    eprintln!("unknown argument {other}; usage: [--paper] [--reps N] [--n N]");
+                    eprintln!(
+                        "unknown argument {other}; usage: [--paper] [--reps N] [--n N] [--deterministic]"
+                    );
                     std::process::exit(2);
                 }
             }

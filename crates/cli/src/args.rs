@@ -70,6 +70,8 @@ pub enum Command {
     Generate(GenerateArgs),
     /// Print dataset statistics.
     Info(InfoArgs),
+    /// Inspect or empty the persistent artifact cache.
+    Cache(CacheArgs),
 }
 
 /// Arguments of `kcenter cluster`.
@@ -93,6 +95,11 @@ pub struct ClusterArgs {
     pub output: Option<String>,
     /// RNG seed.
     pub seed: u64,
+    /// Persistent artifact cache directory (overrides `KCENTER_CACHE_DIR`;
+    /// `None` defers to the environment, and caching stays off when
+    /// neither is set). An explicit empty value (`--cache-dir ""`) forces
+    /// caching off even when the environment variable is set.
+    pub cache_dir: Option<String>,
 }
 
 /// Arguments of `kcenter generate`.
@@ -115,6 +122,24 @@ pub struct GenerateArgs {
 pub struct InfoArgs {
     /// Input CSV path.
     pub input: String,
+}
+
+/// What `kcenter cache` should do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheAction {
+    /// Report per-kind entry counts and sizes.
+    Stat,
+    /// Remove every artifact entry (and stale temp file).
+    Clear,
+}
+
+/// Arguments of `kcenter cache`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheArgs {
+    /// `stat` or `clear`.
+    pub action: CacheAction,
+    /// Cache directory (`--cache-dir`); falls back to `KCENTER_CACHE_DIR`.
+    pub dir: Option<String>,
 }
 
 /// A parse failure with its message.
@@ -144,8 +169,15 @@ kcenter — coreset-based k-center clustering (with outliers)
 USAGE:
   kcenter cluster  --input FILE --k K [--z Z] [--algo gmm|mr|mr-outliers|mr-randomized|seq|stream|charikar]
                    [--ell L] [--mu M] [--normalize none|zscore|minmax] [--output FILE] [--seed S]
+                   [--cache-dir DIR]
   kcenter generate --dataset higgs|power|wiki --n N [--outliers Z] [--seed S] --output FILE
   kcenter info     --input FILE
+  kcenter cache    stat|clear [--cache-dir DIR]
+
+The persistent artifact cache (distance matrices, coresets, solutions) is
+off unless --cache-dir or the KCENTER_CACHE_DIR environment variable
+names a directory (--cache-dir \"\" forces it off); `cache stat`/`cache
+clear` inspect and empty it.
 ";
 
 fn take_value<'a, I: Iterator<Item = &'a str>>(
@@ -172,6 +204,7 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Ar
         "cluster" => parse_cluster(iter),
         "generate" => parse_generate(iter),
         "info" => parse_info(iter),
+        "cache" => parse_cache(iter),
         "--help" | "-h" | "help" => Err(ArgError::new(USAGE)),
         other => Err(ArgError::new(format!("unknown subcommand {other:?}"))),
     }
@@ -187,6 +220,7 @@ fn parse_cluster<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command
     let mut normalize = Normalize::Zscore;
     let mut output = None;
     let mut seed = 0u64;
+    let mut cache_dir = None;
     while let Some(arg) = iter.next() {
         match arg {
             "--input" => input = Some(take_value(arg, &mut iter)?.to_string()),
@@ -198,6 +232,7 @@ fn parse_cluster<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command
             "--normalize" => normalize = Normalize::parse(take_value(arg, &mut iter)?)?,
             "--output" => output = Some(take_value(arg, &mut iter)?.to_string()),
             "--seed" => seed = parse_num(arg, take_value(arg, &mut iter)?)?,
+            "--cache-dir" => cache_dir = Some(take_value(arg, &mut iter)?.to_string()),
             other => return Err(ArgError::new(format!("unknown flag {other:?}"))),
         }
     }
@@ -216,7 +251,31 @@ fn parse_cluster<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command
         normalize,
         output,
         seed,
+        cache_dir,
     }))
+}
+
+fn parse_cache<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command, ArgError> {
+    let action = match iter
+        .next()
+        .ok_or_else(|| ArgError::new("cache requires an action (stat | clear)"))?
+    {
+        "stat" => CacheAction::Stat,
+        "clear" => CacheAction::Clear,
+        other => {
+            return Err(ArgError::new(format!(
+                "cache action must be stat | clear, got {other:?}"
+            )))
+        }
+    };
+    let mut dir = None;
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--cache-dir" => dir = Some(take_value(arg, &mut iter)?.to_string()),
+            other => return Err(ArgError::new(format!("unknown flag {other:?}"))),
+        }
+    }
+    Ok(Command::Cache(CacheArgs { action, dir }))
 }
 
 fn parse_generate<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command, ArgError> {
@@ -306,6 +365,8 @@ mod tests {
             "c.csv",
             "--seed",
             "7",
+            "--cache-dir",
+            "/tmp/kc-cache",
         ])
         .unwrap();
         assert_eq!(
@@ -320,8 +381,31 @@ mod tests {
                 normalize: Normalize::MinMax,
                 output: Some("c.csv".into()),
                 seed: 7,
+                cache_dir: Some("/tmp/kc-cache".into()),
             })
         );
+    }
+
+    #[test]
+    fn parses_cache_subcommand() {
+        assert_eq!(
+            parse(["cache", "stat"]).unwrap(),
+            Command::Cache(CacheArgs {
+                action: CacheAction::Stat,
+                dir: None,
+            })
+        );
+        assert_eq!(
+            parse(["cache", "clear", "--cache-dir", "/tmp/kc"]).unwrap(),
+            Command::Cache(CacheArgs {
+                action: CacheAction::Clear,
+                dir: Some("/tmp/kc".into()),
+            })
+        );
+        assert!(parse(["cache"]).is_err());
+        assert!(parse(["cache", "prune"]).is_err());
+        assert!(parse(["cache", "stat", "--verbose"]).is_err());
+        assert!(parse(["cache", "stat", "--cache-dir"]).is_err());
     }
 
     #[test]

@@ -18,12 +18,81 @@ use kcenter_data::{higgs_like, inject_outliers, power_like, wiki_like};
 use kcenter_metric::doubling::{estimate_doubling_dimension, DoublingConfig};
 use kcenter_metric::pairwise::diameter_bounds;
 use kcenter_metric::{Euclidean, Point};
+use kcenter_store::{ArtifactKind, ArtifactStore, Fingerprint, StoredSolution};
 use kcenter_stream::run_stream;
 
-use crate::args::{Algo, ClusterArgs, GenerateArgs, InfoArgs, Normalize};
+use crate::args::{Algo, CacheAction, CacheArgs, ClusterArgs, GenerateArgs, InfoArgs, Normalize};
+
+/// Resolves the cluster command's artifact store: the `--cache-dir` flag
+/// wins, else `KCENTER_CACHE_DIR`, else caching is off. An explicit
+/// empty `--cache-dir ""` forces caching off even when the environment
+/// variable is set (also how the in-process tests stay deterministic
+/// without mutating the process environment). When active, the store is
+/// also installed as the process-wide matrix persistence so every
+/// `CachedOracle` the algorithms resolve reads/writes it.
+fn activate_store(flag: &Option<String>) -> Option<ArtifactStore> {
+    let store = match flag.as_deref() {
+        Some("") => None,
+        Some(dir) => match kcenter_store::install_at(dir) {
+            Ok(store) => Some(store),
+            Err(err) => {
+                eprintln!("warning: cannot open cache dir {dir}: {err} (cache off)");
+                None
+            }
+        },
+        None => kcenter_store::install_from_env(),
+    };
+    if let Some(store) = &store {
+        eprintln!("persistent cache: {}", store.dir().display());
+    }
+    store
+}
+
+/// Stable tag for each algorithm, folded into solution fingerprints
+/// (enum discriminants are not a stable serialization).
+fn algo_tag(algo: Algo) -> &'static str {
+    match algo {
+        Algo::Gmm => "gmm",
+        Algo::Mr => "mr",
+        Algo::MrOutliers => "mr-outliers",
+        Algo::MrRandomized => "mr-randomized",
+        Algo::Sequential => "seq",
+        Algo::Stream => "stream",
+        Algo::Charikar => "charikar",
+    }
+}
+
+/// Fingerprint of one `cluster` invocation: the exact input coordinate
+/// bits plus every parameter that influences the solution. Two runs with
+/// the same fingerprint produce bitwise-identical centers/objective, so a
+/// warm cache can serve the whole solve. The crate version is folded in
+/// so upgrading `kcenter` never serves solutions an older algorithm
+/// produced; within one version, a semantic algorithm change must bump
+/// the domain string (the pinned golden suites make such changes loud).
+fn solution_fingerprint(args: &ClusterArgs, raw: &[Point], ell: usize) -> u128 {
+    let mut fp = Fingerprint::with_domain("kcenter-cli/cluster-solution/v1");
+    fp.write_str(env!("CARGO_PKG_VERSION"));
+    fp.write_usize(raw.len());
+    for p in raw {
+        fp.write_f64s(p.coords());
+    }
+    fp.write_usize(args.k);
+    fp.write_usize(args.z);
+    fp.write_str(algo_tag(args.algo));
+    fp.write_usize(ell);
+    fp.write_usize(args.mu);
+    fp.write_str(match args.normalize {
+        Normalize::None => "none",
+        Normalize::Zscore => "zscore",
+        Normalize::MinMax => "minmax",
+    });
+    fp.write_u64(args.seed);
+    fp.finish()
+}
 
 /// Runs `kcenter cluster`, writing a human-readable report to stdout.
 pub fn run_cluster(args: &ClusterArgs) -> Result<(), Box<dyn Error>> {
+    let store = activate_store(&args.cache_dir);
     let raw = load_csv(&args.input)?;
     if raw.is_empty() {
         return Err("input file contains no points".into());
@@ -53,10 +122,57 @@ pub fn run_cluster(args: &ClusterArgs) -> Result<(), Box<dyn Error>> {
         tuning::ell_for_kcenter(points.len(), args.k)
     };
 
+    // Whole-solution caching: the fingerprint covers the input bits and
+    // every solve parameter, so a hit is bitwise the same solution this
+    // run would compute (centers in normalized space + objective).
+    let fingerprint = store
+        .as_ref()
+        .map(|_| solution_fingerprint(args, &raw, ell));
     let start = Instant::now();
-    let centers: Vec<Point> = match args.algo {
+    let cached: Option<StoredSolution> = store
+        .as_ref()
+        .zip(fingerprint)
+        .and_then(|(store, fp)| store.load_solution(fp));
+    if cached.is_some() {
+        eprintln!("solution cache: hit (solve skipped)");
+    }
+    let centers: Vec<Point> = match &cached {
+        Some(solution) => solution.centers.clone(),
+        None => run_cluster_algorithm(args, &points, ell)?,
+    };
+    let elapsed = start.elapsed();
+
+    let objective = match &cached {
+        Some(solution) => solution.radius,
+        None if args.z > 0 => radius_with_outliers(&points, &centers, args.z, &Euclidean),
+        None => radius(&points, &centers, &Euclidean),
+    };
+    if let (Some(store), Some(fp), None) = (&store, fingerprint, &cached) {
+        let artifact = StoredSolution {
+            centers: centers.clone(),
+            radius: objective,
+            // Not tracked uniformly across the algorithms; the CLI artifact
+            // records the solution itself, not search diagnostics.
+            uncovered_weight: 0,
+            evaluations: 0,
+        };
+        if let Err(err) = store.store_solution(fp, &artifact) {
+            eprintln!("warning: failed to persist solution: {err}");
+        }
+    }
+    report_cluster(args, ell, objective, elapsed, &norm, &centers)
+}
+
+/// Dispatches one `cluster` invocation to the selected algorithm,
+/// returning the centers (in the solve's — possibly normalized — space).
+fn run_cluster_algorithm(
+    args: &ClusterArgs,
+    points: &[Point],
+    ell: usize,
+) -> Result<Vec<Point>, Box<dyn Error>> {
+    Ok(match args.algo {
         Algo::Gmm => {
-            let result = gmm_select(&points, &Euclidean, args.k, 0);
+            let result = gmm_select(points, &Euclidean, args.k, 0);
             result
                 .centers
                 .into_iter()
@@ -65,7 +181,7 @@ pub fn run_cluster(args: &ClusterArgs) -> Result<(), Box<dyn Error>> {
         }
         Algo::Mr => {
             let result = mr_kcenter(
-                &points,
+                points,
                 &Euclidean,
                 &MrKCenterConfig {
                     k: args.k,
@@ -93,14 +209,14 @@ pub fn run_cluster(args: &ClusterArgs) -> Result<(), Box<dyn Error>> {
                 )
             };
             config.seed = args.seed;
-            mr_kcenter_outliers(&points, &Euclidean, &config)?
+            mr_kcenter_outliers(points, &Euclidean, &config)?
                 .clustering
                 .centers
         }
         Algo::Sequential => {
             let mut config = SequentialOutliersConfig::new(args.k, args.z, args.mu);
             config.seed = args.seed;
-            sequential_kcenter_outliers(&points, &Euclidean, &config)?
+            sequential_kcenter_outliers(points, &Euclidean, &config)?
                 .clustering
                 .centers
         }
@@ -116,18 +232,23 @@ pub fn run_cluster(args: &ClusterArgs) -> Result<(), Box<dyn Error>> {
             out.centers
         }
         Algo::Charikar => {
-            charikar_kcenter_outliers(&points, &Euclidean, args.k, args.z)?
+            charikar_kcenter_outliers(points, &Euclidean, args.k, args.z)?
                 .clustering
                 .centers
         }
-    };
-    let elapsed = start.elapsed();
+    })
+}
 
-    let objective = if args.z > 0 {
-        radius_with_outliers(&points, &centers, args.z, &Euclidean)
-    } else {
-        radius(&points, &centers, &Euclidean)
-    };
+/// Prints the cluster report and writes the centers file, shared by the
+/// solved and cache-served paths.
+fn report_cluster(
+    args: &ClusterArgs,
+    ell: usize,
+    objective: f64,
+    elapsed: std::time::Duration,
+    norm: &Option<Normalization>,
+    centers: &[Point],
+) -> Result<(), Box<dyn Error>> {
     println!(
         "algo = {:?}, k = {}, z = {}, ell = {ell}, mu = {}",
         args.algo, args.k, args.z, args.mu
@@ -140,12 +261,57 @@ pub fn run_cluster(args: &ClusterArgs) -> Result<(), Box<dyn Error>> {
 
     if let Some(path) = &args.output {
         // Map centers back to data space before writing.
-        let out_centers: Vec<Point> = match &norm {
+        let out_centers: Vec<Point> = match norm {
             Some(n) => centers.iter().map(|c| n.invert(c)).collect(),
-            None => centers.clone(),
+            None => centers.to_vec(),
         };
         save_csv(path, &out_centers)?;
         println!("wrote {} centers to {path}", out_centers.len());
+    }
+    Ok(())
+}
+
+/// Runs `kcenter cache` (`stat` | `clear`). The directory comes from
+/// `--cache-dir`, falling back to `KCENTER_CACHE_DIR`.
+pub fn run_cache(args: &CacheArgs) -> Result<(), Box<dyn Error>> {
+    let dir = match &args.dir {
+        Some(dir) => dir.clone(),
+        None => match std::env::var(kcenter_store::CACHE_DIR_ENV) {
+            Ok(dir) if !dir.trim().is_empty() => dir,
+            _ => {
+                return Err(format!(
+                    "no cache directory: pass --cache-dir or set {}",
+                    kcenter_store::CACHE_DIR_ENV
+                )
+                .into())
+            }
+        },
+    };
+    let store = ArtifactStore::open(&dir)?;
+    match args.action {
+        CacheAction::Stat => {
+            let stat = store.stat()?;
+            println!("cache directory : {}", store.dir().display());
+            for kind in ArtifactKind::ALL {
+                let bucket = stat.kind(kind);
+                println!(
+                    "{:<16}: {} entries, {} bytes",
+                    kind.name(),
+                    bucket.entries,
+                    bucket.bytes
+                );
+            }
+            println!(
+                "{:<16}: {} entries, {} bytes",
+                "total",
+                stat.total_entries(),
+                stat.total_bytes()
+            );
+        }
+        CacheAction::Clear => {
+            let removed = store.clear()?;
+            println!("removed {removed} entries from {}", store.dir().display());
+        }
     }
     Ok(())
 }
@@ -201,6 +367,16 @@ mod tests {
     use super::*;
     use crate::args::Normalize;
 
+    /// The command tests must run with caching off regardless of an
+    /// ambient `KCENTER_CACHE_DIR` (a developer's cache must neither
+    /// serve these fixtures stale solutions nor collect their
+    /// artifacts). `--cache-dir ""` is the race-free off switch: unlike
+    /// `env::remove_var`, it does not mutate the process environment
+    /// under libtest's parallel threads.
+    fn cache_off() -> Option<String> {
+        Some(String::new())
+    }
+
     fn temp_path(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("kcenter-cli-tests");
         std::fs::create_dir_all(&dir).unwrap();
@@ -236,6 +412,7 @@ mod tests {
             normalize: Normalize::Zscore,
             output: Some(output.to_string_lossy().into_owned()),
             seed: 1,
+            cache_dir: cache_off(),
         };
         run_cluster(&args).unwrap();
         let centers = load_csv(&output).unwrap();
@@ -277,6 +454,7 @@ mod tests {
                 normalize: Normalize::None,
                 output: None,
                 seed: 0,
+                cache_dir: cache_off(),
             };
             run_cluster(&args).unwrap_or_else(|e| panic!("{algo:?} failed: {e}"));
         }

@@ -28,6 +28,7 @@ fn main() {
         Command::Cluster(a) => commands::run_cluster(a),
         Command::Generate(a) => commands::run_generate(a),
         Command::Info(a) => commands::run_info(a),
+        Command::Cache(a) => commands::run_cache(a),
     };
     if let Err(err) = result {
         eprintln!("error: {err}");

@@ -260,6 +260,10 @@ where
             // matrix. The handle lives only for this reducer — sweeps
             // that re-solve one coreset under several parameters hold a
             // CachedOracle themselves and call solve_coreset_cached.
+            // With a persistent store installed (KCENTER_CACHE_DIR), the
+            // oracle loads a previously priced matrix for this exact
+            // union instead of rebuilding it, so round 2 of a repeated
+            // seeded run costs no distance evaluations at all.
             let coreset: WeightedCoreset<P> = union.iter().cloned().collect();
             let oracle = CachedOracle::new(coreset.points_only(), metric, matrix_threshold);
             vec![solve_coreset_cached(

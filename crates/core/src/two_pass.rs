@@ -131,7 +131,9 @@ where
     let coreset_size = centers.len();
     // The pass-2 centers ARE the coreset points: hand them straight to a
     // shared oracle (no WeightedCoreset round-trip) so the finalization's
-    // radius search prices them into one lazily built proxy matrix.
+    // radius search prices them into one lazily built proxy matrix —
+    // served from the persistent store, when installed, for repeated
+    // runs over the same stream.
     let oracle = CachedOracle::new(centers, metric, default_matrix_threshold());
     let solution = solve_coreset_cached(
         &oracle,

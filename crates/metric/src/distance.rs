@@ -6,7 +6,26 @@
 //! inequality); the approximation guarantees of all algorithms rely on the
 //! triangle inequality.
 
+use crate::fingerprint::Fingerprint;
 use crate::point::Point;
+
+/// Domain label folded into every [`Metric::cache_fingerprint`], bumped
+/// whenever the fingerprinting scheme itself changes incompatibly.
+const FINGERPRINT_DOMAIN: &str = "kcenter/metric-points/v1";
+
+/// Content fingerprint of `points` under a named metric: the key the
+/// persistent artifact store addresses proxy-scale distance matrices by.
+/// Order-sensitive (matrix entries are indexed by point position) and
+/// bit-exact over coordinates.
+fn fingerprint_points(metric_name: &str, points: &[Point]) -> u128 {
+    let mut fp = Fingerprint::with_domain(FINGERPRINT_DOMAIN);
+    fp.write_str(metric_name);
+    fp.write_usize(points.len());
+    for p in points {
+        fp.write_f64s(p.coords());
+    }
+    fp.finish()
+}
 
 /// A distance function over points of type `P`.
 ///
@@ -58,6 +77,27 @@ pub trait Metric<P: ?Sized>: Sync + Send {
     fn distance_to_cmp(&self, d: f64) -> f64 {
         d
     }
+
+    /// A deterministic content fingerprint of `points` *under this metric*,
+    /// or `None` when the metric cannot (or should not) key a persistent
+    /// cache entry.
+    ///
+    /// `Some(fp)` is a promise that any two point slices with the same
+    /// fingerprint produce bitwise-identical [`Metric::cmp_distance`]
+    /// matrices, across processes: the persistent artifact store uses it
+    /// to serve a previously priced matrix to a later run. Implementations
+    /// must therefore fold in a stable metric identity and the exact
+    /// coordinate bits, in order. The default `None` opts out — correct
+    /// for stateful or test-only metrics (e.g. [`Precomputed`], whose
+    /// identity lives in the matrix itself) and for ad-hoc wrappers, which
+    /// then simply keep the per-process cache behaviour.
+    fn cache_fingerprint(&self, points: &[P]) -> Option<u128>
+    where
+        P: Sized,
+    {
+        let _ = points;
+        None
+    }
 }
 
 /// Blanket implementation so `&M` can be passed where `M: Metric` is needed.
@@ -80,6 +120,13 @@ impl<P: ?Sized, M: Metric<P> + ?Sized> Metric<P> for &M {
     #[inline]
     fn distance_to_cmp(&self, d: f64) -> f64 {
         (**self).distance_to_cmp(d)
+    }
+
+    fn cache_fingerprint(&self, points: &[P]) -> Option<u128>
+    where
+        P: Sized,
+    {
+        (**self).cache_fingerprint(points)
     }
 }
 
@@ -129,6 +176,10 @@ impl Metric<Point> for Euclidean {
     fn distance_to_cmp(&self, d: f64) -> f64 {
         d * d
     }
+
+    fn cache_fingerprint(&self, points: &[Point]) -> Option<u128> {
+        Some(fingerprint_points("euclidean", points))
+    }
 }
 
 /// The Manhattan (L1) metric.
@@ -145,6 +196,10 @@ impl Metric<Point> for Manhattan {
             .map(|(x, y)| (x - y).abs())
             .sum()
     }
+
+    fn cache_fingerprint(&self, points: &[Point]) -> Option<u128> {
+        Some(fingerprint_points("manhattan", points))
+    }
 }
 
 /// The Chebyshev (L∞) metric.
@@ -160,6 +215,10 @@ impl Metric<Point> for Chebyshev {
             .zip(b.coords())
             .map(|(x, y)| (x - y).abs())
             .fold(0.0, f64::max)
+    }
+
+    fn cache_fingerprint(&self, points: &[Point]) -> Option<u128> {
+        Some(fingerprint_points("chebyshev", points))
     }
 }
 
@@ -191,6 +250,10 @@ impl Metric<Point> for CosineAngular {
         }
         // Clamp for floating-point drift before acos.
         (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0).acos()
+    }
+
+    fn cache_fingerprint(&self, points: &[Point]) -> Option<u128> {
+        Some(fingerprint_points("cosine-angular", points))
     }
 }
 

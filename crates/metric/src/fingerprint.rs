@@ -1,0 +1,207 @@
+//! Deterministic 128-bit fingerprints for cache keys and checksums.
+//!
+//! The persistent artifact store (`kcenter-store`) addresses entries by a
+//! fingerprint of their *inputs* — point coordinates, metric identity,
+//! dataset/coreset parameters — so that two runs deriving the same artifact
+//! read one cache entry, and any parameter change lands on a different key.
+//! The hash therefore has to be
+//!
+//! * **deterministic across processes and platforms** (no `RandomState`,
+//!   no pointer-derived seeds): coordinates are folded in as little-endian
+//!   `f64::to_bits`, integers as little-endian fixed-width words;
+//! * **order-sensitive**: matrix entries are indexed by point position, so
+//!   `[a, b]` and `[b, a]` must fingerprint differently;
+//! * cheap relative to the work it saves (an `O(n·d)` pass versus the
+//!   `O(n²·d)` pricing of a distance matrix).
+//!
+//! Collision resistance is the cache-grade kind, not the cryptographic
+//! kind: two independently seeded 64-bit FNV-1a lanes over the same byte
+//! stream, each finished with a SplitMix64 avalanche, give 128 bits that
+//! are more than enough for millions of distinct artifacts. Do not use
+//! this for security decisions.
+
+/// Streaming 128-bit fingerprint builder (two independent FNV-1a lanes).
+#[derive(Clone, Debug)]
+pub struct Fingerprint {
+    lane_a: u64,
+    lane_b: u64,
+    len: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+/// Standard FNV-1a 64-bit offset basis.
+const OFFSET_A: u64 = 0xCBF2_9CE4_8422_2325;
+/// Second lane: an arbitrary odd constant (golden-ratio based) so the two
+/// lanes traverse different trajectories over identical input.
+const OFFSET_B: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 finalizer: avalanches the accumulated lane state so nearby
+/// inputs do not produce nearby fingerprints.
+#[inline]
+fn avalanche(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// A fresh fingerprint builder.
+    pub fn new() -> Self {
+        Fingerprint {
+            lane_a: OFFSET_A,
+            lane_b: OFFSET_B,
+            len: 0,
+        }
+    }
+
+    /// A builder seeded with a domain label, so fingerprints of different
+    /// artifact families (matrices, coresets, solutions, …) cannot collide
+    /// by folding in identical payloads.
+    pub fn with_domain(domain: &str) -> Self {
+        let mut fp = Fingerprint::new();
+        fp.write_str(domain);
+        fp
+    }
+
+    /// Folds raw bytes into the fingerprint.
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lane_a = (self.lane_a ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            self.lane_b = (self.lane_b ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            // Decorrelate the lanes: lane B additionally mixes the running
+            // length, so the lanes disagree on all but the empty stream.
+            self.lane_b ^= self.len.rotate_left(17);
+            self.len = self.len.wrapping_add(1);
+        }
+    }
+
+    /// Folds a `u64` (little-endian).
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `usize` as a 64-bit word (platform-independent width).
+    #[inline]
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds an `f64` by bit pattern — bit-exact, so `-0.0` and `0.0` (or
+    /// two NaN payloads) fingerprint differently, matching the bitwise
+    /// round-trip guarantee of the store's codec.
+    #[inline]
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Folds a string with a length prefix (so `"ab" + "c"` and
+    /// `"a" + "bc"` differ).
+    #[inline]
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Folds a slice of `f64` coordinates with a length prefix.
+    #[inline]
+    pub fn write_f64s(&mut self, vs: &[f64]) {
+        self.write_usize(vs.len());
+        for &v in vs {
+            self.write_f64(v);
+        }
+    }
+
+    /// The 128-bit fingerprint of everything written so far.
+    pub fn finish(&self) -> u128 {
+        let hi = avalanche(self.lane_a ^ self.len.rotate_left(32));
+        let lo = avalanche(self.lane_b.wrapping_add(self.len));
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+}
+
+/// One-shot FNV-1a 64-bit hash, used by the store's codec as a payload
+/// checksum (a single lane is plenty for corruption detection).
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h = OFFSET_A;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    avalanche(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_builders() {
+        let mut a = Fingerprint::with_domain("test");
+        let mut b = Fingerprint::with_domain("test");
+        for fp in [&mut a, &mut b] {
+            fp.write_f64s(&[1.0, -0.0, 3.5]);
+            fp.write_u64(42);
+            fp.write_str("euclidean");
+        }
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn order_and_domain_sensitive() {
+        let mut a = Fingerprint::with_domain("d");
+        a.write_f64s(&[1.0, 2.0]);
+        let mut b = Fingerprint::with_domain("d");
+        b.write_f64s(&[2.0, 1.0]);
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = Fingerprint::with_domain("other");
+        c.write_f64s(&[1.0, 2.0]);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn bit_exact_on_signed_zero_and_nan() {
+        let mut pos = Fingerprint::new();
+        pos.write_f64(0.0);
+        let mut neg = Fingerprint::new();
+        neg.write_f64(-0.0);
+        assert_ne!(pos.finish(), neg.finish());
+    }
+
+    #[test]
+    fn length_prefix_separates_concatenations() {
+        let mut a = Fingerprint::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fingerprint::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn lanes_are_not_mirrors() {
+        // The two 64-bit halves must not be equal functions of the input.
+        let mut fp = Fingerprint::new();
+        fp.write_u64(7);
+        let v = fp.finish();
+        assert_ne!((v >> 64) as u64, v as u64);
+    }
+
+    #[test]
+    fn checksum_detects_flips() {
+        let data = b"hello world, this is a payload";
+        let base = checksum64(data);
+        let mut flipped = data.to_vec();
+        flipped[3] ^= 0x40;
+        assert_ne!(base, checksum64(&flipped));
+        assert_eq!(base, checksum64(data));
+    }
+}

@@ -17,7 +17,12 @@
 //!   distance, diameter bounds, condensed distance matrices) that back the
 //!   radius searches of the clustering algorithms;
 //! * [`doubling`] — an empirical doubling-dimension estimator, the parameter
-//!   `D` that governs the coreset sizes in the paper's analysis.
+//!   `D` that governs the coreset sizes in the paper's analysis;
+//! * [`fingerprint`] / [`persist`] — deterministic content fingerprints and
+//!   the process-wide persistence hook that lets `kcenter-store` serve
+//!   previously priced [`DistanceMatrix`] caches across *runs* (keyed by
+//!   [`Metric::cache_fingerprint`], accounted by [`store_hit_count`] /
+//!   [`store_miss_count`] next to [`matrix_build_count`]).
 //!
 //! All algorithms in `kcenter-core` are generic over `(P, M: Metric<P>)`, so
 //! they run unchanged on Euclidean points, on cosine-space embeddings, or on
@@ -25,12 +30,19 @@
 
 pub mod distance;
 pub mod doubling;
+pub mod fingerprint;
 pub mod meb;
 pub mod pairwise;
+pub mod persist;
 pub mod point;
 pub mod selection;
 
 pub use distance::{Chebyshev, CosineAngular, Euclidean, Manhattan, Metric, Precomputed};
+pub use fingerprint::Fingerprint;
 pub use meb::{minimum_enclosing_ball, Ball};
 pub use pairwise::{matrix_build_count, CachedOracle, DistanceMatrix};
+pub use persist::{
+    install_matrix_persistence, matrix_persistence_installed, store_hit_count, store_miss_count,
+    MatrixPersistence,
+};
 pub use point::{Point, PointError};

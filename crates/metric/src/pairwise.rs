@@ -12,6 +12,7 @@ use std::sync::{Arc, OnceLock};
 use rayon::prelude::*;
 
 use crate::distance::Metric;
+use crate::persist;
 
 /// Process-wide count of [`DistanceMatrix`] builds (both true-distance and
 /// proxy-scale). The figure sweeps report it so a run can show that every
@@ -91,7 +92,7 @@ pub fn all_pairwise_distances<P: Sync, M: Metric<P>>(points: &[P], metric: &M) -
 /// Used by `OutliersCluster` to avoid recomputing distances across the
 /// multiple radius guesses of the binary search when the coreset is small
 /// enough to cache.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DistanceMatrix {
     n: usize,
     /// Upper-triangular entries in row-major order:
@@ -139,6 +140,25 @@ impl DistanceMatrix {
             }
         });
         MATRIX_BUILDS.fetch_add(1, Ordering::Relaxed);
+        DistanceMatrix { n, data }
+    }
+
+    /// Reassembles a matrix from its condensed upper-triangle entries —
+    /// the persistent store's decode path. Does **not** count as a build
+    /// ([`matrix_build_count`] only tracks matrices actually priced by
+    /// distance evaluations), which is what lets a warm-cache run prove
+    /// `matrix_build_count() == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n·(n-1)/2`; the store's codec validates
+    /// entry counts (and a checksum) before calling this.
+    pub fn from_condensed(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            n * n.saturating_sub(1) / 2,
+            "condensed length does not match n = {n}"
+        );
         DistanceMatrix { n, data }
     }
 
@@ -202,6 +222,7 @@ pub struct CachedOracle<'m, P, M> {
     metric: &'m M,
     cache: Arc<OnceLock<DistanceMatrix>>,
     builds: Arc<AtomicUsize>,
+    loads: Arc<AtomicUsize>,
     threshold: usize,
 }
 
@@ -212,6 +233,7 @@ impl<P, M> Clone for CachedOracle<'_, P, M> {
             metric: self.metric,
             cache: Arc::clone(&self.cache),
             builds: Arc::clone(&self.builds),
+            loads: Arc::clone(&self.loads),
             threshold: self.threshold,
         }
     }
@@ -226,6 +248,7 @@ impl<'m, P: Sync, M: Metric<P>> CachedOracle<'m, P, M> {
             metric,
             cache: Arc::new(OnceLock::new()),
             builds: Arc::new(AtomicUsize::new(0)),
+            loads: Arc::new(AtomicUsize::new(0)),
             threshold,
         }
     }
@@ -269,16 +292,52 @@ impl<'m, P: Sync, M: Metric<P>> CachedOracle<'m, P, M> {
         if self.points.len() > self.threshold {
             return None;
         }
-        Some(self.cache.get_or_init(|| {
-            self.builds.fetch_add(1, Ordering::Relaxed);
-            DistanceMatrix::build_cmp(&self.points, self.metric)
-        }))
+        Some(self.cache.get_or_init(|| self.resolve_matrix()))
+    }
+
+    /// The `OnceLock` initializer body: consult the process-wide
+    /// persistence backend (when one is installed *and* the metric can
+    /// fingerprint the points), otherwise — or on any miss — price the
+    /// matrix and hand it back to the backend.
+    ///
+    /// A persisted matrix is only served when its size matches the point
+    /// set (a stale or fingerprint-colliding entry is treated as a miss),
+    /// and loading never counts as a build: warm runs must be able to
+    /// prove `matrix_build_count() == 0` while `store_hit_count() > 0`.
+    fn resolve_matrix(&self) -> DistanceMatrix {
+        if let Some(backend) = persist::matrix_persistence() {
+            if let Some(fingerprint) = self.metric.cache_fingerprint(&self.points) {
+                if let Some(matrix) = backend.load(fingerprint) {
+                    if matrix.len() == self.points.len() {
+                        persist::record_store_hit();
+                        self.loads.fetch_add(1, Ordering::Relaxed);
+                        return matrix;
+                    }
+                }
+                persist::record_store_miss();
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                let matrix = DistanceMatrix::build_cmp(&self.points, self.metric);
+                backend.store(fingerprint, &matrix);
+                return matrix;
+            }
+        }
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        DistanceMatrix::build_cmp(&self.points, self.metric)
     }
 
     /// How many times this handle family actually built its matrix (0
-    /// before first cached use, never more than 1).
+    /// before first cached use, never more than 1; 0 forever when the
+    /// matrix was served by the persistent store — see
+    /// [`CachedOracle::load_count`]).
     pub fn build_count(&self) -> usize {
         self.builds.load(Ordering::Relaxed)
+    }
+
+    /// How many times this handle family loaded its matrix from the
+    /// installed persistence backend instead of building it (0 or 1; a
+    /// resolved oracle always has `build_count() + load_count() == 1`).
+    pub fn load_count(&self) -> usize {
+        self.loads.load(Ordering::Relaxed)
     }
 
     /// Bytes of heap memory held by the cached matrix (0 while unbuilt).
@@ -438,6 +497,31 @@ mod tests {
         let _ = oracle.cmp_dist(1, 2);
         assert!(matrix_build_count() > mid);
         assert_eq!(oracle.build_count(), 1);
+    }
+
+    #[test]
+    fn from_condensed_round_trips_without_counting_a_build() {
+        let points = pts(&[0.0, 2.0, 7.0, -1.0]);
+        let m = DistanceMatrix::build(&points, &Euclidean);
+        let before = matrix_build_count();
+        let rebuilt = DistanceMatrix::from_condensed(m.len(), m.condensed().to_vec());
+        assert_eq!(
+            matrix_build_count(),
+            before,
+            "loads must not count as builds"
+        );
+        assert_eq!(rebuilt.len(), m.len());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(rebuilt.get(i, j).to_bits(), m.get(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "condensed length")]
+    fn from_condensed_rejects_misaligned_data() {
+        let _ = DistanceMatrix::from_condensed(4, vec![0.0; 5]);
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Process-wide hook for persisting priced distance matrices across runs.
+//!
+//! [`crate::CachedOracle`] memoizes a proxy-scale [`crate::DistanceMatrix`]
+//! per handle family, but that cache dies with the process: every figure
+//! binary, benchmark, or CLI invocation that derives the same seeded
+//! coreset re-prices the same `O(|T|²)` matrix. This module defines the
+//! seam that makes the cache *persistent* without the metric crate knowing
+//! anything about files or codecs:
+//!
+//! * [`MatrixPersistence`] — an object-safe load/store interface keyed by
+//!   the 128-bit content fingerprint of (metric identity, point
+//!   coordinates) from [`crate::Metric::cache_fingerprint`];
+//! * [`install_matrix_persistence`] — installs one backend for the whole
+//!   process (the `kcenter-store` crate provides the disk-backed
+//!   implementation and an `install_from_env` helper honouring
+//!   `KCENTER_CACHE_DIR`);
+//! * [`store_hit_count`] / [`store_miss_count`] — process-wide accounting,
+//!   the persistent-store counterpart of
+//!   [`crate::pairwise::matrix_build_count`]: a warm run shows
+//!   `store_hit_count() > 0` with `matrix_build_count() == 0`, a cold run
+//!   the reverse. Tests and the figure binaries pin these to prove the
+//!   cache never silently rebuilds (or silently serves nothing).
+//!
+//! Nothing is installed by default, so unit tests and library consumers
+//! see exactly the pre-existing in-process behaviour unless a binary
+//! explicitly opts in.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::pairwise::DistanceMatrix;
+
+/// Load/store interface for persisted proxy-scale distance matrices.
+///
+/// Implementations must be crash-safe and tolerant: `load` returns `None`
+/// for anything it cannot fully validate (missing entry, truncated file,
+/// checksum or version mismatch) — a *clean miss*, never a panic — and
+/// `store` is best-effort (a failed write must not fail the computation
+/// that produced the matrix).
+pub trait MatrixPersistence: Send + Sync {
+    /// Returns the matrix stored under `fingerprint`, or `None` on any
+    /// miss or validation failure.
+    fn load(&self, fingerprint: u128) -> Option<DistanceMatrix>;
+
+    /// Persists `matrix` under `fingerprint` (best-effort; concurrent
+    /// writers to one fingerprint must never leave a corrupt entry).
+    fn store(&self, fingerprint: u128, matrix: &DistanceMatrix);
+}
+
+static PERSISTENCE: OnceLock<Arc<dyn MatrixPersistence>> = OnceLock::new();
+static STORE_HITS: AtomicUsize = AtomicUsize::new(0);
+static STORE_MISSES: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs the process-wide matrix persistence backend. The first call
+/// wins; returns `false` (leaving the existing backend) on later calls.
+pub fn install_matrix_persistence(backend: Arc<dyn MatrixPersistence>) -> bool {
+    PERSISTENCE.set(backend).is_ok()
+}
+
+/// The installed backend, if any.
+pub fn matrix_persistence() -> Option<&'static dyn MatrixPersistence> {
+    PERSISTENCE.get().map(|p| p.as_ref() as _)
+}
+
+/// Whether a persistence backend is installed.
+pub fn matrix_persistence_installed() -> bool {
+    PERSISTENCE.get().is_some()
+}
+
+/// Number of matrix builds this process *avoided* by loading a persisted
+/// entry (0 unless a backend is installed).
+pub fn store_hit_count() -> usize {
+    STORE_HITS.load(Ordering::Relaxed)
+}
+
+/// Number of matrix builds that consulted the installed backend, found
+/// nothing valid, and priced + persisted the matrix themselves.
+pub fn store_miss_count() -> usize {
+    STORE_MISSES.load(Ordering::Relaxed)
+}
+
+pub(crate) fn record_store_hit() {
+    STORE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_store_miss() {
+    STORE_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero_and_none_installed_by_default() {
+        // Unit tests never install a backend, so the library-default path
+        // (no persistence) is what every other suite exercises.
+        assert!(!matrix_persistence_installed() || matrix_persistence().is_some());
+        let (h, m) = (store_hit_count(), store_miss_count());
+        record_store_hit();
+        record_store_miss();
+        assert_eq!(store_hit_count(), h + 1);
+        assert_eq!(store_miss_count(), m + 1);
+    }
+}

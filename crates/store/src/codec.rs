@@ -1,0 +1,540 @@
+//! The compact binary codec behind the artifact store.
+//!
+//! Every artifact file is a fixed 32-byte header followed by a payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic     b"KCARTC01"
+//! 8       4     version   u32 LE — CODEC_VERSION, bumped on any layout change
+//! 12      4     kind      u32 LE — ArtifactKind discriminant
+//! 16      8     len       u64 LE — payload byte length
+//! 24      8     checksum  u64 LE — fingerprint::checksum64 of the payload
+//! 32      len   payload
+//! ```
+//!
+//! All multi-byte values are little-endian; `f64`s travel as raw bit
+//! patterns (`to_bits`/`from_bits`), so decoding reproduces every value —
+//! including `-0.0` and subnormals — **bitwise**. That is load-bearing:
+//! the determinism CI matrix asserts a warm-cache run is bit-identical to
+//! the cold run that populated the cache.
+//!
+//! Decoding is total: any malformed input (truncation, flipped bytes,
+//! version or kind mismatch, inconsistent element counts) yields a
+//! [`DecodeError`], never a panic. The store maps every error to a clean
+//! cache miss.
+
+use kcenter_metric::fingerprint::checksum64;
+use kcenter_metric::{DistanceMatrix, Point};
+
+/// File magic: identifies k-center artifact cache entries.
+pub const MAGIC: [u8; 8] = *b"KCARTC01";
+
+/// Codec format version. Bump on **any** incompatible change to the header
+/// or a payload layout; old entries then decode to a clean miss and are
+/// transparently re-derived and overwritten.
+pub const CODEC_VERSION: u32 = 1;
+
+/// Size of the fixed header preceding every payload.
+pub const HEADER_LEN: usize = 32;
+
+/// What an artifact file contains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A condensed [`DistanceMatrix`] (proxy-scale pairwise distances).
+    Matrix,
+    /// A weighted coreset: points plus proxy weights.
+    Coreset,
+    /// A solved clustering: centers plus the solved radius/accounting.
+    Solution,
+}
+
+impl ArtifactKind {
+    /// All kinds, for store statistics.
+    pub const ALL: [ArtifactKind; 3] = [
+        ArtifactKind::Matrix,
+        ArtifactKind::Coreset,
+        ArtifactKind::Solution,
+    ];
+
+    /// Stable on-disk discriminant.
+    pub fn tag(self) -> u32 {
+        match self {
+            ArtifactKind::Matrix => 1,
+            ArtifactKind::Coreset => 2,
+            ArtifactKind::Solution => 3,
+        }
+    }
+
+    /// File-name prefix (also the human-readable name in `cache stat`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactKind::Matrix => "matrix",
+            ArtifactKind::Coreset => "coreset",
+            ArtifactKind::Solution => "solution",
+        }
+    }
+
+    fn from_tag(tag: u32) -> Option<ArtifactKind> {
+        ArtifactKind::ALL.into_iter().find(|k| k.tag() == tag)
+    }
+}
+
+/// Why a decode was rejected. Every variant is a *clean miss* from the
+/// store's perspective; the distinctions exist for tests and diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input shorter than the fixed header, or payload shorter than the
+    /// header's declared length.
+    Truncated,
+    /// Magic bytes did not match [`MAGIC`].
+    BadMagic,
+    /// Header version differs from [`CODEC_VERSION`].
+    VersionMismatch {
+        /// The version found in the file.
+        found: u32,
+    },
+    /// The entry holds a different [`ArtifactKind`] than requested.
+    KindMismatch,
+    /// Payload checksum did not match the header.
+    ChecksumMismatch,
+    /// Payload structure inconsistent (bad element counts, trailing bytes,
+    /// or values the target type rejects, e.g. non-finite coordinates).
+    Malformed,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated artifact"),
+            DecodeError::BadMagic => write!(f, "not a k-center artifact (bad magic)"),
+            DecodeError::VersionMismatch { found } => {
+                write!(f, "codec version {found} != {CODEC_VERSION}")
+            }
+            DecodeError::KindMismatch => write!(f, "artifact kind mismatch"),
+            DecodeError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
+            DecodeError::Malformed => write!(f, "malformed payload"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A solved clustering as the store persists it: the concrete artifact
+/// behind `radius_search::CoresetSolution` / CLI results.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredSolution {
+    /// The selected centers.
+    pub centers: Vec<Point>,
+    /// The solved radius (coreset `r̃min` or measured objective, per the
+    /// producer's convention).
+    pub radius: f64,
+    /// Weight left uncovered at `radius` (0 when not applicable).
+    pub uncovered_weight: u64,
+    /// `OutliersCluster` evaluations the original solve performed.
+    pub evaluations: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writers/readers
+// ---------------------------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Sequential payload reader; all failures collapse to `Malformed` (the
+/// checksum has already vouched for the bytes, so a structural error means
+/// a codec bug or a forged checksum — either way, a miss).
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let end = self.pos.checked_add(8).ok_or(DecodeError::Malformed)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Malformed)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn len(&mut self) -> Result<usize, DecodeError> {
+        usize::try_from(self.u64()?).map_err(|_| DecodeError::Malformed)
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::Malformed)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+fn frame(kind: ArtifactKind, payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+    out.extend_from_slice(&kind.tag().to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum64(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Validates the header and checksum, returning the payload slice.
+fn unframe(kind: ArtifactKind, bytes: &[u8]) -> Result<&[u8], DecodeError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(DecodeError::Truncated);
+    }
+    if bytes[0..8] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != CODEC_VERSION {
+        return Err(DecodeError::VersionMismatch { found: version });
+    }
+    let tag = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    if ArtifactKind::from_tag(tag) != Some(kind) {
+        return Err(DecodeError::KindMismatch);
+    }
+    let len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let payload = &bytes[HEADER_LEN..];
+    if u64::try_from(payload.len()) != Ok(len) {
+        // Shorter *or* longer than declared: either way the file is not
+        // what the writer produced.
+        return Err(DecodeError::Truncated);
+    }
+    let expected = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
+    if checksum64(payload) != expected {
+        return Err(DecodeError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// DistanceMatrix
+// ---------------------------------------------------------------------------
+
+/// Encodes a condensed [`DistanceMatrix`] (framed, checksummed).
+pub fn encode_matrix(matrix: &DistanceMatrix) -> Vec<u8> {
+    let condensed = matrix.condensed();
+    let mut payload = Vec::with_capacity(8 + 8 * condensed.len());
+    put_u64(&mut payload, matrix.len() as u64);
+    for &d in condensed {
+        put_f64(&mut payload, d);
+    }
+    frame(ArtifactKind::Matrix, payload)
+}
+
+/// Decodes a [`DistanceMatrix`], bitwise-equal to what was encoded.
+pub fn decode_matrix(bytes: &[u8]) -> Result<DistanceMatrix, DecodeError> {
+    let payload = unframe(ArtifactKind::Matrix, bytes)?;
+    let mut r = Reader::new(payload);
+    let n = r.len()?;
+    let entries = n
+        .checked_mul(n.saturating_sub(1))
+        .map(|e| e / 2)
+        .ok_or(DecodeError::Malformed)?;
+    // The count must be consistent with the payload size before we commit
+    // to allocating `entries` slots.
+    if payload.len() != 8 + entries.checked_mul(8).ok_or(DecodeError::Malformed)? {
+        return Err(DecodeError::Malformed);
+    }
+    let mut data = Vec::with_capacity(entries);
+    for _ in 0..entries {
+        data.push(r.f64()?);
+    }
+    r.finish()?;
+    Ok(DistanceMatrix::from_condensed(n, data))
+}
+
+// ---------------------------------------------------------------------------
+// Weighted coreset
+// ---------------------------------------------------------------------------
+
+/// Encodes a weighted coreset as parallel points/weights arrays.
+///
+/// # Panics
+///
+/// Panics if `points` and `weights` lengths differ, or the points are not
+/// all of one dimension — both are structural invariants of every coreset
+/// in the workspace.
+pub fn encode_coreset(points: &[Point], weights: &[u64]) -> Vec<u8> {
+    assert_eq!(
+        points.len(),
+        weights.len(),
+        "weights misaligned with points"
+    );
+    let dim = points.first().map_or(0, Point::dim);
+    let mut payload = Vec::with_capacity(16 + points.len() * (8 * dim + 8));
+    put_u64(&mut payload, points.len() as u64);
+    put_u64(&mut payload, dim as u64);
+    for (p, &w) in points.iter().zip(weights) {
+        assert_eq!(p.dim(), dim, "mixed-dimension coreset");
+        for &c in p.coords() {
+            put_f64(&mut payload, c);
+        }
+        put_u64(&mut payload, w);
+    }
+    frame(ArtifactKind::Coreset, payload)
+}
+
+/// Decodes a weighted coreset. Coordinates are validated through
+/// [`Point::try_new`], so a forged payload of non-finite values is a
+/// [`DecodeError::Malformed`] miss, not a downstream panic.
+pub fn decode_coreset(bytes: &[u8]) -> Result<(Vec<Point>, Vec<u64>), DecodeError> {
+    let payload = unframe(ArtifactKind::Coreset, bytes)?;
+    let mut r = Reader::new(payload);
+    let n = r.len()?;
+    let dim = r.len()?;
+    if n > 0 && dim == 0 {
+        return Err(DecodeError::Malformed);
+    }
+    let per_point = dim.checked_mul(8).and_then(|b| b.checked_add(8));
+    let body = n.checked_mul(per_point.ok_or(DecodeError::Malformed)?);
+    if Some(payload.len()) != body.and_then(|b| b.checked_add(16)) {
+        return Err(DecodeError::Malformed);
+    }
+    let mut points = Vec::with_capacity(n);
+    let mut weights = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut coords = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            coords.push(r.f64()?);
+        }
+        points.push(Point::try_new(coords).map_err(|_| DecodeError::Malformed)?);
+        weights.push(r.u64()?);
+    }
+    r.finish()?;
+    Ok((points, weights))
+}
+
+// ---------------------------------------------------------------------------
+// Solution
+// ---------------------------------------------------------------------------
+
+/// Encodes a [`StoredSolution`].
+///
+/// # Panics
+///
+/// Panics on mixed-dimension centers (a structural invariant of every
+/// solution in the workspace).
+pub fn encode_solution(solution: &StoredSolution) -> Vec<u8> {
+    let dim = solution.centers.first().map_or(0, Point::dim);
+    let mut payload = Vec::with_capacity(40 + solution.centers.len() * 8 * dim);
+    put_u64(&mut payload, solution.centers.len() as u64);
+    put_u64(&mut payload, dim as u64);
+    for p in &solution.centers {
+        assert_eq!(p.dim(), dim, "mixed-dimension centers");
+        for &c in p.coords() {
+            put_f64(&mut payload, c);
+        }
+    }
+    put_f64(&mut payload, solution.radius);
+    put_u64(&mut payload, solution.uncovered_weight);
+    put_u64(&mut payload, solution.evaluations);
+    frame(ArtifactKind::Solution, payload)
+}
+
+/// Decodes a [`StoredSolution`], bitwise-equal on the radius and every
+/// center coordinate.
+pub fn decode_solution(bytes: &[u8]) -> Result<StoredSolution, DecodeError> {
+    let payload = unframe(ArtifactKind::Solution, bytes)?;
+    let mut r = Reader::new(payload);
+    let n = r.len()?;
+    let dim = r.len()?;
+    if n > 0 && dim == 0 {
+        return Err(DecodeError::Malformed);
+    }
+    let body = n.checked_mul(dim.checked_mul(8).ok_or(DecodeError::Malformed)?);
+    if Some(payload.len()) != body.and_then(|b| b.checked_add(16 + 24)) {
+        return Err(DecodeError::Malformed);
+    }
+    let mut centers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut coords = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            coords.push(r.f64()?);
+        }
+        centers.push(Point::try_new(coords).map_err(|_| DecodeError::Malformed)?);
+    }
+    let radius = r.f64()?;
+    if radius.is_nan() {
+        return Err(DecodeError::Malformed);
+    }
+    let uncovered_weight = r.u64()?;
+    let evaluations = r.u64()?;
+    r.finish()?;
+    Ok(StoredSolution {
+        centers,
+        radius,
+        uncovered_weight,
+        evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcenter_metric::Euclidean;
+
+    fn pts(coords: &[&[f64]]) -> Vec<Point> {
+        coords.iter().map(|c| Point::new(c.to_vec())).collect()
+    }
+
+    #[test]
+    fn matrix_round_trip_is_bitwise_on_special_values() {
+        // Build a real matrix, then smuggle in bit-pattern-sensitive
+        // values via from_condensed: -0.0, subnormal, MAX, tiny.
+        let data = vec![
+            -0.0,
+            f64::MIN_POSITIVE / 2.0, // subnormal
+            f64::MAX,
+            1e-300,
+            3.5,
+            0.1 + 0.2, // not exactly 0.3
+        ];
+        let m = DistanceMatrix::from_condensed(4, data.clone());
+        let bytes = encode_matrix(&m);
+        let back = decode_matrix(&bytes).expect("round trip");
+        assert_eq!(back.len(), 4);
+        for (a, b) in back.condensed().iter().zip(&data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_matrices_round_trip() {
+        for n in [0usize, 1] {
+            let m = DistanceMatrix::from_condensed(n, Vec::new());
+            let back = decode_matrix(&encode_matrix(&m)).expect("round trip");
+            assert_eq!(back.len(), n);
+        }
+    }
+
+    #[test]
+    fn coreset_round_trip() {
+        let points = pts(&[&[1.0, 2.0], &[-0.0, 4.5], &[1e-12, -3.0]]);
+        let weights = vec![3u64, u64::MAX, 1];
+        let bytes = encode_coreset(&points, &weights);
+        let (p2, w2) = decode_coreset(&bytes).expect("round trip");
+        assert_eq!(w2, weights);
+        assert_eq!(p2.len(), points.len());
+        for (a, b) in p2.iter().zip(&points) {
+            for (ca, cb) in a.coords().iter().zip(b.coords()) {
+                assert_eq!(ca.to_bits(), cb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn solution_round_trip() {
+        let s = StoredSolution {
+            centers: pts(&[&[0.5, 1.5], &[2.5, -3.5]]),
+            radius: 17.25,
+            uncovered_weight: 42,
+            evaluations: 13,
+        };
+        let back = decode_solution(&encode_solution(&s)).expect("round trip");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn truncation_is_a_clean_error_at_every_length() {
+        let m = DistanceMatrix::build(&pts(&[&[0.0], &[1.0], &[5.0]]), &Euclidean);
+        let bytes = encode_matrix(&m);
+        for cut in 0..bytes.len() {
+            let err = decode_matrix(&bytes[..cut]).expect_err("truncated must fail");
+            assert!(
+                matches!(err, DecodeError::Truncated),
+                "cut at {cut}: {err:?}"
+            );
+        }
+        assert!(decode_matrix(&bytes).is_ok());
+    }
+
+    #[test]
+    fn extended_file_is_rejected() {
+        let m = DistanceMatrix::build(&pts(&[&[0.0], &[1.0]]), &Euclidean);
+        let mut bytes = encode_matrix(&m);
+        bytes.push(0);
+        assert_eq!(decode_matrix(&bytes), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn payload_corruption_fails_the_checksum() {
+        let m = DistanceMatrix::build(&pts(&[&[0.0], &[1.0], &[5.0]]), &Euclidean);
+        let mut bytes = encode_matrix(&m);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert_eq!(decode_matrix(&bytes), Err(DecodeError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn version_and_magic_mismatches_are_detected() {
+        let m = DistanceMatrix::build(&pts(&[&[0.0], &[1.0]]), &Euclidean);
+        let good = encode_matrix(&m);
+
+        let mut wrong_version = good.clone();
+        wrong_version[8] = CODEC_VERSION as u8 + 1;
+        assert_eq!(
+            decode_matrix(&wrong_version),
+            Err(DecodeError::VersionMismatch {
+                found: CODEC_VERSION + 1
+            })
+        );
+
+        let mut wrong_magic = good.clone();
+        wrong_magic[0] = b'X';
+        assert_eq!(decode_matrix(&wrong_magic), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn kind_confusion_is_detected() {
+        let coreset = encode_coreset(&pts(&[&[1.0]]), &[1]);
+        assert_eq!(decode_matrix(&coreset), Err(DecodeError::KindMismatch));
+        let m = encode_matrix(&DistanceMatrix::from_condensed(0, Vec::new()));
+        assert_eq!(decode_coreset(&m), Err(DecodeError::KindMismatch));
+        assert_eq!(decode_solution(&m), Err(DecodeError::KindMismatch));
+    }
+
+    #[test]
+    fn forged_checksum_over_nonfinite_coords_is_malformed_not_a_panic() {
+        // Hand-build a coreset payload with an infinite coordinate and a
+        // *valid* checksum: Point::try_new must reject it cleanly.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1); // n
+        put_u64(&mut payload, 1); // dim
+        put_f64(&mut payload, f64::INFINITY);
+        put_u64(&mut payload, 1); // weight
+        let bytes = frame(ArtifactKind::Coreset, payload);
+        assert_eq!(decode_coreset(&bytes), Err(DecodeError::Malformed));
+    }
+
+    #[test]
+    fn inconsistent_counts_are_malformed() {
+        // Declare n = 100 but supply 1 entry.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 100);
+        put_f64(&mut payload, 1.0);
+        let bytes = frame(ArtifactKind::Matrix, payload);
+        assert_eq!(decode_matrix(&bytes), Err(DecodeError::Malformed));
+    }
+}

@@ -1,0 +1,482 @@
+#![warn(missing_docs)]
+//! Persistent, content-addressed artifact cache for the k-center workspace.
+//!
+//! The in-process [`kcenter_metric::CachedOracle`] guarantees each coreset
+//! is priced into a proxy-scale distance matrix at most once *per process*;
+//! this crate extends the guarantee across processes. Artifacts —
+//! [`DistanceMatrix`] caches, weighted coresets, solved clusterings — are
+//! stored one-per-file in a cache directory, addressed by a deterministic
+//! 128-bit fingerprint of their inputs (point coordinate bits + metric
+//! identity for matrices via [`Metric::cache_fingerprint`]; dataset
+//! seed/spec + parameters for spec-keyed artifacts via
+//! [`kcenter_metric::Fingerprint`]), and encoded with a versioned,
+//! checksummed binary codec ([`codec`]) whose decode path turns *any*
+//! corruption into a clean miss.
+//!
+//! Activation is strictly opt-in: nothing touches the disk unless a binary
+//! calls [`install_from_env`] (honouring `KCENTER_CACHE_DIR`) or
+//! [`install_at`], so tests and library consumers keep the pure in-process
+//! behaviour. Once installed, every layer that resolves a `CachedOracle` —
+//! `radius_search::solve_coreset{,_cached}`, MapReduce round 2, the 2-pass
+//! and streaming finalizations, the figure binaries, the CLI — reads warm
+//! matrices from disk (`store_hit_count()` rises, `matrix_build_count()`
+//! stays 0) and persists cold ones on the way out.
+//!
+//! Writes are crash- and race-safe: an entry is written to a unique
+//! temporary file and atomically `rename`d into place, so concurrent
+//! writers to one key can only ever leave one writer's complete bytes.
+//!
+//! [`Metric::cache_fingerprint`]: kcenter_metric::Metric::cache_fingerprint
+
+pub mod codec;
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use kcenter_metric::{DistanceMatrix, MatrixPersistence, Point};
+
+pub use codec::{ArtifactKind, DecodeError, StoredSolution, CODEC_VERSION};
+pub use kcenter_metric::{store_hit_count, store_miss_count, Fingerprint};
+
+/// Environment variable naming the cache directory; unset or empty means
+/// the persistent store is off (the default, notably for tests).
+pub const CACHE_DIR_ENV: &str = "KCENTER_CACHE_DIR";
+
+/// File extension of every artifact entry.
+const ARTIFACT_EXT: &str = "kca";
+
+/// Per-process sequence for unique temporary file names.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A handle on one cache directory. Cloning is cheap (the handle is just
+/// the path); all methods are safe to call from many threads and many
+/// processes against the same directory.
+#[derive(Clone, Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+/// Entry count and byte total for one artifact kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindStat {
+    /// Number of entries of this kind.
+    pub entries: usize,
+    /// Total size of those entries in bytes.
+    pub bytes: u64,
+}
+
+/// Snapshot of a cache directory's contents, per kind.
+#[derive(Clone, Debug, Default)]
+pub struct StoreStat {
+    /// Distance-matrix entries.
+    pub matrix: KindStat,
+    /// Weighted-coreset entries.
+    pub coreset: KindStat,
+    /// Solution entries.
+    pub solution: KindStat,
+}
+
+impl StoreStat {
+    /// The stat bucket for `kind`.
+    pub fn kind(&self, kind: ArtifactKind) -> KindStat {
+        match kind {
+            ArtifactKind::Matrix => self.matrix,
+            ArtifactKind::Coreset => self.coreset,
+            ArtifactKind::Solution => self.solution,
+        }
+    }
+
+    /// Total entries across all kinds.
+    pub fn total_entries(&self) -> usize {
+        ArtifactKind::ALL
+            .into_iter()
+            .map(|k| self.kind(k).entries)
+            .sum()
+    }
+
+    /// Total bytes across all kinds.
+    pub fn total_bytes(&self) -> u64 {
+        ArtifactKind::ALL
+            .into_iter()
+            .map(|k| self.kind(k).bytes)
+            .sum()
+    }
+}
+
+impl ArtifactStore {
+    /// Opens (creating if necessary) the store at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<ArtifactStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ArtifactStore { dir })
+    }
+
+    /// Opens the store named by `KCENTER_CACHE_DIR`, or `None` when the
+    /// variable is unset/empty. An unusable directory is reported on
+    /// stderr and treated as "no store" — a cache must never turn into a
+    /// hard failure of the computation it accelerates.
+    pub fn from_env() -> Option<ArtifactStore> {
+        let dir = std::env::var(CACHE_DIR_ENV).ok()?;
+        if dir.trim().is_empty() {
+            return None;
+        }
+        match ArtifactStore::open(&dir) {
+            Ok(store) => Some(store),
+            Err(err) => {
+                eprintln!("kcenter-store: cannot open {CACHE_DIR_ENV}={dir}: {err} (cache off)");
+                None
+            }
+        }
+    }
+
+    /// The cache directory this store reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, kind: ArtifactKind, fingerprint: u128) -> PathBuf {
+        self.dir
+            .join(format!("{}-{fingerprint:032x}.{ARTIFACT_EXT}", kind.name()))
+    }
+
+    /// Reads and fully validates one entry; any failure (absent entry,
+    /// truncation, checksum/version/kind mismatch) is a clean `None`.
+    fn load_raw(&self, kind: ArtifactKind, fingerprint: u128) -> Option<Vec<u8>> {
+        let bytes = std::fs::read(self.entry_path(kind, fingerprint)).ok()?;
+        Some(bytes)
+    }
+
+    /// Atomically installs `bytes` as the entry for `(kind, fingerprint)`:
+    /// the encoded artifact is written to a unique temporary file in the
+    /// same directory and `rename`d into place, so a reader (or a racing
+    /// writer) observes either the previous complete entry or this one —
+    /// never a partial write.
+    fn store_raw(
+        &self,
+        kind: ArtifactKind,
+        fingerprint: u128,
+        bytes: &[u8],
+    ) -> std::io::Result<()> {
+        let tmp = self.dir.join(format!(
+            "tmp-{}-{fingerprint:032x}-{}-{}",
+            kind.name(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::write(&tmp, bytes)?;
+        let dest = self.entry_path(kind, fingerprint);
+        std::fs::rename(&tmp, &dest).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
+    }
+
+    /// Loads the distance matrix stored under `fingerprint`, if present
+    /// and valid.
+    pub fn load_matrix(&self, fingerprint: u128) -> Option<DistanceMatrix> {
+        let bytes = self.load_raw(ArtifactKind::Matrix, fingerprint)?;
+        codec::decode_matrix(&bytes).ok()
+    }
+
+    /// Persists a distance matrix under `fingerprint`.
+    pub fn store_matrix(&self, fingerprint: u128, matrix: &DistanceMatrix) -> std::io::Result<()> {
+        self.store_raw(
+            ArtifactKind::Matrix,
+            fingerprint,
+            &codec::encode_matrix(matrix),
+        )
+    }
+
+    /// Loads the weighted coreset stored under `fingerprint`.
+    pub fn load_coreset(&self, fingerprint: u128) -> Option<(Vec<Point>, Vec<u64>)> {
+        let bytes = self.load_raw(ArtifactKind::Coreset, fingerprint)?;
+        codec::decode_coreset(&bytes).ok()
+    }
+
+    /// Persists a weighted coreset under `fingerprint`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` and `weights` lengths differ.
+    pub fn store_coreset(
+        &self,
+        fingerprint: u128,
+        points: &[Point],
+        weights: &[u64],
+    ) -> std::io::Result<()> {
+        self.store_raw(
+            ArtifactKind::Coreset,
+            fingerprint,
+            &codec::encode_coreset(points, weights),
+        )
+    }
+
+    /// Loads the solution stored under `fingerprint`.
+    pub fn load_solution(&self, fingerprint: u128) -> Option<StoredSolution> {
+        let bytes = self.load_raw(ArtifactKind::Solution, fingerprint)?;
+        codec::decode_solution(&bytes).ok()
+    }
+
+    /// Persists a solution under `fingerprint`.
+    pub fn store_solution(
+        &self,
+        fingerprint: u128,
+        solution: &StoredSolution,
+    ) -> std::io::Result<()> {
+        self.store_raw(
+            ArtifactKind::Solution,
+            fingerprint,
+            &codec::encode_solution(solution),
+        )
+    }
+
+    /// Whether `name` is one of this store's artifact entries
+    /// (`{kind}-{32 hex}.kca`); returns its kind.
+    fn classify_entry(name: &str) -> Option<ArtifactKind> {
+        let stem = name.strip_suffix(&format!(".{ARTIFACT_EXT}"))?;
+        for kind in ArtifactKind::ALL {
+            if let Some(hex) = stem
+                .strip_prefix(kind.name())
+                .and_then(|s| s.strip_prefix('-'))
+            {
+                if hex.len() == 32 && hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    return Some(kind);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether `name` is a leftover temporary file from an interrupted
+    /// write (cleared by [`ArtifactStore::clear`], never read). Matches
+    /// only the store's own temp shape (`tmp-{kind}-…`): a user file that
+    /// merely happens to start with `tmp-` in a misconfigured directory
+    /// is not ours to delete.
+    fn is_stale_tmp(name: &str) -> bool {
+        ArtifactKind::ALL
+            .into_iter()
+            .any(|kind| name.starts_with(&format!("tmp-{}-", kind.name())))
+    }
+
+    /// Per-kind entry counts and sizes. Unrecognized files in the
+    /// directory are ignored.
+    pub fn stat(&self) -> std::io::Result<StoreStat> {
+        let mut stat = StoreStat::default();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(kind) = Self::classify_entry(&name.to_string_lossy()) else {
+                continue;
+            };
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            let bucket = match kind {
+                ArtifactKind::Matrix => &mut stat.matrix,
+                ArtifactKind::Coreset => &mut stat.coreset,
+                ArtifactKind::Solution => &mut stat.solution,
+            };
+            bucket.entries += 1;
+            bucket.bytes += bytes;
+        }
+        Ok(stat)
+    }
+
+    /// Removes every artifact entry (and stale temporary file) from the
+    /// cache directory, returning how many files were deleted. Files the
+    /// store does not recognize are left alone — `clear` on a
+    /// misconfigured directory must never eat unrelated data.
+    pub fn clear(&self) -> std::io::Result<usize> {
+        let mut removed = 0usize;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if Self::classify_entry(&name).is_some() || Self::is_stale_tmp(&name) {
+                std::fs::remove_file(entry.path())?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// [`MatrixPersistence`] backend over an [`ArtifactStore`]: what
+/// [`install_from_env`]/[`install_at`] hang under
+/// [`kcenter_metric::CachedOracle`].
+pub struct StoreBackend {
+    store: ArtifactStore,
+}
+
+impl StoreBackend {
+    /// Wraps a store as a matrix-persistence backend.
+    pub fn new(store: ArtifactStore) -> StoreBackend {
+        StoreBackend { store }
+    }
+}
+
+impl MatrixPersistence for StoreBackend {
+    fn load(&self, fingerprint: u128) -> Option<DistanceMatrix> {
+        self.store.load_matrix(fingerprint)
+    }
+
+    fn store(&self, fingerprint: u128, matrix: &DistanceMatrix) {
+        // Best-effort: a full disk or permission error costs persistence,
+        // never the run.
+        if let Err(err) = self.store_matrix_checked(fingerprint, matrix) {
+            eprintln!("kcenter-store: failed to persist matrix: {err}");
+        }
+    }
+}
+
+impl StoreBackend {
+    fn store_matrix_checked(
+        &self,
+        fingerprint: u128,
+        matrix: &DistanceMatrix,
+    ) -> std::io::Result<()> {
+        self.store.store_matrix(fingerprint, matrix)
+    }
+}
+
+/// Installs the disk-backed matrix persistence at `dir` for the whole
+/// process and returns the store handle. A later call (or a competing
+/// [`install_from_env`]) is a no-op on the global hook but still returns a
+/// usable handle for direct artifact access.
+pub fn install_at(dir: impl Into<PathBuf>) -> std::io::Result<ArtifactStore> {
+    let store = ArtifactStore::open(dir)?;
+    kcenter_metric::install_matrix_persistence(Arc::new(StoreBackend::new(store.clone())));
+    Ok(store)
+}
+
+/// Installs disk-backed matrix persistence from `KCENTER_CACHE_DIR`, if
+/// set; the standard first line of every figure/bench binary and the CLI.
+/// Returns the active store handle, or `None` when caching is off.
+pub fn install_from_env() -> Option<ArtifactStore> {
+    let store = ArtifactStore::from_env()?;
+    kcenter_metric::install_matrix_persistence(Arc::new(StoreBackend::new(store.clone())));
+    Some(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcenter_metric::Euclidean;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("kcenter-store-unit")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_matrix() -> DistanceMatrix {
+        let points: Vec<Point> = (0..6).map(|i| Point::new(vec![i as f64 * 1.25])).collect();
+        DistanceMatrix::build_cmp(&points, &Euclidean)
+    }
+
+    #[test]
+    fn store_and_reload_matrix() {
+        let store = ArtifactStore::open(tmp_dir("matrix")).unwrap();
+        let m = sample_matrix();
+        assert!(store.load_matrix(7).is_none(), "empty store must miss");
+        store.store_matrix(7, &m).unwrap();
+        let back = store.load_matrix(7).expect("hit after store");
+        assert_eq!(back.condensed(), m.condensed());
+        assert!(store.load_matrix(8).is_none(), "other keys still miss");
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_clean_miss() {
+        let store = ArtifactStore::open(tmp_dir("corrupt")).unwrap();
+        let m = sample_matrix();
+        store.store_matrix(1, &m).unwrap();
+        let path = store.entry_path(ArtifactKind::Matrix, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(store.load_matrix(1).is_none());
+        // Truncated file on disk.
+        std::fs::write(&path, &bytes[..10]).unwrap();
+        assert!(store.load_matrix(1).is_none());
+        // Empty file on disk.
+        std::fs::write(&path, b"").unwrap();
+        assert!(store.load_matrix(1).is_none());
+    }
+
+    #[test]
+    fn stat_and_clear_account_all_kinds() {
+        let store = ArtifactStore::open(tmp_dir("stat")).unwrap();
+        store.store_matrix(1, &sample_matrix()).unwrap();
+        store
+            .store_coreset(2, &[Point::new(vec![1.0])], &[3])
+            .unwrap();
+        store
+            .store_solution(
+                3,
+                &StoredSolution {
+                    centers: vec![Point::new(vec![0.0])],
+                    radius: 1.0,
+                    uncovered_weight: 0,
+                    evaluations: 1,
+                },
+            )
+            .unwrap();
+        // Unrelated files must be ignored by stat and survive clear —
+        // including one that merely starts with "tmp-" but is not the
+        // store's temp shape.
+        std::fs::write(store.dir().join("README.txt"), b"not an artifact").unwrap();
+        std::fs::write(store.dir().join("tmp-backup.tar"), b"user data").unwrap();
+        // A stale tmp file of the store's own shape must be cleared.
+        std::fs::write(store.dir().join("tmp-matrix-dead"), b"partial").unwrap();
+
+        let stat = store.stat().unwrap();
+        assert_eq!(stat.matrix.entries, 1);
+        assert_eq!(stat.coreset.entries, 1);
+        assert_eq!(stat.solution.entries, 1);
+        assert_eq!(stat.total_entries(), 3);
+        assert!(stat.total_bytes() > 0);
+
+        let removed = store.clear().unwrap();
+        assert_eq!(removed, 4, "3 entries + 1 stale tmp");
+        assert_eq!(store.stat().unwrap().total_entries(), 0);
+        assert!(store.dir().join("README.txt").exists());
+        assert!(store.dir().join("tmp-backup.tar").exists());
+    }
+
+    #[test]
+    fn overwrite_replaces_the_entry() {
+        let store = ArtifactStore::open(tmp_dir("overwrite")).unwrap();
+        let m1 = DistanceMatrix::from_condensed(2, vec![1.0]);
+        let m2 = DistanceMatrix::from_condensed(2, vec![2.0]);
+        store.store_matrix(9, &m1).unwrap();
+        store.store_matrix(9, &m2).unwrap();
+        assert_eq!(store.load_matrix(9).unwrap().condensed(), &[2.0]);
+        assert_eq!(store.stat().unwrap().matrix.entries, 1);
+    }
+
+    #[test]
+    fn from_env_requires_the_variable() {
+        // The test harness never sets KCENTER_CACHE_DIR; mutate a private
+        // copy of the lookup instead of the process env (tests run
+        // multi-threaded and setenv is process-global).
+        if std::env::var(CACHE_DIR_ENV).is_err() {
+            assert!(ArtifactStore::from_env().is_none());
+        }
+    }
+
+    #[test]
+    fn classify_entry_rejects_lookalikes() {
+        assert_eq!(
+            ArtifactStore::classify_entry(&format!("matrix-{:032x}.kca", 5u128)),
+            Some(ArtifactKind::Matrix)
+        );
+        assert_eq!(ArtifactStore::classify_entry("matrix-xyz.kca"), None);
+        assert_eq!(ArtifactStore::classify_entry("matrix-05.kca"), None);
+        assert_eq!(ArtifactStore::classify_entry("weights-aa.kca"), None);
+        assert_eq!(
+            ArtifactStore::classify_entry(&format!("matrix-{:032x}.bin", 5u128)),
+            None
+        );
+    }
+}

@@ -17,7 +17,10 @@
 //! * [`stream`] — the streaming harness ([`kcenter_stream`]);
 //! * [`core`] — the paper's algorithms ([`kcenter_core`]);
 //! * [`baselines`] — Charikar et al. 2001/2004, McCutchen–Khuller 2008,
-//!   Malkomes et al. 2015 ([`kcenter_baselines`]).
+//!   Malkomes et al. 2015 ([`kcenter_baselines`]);
+//! * [`store`] — the persistent on-disk artifact cache for distance
+//!   matrices, coresets, and solutions ([`kcenter_store`]; opt-in via
+//!   `KCENTER_CACHE_DIR` / [`kcenter_store::install_from_env`]).
 //!
 //! ## Quick start
 //!
@@ -52,6 +55,7 @@ pub use kcenter_core as core;
 pub use kcenter_data as data;
 pub use kcenter_mapreduce as mapreduce;
 pub use kcenter_metric as metric;
+pub use kcenter_store as store;
 pub use kcenter_stream as stream;
 
 /// The most common imports in one place.

@@ -23,6 +23,9 @@ fn run_kcenter(args: &[&str]) -> String {
             "--",
         ])
         .args(args)
+        // The golden pins assume the persistent artifact cache is off; an
+        // ambient KCENTER_CACHE_DIR must not leak into the pinned runs.
+        .env_remove("KCENTER_CACHE_DIR")
         .current_dir(manifest_dir)
         .output()
         .unwrap_or_else(|e| panic!("failed to spawn kcenter {args:?}: {e}"));
