@@ -202,17 +202,23 @@ pub struct Args {
     /// seeded inputs — the mode the cache-determinism CI jobs diff
     /// bit-for-bit across cold/warm cache and thread counts.
     pub deterministic: bool,
+    /// Run on real worker OS processes instead of the in-process engine
+    /// (honoured by `fig7_scaling_procs`, which then reports per-worker
+    /// wall clock).
+    pub real_procs: bool,
 }
 
 impl Args {
-    /// Parses `--paper`, `--reps N`, `--n N`, `--deterministic` from
-    /// `std::env::args`. Unknown arguments abort with a usage message.
+    /// Parses `--paper`, `--reps N`, `--n N`, `--deterministic`,
+    /// `--real-procs` from `std::env::args`. Unknown arguments abort with
+    /// a usage message.
     pub fn parse() -> Args {
         let mut args = Args {
             paper: false,
             reps: 3,
             n: None,
             deterministic: false,
+            real_procs: false,
         };
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
@@ -222,6 +228,7 @@ impl Args {
                     args.reps = 10;
                 }
                 "--deterministic" => args.deterministic = true,
+                "--real-procs" => args.real_procs = true,
                 "--reps" => {
                     let v = iter.next().expect("--reps needs a value");
                     args.reps = v.parse().expect("--reps must be an integer");
@@ -231,12 +238,14 @@ impl Args {
                     args.n = Some(v.parse().expect("--n must be an integer"));
                 }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--paper] [--reps N] [--n N] [--deterministic]");
+                    eprintln!(
+                        "usage: [--paper] [--reps N] [--n N] [--deterministic] [--real-procs]"
+                    );
                     std::process::exit(0);
                 }
                 other => {
                     eprintln!(
-                        "unknown argument {other}; usage: [--paper] [--reps N] [--n N] [--deterministic]"
+                        "unknown argument {other}; usage: [--paper] [--reps N] [--n N] [--deterministic] [--real-procs]"
                     );
                     std::process::exit(2);
                 }

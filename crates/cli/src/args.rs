@@ -70,8 +70,12 @@ pub enum Command {
     Generate(GenerateArgs),
     /// Print dataset statistics.
     Info(InfoArgs),
-    /// Inspect or empty the persistent artifact cache.
+    /// Inspect, empty, or prune the persistent artifact cache.
     Cache(CacheArgs),
+    /// Hidden worker mode: the raw flags are handed to
+    /// `kcenter_exec::worker_main` verbatim. This is how `cluster
+    /// --procs N` re-invokes the current binary as its round-1 workers.
+    ExecWorker(Vec<String>),
 }
 
 /// Arguments of `kcenter cluster`.
@@ -87,6 +91,11 @@ pub struct ClusterArgs {
     pub algo: Algo,
     /// MapReduce parallelism (0 = auto via the paper's corollaries).
     pub ell: usize,
+    /// Real worker OS processes (0 = in-process execution). When positive
+    /// the parallelism `ℓ` equals this count and round 1 runs on spawned
+    /// worker processes over sharded on-disk inputs — bit-identical
+    /// results, real process isolation. MR algorithms only.
+    pub procs: usize,
     /// Coreset multiplier.
     pub mu: usize,
     /// Normalization.
@@ -131,6 +140,12 @@ pub enum CacheAction {
     Stat,
     /// Remove every artifact entry (and stale temp file).
     Clear,
+    /// Evict least-recently-written entries until the cache fits the
+    /// byte budget.
+    Prune {
+        /// Byte budget the cache must fit within after the sweep.
+        max_bytes: u64,
+    },
 }
 
 /// Arguments of `kcenter cache`.
@@ -168,16 +183,22 @@ kcenter — coreset-based k-center clustering (with outliers)
 
 USAGE:
   kcenter cluster  --input FILE --k K [--z Z] [--algo gmm|mr|mr-outliers|mr-randomized|seq|stream|charikar]
-                   [--ell L] [--mu M] [--normalize none|zscore|minmax] [--output FILE] [--seed S]
-                   [--cache-dir DIR]
+                   [--ell L] [--procs N] [--mu M] [--normalize none|zscore|minmax] [--output FILE]
+                   [--seed S] [--cache-dir DIR]
   kcenter generate --dataset higgs|power|wiki --n N [--outliers Z] [--seed S] --output FILE
   kcenter info     --input FILE
   kcenter cache    stat|clear [--cache-dir DIR]
+  kcenter cache    prune --max-bytes BYTES [--cache-dir DIR]
+
+--procs N runs the MapReduce algorithms (mr | mr-outliers | mr-randomized)
+on N real worker OS processes over sharded on-disk inputs, with results
+bit-identical to the in-process engine at parallelism N.
 
 The persistent artifact cache (distance matrices, coresets, solutions) is
 off unless --cache-dir or the KCENTER_CACHE_DIR environment variable
 names a directory (--cache-dir \"\" forces it off); `cache stat`/`cache
-clear` inspect and empty it.
+clear` inspect and empty it, `cache prune --max-bytes` evicts the least
+recently written entries down to a byte budget.
 ";
 
 fn take_value<'a, I: Iterator<Item = &'a str>>(
@@ -205,6 +226,9 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Ar
         "generate" => parse_generate(iter),
         "info" => parse_info(iter),
         "cache" => parse_cache(iter),
+        // Hidden: the multi-process executor re-invokes this binary as its
+        // workers. Flags are validated by the worker itself.
+        "worker" => Ok(Command::ExecWorker(iter.map(String::from).collect())),
         "--help" | "-h" | "help" => Err(ArgError::new(USAGE)),
         other => Err(ArgError::new(format!("unknown subcommand {other:?}"))),
     }
@@ -216,6 +240,7 @@ fn parse_cluster<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command
     let mut z = 0usize;
     let mut algo = Algo::Sequential;
     let mut ell = 0usize;
+    let mut procs = 0usize;
     let mut mu = 4usize;
     let mut normalize = Normalize::Zscore;
     let mut output = None;
@@ -228,6 +253,7 @@ fn parse_cluster<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command
             "--z" => z = parse_num(arg, take_value(arg, &mut iter)?)?,
             "--algo" => algo = Algo::parse(take_value(arg, &mut iter)?)?,
             "--ell" => ell = parse_num(arg, take_value(arg, &mut iter)?)?,
+            "--procs" => procs = parse_num(arg, take_value(arg, &mut iter)?)?,
             "--mu" => mu = parse_num(arg, take_value(arg, &mut iter)?)?,
             "--normalize" => normalize = Normalize::parse(take_value(arg, &mut iter)?)?,
             "--output" => output = Some(take_value(arg, &mut iter)?.to_string()),
@@ -241,12 +267,25 @@ fn parse_cluster<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command
     if mu == 0 {
         return Err(ArgError::new("--mu must be at least 1"));
     }
+    if procs > 0 {
+        if !matches!(algo, Algo::Mr | Algo::MrOutliers | Algo::MrRandomized) {
+            return Err(ArgError::new(
+                "--procs requires a MapReduce algorithm (--algo mr | mr-outliers | mr-randomized)",
+            ));
+        }
+        if ell > 0 && ell != procs {
+            return Err(ArgError::new(
+                "--procs sets the parallelism: drop --ell or make them equal",
+            ));
+        }
+    }
     Ok(Command::Cluster(ClusterArgs {
         input,
         k,
         z,
         algo,
         ell,
+        procs,
         mu,
         normalize,
         output,
@@ -258,23 +297,35 @@ fn parse_cluster<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command
 fn parse_cache<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command, ArgError> {
     let action = match iter
         .next()
-        .ok_or_else(|| ArgError::new("cache requires an action (stat | clear)"))?
+        .ok_or_else(|| ArgError::new("cache requires an action (stat | clear | prune)"))?
     {
         "stat" => CacheAction::Stat,
         "clear" => CacheAction::Clear,
+        "prune" => CacheAction::Prune { max_bytes: 0 },
         other => {
             return Err(ArgError::new(format!(
-                "cache action must be stat | clear, got {other:?}"
+                "cache action must be stat | clear | prune, got {other:?}"
             )))
         }
     };
     let mut dir = None;
+    let mut max_bytes = None;
     while let Some(arg) = iter.next() {
         match arg {
             "--cache-dir" => dir = Some(take_value(arg, &mut iter)?.to_string()),
+            "--max-bytes" if matches!(action, CacheAction::Prune { .. }) => {
+                max_bytes = Some(parse_num(arg, take_value(arg, &mut iter)?)?)
+            }
             other => return Err(ArgError::new(format!("unknown flag {other:?}"))),
         }
     }
+    let action = match action {
+        CacheAction::Prune { .. } => CacheAction::Prune {
+            max_bytes: max_bytes
+                .ok_or_else(|| ArgError::new("cache prune requires --max-bytes"))?,
+        },
+        other => other,
+    };
     Ok(Command::Cache(CacheArgs { action, dir }))
 }
 
@@ -377,6 +428,7 @@ mod tests {
                 z: 20,
                 algo: Algo::MrRandomized,
                 ell: 8,
+                procs: 0,
                 mu: 2,
                 normalize: Normalize::MinMax,
                 output: Some("c.csv".into()),
@@ -384,6 +436,86 @@ mod tests {
                 cache_dir: Some("/tmp/kc-cache".into()),
             })
         );
+    }
+
+    #[test]
+    fn parses_procs_for_mapreduce_algorithms() {
+        let cmd = parse([
+            "cluster", "--input", "a.csv", "--k", "4", "--algo", "mr", "--procs", "4",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Cluster(args) => {
+                assert_eq!(args.procs, 4);
+                assert_eq!(args.ell, 0);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // --ell may be given redundantly, but only if it agrees.
+        assert!(parse([
+            "cluster", "--input", "a.csv", "--k", "4", "--algo", "mr", "--procs", "4", "--ell",
+            "4",
+        ])
+        .is_ok());
+        assert!(parse([
+            "cluster", "--input", "a.csv", "--k", "4", "--algo", "mr", "--procs", "4", "--ell",
+            "2",
+        ])
+        .is_err());
+        // Non-MapReduce algorithms cannot run multi-process.
+        for algo in ["gmm", "seq", "stream", "charikar"] {
+            assert!(
+                parse(["cluster", "--input", "a.csv", "--k", "4", "--algo", algo, "--procs", "2",])
+                    .is_err(),
+                "--procs accepted for {algo}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_hidden_worker_subcommand() {
+        let cmd = parse(["worker", "--shard", "s.kca", "--out", "o.kca"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::ExecWorker(vec![
+                "--shard".into(),
+                "s.kca".into(),
+                "--out".into(),
+                "o.kca".into(),
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_cache_prune() {
+        assert_eq!(
+            parse(["cache", "prune", "--max-bytes", "1048576"]).unwrap(),
+            Command::Cache(CacheArgs {
+                action: CacheAction::Prune {
+                    max_bytes: 1_048_576
+                },
+                dir: None,
+            })
+        );
+        assert_eq!(
+            parse([
+                "cache",
+                "prune",
+                "--max-bytes",
+                "0",
+                "--cache-dir",
+                "/tmp/kc"
+            ])
+            .unwrap(),
+            Command::Cache(CacheArgs {
+                action: CacheAction::Prune { max_bytes: 0 },
+                dir: Some("/tmp/kc".into()),
+            })
+        );
+        assert!(parse(["cache", "prune", "--max-bytes"]).is_err());
+        assert!(parse(["cache", "prune", "--max-bytes", "x"]).is_err());
+        // --max-bytes is prune-only.
+        assert!(parse(["cache", "stat", "--max-bytes", "1"]).is_err());
     }
 
     #[test]

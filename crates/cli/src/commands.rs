@@ -15,6 +15,7 @@ use kcenter_core::tuning;
 use kcenter_data::csv::{load_csv, save_csv};
 use kcenter_data::normalize::Normalization;
 use kcenter_data::{higgs_like, inject_outliers, power_like, wiki_like};
+use kcenter_exec::{ExecConfig, MetricKind, WorkerCommand};
 use kcenter_metric::doubling::{estimate_doubling_dimension, DoublingConfig};
 use kcenter_metric::pairwise::diameter_bounds;
 use kcenter_metric::{Euclidean, Point};
@@ -114,7 +115,10 @@ pub fn run_cluster(args: &ClusterArgs) -> Result<(), Box<dyn Error>> {
         None => raw.clone(),
     };
 
-    let ell = if args.ell > 0 {
+    // --procs pins the parallelism: one worker process per partition.
+    let ell = if args.procs > 0 {
+        args.procs
+    } else if args.ell > 0 {
         args.ell
     } else if args.z > 0 {
         tuning::ell_for_outliers(points.len(), args.k, args.z)
@@ -136,16 +140,25 @@ pub fn run_cluster(args: &ClusterArgs) -> Result<(), Box<dyn Error>> {
     if cached.is_some() {
         eprintln!("solution cache: hit (solve skipped)");
     }
+    // The multi-process executor already evaluates the objective over the
+    // full dataset; reuse it rather than paying a second O(n·k) pass.
+    let mut solved_objective = None;
     let centers: Vec<Point> = match &cached {
         Some(solution) => solution.centers.clone(),
+        None if args.procs > 0 => {
+            let (centers, objective) = run_cluster_multiprocess(args, &points, ell)?;
+            solved_objective = objective;
+            centers
+        }
         None => run_cluster_algorithm(args, &points, ell)?,
     };
     let elapsed = start.elapsed();
 
-    let objective = match &cached {
-        Some(solution) => solution.radius,
-        None if args.z > 0 => radius_with_outliers(&points, &centers, args.z, &Euclidean),
-        None => radius(&points, &centers, &Euclidean),
+    let objective = match (&cached, solved_objective) {
+        (Some(solution), _) => solution.radius,
+        (None, Some(objective)) => objective,
+        (None, None) if args.z > 0 => radius_with_outliers(&points, &centers, args.z, &Euclidean),
+        (None, None) => radius(&points, &centers, &Euclidean),
     };
     if let (Some(store), Some(fp), None) = (&store, fingerprint, &cached) {
         let artifact = StoredSolution {
@@ -161,6 +174,85 @@ pub fn run_cluster(args: &ClusterArgs) -> Result<(), Box<dyn Error>> {
         }
     }
     report_cluster(args, ell, objective, elapsed, &norm, &centers)
+}
+
+/// Runs one `cluster` invocation on the multi-process executor: round 1
+/// on `--procs` real worker OS processes (this binary re-invoked in its
+/// hidden `worker` mode) over sharded on-disk inputs, round 2 in this
+/// process. Results are bit-identical to the in-process engine at
+/// parallelism `ell` (= `--procs`); per-worker accounting goes to stderr
+/// so stdout stays a pure function of the input.
+///
+/// The second return value is the executor's objective over the full
+/// dataset, returned only when its convention matches the CLI's (plain
+/// radius for `mr` with `z = 0`, z-outlier objective for the outlier
+/// algorithms with `z > 0`); `None` makes the caller evaluate it.
+fn run_cluster_multiprocess(
+    args: &ClusterArgs,
+    points: &[Point],
+    ell: usize,
+) -> Result<(Vec<Point>, Option<f64>), Box<dyn Error>> {
+    let exec = ExecConfig::new(WorkerCommand::current_exe(&["worker"])?);
+    eprintln!("executor: {ell} worker processes");
+    let (centers, objective, report) = match args.algo {
+        Algo::Mr => {
+            let result = kcenter_exec::exec_mr_kcenter(
+                points,
+                MetricKind::Euclidean,
+                &MrKCenterConfig {
+                    k: args.k,
+                    ell,
+                    coreset: CoresetSpec::Multiplier { mu: args.mu },
+                    seed: args.seed,
+                },
+                &exec,
+            )?;
+            let objective = (args.z == 0).then_some(result.clustering.radius);
+            (result.clustering.centers, objective, result.report)
+        }
+        Algo::MrOutliers | Algo::MrRandomized => {
+            let mut config = if args.algo == Algo::MrOutliers {
+                MrOutliersConfig::deterministic(
+                    args.k,
+                    args.z,
+                    ell,
+                    CoresetSpec::Multiplier { mu: args.mu },
+                )
+            } else {
+                MrOutliersConfig::randomized(
+                    args.k,
+                    args.z,
+                    ell,
+                    CoresetSpec::Multiplier { mu: args.mu },
+                )
+            };
+            config.seed = args.seed;
+            let result =
+                kcenter_exec::exec_mr_outliers(points, MetricKind::Euclidean, &config, &exec)?;
+            let objective = (args.z > 0).then_some(result.clustering.radius);
+            (result.clustering.centers, objective, result.report)
+        }
+        // The argument parser only lets MapReduce algorithms through.
+        other => return Err(format!("--procs does not support --algo {other:?}").into()),
+    };
+    for stat in &report.workers {
+        eprintln!(
+            "executor: worker {:>3}: {} points -> {} coreset points, build {:.1}ms, wall {:.1}ms",
+            stat.partition,
+            stat.shard_points,
+            stat.coreset_size,
+            stat.build.as_secs_f64() * 1e3,
+            stat.wall.as_secs_f64() * 1e3,
+        );
+    }
+    eprintln!(
+        "executor: union = {} from {} workers, round1 {:.1}ms, round2 {:.1}ms",
+        report.union_size,
+        report.workers.len(),
+        report.round1_time.as_secs_f64() * 1e3,
+        report.round2_time.as_secs_f64() * 1e3,
+    );
+    Ok((centers, objective))
 }
 
 /// Dispatches one `cluster` invocation to the selected algorithm,
@@ -312,6 +404,17 @@ pub fn run_cache(args: &CacheArgs) -> Result<(), Box<dyn Error>> {
             let removed = store.clear()?;
             println!("removed {removed} entries from {}", store.dir().display());
         }
+        CacheAction::Prune { max_bytes } => {
+            let report = store.prune(max_bytes)?;
+            println!(
+                "pruned {} files ({} bytes) from {}; {} entries ({} bytes) remain",
+                report.removed,
+                report.removed_bytes,
+                store.dir().display(),
+                report.remaining_entries,
+                report.remaining_bytes,
+            );
+        }
     }
     Ok(())
 }
@@ -408,6 +511,7 @@ mod tests {
             z: 1,
             algo: Algo::Sequential,
             ell: 0,
+            procs: 0,
             mu: 4,
             normalize: Normalize::Zscore,
             output: Some(output.to_string_lossy().into_owned()),
@@ -450,6 +554,7 @@ mod tests {
                 },
                 algo,
                 ell: 2,
+                procs: 0,
                 mu: 2,
                 normalize: Normalize::None,
                 output: None,
@@ -485,5 +590,33 @@ mod tests {
             input: "/nonexistent/nowhere.csv".into(),
         };
         assert!(run_info(&args).is_err());
+    }
+
+    #[test]
+    fn cache_prune_command_enforces_the_budget() {
+        use crate::args::{CacheAction, CacheArgs};
+        let dir = std::env::temp_dir()
+            .join("kcenter-cli-tests")
+            .join(format!("prune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = kcenter_store::ArtifactStore::open(&dir).unwrap();
+        let matrix = kcenter_metric::DistanceMatrix::from_condensed(3, vec![1.0, 2.0, 3.0]);
+        for fp in [1u128, 2, 3] {
+            store.store_matrix(fp, &matrix).unwrap();
+        }
+        run_cache(&CacheArgs {
+            action: CacheAction::Prune { max_bytes: 0 },
+            dir: Some(dir.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert_eq!(store.stat().unwrap().total_entries(), 0);
+        // Without a directory (flag or env), prune is a clean error.
+        if std::env::var(kcenter_store::CACHE_DIR_ENV).is_err() {
+            assert!(run_cache(&CacheArgs {
+                action: CacheAction::Prune { max_bytes: 0 },
+                dir: None,
+            })
+            .is_err());
+        }
     }
 }

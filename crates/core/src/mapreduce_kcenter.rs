@@ -57,6 +57,48 @@ fn mix(seed: u64, salt: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+impl MrKCenterConfig {
+    /// Validates this configuration against a dataset of `n` points —
+    /// exactly the checks [`mr_kcenter`] performs before running. Public
+    /// so out-of-process executors (`kcenter-exec`) reject the same inputs
+    /// the in-process engine would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InputError`] for empty input, `k` out of range, `ℓ = 0`,
+    /// or an invalid coreset spec.
+    pub fn validate(&self, n: usize) -> Result<(), InputError> {
+        check_k(n, self.k)?;
+        if self.ell == 0 {
+            return Err(InputError::InvalidParallelism);
+        }
+        if let CoresetSpec::EpsStop { eps } = self.coreset {
+            check_eps(eps)?;
+        }
+        if let Some(target) = self.coreset.target_size(self.k) {
+            if target < self.k {
+                return Err(InputError::CoresetTooSmall {
+                    tau: target,
+                    minimum: self.k,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The GMM start index round 1 uses for partition `part` holding
+    /// `members` points — the seeded rule the in-process engine and the
+    /// multi-process executor must share for bit-identical coresets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members == 0` (an empty partition builds no coreset).
+    pub fn round1_start(&self, part: usize, members: usize) -> usize {
+        assert!(members > 0, "round 1 start of an empty partition");
+        (mix(self.seed, part as u64) % members as u64) as usize
+    }
+}
+
 /// Runs the 2-round MapReduce k-center algorithm.
 ///
 /// # Errors
@@ -72,28 +114,13 @@ where
     P: Clone + Send + Sync,
     M: Metric<P>,
 {
-    check_k(points.len(), config.k)?;
-    if config.ell == 0 {
-        return Err(InputError::InvalidParallelism);
-    }
-    if let CoresetSpec::EpsStop { eps } = config.coreset {
-        check_eps(eps)?;
-    }
-    if let Some(target) = config.coreset.target_size(config.k) {
-        if target < config.k {
-            return Err(InputError::CoresetTooSmall {
-                tau: target,
-                minimum: config.k,
-            });
-        }
-    }
+    config.validate(points.len())?;
 
     let engine = MapReduceEngine::new(config.ell);
     let n = points.len();
     let ell = config.ell;
     let k = config.k;
     let spec = config.coreset;
-    let seed = config.seed;
 
     // Round 1: partition S, build one coreset per partition.
     // Mapper: tag each point with its partition. Reducer: GMM coreset.
@@ -103,7 +130,7 @@ where
         inputs,
         |(i, p)| (Chunked.assign(i, n, ell), p),
         |&part, members| {
-            let start = (mix(seed, part as u64) % members.len() as u64) as usize;
+            let start = config.round1_start(part, members.len());
             let build = build_weighted_coreset(&members, metric, k, &spec, start);
             build
                 .coreset

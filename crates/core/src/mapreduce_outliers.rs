@@ -133,6 +133,60 @@ impl MrOutliersConfig {
             }
         }
     }
+
+    /// Validates this configuration against a dataset of `n` points —
+    /// exactly the checks [`mr_kcenter_outliers`] performs before running.
+    /// Public so out-of-process executors (`kcenter-exec`) reject the same
+    /// inputs the in-process engine would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InputError`] for empty input, `k`/`z` out of range,
+    /// `ℓ = 0`, or an invalid precision/coreset spec.
+    pub fn validate(&self, n: usize) -> Result<(), InputError> {
+        check_kz(n, self.k, self.z)?;
+        if self.ell == 0 {
+            return Err(InputError::InvalidParallelism);
+        }
+        check_eps(self.eps_hat)?;
+        if let CoresetSpec::EpsStop { eps } = self.coreset {
+            check_eps(eps)?;
+        }
+        let base = self.coreset_base(n);
+        if let Some(target) = self.coreset.target_size(base) {
+            if target < self.k {
+                return Err(InputError::CoresetTooSmall {
+                    tau: target,
+                    minimum: self.k,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The round-1 partitioner this configuration selects — the seeded
+    /// assignment rule the in-process engine and the multi-process
+    /// executor must share for identical partitions.
+    pub fn partitioner(&self) -> Box<dyn Partitioner> {
+        match &self.partitioning {
+            MrPartitioning::Chunked => Box::new(Chunked),
+            MrPartitioning::Random => Box::new(RandomPartition::new(mix(self.seed, 0xF00D))),
+            MrPartitioning::Adversarial { special } => {
+                Box::new(Adversarial::new(special.iter().copied()))
+            }
+        }
+    }
+
+    /// The GMM start index round 1 uses for partition `part` holding
+    /// `members` points (salted differently from the plain k-center rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members == 0` (an empty partition builds no coreset).
+    pub fn round1_start(&self, part: usize, members: usize) -> usize {
+        assert!(members > 0, "round 1 start of an empty partition");
+        (mix(self.seed, part as u64 + 1) % members as u64) as usize
+    }
 }
 
 /// Result of one MapReduce k-center-with-outliers run.
@@ -183,37 +237,15 @@ where
     P: Clone + Send + Sync,
     M: Metric<P>,
 {
-    check_kz(points.len(), config.k, config.z)?;
-    if config.ell == 0 {
-        return Err(InputError::InvalidParallelism);
-    }
-    check_eps(config.eps_hat)?;
-    if let CoresetSpec::EpsStop { eps } = config.coreset {
-        check_eps(eps)?;
-    }
+    config.validate(points.len())?;
     let n = points.len();
     let base = config.coreset_base(n);
-    if let Some(target) = config.coreset.target_size(base) {
-        if target < config.k {
-            return Err(InputError::CoresetTooSmall {
-                tau: target,
-                minimum: config.k,
-            });
-        }
-    }
 
     let engine = MapReduceEngine::new(config.ell);
     let ell = config.ell;
     let spec = config.coreset;
-    let seed = config.seed;
 
-    let partitioner: Box<dyn Partitioner> = match &config.partitioning {
-        MrPartitioning::Chunked => Box::new(Chunked),
-        MrPartitioning::Random => Box::new(RandomPartition::new(mix(seed, 0xF00D))),
-        MrPartitioning::Adversarial { special } => {
-            Box::new(Adversarial::new(special.iter().copied()))
-        }
-    };
+    let partitioner = config.partitioner();
 
     // Round 1: weighted coreset per partition.
     let round1_start = Instant::now();
@@ -222,7 +254,7 @@ where
         inputs,
         |(i, p)| (partitioner.assign(i, n, ell), p),
         |&part, members| {
-            let start = (mix(seed, part as u64 + 1) % members.len() as u64) as usize;
+            let start = config.round1_start(part, members.len());
             let build =
                 build_weighted_coreset(&members, metric, base.min(members.len()), &spec, start);
             build

@@ -1,0 +1,11 @@
+//! Standalone worker binary for the multi-process executor.
+//!
+//! Production deployments usually re-invoke their own binary in a hidden
+//! worker mode (the `kcenter` CLI's `worker` subcommand does exactly
+//! that); this standalone entry exists so the executor's process-level
+//! tests can spawn a real worker without depending on another crate's
+//! binary.
+
+fn main() {
+    std::process::exit(kcenter_exec::worker_main(std::env::args().skip(1)));
+}

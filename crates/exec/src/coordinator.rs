@@ -1,0 +1,618 @@
+//! The coordinator: shards a dataset, spawns real worker processes, and
+//! reduces their results — bit-identical to the in-process engines.
+//!
+//! Execution mirrors the paper's 2-round structure end to end:
+//!
+//! 1. **Shard.** The input is partitioned with exactly the engine's
+//!    partitioner (`Chunked`, seeded random, or adversarial) and each
+//!    non-empty partition is written to a shard file in the work
+//!    directory.
+//! 2. **Round 1, out of process.** One worker OS process per partition is
+//!    spawned from the configured [`WorkerCommand`] (typically the current
+//!    binary re-invoked with a hidden subcommand). Each worker mmap-loads
+//!    its shard, runs the shared round-1 kernel with its own rayon pool,
+//!    and atomically writes a weighted-coreset artifact.
+//! 3. **Round 2, in the coordinator.** Artifacts are collected in
+//!    ascending partition order — the same order the in-process shuffle
+//!    produces — and the union is solved through the existing round-2
+//!    paths (`gmm_select`, or the radius search over a [`CachedOracle`],
+//!    which also consults the persistent matrix store when one is
+//!    installed).
+//!
+//! **Determinism.** Every stage is bitwise deterministic: partitioning is
+//! seeded, the round-1 kernel is chunk-order invariant under any thread
+//! count, the codec round-trips `f64`s by bit pattern, and collection
+//! order is fixed. The cross-check tests (and the `exec-determinism` CI
+//! job) assert the final centers and radius are **bit-identical** to
+//! [`mr_kcenter`] / [`mr_kcenter_outliers`] on the same input.
+//!
+//! [`mr_kcenter`]: kcenter_core::mapreduce_kcenter::mr_kcenter
+//! [`mr_kcenter_outliers`]: kcenter_core::mapreduce_outliers::mr_kcenter_outliers
+//!
+//! **Failure handling.** A worker that exits non-zero, dies on a signal,
+//! overruns the timeout, or leaves a truncated artifact surfaces as a
+//! clean [`ExecError`]; remaining workers are killed and the work
+//! directory is removed (unless kept for debugging).
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use kcenter_core::coreset::{CoresetSpec, WeightedCoreset, WeightedPoint};
+use kcenter_core::gmm::gmm_select;
+use kcenter_core::mapreduce_kcenter::MrKCenterConfig;
+use kcenter_core::mapreduce_outliers::MrOutliersConfig;
+use kcenter_core::radius_search::solve_coreset_cached;
+use kcenter_core::solution::{radius, radius_with_outliers};
+use kcenter_core::Clustering;
+use kcenter_mapreduce::{partition_dataset, Chunked};
+use kcenter_metric::{CachedOracle, Point};
+
+use crate::error::ExecError;
+use crate::protocol::{MetricKind, WorkerReport};
+use crate::shard::{read_coreset_artifact, write_shard};
+use crate::with_metric;
+use crate::worker::WorkerArgs;
+
+/// Per-process sequence for unique work-directory names.
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// How to invoke a worker process: a program plus fixed leading arguments
+/// (the per-partition worker flags are appended) and extra environment
+/// variables (set on top of the inherited environment).
+#[derive(Clone, Debug)]
+pub struct WorkerCommand {
+    /// Program to execute.
+    pub program: PathBuf,
+    /// Leading arguments (e.g. a hidden `worker` subcommand).
+    pub args: Vec<String>,
+    /// Extra environment for the workers (e.g. `RAYON_NUM_THREADS`, or
+    /// the fault-injection hook in tests).
+    pub env: Vec<(String, String)>,
+}
+
+impl WorkerCommand {
+    /// A worker command from an explicit program and leading arguments.
+    pub fn new(program: impl Into<PathBuf>, args: &[&str]) -> WorkerCommand {
+        WorkerCommand {
+            program: program.into(),
+            args: args.iter().map(|s| s.to_string()).collect(),
+            env: Vec::new(),
+        }
+    }
+
+    /// Re-invokes the **current executable** with the given leading
+    /// arguments — the standard deployment shape: one binary, a hidden
+    /// worker mode.
+    pub fn current_exe(args: &[&str]) -> std::io::Result<WorkerCommand> {
+        Ok(WorkerCommand::new(std::env::current_exe()?, args))
+    }
+
+    /// Adds an environment variable for every spawned worker.
+    pub fn env(mut self, key: impl Into<String>, value: impl Into<String>) -> WorkerCommand {
+        self.env.push((key.into(), value.into()));
+        self
+    }
+}
+
+/// Multi-process execution options.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// How to spawn workers.
+    pub worker: WorkerCommand,
+    /// Work directory for shards and result artifacts. `None` creates a
+    /// unique directory under the system temp dir.
+    pub work_dir: Option<PathBuf>,
+    /// Per-round wall-clock limit: if any worker is still running when it
+    /// elapses, the fleet is killed and the run fails cleanly.
+    pub timeout: Duration,
+    /// Keep the work directory (for debugging) instead of removing it.
+    pub keep_work_dir: bool,
+}
+
+impl ExecConfig {
+    /// Options with the default timeout (10 minutes) and a fresh temp
+    /// work directory.
+    pub fn new(worker: WorkerCommand) -> ExecConfig {
+        ExecConfig {
+            worker,
+            work_dir: None,
+            timeout: Duration::from_secs(600),
+            keep_work_dir: false,
+        }
+    }
+}
+
+/// Per-worker accounting.
+#[derive(Clone, Debug)]
+pub struct WorkerStat {
+    /// Partition the worker processed.
+    pub partition: usize,
+    /// Points in its shard.
+    pub shard_points: usize,
+    /// Coreset points it produced.
+    pub coreset_size: usize,
+    /// Spawn-to-exit wall clock, measured by the coordinator.
+    pub wall: Duration,
+    /// In-worker build wall clock (shard load → artifact rename), as
+    /// reported by the worker itself; zero if the report line was absent.
+    pub build: Duration,
+}
+
+/// Execution accounting shared by both algorithms.
+#[derive(Clone, Debug, Default)]
+pub struct ExecReport {
+    /// Size of each non-empty partition's coreset, in partition order.
+    pub coreset_sizes: Vec<usize>,
+    /// `|T|`, the size of the collected union.
+    pub union_size: usize,
+    /// Per-worker accounting, in partition order.
+    pub workers: Vec<WorkerStat>,
+    /// Wall clock of round 1 (shard + spawn + collect).
+    pub round1_time: Duration,
+    /// Wall clock of round 2 (solve on the union).
+    pub round2_time: Duration,
+}
+
+/// Result of a multi-process k-center run (the executor's counterpart of
+/// [`kcenter_core::mapreduce_kcenter::MrKCenterResult`]).
+#[derive(Clone, Debug)]
+pub struct ExecKCenterResult {
+    /// Final centers and the radius they achieve on the full input.
+    pub clustering: Clustering<Point>,
+    /// Execution accounting.
+    pub report: ExecReport,
+}
+
+/// Result of a multi-process k-center-with-outliers run (the executor's
+/// counterpart of [`kcenter_core::mapreduce_outliers::MrOutliersResult`]).
+#[derive(Clone, Debug)]
+pub struct ExecOutliersResult {
+    /// Final centers and the objective `r_{T,Z_T}(S)` on the full input.
+    pub clustering: Clustering<Point>,
+    /// The radius found on the coreset by the search.
+    pub r_min: f64,
+    /// Weight left uncovered on the coreset at `r_min`.
+    pub uncovered_weight: u64,
+    /// Coreset base used per partition (before per-partition clamping).
+    pub base: usize,
+    /// `OutliersCluster` evaluations in the radius search.
+    pub search_evaluations: usize,
+    /// Execution accounting.
+    pub report: ExecReport,
+}
+
+/// Removes the work directory on drop unless told to keep it.
+struct WorkDirGuard {
+    path: PathBuf,
+    keep: bool,
+}
+
+impl Drop for WorkDirGuard {
+    fn drop(&mut self) {
+        if !self.keep {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+/// One spawned worker under supervision: the child plus the threads
+/// draining its stdout/stderr. Draining runs **concurrently** with the
+/// worker — a worker that emits more than the pipe capacity (a full
+/// backtrace, verbose diagnostics) must never block on `write(2)` and
+/// masquerade as a timeout.
+struct Running {
+    partition: usize,
+    child: Child,
+    started: Instant,
+    stdout: std::thread::JoinHandle<Vec<u8>>,
+    stderr: std::thread::JoinHandle<Vec<u8>>,
+}
+
+impl Running {
+    fn spawn(partition: usize, command: &mut Command) -> Result<Running, std::io::Error> {
+        fn drain<R: std::io::Read + Send + 'static>(stream: R) -> std::thread::JoinHandle<Vec<u8>> {
+            std::thread::spawn(move || {
+                let mut stream = stream;
+                let mut bytes = Vec::new();
+                let _ = stream.read_to_end(&mut bytes);
+                bytes
+            })
+        }
+        let mut child = command
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()?;
+        let stdout = drain(child.stdout.take().expect("stdout was piped"));
+        let stderr = drain(child.stderr.take().expect("stderr was piped"));
+        Ok(Running {
+            partition,
+            child,
+            started: Instant::now(),
+            stdout,
+            stderr,
+        })
+    }
+
+    /// Reaps an exited worker: joins the drain threads and returns
+    /// (wall, stdout, stderr).
+    fn reap(mut self) -> (Duration, Vec<u8>, Vec<u8>) {
+        let wall = self.started.elapsed();
+        // The child already exited (try_wait returned a status); this
+        // cannot block, and the drain threads see EOF promptly.
+        let _ = self.child.wait();
+        let stdout = self.stdout.join().unwrap_or_default();
+        let stderr = self.stderr.join().unwrap_or_default();
+        (wall, stdout, stderr)
+    }
+}
+
+/// Kills every still-running child on drop, so no error path can leak
+/// worker processes.
+struct Fleet {
+    running: Vec<Running>,
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for running in &mut self.running {
+            let _ = running.child.kill();
+            let _ = running.child.wait();
+        }
+    }
+}
+
+/// One collected worker outcome.
+struct WorkerOutcome {
+    partition: usize,
+    stat: WorkerStat,
+    artifact: PathBuf,
+}
+
+/// Runs the multi-process 2-round k-center algorithm (the executor twin
+/// of [`kcenter_core::mapreduce_kcenter::mr_kcenter`]): round 1 on real
+/// worker processes, round 2 and the final objective in the coordinator.
+///
+/// # Errors
+///
+/// [`ExecError::Input`] for the same invalid configurations the
+/// in-process engine rejects; the executor-specific variants for worker
+/// spawn/crash/timeout/artifact failures.
+pub fn exec_mr_kcenter(
+    points: &[Point],
+    metric: MetricKind,
+    config: &MrKCenterConfig,
+    exec: &ExecConfig,
+) -> Result<ExecKCenterResult, ExecError> {
+    config.validate(points.len())?;
+    let round1_started = Instant::now();
+    let partitions = nonempty_partitions(partition_dataset(points, config.ell, &Chunked));
+    let jobs: Vec<WorkerJob> = partitions
+        .iter()
+        .map(|(part, members)| WorkerJob {
+            partition: *part,
+            base: config.k,
+            start: config.round1_start(*part, members.len()),
+        })
+        .collect();
+    let collected = run_round1(&partitions, &jobs, metric, config.coreset, exec)?;
+    let round1_time = round1_started.elapsed();
+
+    let round2_started = Instant::now();
+    let union: Vec<Point> = collected
+        .coresets
+        .iter()
+        .flat_map(|(p, _)| p.iter().cloned())
+        .collect();
+    let (centers, final_radius) = with_metric!(metric, m => {
+        let selected = gmm_select(&union, m, config.k, 0);
+        let centers: Vec<Point> = selected.centers.into_iter().map(|i| union[i].clone()).collect();
+        let final_radius = radius(points, &centers, m);
+        (centers, final_radius)
+    });
+    let round2_time = round2_started.elapsed();
+
+    Ok(ExecKCenterResult {
+        clustering: Clustering {
+            centers,
+            radius: final_radius,
+        },
+        report: ExecReport {
+            coreset_sizes: collected.coresets.iter().map(|(p, _)| p.len()).collect(),
+            union_size: union.len(),
+            workers: collected.workers,
+            round1_time,
+            round2_time,
+        },
+    })
+}
+
+/// Runs the multi-process 2-round k-center-with-outliers algorithm
+/// (the executor twin of
+/// [`kcenter_core::mapreduce_outliers::mr_kcenter_outliers`]),
+/// deterministic or randomized
+/// per the configuration.
+///
+/// # Errors
+///
+/// As [`exec_mr_kcenter`].
+pub fn exec_mr_outliers(
+    points: &[Point],
+    metric: MetricKind,
+    config: &MrOutliersConfig,
+    exec: &ExecConfig,
+) -> Result<ExecOutliersResult, ExecError> {
+    config.validate(points.len())?;
+    let n = points.len();
+    let base = config.coreset_base(n);
+
+    let round1_started = Instant::now();
+    let partitioner = config.partitioner();
+    let partitions =
+        nonempty_partitions(partition_dataset(points, config.ell, partitioner.as_ref()));
+    let jobs: Vec<WorkerJob> = partitions
+        .iter()
+        .map(|(part, members)| WorkerJob {
+            partition: *part,
+            base: base.min(members.len()),
+            start: config.round1_start(*part, members.len()),
+        })
+        .collect();
+    let collected = run_round1(&partitions, &jobs, metric, config.coreset, exec)?;
+    let round1_time = round1_started.elapsed();
+
+    let round2_started = Instant::now();
+    let coreset: WeightedCoreset<Point> = collected
+        .coresets
+        .iter()
+        .flat_map(|(points, weights)| {
+            points.iter().zip(weights).map(|(p, &w)| WeightedPoint {
+                point: p.clone(),
+                weight: w,
+            })
+        })
+        .collect();
+    let union_size = coreset.len();
+    let (solution, final_radius) = with_metric!(metric, m => {
+        // Same round-2 shape as the in-process reducer: price the union
+        // into one oracle (which consults the persistent store when
+        // installed) and search the radius on it.
+        let oracle = CachedOracle::new(coreset.points_only(), m, config.matrix_threshold);
+        let solution = solve_coreset_cached(
+            &oracle,
+            &coreset.weights(),
+            config.k,
+            config.z as u64,
+            config.eps_hat,
+            config.search,
+        );
+        let final_radius = radius_with_outliers(points, &solution.centers, config.z, m);
+        (solution, final_radius)
+    });
+    let round2_time = round2_started.elapsed();
+
+    Ok(ExecOutliersResult {
+        clustering: Clustering {
+            centers: solution.centers,
+            radius: final_radius,
+        },
+        r_min: solution.r_min,
+        uncovered_weight: solution.uncovered_weight,
+        base,
+        search_evaluations: solution.evaluations,
+        report: ExecReport {
+            coreset_sizes: collected.coresets.iter().map(|(p, _)| p.len()).collect(),
+            union_size,
+            workers: collected.workers,
+            round1_time,
+            round2_time,
+        },
+    })
+}
+
+/// Per-partition worker parameters the algorithm layer computes.
+struct WorkerJob {
+    partition: usize,
+    base: usize,
+    start: usize,
+}
+
+/// Round-1 results: weighted coresets in partition order plus accounting.
+struct Collected {
+    coresets: Vec<(Vec<Point>, Vec<u64>)>,
+    workers: Vec<WorkerStat>,
+}
+
+/// Drops empty partitions, keeping each partition's id — the exact shape
+/// of the in-process shuffle, whose `BTreeMap` grouping only ever sees
+/// keys with at least one member and visits them in ascending order.
+fn nonempty_partitions(buckets: Vec<Vec<Point>>) -> Vec<(usize, Vec<Point>)> {
+    buckets
+        .into_iter()
+        .enumerate()
+        .filter(|(_, members)| !members.is_empty())
+        .collect()
+}
+
+/// Shards, spawns, supervises, and collects one round of workers.
+fn run_round1(
+    partitions: &[(usize, Vec<Point>)],
+    jobs: &[WorkerJob],
+    metric: MetricKind,
+    spec: CoresetSpec,
+    exec: &ExecConfig,
+) -> Result<Collected, ExecError> {
+    let work_dir = match &exec.work_dir {
+        Some(dir) => dir.clone(),
+        None => std::env::temp_dir().join(format!(
+            "kcenter-exec-{}-{}",
+            std::process::id(),
+            RUN_SEQ.fetch_add(1, Ordering::Relaxed)
+        )),
+    };
+    std::fs::create_dir_all(&work_dir)?;
+    let guard = WorkDirGuard {
+        path: work_dir.clone(),
+        keep: exec.keep_work_dir,
+    };
+
+    // Shard: one input file per non-empty partition.
+    let mut worker_args = Vec::with_capacity(jobs.len());
+    for ((part, members), job) in partitions.iter().zip(jobs) {
+        debug_assert_eq!(*part, job.partition);
+        let shard = work_dir.join(format!("shard-{part:05}.kca"));
+        let out = work_dir.join(format!("coreset-{part:05}.kca"));
+        write_shard(&shard, members)?;
+        worker_args.push(WorkerArgs {
+            shard,
+            out,
+            metric,
+            base: job.base,
+            spec,
+            start: job.start,
+        });
+    }
+
+    // Spawn the fleet: one OS process per partition.
+    let mut fleet = Fleet {
+        running: Vec::with_capacity(worker_args.len()),
+    };
+    for ((part, _), args) in partitions.iter().zip(&worker_args) {
+        let mut command = Command::new(&exec.worker.program);
+        command
+            .args(&exec.worker.args)
+            .args(args.to_args())
+            // The fault-injection hook must be *asked for*, never ambient:
+            // a stray KCENTER_EXEC_FAULT left in the coordinator's
+            // environment (say, from a debugging session) must not make
+            // every worker crash or hang. Tests opt in explicitly through
+            // `WorkerCommand::env`, which is applied after the strip.
+            .env_remove(crate::worker::FAULT_ENV)
+            .envs(exec.worker.env.iter().map(|(k, v)| (k, v)));
+        let running = Running::spawn(*part, &mut command).map_err(|source| ExecError::Spawn {
+            partition: *part,
+            source,
+        })?;
+        fleet.running.push(running);
+    }
+
+    // Supervise: poll until every worker exits, the deadline passes, or a
+    // worker fails (in which case the fleet guard kills the rest).
+    let deadline = Instant::now() + exec.timeout;
+    let mut outcomes: Vec<WorkerOutcome> = Vec::with_capacity(worker_args.len());
+    while !fleet.running.is_empty() {
+        if Instant::now() > deadline {
+            let partition = fleet.running[0].partition;
+            return Err(ExecError::WorkerTimeout {
+                partition,
+                timeout: exec.timeout,
+            });
+        }
+        let mut progressed = false;
+        let mut i = 0;
+        while i < fleet.running.len() {
+            match fleet.running[i].child.try_wait() {
+                Ok(Some(status)) => {
+                    progressed = true;
+                    let running = fleet.running.swap_remove(i);
+                    let partition = running.partition;
+                    let (wall, stdout, stderr) = running.reap();
+                    if !status.success() {
+                        return Err(ExecError::WorkerFailed {
+                            partition,
+                            code: status.code(),
+                            stderr: String::from_utf8_lossy(&stderr).into_owned(),
+                        });
+                    }
+                    let stdout = String::from_utf8_lossy(&stdout);
+                    let report = WorkerReport::parse(&stdout);
+                    let job = jobs
+                        .iter()
+                        .position(|j| j.partition == partition)
+                        .expect("outcome for a job we spawned");
+                    outcomes.push(WorkerOutcome {
+                        partition,
+                        stat: WorkerStat {
+                            partition,
+                            shard_points: report.map_or(partitions[job].1.len(), |r| r.points),
+                            coreset_size: report.map_or(0, |r| r.coreset),
+                            wall,
+                            build: Duration::from_micros(report.map_or(0, |r| r.build_micros)),
+                        },
+                        artifact: worker_args[job].out.clone(),
+                    });
+                }
+                Ok(None) => i += 1,
+                Err(err) => return Err(ExecError::Io(err)),
+            }
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    // Collect in ascending partition order — the shuffle's key order.
+    outcomes.sort_by_key(|o| o.partition);
+    let mut coresets = Vec::with_capacity(outcomes.len());
+    let mut workers = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        let (points, weights) =
+            read_coreset_artifact(&outcome.artifact).map_err(|err| ExecError::BadArtifact {
+                partition: outcome.partition,
+                path: outcome.artifact.clone(),
+                reason: err.to_string(),
+            })?;
+        let mut stat = outcome.stat;
+        if stat.coreset_size == 0 {
+            stat.coreset_size = points.len();
+        }
+        workers.push(stat);
+        coresets.push((points, weights));
+    }
+    drop(guard);
+    Ok(Collected { coresets, workers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonempty_partitions_keep_ids() {
+        let buckets = vec![
+            vec![Point::new(vec![1.0])],
+            Vec::new(),
+            vec![Point::new(vec![2.0]), Point::new(vec![3.0])],
+        ];
+        let parts = nonempty_partitions(buckets);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0, 0);
+        assert_eq!(parts[1].0, 2);
+        assert_eq!(parts[1].1.len(), 2);
+    }
+
+    #[test]
+    fn invalid_configs_fail_before_any_process_work() {
+        let points: Vec<Point> = (0..10).map(|i| Point::new(vec![i as f64])).collect();
+        let exec = ExecConfig::new(WorkerCommand::new("/nonexistent/worker", &[]));
+        let bad = MrKCenterConfig {
+            k: 0,
+            ell: 2,
+            coreset: CoresetSpec::Multiplier { mu: 1 },
+            seed: 0,
+        };
+        assert!(matches!(
+            exec_mr_kcenter(&points, MetricKind::Euclidean, &bad, &exec),
+            Err(ExecError::Input(_))
+        ));
+        let mut bad_outliers =
+            MrOutliersConfig::deterministic(2, 1, 0, CoresetSpec::Multiplier { mu: 1 });
+        bad_outliers.ell = 0;
+        assert!(matches!(
+            exec_mr_outliers(&points, MetricKind::Euclidean, &bad_outliers, &exec),
+            Err(ExecError::Input(_))
+        ));
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! True multi-process MapReduce executor for coreset-based k-center.
+//!
+//! The `kcenter-mapreduce` engine *simulates* the paper's MapReduce model
+//! inside one process: partitions are in-memory slices, "reducers" are
+//! closures on a thread pool. This crate provides the real thing — the
+//! deployment shape of the composable-coreset line (Indyk et al.) under
+//! the MRC execution model (Karloff–Suri–Vassilvitskii):
+//!
+//! * a **coordinator** ([`coordinator`]) that shards the dataset into
+//!   per-worker files, spawns one worker **OS process** per partition,
+//!   supervises them (crash, signal, timeout, torn-artifact handling),
+//!   and reduces the collected coresets through the existing round-2
+//!   paths;
+//! * a **worker** ([`worker`]) that mmap-loads its shard, runs the shared
+//!   round-1 kernel with its own rayon pool, and atomically writes a
+//!   weighted coreset back through the store codec;
+//! * a **wire protocol** ([`protocol`]) whose every value round-trips
+//!   bit-exactly, and an on-disk **shard format** ([`shard`]) reusing
+//!   `kcenter-store`'s versioned, checksummed codec.
+//!
+//! The headline guarantee: a multi-process run is **bit-identical** to
+//! the in-process engines on the same seeded input — same centers (to the
+//! coordinate bit), same radius (to the `f64` bit) — because partitioning
+//! rules, the round-1 kernel, the codec, and collection order are all
+//! shared and deterministic. The `exec-determinism` CI job pins this at 1
+//! and 4 worker processes.
+
+pub mod coordinator;
+pub mod error;
+pub mod protocol;
+pub mod shard;
+pub mod worker;
+
+pub use coordinator::{
+    exec_mr_kcenter, exec_mr_outliers, ExecConfig, ExecKCenterResult, ExecOutliersResult,
+    ExecReport, WorkerCommand, WorkerStat,
+};
+pub use error::ExecError;
+pub use protocol::MetricKind;
+pub use worker::worker_main;

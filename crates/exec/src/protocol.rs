@@ -1,0 +1,228 @@
+//! The coordinator ↔ worker wire protocol.
+//!
+//! Workers are plain OS processes; everything they need arrives as
+//! command-line flags and everything they produce is an on-disk artifact
+//! plus one machine-parsable stdout line. All values round-trip exactly:
+//! integers as decimal, `f64`s through Rust's shortest-round-trip
+//! formatting (guaranteed bit-exact on re-parse), metrics by their stable
+//! cache name — so a worker reconstructs precisely the sub-problem the
+//! coordinator carved out, and bit-identical results follow from the
+//! shared round-1 kernel.
+
+use kcenter_core::coreset::CoresetSpec;
+use kcenter_metric::{Chebyshev, CosineAngular, Euclidean, Manhattan, Metric, Point};
+
+/// The metrics the executor can name across a process boundary.
+///
+/// The in-process engines are generic over any [`Metric`]; a worker
+/// process, however, must *reconstruct* its metric from a name, so the
+/// executor supports exactly the workspace's named point metrics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// L2 — the paper's experimental metric.
+    Euclidean,
+    /// L1.
+    Manhattan,
+    /// L∞.
+    Chebyshev,
+    /// Angular distance (proper metric over embeddings).
+    CosineAngular,
+}
+
+impl MetricKind {
+    /// Every supported metric.
+    pub const ALL: [MetricKind; 4] = [
+        MetricKind::Euclidean,
+        MetricKind::Manhattan,
+        MetricKind::Chebyshev,
+        MetricKind::CosineAngular,
+    ];
+
+    /// Stable wire name (matches the metric's cache-fingerprint name).
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Euclidean => "euclidean",
+            MetricKind::Manhattan => "manhattan",
+            MetricKind::Chebyshev => "chebyshev",
+            MetricKind::CosineAngular => "cosine-angular",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<MetricKind> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Runs `f` with the named metric as a trait object — convenient for
+    /// one-off evaluations. Hot paths (the worker's round-1 build, the
+    /// coordinator's round 2) instead dispatch through
+    /// [`crate::with_metric!`] so the kernels stay monomorphized.
+    pub fn with<R>(self, f: impl FnOnce(&dyn Metric<Point>) -> R) -> R {
+        match self {
+            MetricKind::Euclidean => f(&Euclidean),
+            MetricKind::Manhattan => f(&Manhattan),
+            MetricKind::Chebyshev => f(&Chebyshev),
+            MetricKind::CosineAngular => f(&CosineAngular),
+        }
+    }
+}
+
+/// Expands to a `match` over a [`MetricKind`] that binds the **concrete**
+/// metric value to `$m` in `$body` — the zero-cost counterpart of
+/// [`MetricKind::with`] for distance-kernel call sites, where a vtable
+/// call per pair would be measurable.
+#[macro_export]
+macro_rules! with_metric {
+    ($kind:expr, $m:ident => $body:expr) => {
+        match $kind {
+            $crate::protocol::MetricKind::Euclidean => {
+                let $m = &::kcenter_metric::Euclidean;
+                $body
+            }
+            $crate::protocol::MetricKind::Manhattan => {
+                let $m = &::kcenter_metric::Manhattan;
+                $body
+            }
+            $crate::protocol::MetricKind::Chebyshev => {
+                let $m = &::kcenter_metric::Chebyshev;
+                $body
+            }
+            $crate::protocol::MetricKind::CosineAngular => {
+                let $m = &::kcenter_metric::CosineAngular;
+                $body
+            }
+        }
+    };
+}
+
+/// Formats a [`CoresetSpec`] for the wire (`mult:µ`, `fixed:τ`, `eps:ε`).
+pub fn format_spec(spec: &CoresetSpec) -> String {
+    match *spec {
+        CoresetSpec::EpsStop { eps } => format!("eps:{eps}"),
+        CoresetSpec::Fixed { tau } => format!("fixed:{tau}"),
+        CoresetSpec::Multiplier { mu } => format!("mult:{mu}"),
+    }
+}
+
+/// Parses a wire-format [`CoresetSpec`].
+pub fn parse_spec(s: &str) -> Option<CoresetSpec> {
+    let (kind, value) = s.split_once(':')?;
+    Some(match kind {
+        "eps" => CoresetSpec::EpsStop {
+            eps: value.parse().ok()?,
+        },
+        "fixed" => CoresetSpec::Fixed {
+            tau: value.parse().ok()?,
+        },
+        "mult" => CoresetSpec::Multiplier {
+            mu: value.parse().ok()?,
+        },
+        _ => return None,
+    })
+}
+
+/// Prefix of the worker's machine-parsable stdout report line.
+pub const REPORT_PREFIX: &str = "kcenter-exec-worker:";
+
+/// What a worker reports on stdout after a successful build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Points in the shard.
+    pub points: usize,
+    /// Coreset points written.
+    pub coreset: usize,
+    /// In-worker wall clock of the build (shard load → artifact rename),
+    /// in microseconds.
+    pub build_micros: u64,
+}
+
+impl WorkerReport {
+    /// The stdout line a worker prints.
+    pub fn to_line(self) -> String {
+        format!(
+            "{REPORT_PREFIX} points={} coreset={} build_micros={}",
+            self.points, self.coreset, self.build_micros
+        )
+    }
+
+    /// Parses a worker's stdout, tolerating any surrounding noise lines.
+    pub fn parse(stdout: &str) -> Option<WorkerReport> {
+        let line = stdout
+            .lines()
+            .find(|l| l.trim_start().starts_with(REPORT_PREFIX))?;
+        let mut points = None;
+        let mut coreset = None;
+        let mut build_micros = None;
+        for field in line.trim_start()[REPORT_PREFIX.len()..].split_whitespace() {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "points" => points = value.parse().ok(),
+                "coreset" => coreset = value.parse().ok(),
+                "build_micros" => build_micros = value.parse().ok(),
+                _ => {}
+            }
+        }
+        Some(WorkerReport {
+            points: points?,
+            coreset: coreset?,
+            build_micros: build_micros?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_names_round_trip() {
+        for kind in MetricKind::ALL {
+            assert_eq!(MetricKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(MetricKind::parse("hamming"), None);
+        // `with` hands back the matching concrete metric.
+        let a = Point::new(vec![0.0, 0.0]);
+        let b = Point::new(vec![3.0, 4.0]);
+        assert_eq!(MetricKind::Euclidean.with(|m| m.distance(&a, &b)), 5.0);
+        assert_eq!(MetricKind::Manhattan.with(|m| m.distance(&a, &b)), 7.0);
+        assert_eq!(MetricKind::Chebyshev.with(|m| m.distance(&a, &b)), 4.0);
+    }
+
+    #[test]
+    fn spec_wire_format_round_trips_exactly() {
+        let specs = [
+            CoresetSpec::Multiplier { mu: 8 },
+            CoresetSpec::Fixed { tau: 1234 },
+            CoresetSpec::EpsStop { eps: 0.1 }, // 0.1 is not dyadic: bit-exactness matters
+            CoresetSpec::EpsStop {
+                eps: 1.0 / 3.0 + f64::EPSILON,
+            },
+        ];
+        for spec in specs {
+            let wire = format_spec(&spec);
+            let back = parse_spec(&wire).unwrap();
+            match (spec, back) {
+                (CoresetSpec::EpsStop { eps: a }, CoresetSpec::EpsStop { eps: b }) => {
+                    assert_eq!(a.to_bits(), b.to_bits(), "eps drifted through the wire")
+                }
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+        assert_eq!(parse_spec("mult"), None);
+        assert_eq!(parse_spec("mult:x"), None);
+        assert_eq!(parse_spec("weird:1"), None);
+    }
+
+    #[test]
+    fn report_line_round_trips_and_tolerates_noise() {
+        let report = WorkerReport {
+            points: 1000,
+            coreset: 40,
+            build_micros: 12345,
+        };
+        let stdout = format!("some banner\n{}\ntrailing", report.to_line());
+        assert_eq!(WorkerReport::parse(&stdout), Some(report));
+        assert_eq!(WorkerReport::parse("no report here"), None);
+        assert_eq!(WorkerReport::parse("kcenter-exec-worker: points=1"), None);
+    }
+}

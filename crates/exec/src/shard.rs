@@ -1,0 +1,172 @@
+//! On-disk point shards: the executor's input interchange format.
+//!
+//! The coordinator writes one shard file per worker (partition) using the
+//! store codec's `Shard` kind — versioned, checksummed, coordinates laid
+//! out as one contiguous 8-byte-aligned little-endian `f64` block — and
+//! each worker loads its shard back. On Linux the load memory-maps the
+//! file and walks the coordinate block in place (one copy, mapping →
+//! `Point` allocations); elsewhere, or on any mapping failure, it falls
+//! back to `read` + decode. Both paths produce bit-identical points and
+//! reject any corruption as a clean [`DecodeError`].
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use kcenter_metric::Point;
+use kcenter_store::codec::{self, DecodeError};
+
+/// Per-process sequence for unique temporary shard/artifact names.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Why a shard (or worker-result artifact) could not be loaded.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The file could not be read.
+    Io(io::Error),
+    /// The file's contents failed codec validation.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Io(err) => write!(f, "cannot read shard: {err}"),
+            ShardError::Decode(err) => write!(f, "invalid shard: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Atomically writes `bytes` at `path` (unique temp file + rename), so a
+/// reader — or a crash — can only ever observe a complete file.
+pub fn write_artifact_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let tmp: PathBuf = dir.join(format!(
+        "tmp-shard-{}-{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// Writes `points` as a shard file at `path` (atomic temp + rename).
+pub fn write_shard(path: &Path, points: &[Point]) -> io::Result<()> {
+    write_artifact_atomic(path, &codec::encode_shard(points))
+}
+
+/// Loads a shard file, memory-mapping it when the platform allows.
+pub fn read_shard(path: &Path) -> Result<Vec<Point>, ShardError> {
+    #[cfg(all(target_os = "linux", target_endian = "little"))]
+    if let Some(points) = read_shard_mapped(path) {
+        return Ok(points);
+    }
+    let bytes = std::fs::read(path).map_err(ShardError::Io)?;
+    codec::decode_shard(&bytes).map_err(ShardError::Decode)
+}
+
+/// The mmap fast path: validate the mapped entry, then build points
+/// straight from the mapped coordinate block. Any failure returns `None`
+/// and the caller re-answers through the canonical read + decode path
+/// (which also classifies the error).
+#[cfg(all(target_os = "linux", target_endian = "little"))]
+fn read_shard_mapped(path: &Path) -> Option<Vec<Point>> {
+    use kcenter_metric::StableF64s;
+    use kcenter_store::mmap::{MappedF64s, MappedFile};
+
+    let map = MappedFile::open(path).ok()?;
+    let layout = codec::validate_shard(map.bytes()).ok()?;
+    if layout.n == 0 {
+        return Some(Vec::new());
+    }
+    let block = MappedF64s::new(map, layout.coords_offset, layout.n * layout.dim)?;
+    let coords = block.stable_f64s();
+    let mut points = Vec::with_capacity(layout.n);
+    for chunk in coords.chunks_exact(layout.dim) {
+        points.push(Point::try_new(chunk.to_vec()).ok()?);
+    }
+    Some(points)
+}
+
+/// Loads a worker's coreset-result artifact (points + weights).
+pub fn read_coreset_artifact(path: &Path) -> Result<(Vec<Point>, Vec<u64>), ShardError> {
+    let bytes = std::fs::read(path).map_err(ShardError::Io)?;
+    codec::decode_coreset(&bytes).map_err(ShardError::Decode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("kcenter-exec-shard");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn shard_write_read_round_trip_is_bitwise() {
+        let points: Vec<Point> = (0..100)
+            .map(|i| Point::new(vec![i as f64 * 0.1, -0.0 - i as f64, 1e-300 * i as f64]))
+            .collect();
+        let path = tmp("roundtrip.kca");
+        write_shard(&path, &points).unwrap();
+        let back = read_shard(&path).unwrap();
+        assert_eq!(back.len(), points.len());
+        for (a, b) in back.iter().zip(&points) {
+            for (ca, cb) in a.coords().iter().zip(b.coords()) {
+                assert_eq!(ca.to_bits(), cb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_shard_round_trips() {
+        let path = tmp("empty.kca");
+        write_shard(&path, &[]).unwrap();
+        assert_eq!(read_shard(&path).unwrap(), Vec::<Point>::new());
+    }
+
+    #[test]
+    fn truncated_shard_is_a_clean_error() {
+        let points: Vec<Point> = (0..10).map(|i| Point::new(vec![i as f64])).collect();
+        let path = tmp("truncated.kca");
+        write_shard(&path, &points).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            read_shard(&path),
+            Err(ShardError::Decode(DecodeError::Truncated))
+        ));
+    }
+
+    #[test]
+    fn missing_shard_is_an_io_error() {
+        assert!(matches!(
+            read_shard(Path::new("/nonexistent/shard.kca")),
+            Err(ShardError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn coreset_artifact_round_trip() {
+        let points: Vec<Point> = (0..4).map(|i| Point::new(vec![i as f64, 2.0])).collect();
+        let weights = vec![1u64, 5, 2, 9];
+        let path = tmp("coreset.kca");
+        write_artifact_atomic(&path, &codec::encode_coreset(&points, &weights)).unwrap();
+        let (p, w) = read_coreset_artifact(&path).unwrap();
+        assert_eq!(p, points);
+        assert_eq!(w, weights);
+        // A truncated artifact is a decode error, never a panic.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(
+            read_coreset_artifact(&path),
+            Err(ShardError::Decode(_))
+        ));
+    }
+}

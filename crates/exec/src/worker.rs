@@ -1,0 +1,352 @@
+//! The worker half of the executor: what runs inside each spawned process.
+//!
+//! A worker is the multi-process counterpart of one round-1 reducer: it
+//! loads its shard (mmap-backed where available), runs the **same**
+//! weighted-coreset kernel the in-process engines call
+//! ([`build_weighted_coreset`]) with the start index the coordinator
+//! derived from the engine's seeded rule, and atomically writes the
+//! weighted coreset back through the store codec. Determinism across the
+//! process boundary therefore reduces to determinism of the shared kernel
+//! — which is chunk-order invariant under any thread count (pinned by the
+//! fig-golden suite), so each worker is free to size its own rayon pool
+//! (`RAYON_NUM_THREADS` is honoured per process).
+//!
+//! Binaries expose the worker by delegating a hidden subcommand to
+//! [`worker_main`]; the CLI's is `kcenter worker …`, the bench harness
+//! re-invokes itself with `exec-worker …`, and the crate ships a
+//! standalone `kcenter-exec-worker` binary for the process-level tests.
+//!
+//! # Fault injection (tests only)
+//!
+//! The environment variable `KCENTER_EXEC_FAULT` makes a worker misbehave
+//! on purpose so the coordinator's failure handling can be pinned by
+//! tests: `crash` exits non-zero before doing any work, `truncate` writes
+//! half of the result artifact, `hang` sleeps far past any reasonable
+//! timeout. Production coordinators never set it.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use kcenter_core::coreset::{build_weighted_coreset, CoresetSpec};
+use kcenter_metric::{Metric, Point};
+use kcenter_store::codec;
+
+use crate::protocol::{parse_spec, MetricKind, WorkerReport};
+use crate::shard::{read_shard, write_artifact_atomic};
+use crate::with_metric;
+
+/// Environment variable enabling deliberate worker misbehaviour in tests.
+pub const FAULT_ENV: &str = "KCENTER_EXEC_FAULT";
+
+/// A parsed worker invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerArgs {
+    /// Input shard file.
+    pub shard: PathBuf,
+    /// Output artifact path (weighted coreset).
+    pub out: PathBuf,
+    /// Metric to price distances with.
+    pub metric: MetricKind,
+    /// Coreset base for this partition (already clamped by the
+    /// coordinator to the partition size where the algorithm requires it).
+    pub base: usize,
+    /// Coreset sizing rule.
+    pub spec: CoresetSpec,
+    /// GMM start index within the shard.
+    pub start: usize,
+}
+
+impl WorkerArgs {
+    /// The flag list a coordinator appends to its worker command.
+    pub fn to_args(&self) -> Vec<String> {
+        vec![
+            "--shard".into(),
+            self.shard.to_string_lossy().into_owned(),
+            "--out".into(),
+            self.out.to_string_lossy().into_owned(),
+            "--metric".into(),
+            self.metric.name().into(),
+            "--base".into(),
+            self.base.to_string(),
+            "--spec".into(),
+            crate::protocol::format_spec(&self.spec),
+            "--start".into(),
+            self.start.to_string(),
+        ]
+    }
+
+    /// Parses the flag list (the reverse of [`WorkerArgs::to_args`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags, missing values,
+    /// or malformed numbers — printed to the worker's stderr, which the
+    /// coordinator captures into its failure report.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<WorkerArgs, String> {
+        let mut shard = None;
+        let mut out = None;
+        let mut metric = None;
+        let mut base = None;
+        let mut spec = None;
+        let mut start = None;
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let mut value = || {
+                iter.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match flag.as_str() {
+                "--shard" => shard = Some(PathBuf::from(value()?)),
+                "--out" => out = Some(PathBuf::from(value()?)),
+                "--metric" => {
+                    let v = value()?;
+                    metric =
+                        Some(MetricKind::parse(&v).ok_or_else(|| format!("unknown metric {v:?}"))?)
+                }
+                "--base" => {
+                    let v = value()?;
+                    base = Some(v.parse().map_err(|_| format!("bad --base {v:?}"))?)
+                }
+                "--spec" => {
+                    let v = value()?;
+                    spec = Some(parse_spec(&v).ok_or_else(|| format!("bad --spec {v:?}"))?)
+                }
+                "--start" => {
+                    let v = value()?;
+                    start = Some(v.parse().map_err(|_| format!("bad --start {v:?}"))?)
+                }
+                other => return Err(format!("unknown worker flag {other:?}")),
+            }
+        }
+        Ok(WorkerArgs {
+            shard: shard.ok_or("worker requires --shard")?,
+            out: out.ok_or("worker requires --out")?,
+            metric: metric.ok_or("worker requires --metric")?,
+            base: base.ok_or("worker requires --base")?,
+            spec: spec.ok_or("worker requires --spec")?,
+            start: start.ok_or("worker requires --start")?,
+        })
+    }
+}
+
+/// Runs one worker: shard in, weighted-coreset artifact out.
+///
+/// # Errors
+///
+/// Returns a message describing the failure (unreadable/corrupt shard,
+/// out-of-range start, unwritable output).
+pub fn run_worker(args: &WorkerArgs) -> Result<WorkerReport, String> {
+    let started = Instant::now();
+    let points = read_shard(&args.shard).map_err(|e| e.to_string())?;
+    if points.is_empty() {
+        return Err("shard holds no points (empty partitions are not dispatched)".into());
+    }
+    if args.start >= points.len() {
+        return Err(format!(
+            "start index {} out of range for {} points",
+            args.start,
+            points.len()
+        ));
+    }
+    if args.base == 0 {
+        return Err("coreset base must be positive".into());
+    }
+    let (coreset_points, weights) = with_metric!(args.metric, metric => {
+        build_round1_coreset(&points, metric, args.base, &args.spec, args.start)
+    });
+    let bytes = codec::encode_coreset(&coreset_points, &weights);
+    if let Ok(fault) = std::env::var(FAULT_ENV) {
+        if fault == "truncate" {
+            // Deliberately leave a torn artifact at the final path: the
+            // coordinator must classify it as BadArtifact, never hang or
+            // panic.
+            std::fs::write(&args.out, &bytes[..bytes.len() / 2])
+                .map_err(|e| format!("cannot write truncated artifact: {e}"))?;
+            return Ok(WorkerReport {
+                points: points.len(),
+                coreset: coreset_points.len(),
+                build_micros: started.elapsed().as_micros() as u64,
+            });
+        }
+    }
+    write_artifact_atomic(&args.out, &bytes)
+        .map_err(|e| format!("cannot write artifact {}: {e}", args.out.display()))?;
+    Ok(WorkerReport {
+        points: points.len(),
+        coreset: coreset_points.len(),
+        build_micros: started.elapsed().as_micros() as u64,
+    })
+}
+
+/// The round-1 kernel, shared verbatim with the in-process engines:
+/// [`build_weighted_coreset`] on the shard slice, coreset points and
+/// weights split into the artifact's parallel arrays.
+fn build_round1_coreset<M: Metric<Point>>(
+    points: &[Point],
+    metric: &M,
+    base: usize,
+    spec: &CoresetSpec,
+    start: usize,
+) -> (Vec<Point>, Vec<u64>) {
+    let build = build_weighted_coreset(points, metric, base, spec, start);
+    let mut coreset_points = Vec::with_capacity(build.coreset.len());
+    let mut weights = Vec::with_capacity(build.coreset.len());
+    for wp in build.coreset.points {
+        coreset_points.push(wp.point);
+        weights.push(wp.weight);
+    }
+    (coreset_points, weights)
+}
+
+/// Full worker entry point for binaries: parses flags, applies the fault
+/// hooks, runs the build, prints the report line, and returns the process
+/// exit code (0 on success).
+pub fn worker_main<I: IntoIterator<Item = String>>(args: I) -> i32 {
+    match std::env::var(FAULT_ENV).as_deref() {
+        Ok("crash") => {
+            eprintln!("kcenter-exec-worker: injected crash ({FAULT_ENV}=crash)");
+            return 101;
+        }
+        Ok("hang") => {
+            eprintln!("kcenter-exec-worker: injected hang ({FAULT_ENV}=hang)");
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+        _ => {}
+    }
+    let parsed = match WorkerArgs::parse(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("kcenter-exec-worker: {msg}");
+            return 2;
+        }
+    };
+    match run_worker(&parsed) {
+        Ok(report) => {
+            println!("{}", report.to_line());
+            0
+        }
+        Err(msg) => {
+            eprintln!("kcenter-exec-worker: {msg}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcenter_metric::Euclidean;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("kcenter-exec-worker");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn args_round_trip(args: &WorkerArgs) -> WorkerArgs {
+        WorkerArgs::parse(args.to_args()).unwrap()
+    }
+
+    #[test]
+    fn worker_args_round_trip() {
+        let args = WorkerArgs {
+            shard: PathBuf::from("/tmp/shard-00001.kca"),
+            out: PathBuf::from("/tmp/coreset-00001.kca"),
+            metric: MetricKind::CosineAngular,
+            base: 23,
+            spec: CoresetSpec::EpsStop { eps: 0.1 },
+            start: 7,
+        };
+        assert_eq!(args_round_trip(&args), args);
+    }
+
+    #[test]
+    fn worker_args_reject_malformed_input() {
+        let ok = WorkerArgs {
+            shard: "s".into(),
+            out: "o".into(),
+            metric: MetricKind::Euclidean,
+            base: 1,
+            spec: CoresetSpec::Multiplier { mu: 1 },
+            start: 0,
+        };
+        for missing in [
+            "--shard", "--out", "--metric", "--base", "--spec", "--start",
+        ] {
+            let mut flags = ok.to_args();
+            let at = flags.iter().position(|f| f == missing).unwrap();
+            flags.drain(at..at + 2);
+            assert!(WorkerArgs::parse(flags).is_err(), "{missing} not required");
+        }
+        let mut flags = ok.to_args();
+        flags.push("--bogus".into());
+        assert!(WorkerArgs::parse(flags).is_err());
+        let mut flags = ok.to_args();
+        flags.pop();
+        assert!(WorkerArgs::parse(flags).is_err(), "dangling value accepted");
+    }
+
+    #[test]
+    fn run_worker_matches_in_process_kernel_bitwise() {
+        let points: Vec<Point> = (0..120)
+            .map(|i| Point::new(vec![(i % 30) as f64, (i / 30) as f64]))
+            .collect();
+        let shard = tmp("kernel-shard.kca");
+        let out = tmp("kernel-out.kca");
+        crate::shard::write_shard(&shard, &points).unwrap();
+        let args = WorkerArgs {
+            shard,
+            out: out.clone(),
+            metric: MetricKind::Euclidean,
+            base: 4,
+            spec: CoresetSpec::Multiplier { mu: 2 },
+            start: 3,
+        };
+        let report = run_worker(&args).unwrap();
+        assert_eq!(report.points, 120);
+        assert_eq!(report.coreset, 8);
+        let (got_points, got_weights) = crate::shard::read_coreset_artifact(&out).unwrap();
+        let reference = build_weighted_coreset(
+            &points,
+            &Euclidean,
+            4,
+            &CoresetSpec::Multiplier { mu: 2 },
+            3,
+        );
+        assert_eq!(got_weights, reference.coreset.weights());
+        for (a, b) in got_points.iter().zip(reference.coreset.points_only()) {
+            for (ca, cb) in a.coords().iter().zip(b.coords()) {
+                assert_eq!(ca.to_bits(), cb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn run_worker_rejects_bad_inputs_cleanly() {
+        let shard = tmp("bad-shard.kca");
+        let out = tmp("bad-out.kca");
+        crate::shard::write_shard(&shard, &[Point::new(vec![1.0]), Point::new(vec![2.0])]).unwrap();
+        let base = WorkerArgs {
+            shard: shard.clone(),
+            out,
+            metric: MetricKind::Euclidean,
+            base: 1,
+            spec: CoresetSpec::Multiplier { mu: 1 },
+            start: 0,
+        };
+        let missing = WorkerArgs {
+            shard: "/nonexistent/shard.kca".into(),
+            ..base.clone()
+        };
+        assert!(run_worker(&missing).is_err());
+        let out_of_range = WorkerArgs {
+            start: 2,
+            ..base.clone()
+        };
+        assert!(run_worker(&out_of_range)
+            .unwrap_err()
+            .contains("out of range"));
+        let zero_base = WorkerArgs { base: 0, ..base };
+        assert!(run_worker(&zero_base).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! The fault-injection hook must be opt-in per spawn, never ambient: a
+//! `KCENTER_EXEC_FAULT` left exported in the coordinator's environment
+//! (say, from a debugging session) must not sabotage production workers.
+//!
+//! This lives in its own integration-test binary because it mutates the
+//! process environment: with a single `#[test]` there are no sibling
+//! threads to race against.
+
+use std::time::Duration;
+
+use kcenter_core::coreset::CoresetSpec;
+use kcenter_core::mapreduce_kcenter::MrKCenterConfig;
+use kcenter_exec::{exec_mr_kcenter, worker, ExecConfig, MetricKind, WorkerCommand};
+use kcenter_metric::Point;
+
+#[test]
+fn ambient_fault_env_is_stripped_from_workers() {
+    std::env::set_var(worker::FAULT_ENV, "crash");
+    let points: Vec<Point> = (0..200)
+        .map(|i| Point::new(vec![(i % 20) as f64, (i / 20) as f64]))
+        .collect();
+    let config = MrKCenterConfig {
+        k: 3,
+        ell: 2,
+        coreset: CoresetSpec::Multiplier { mu: 1 },
+        seed: 1,
+    };
+    let mut exec = ExecConfig::new(WorkerCommand::new(
+        env!("CARGO_BIN_EXE_kcenter-exec-worker"),
+        &[],
+    ));
+    exec.timeout = Duration::from_secs(120);
+    // The ambient variable is stripped at spawn, so the run must succeed.
+    let result = exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec)
+        .expect("ambient KCENTER_EXEC_FAULT must not reach workers");
+    assert_eq!(result.clustering.centers.len(), 3);
+    // Explicit opt-in through WorkerCommand::env still injects the fault.
+    exec.worker = exec.worker.env(worker::FAULT_ENV, "crash");
+    assert!(exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec).is_err());
+    std::env::remove_var(worker::FAULT_ENV);
+}

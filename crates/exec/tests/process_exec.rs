@@ -1,0 +1,288 @@
+//! Process-level tests of the multi-process executor, spawning the real
+//! `kcenter-exec-worker` binary.
+//!
+//! Two contracts are pinned here:
+//!
+//! * **Determinism across the process boundary** — a multi-process run is
+//!   bit-identical (center coordinate bits, radius bits, union sizes) to
+//!   the in-process `mr_kcenter` / `mr_kcenter_outliers` engines on the
+//!   same seeded input, at 1 and 4 worker processes;
+//! * **Failure containment** — a worker that crashes, hangs, or writes a
+//!   torn artifact surfaces as a clean, attributed error, never a hang or
+//!   a panic, and never leaks the fleet.
+
+use std::time::Duration;
+
+use kcenter_core::coreset::CoresetSpec;
+use kcenter_core::mapreduce_kcenter::{mr_kcenter, MrKCenterConfig};
+use kcenter_core::mapreduce_outliers::{mr_kcenter_outliers, MrOutliersConfig};
+use kcenter_exec::{
+    exec_mr_kcenter, exec_mr_outliers, ExecConfig, ExecError, MetricKind, WorkerCommand,
+};
+use kcenter_metric::{Euclidean, Point};
+
+/// The worker binary cargo built for this package.
+fn worker_command() -> WorkerCommand {
+    WorkerCommand::new(env!("CARGO_BIN_EXE_kcenter-exec-worker"), &[])
+}
+
+fn exec_config() -> ExecConfig {
+    let mut config = ExecConfig::new(worker_command());
+    // Generous for CI, tight enough that a regression to hanging fails
+    // the suite rather than stalling it.
+    config.timeout = Duration::from_secs(120);
+    config
+}
+
+/// Grid points plus a handful of far outliers at the tail.
+fn dataset(n: usize, outliers: usize) -> Vec<Point> {
+    let mut points: Vec<Point> = (0..n)
+        .map(|i| {
+            Point::new(vec![
+                (i % 37) as f64 * 1.5 + (i % 7) as f64 * 0.01,
+                (i / 37) as f64 * 1.5,
+            ])
+        })
+        .collect();
+    for j in 0..outliers {
+        points.push(Point::new(vec![
+            50_000.0 + 1_000.0 * j as f64,
+            -40_000.0 + 2_000.0 * j as f64,
+        ]));
+    }
+    points
+}
+
+fn assert_points_bit_identical(a: &[Point], b: &[Point], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: center counts differ");
+    for (i, (pa, pb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(pa.dim(), pb.dim(), "{what}: dim differs at center {i}");
+        for (ca, cb) in pa.coords().iter().zip(pb.coords()) {
+            assert_eq!(
+                ca.to_bits(),
+                cb.to_bits(),
+                "{what}: coordinate bits differ at center {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn kcenter_multi_process_is_bit_identical_to_in_process() {
+    let points = dataset(600, 0);
+    for procs in [1usize, 4] {
+        let config = MrKCenterConfig {
+            k: 5,
+            ell: procs,
+            coreset: CoresetSpec::Multiplier { mu: 3 },
+            seed: 11,
+        };
+        let reference = mr_kcenter(&points, &Euclidean, &config).unwrap();
+        let executed =
+            exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec_config()).unwrap();
+        assert_points_bit_identical(
+            &executed.clustering.centers,
+            &reference.clustering.centers,
+            &format!("kcenter procs={procs}"),
+        );
+        assert_eq!(
+            executed.clustering.radius.to_bits(),
+            reference.clustering.radius.to_bits(),
+            "radius bits differ at procs={procs}"
+        );
+        assert_eq!(executed.report.union_size, reference.union_size);
+        assert_eq!(executed.report.coreset_sizes, reference.coreset_sizes);
+        assert_eq!(executed.report.workers.len(), procs);
+        for stat in &executed.report.workers {
+            assert!(stat.shard_points > 0);
+            assert!(stat.coreset_size > 0);
+        }
+    }
+}
+
+#[test]
+fn outliers_multi_process_is_bit_identical_to_in_process() {
+    let points = dataset(500, 5);
+    for procs in [1usize, 4] {
+        // Deterministic variant, chunked partitioning.
+        let mut config =
+            MrOutliersConfig::deterministic(3, 5, procs, CoresetSpec::Multiplier { mu: 2 });
+        config.seed = 23;
+        let reference = mr_kcenter_outliers(&points, &Euclidean, &config).unwrap();
+        let executed =
+            exec_mr_outliers(&points, MetricKind::Euclidean, &config, &exec_config()).unwrap();
+        assert_points_bit_identical(
+            &executed.clustering.centers,
+            &reference.clustering.centers,
+            &format!("outliers procs={procs}"),
+        );
+        assert_eq!(
+            executed.clustering.radius.to_bits(),
+            reference.clustering.radius.to_bits()
+        );
+        assert_eq!(executed.r_min.to_bits(), reference.r_min.to_bits());
+        assert_eq!(executed.uncovered_weight, reference.uncovered_weight);
+        assert_eq!(executed.base, reference.base);
+        assert_eq!(executed.report.union_size, reference.union_size);
+        assert_eq!(executed.report.coreset_sizes, reference.coreset_sizes);
+        assert_eq!(executed.search_evaluations, reference.search_evaluations);
+    }
+}
+
+#[test]
+fn randomized_variant_matches_across_the_process_boundary() {
+    let points = dataset(400, 8);
+    let mut config = MrOutliersConfig::randomized(3, 8, 4, CoresetSpec::Multiplier { mu: 1 });
+    config.seed = 5;
+    let reference = mr_kcenter_outliers(&points, &Euclidean, &config).unwrap();
+    let executed =
+        exec_mr_outliers(&points, MetricKind::Euclidean, &config, &exec_config()).unwrap();
+    assert_points_bit_identical(
+        &executed.clustering.centers,
+        &reference.clustering.centers,
+        "randomized",
+    );
+    assert_eq!(
+        executed.clustering.radius.to_bits(),
+        reference.clustering.radius.to_bits()
+    );
+    assert_eq!(executed.report.union_size, reference.union_size);
+}
+
+/// A config whose workers misbehave on purpose: the fault arrives through
+/// the worker's *own* environment (set per spawn), so parallel tests in
+/// this binary never observe each other's faults.
+fn faulty_exec(fault: &str) -> ExecConfig {
+    let mut config = exec_config();
+    config.worker = config.worker.env(kcenter_exec::worker::FAULT_ENV, fault);
+    config
+}
+
+#[test]
+fn crashed_worker_is_a_clean_attributed_error() {
+    let points = dataset(200, 0);
+    let config = MrKCenterConfig {
+        k: 3,
+        ell: 3,
+        coreset: CoresetSpec::Multiplier { mu: 1 },
+        seed: 1,
+    };
+    match exec_mr_kcenter(
+        &points,
+        MetricKind::Euclidean,
+        &config,
+        &faulty_exec("crash"),
+    ) {
+        Err(ExecError::WorkerFailed {
+            code: Some(101),
+            stderr,
+            ..
+        }) => assert!(
+            stderr.contains("injected crash"),
+            "stderr not captured: {stderr:?}"
+        ),
+        other => panic!("expected WorkerFailed(101), got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_worker_artifact_is_a_clean_error() {
+    let points = dataset(200, 0);
+    let config = MrKCenterConfig {
+        k: 3,
+        ell: 2,
+        coreset: CoresetSpec::Multiplier { mu: 1 },
+        seed: 1,
+    };
+    match exec_mr_kcenter(
+        &points,
+        MetricKind::Euclidean,
+        &config,
+        &faulty_exec("truncate"),
+    ) {
+        Err(ExecError::BadArtifact { reason, .. }) => {
+            assert!(
+                reason.contains("truncated"),
+                "unexpected reason: {reason:?}"
+            )
+        }
+        other => panic!("expected BadArtifact, got {other:?}"),
+    }
+}
+
+#[test]
+fn hanging_worker_is_killed_at_the_timeout() {
+    let points = dataset(150, 0);
+    let config = MrKCenterConfig {
+        k: 2,
+        ell: 2,
+        coreset: CoresetSpec::Multiplier { mu: 1 },
+        seed: 1,
+    };
+    let mut exec = faulty_exec("hang");
+    exec.timeout = Duration::from_millis(1500);
+    let started = std::time::Instant::now();
+    let result = exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec);
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(result, Err(ExecError::WorkerTimeout { .. })),
+        "expected WorkerTimeout, got {result:?}"
+    );
+    // The coordinator must not wait for the injected hour-long sleep.
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "coordinator took {elapsed:?} to time out"
+    );
+}
+
+#[test]
+fn missing_worker_binary_is_a_spawn_error() {
+    let points = dataset(100, 0);
+    let config = MrKCenterConfig {
+        k: 2,
+        ell: 2,
+        coreset: CoresetSpec::Multiplier { mu: 1 },
+        seed: 1,
+    };
+    let exec = ExecConfig::new(WorkerCommand::new("/nonexistent/kcenter-worker", &[]));
+    assert!(matches!(
+        exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec),
+        Err(ExecError::Spawn { .. })
+    ));
+}
+
+#[test]
+fn work_dir_is_removed_on_success_and_kept_on_request() {
+    let points = dataset(150, 0);
+    let config = MrKCenterConfig {
+        k: 2,
+        ell: 2,
+        coreset: CoresetSpec::Multiplier { mu: 1 },
+        seed: 1,
+    };
+    let dir = std::env::temp_dir().join(format!("kcenter-exec-keep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut exec = exec_config();
+    exec.work_dir = Some(dir.clone());
+    exec.keep_work_dir = true;
+    exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec).unwrap();
+    let kept: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        kept.iter().any(|name| name.starts_with("shard-")),
+        "shards not kept: {kept:?}"
+    );
+    assert!(
+        kept.iter().any(|name| name.starts_with("coreset-")),
+        "artifacts not kept: {kept:?}"
+    );
+
+    let mut exec = exec_config();
+    exec.work_dir = Some(dir.clone());
+    exec.keep_work_dir = false;
+    exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec).unwrap();
+    assert!(!dir.exists(), "work dir must be removed by default");
+}

@@ -103,7 +103,7 @@ impl Partitioner for Adversarial {
 /// # Panics
 ///
 /// Panics if `ell == 0` or a partitioner returns an out-of-range partition.
-pub fn partition_dataset<T: Clone, P: Partitioner>(
+pub fn partition_dataset<T: Clone, P: Partitioner + ?Sized>(
     items: &[T],
     ell: usize,
     partitioner: &P,

@@ -40,7 +40,7 @@ pub mod selection;
 pub use distance::{Chebyshev, CosineAngular, Euclidean, Manhattan, Metric, Precomputed};
 pub use fingerprint::Fingerprint;
 pub use meb::{minimum_enclosing_ball, Ball};
-pub use pairwise::{matrix_build_count, CachedOracle, DistanceMatrix};
+pub use pairwise::{matrix_build_count, CachedOracle, DistanceMatrix, StableF64s};
 pub use persist::{
     install_matrix_persistence, matrix_persistence_installed, store_hit_count, store_miss_count,
     MatrixPersistence,

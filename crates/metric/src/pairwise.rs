@@ -86,18 +86,117 @@ pub fn all_pairwise_distances<P: Sync, M: Metric<P>>(points: &[P], metric: &M) -
         .collect()
 }
 
+/// An immutable `f64` buffer at a stable address, usable as the backing
+/// store of a [`DistanceMatrix`] without copying.
+///
+/// The persistent artifact store implements this for memory-mapped cache
+/// entries so a warm matrix load is a header validation plus a pointer,
+/// not a decode pass; [`Vec<f64>`] and [`Box<[f64]>`] implementations are
+/// provided for owned buffers shared behind an `Arc`.
+///
+/// # Safety
+///
+/// Implementations must return the **same** buffer from every call:
+/// immutable, at a stable address, and valid for as long as the value is
+/// alive. The matrix holds the value behind an `Arc` and keeps a raw view
+/// of the buffer for its own lifetime, so a buffer that moves, shrinks, or
+/// is mutated after construction is undefined behaviour.
+pub unsafe trait StableF64s: Send + Sync + 'static {
+    /// The backing buffer.
+    fn stable_f64s(&self) -> &[f64];
+}
+
+// SAFETY: behind the `Arc` the matrix holds, neither type can be mutated
+// or reallocated (no interior mutability; `Arc::get_mut` fails while the
+// matrix's clone is alive), so the heap buffer is stable and immutable.
+unsafe impl StableF64s for Vec<f64> {
+    fn stable_f64s(&self) -> &[f64] {
+        self
+    }
+}
+
+// SAFETY: as above — the boxed slice's buffer cannot move while shared.
+unsafe impl StableF64s for Box<[f64]> {
+    fn stable_f64s(&self) -> &[f64] {
+        self
+    }
+}
+
+/// The matrix's condensed entries: owned, or borrowed at a stable address
+/// from an external owner (e.g. a memory-mapped store entry).
+enum MatrixData {
+    Owned(Vec<f64>),
+    External(ExternalData),
+}
+
+/// A raw view into an external owner's buffer. The pointer is derived from
+/// [`StableF64s::stable_f64s`] at construction and stays valid because the
+/// owner is kept alive (and its buffer stable, per the trait contract) by
+/// the `Arc`.
+struct ExternalData {
+    ptr: *const f64,
+    len: usize,
+    _owner: Arc<dyn StableF64s>,
+}
+
+// SAFETY: the viewed buffer is immutable and the owner is Send + Sync, so
+// sharing or sending the raw view cannot race.
+unsafe impl Send for ExternalData {}
+unsafe impl Sync for ExternalData {}
+
+impl Clone for ExternalData {
+    fn clone(&self) -> Self {
+        ExternalData {
+            ptr: self.ptr,
+            len: self.len,
+            _owner: Arc::clone(&self._owner),
+        }
+    }
+}
+
+impl Clone for MatrixData {
+    fn clone(&self) -> Self {
+        match self {
+            MatrixData::Owned(v) => MatrixData::Owned(v.clone()),
+            MatrixData::External(e) => MatrixData::External(e.clone()),
+        }
+    }
+}
+
 /// A condensed symmetric distance matrix storing only the strict upper
 /// triangle (`n(n-1)/2` entries), with `d(i,i) = 0`.
 ///
 /// Used by `OutliersCluster` to avoid recomputing distances across the
 /// multiple radius guesses of the binary search when the coreset is small
 /// enough to cache.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone)]
 pub struct DistanceMatrix {
     n: usize,
     /// Upper-triangular entries in row-major order:
     /// `(0,1), (0,2), …, (0,n-1), (1,2), …`.
-    data: Vec<f64>,
+    data: MatrixData,
+}
+
+impl std::fmt::Debug for DistanceMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistanceMatrix")
+            .field("n", &self.n)
+            .field("entries", &self.condensed().len())
+            .field(
+                "backing",
+                &match self.data {
+                    MatrixData::Owned(_) => "owned",
+                    MatrixData::External(_) => "external",
+                },
+            )
+            .finish()
+    }
+}
+
+impl PartialEq for DistanceMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.condensed() == other.condensed()
+    }
 }
 
 impl DistanceMatrix {
@@ -140,7 +239,10 @@ impl DistanceMatrix {
             }
         });
         MATRIX_BUILDS.fetch_add(1, Ordering::Relaxed);
-        DistanceMatrix { n, data }
+        DistanceMatrix {
+            n,
+            data: MatrixData::Owned(data),
+        }
     }
 
     /// Reassembles a matrix from its condensed upper-triangle entries —
@@ -159,7 +261,43 @@ impl DistanceMatrix {
             n * n.saturating_sub(1) / 2,
             "condensed length does not match n = {n}"
         );
-        DistanceMatrix { n, data }
+        DistanceMatrix {
+            n,
+            data: MatrixData::Owned(data),
+        }
+    }
+
+    /// A matrix viewing an external owner's condensed entries **without
+    /// copying** — the persistent store's mmap-backed warm-load path. The
+    /// owner (typically a validated memory mapping) is kept alive behind
+    /// an `Arc`; per the [`StableF64s`] contract its buffer is immutable
+    /// and address-stable, so lookups are as fast as the owned path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owner's buffer length is not `n·(n-1)/2`.
+    pub fn from_shared(n: usize, owner: Arc<dyn StableF64s>) -> Self {
+        let slice = owner.stable_f64s();
+        assert_eq!(
+            slice.len(),
+            n * n.saturating_sub(1) / 2,
+            "condensed length does not match n = {n}"
+        );
+        let (ptr, len) = (slice.as_ptr(), slice.len());
+        DistanceMatrix {
+            n,
+            data: MatrixData::External(ExternalData {
+                ptr,
+                len,
+                _owner: owner,
+            }),
+        }
+    }
+
+    /// Whether the condensed entries live in an external (e.g. memory-
+    /// mapped) buffer rather than an owned allocation.
+    pub fn is_externally_backed(&self) -> bool {
+        matches!(self.data, MatrixData::External(_))
     }
 
     /// Number of points.
@@ -172,9 +310,10 @@ impl DistanceMatrix {
         self.n == 0
     }
 
-    /// Bytes of heap memory held by the condensed matrix.
+    /// Bytes held by the condensed buffer (heap for owned matrices, page
+    /// cache for externally backed ones).
     pub fn heap_bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<f64>()
+        std::mem::size_of_val(self.condensed())
     }
 
     #[inline]
@@ -188,16 +327,23 @@ impl DistanceMatrix {
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
         use std::cmp::Ordering::*;
+        let data = self.condensed();
         match i.cmp(&j) {
             Equal => 0.0,
-            Less => self.data[self.index(i, j)],
-            Greater => self.data[self.index(j, i)],
+            Less => data[self.index(i, j)],
+            Greater => data[self.index(j, i)],
         }
     }
 
     /// The condensed upper-triangle entries (for selection over candidates).
+    #[inline]
     pub fn condensed(&self) -> &[f64] {
-        &self.data
+        match &self.data {
+            MatrixData::Owned(v) => v,
+            // SAFETY: `ptr`/`len` were derived from the owner's stable,
+            // immutable buffer, which the held `Arc` keeps alive.
+            MatrixData::External(e) => unsafe { std::slice::from_raw_parts(e.ptr, e.len) },
+        }
     }
 }
 
@@ -522,6 +668,38 @@ mod tests {
     #[should_panic(expected = "condensed length")]
     fn from_condensed_rejects_misaligned_data() {
         let _ = DistanceMatrix::from_condensed(4, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn from_shared_views_the_owner_without_copying() {
+        let points = pts(&[0.0, 2.0, 7.0, -1.0]);
+        let owned = DistanceMatrix::build(&points, &Euclidean);
+        let buffer: Arc<Vec<f64>> = Arc::new(owned.condensed().to_vec());
+        let before = matrix_build_count();
+        let shared = DistanceMatrix::from_shared(owned.len(), buffer.clone());
+        assert_eq!(matrix_build_count(), before, "views are not builds");
+        assert!(shared.is_externally_backed());
+        assert!(!owned.is_externally_backed());
+        // The view's data pointer is the owner's buffer: zero copy.
+        assert!(std::ptr::eq(shared.condensed().as_ptr(), buffer.as_ptr()));
+        assert_eq!(shared, owned);
+        let cloned = shared.clone();
+        drop(shared);
+        drop(buffer);
+        // The clone keeps the owner alive through its Arc.
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(cloned.get(i, j).to_bits(), owned.get(i, j).to_bits());
+            }
+        }
+        assert!(format!("{cloned:?}").contains("external"));
+        assert!(format!("{owned:?}").contains("owned"));
+    }
+
+    #[test]
+    #[should_panic(expected = "condensed length")]
+    fn from_shared_rejects_misaligned_data() {
+        let _ = DistanceMatrix::from_shared(4, Arc::new(vec![0.0; 5]));
     }
 
     #[test]

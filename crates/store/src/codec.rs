@@ -46,14 +46,18 @@ pub enum ArtifactKind {
     Coreset,
     /// A solved clustering: centers plus the solved radius/accounting.
     Solution,
+    /// A point shard: one MapReduce partition's unweighted input points,
+    /// the multi-process executor's on-disk interchange format.
+    Shard,
 }
 
 impl ArtifactKind {
     /// All kinds, for store statistics.
-    pub const ALL: [ArtifactKind; 3] = [
+    pub const ALL: [ArtifactKind; 4] = [
         ArtifactKind::Matrix,
         ArtifactKind::Coreset,
         ArtifactKind::Solution,
+        ArtifactKind::Shard,
     ];
 
     /// Stable on-disk discriminant.
@@ -62,6 +66,7 @@ impl ArtifactKind {
             ArtifactKind::Matrix => 1,
             ArtifactKind::Coreset => 2,
             ArtifactKind::Solution => 3,
+            ArtifactKind::Shard => 4,
         }
     }
 
@@ -71,6 +76,7 @@ impl ArtifactKind {
             ArtifactKind::Matrix => "matrix",
             ArtifactKind::Coreset => "coreset",
             ArtifactKind::Solution => "solution",
+            ArtifactKind::Shard => "shard",
         }
     }
 
@@ -243,8 +249,24 @@ pub fn encode_matrix(matrix: &DistanceMatrix) -> Vec<u8> {
     frame(ArtifactKind::Matrix, payload)
 }
 
-/// Decodes a [`DistanceMatrix`], bitwise-equal to what was encoded.
-pub fn decode_matrix(bytes: &[u8]) -> Result<DistanceMatrix, DecodeError> {
+/// Fully validated layout of a matrix entry: everything needed to view the
+/// condensed `f64` payload in place (the mmap-backed warm-load path) or to
+/// decode it into an owned buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatrixLayout {
+    /// Number of points.
+    pub n: usize,
+    /// Number of condensed entries, `n·(n-1)/2`.
+    pub entries: usize,
+    /// Byte offset of the first condensed `f64` within the whole entry
+    /// (header + count prefix); always 8-byte aligned, so a page-aligned
+    /// mapping of the file can reinterpret the payload as `&[f64]`.
+    pub data_offset: usize,
+}
+
+/// Validates a matrix entry — framing, checksum, and entry-count
+/// consistency — without materializing the entries.
+pub fn validate_matrix(bytes: &[u8]) -> Result<MatrixLayout, DecodeError> {
     let payload = unframe(ArtifactKind::Matrix, bytes)?;
     let mut r = Reader::new(payload);
     let n = r.len()?;
@@ -252,17 +274,28 @@ pub fn decode_matrix(bytes: &[u8]) -> Result<DistanceMatrix, DecodeError> {
         .checked_mul(n.saturating_sub(1))
         .map(|e| e / 2)
         .ok_or(DecodeError::Malformed)?;
-    // The count must be consistent with the payload size before we commit
-    // to allocating `entries` slots.
+    // The count must be consistent with the payload size before a caller
+    // commits to allocating (or mapping) `entries` slots.
     if payload.len() != 8 + entries.checked_mul(8).ok_or(DecodeError::Malformed)? {
         return Err(DecodeError::Malformed);
     }
-    let mut data = Vec::with_capacity(entries);
-    for _ in 0..entries {
+    Ok(MatrixLayout {
+        n,
+        entries,
+        data_offset: HEADER_LEN + 8,
+    })
+}
+
+/// Decodes a [`DistanceMatrix`], bitwise-equal to what was encoded.
+pub fn decode_matrix(bytes: &[u8]) -> Result<DistanceMatrix, DecodeError> {
+    let layout = validate_matrix(bytes)?;
+    let mut r = Reader::new(&bytes[layout.data_offset..]);
+    let mut data = Vec::with_capacity(layout.entries);
+    for _ in 0..layout.entries {
         data.push(r.f64()?);
     }
     r.finish()?;
-    Ok(DistanceMatrix::from_condensed(n, data))
+    Ok(DistanceMatrix::from_condensed(layout.n, data))
 }
 
 // ---------------------------------------------------------------------------
@@ -324,6 +357,89 @@ pub fn decode_coreset(bytes: &[u8]) -> Result<(Vec<Point>, Vec<u64>), DecodeErro
     }
     r.finish()?;
     Ok((points, weights))
+}
+
+// ---------------------------------------------------------------------------
+// Point shard
+// ---------------------------------------------------------------------------
+
+/// Fully validated layout of a shard entry: point count, dimension, and the
+/// byte offset of the coordinate block — everything a mapped reader needs
+/// to walk the coordinates in place.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardLayout {
+    /// Number of points in the shard.
+    pub n: usize,
+    /// Dimension of every point.
+    pub dim: usize,
+    /// Byte offset of the first coordinate within the whole entry; always
+    /// 8-byte aligned (header + two `u64` prefixes), so a page-aligned
+    /// mapping can reinterpret the coordinate block as `&[f64]`.
+    pub coords_offset: usize,
+}
+
+/// Encodes a point shard — one MapReduce partition's input points — as a
+/// framed, checksummed entry whose coordinate block is a single contiguous
+/// 8-byte-aligned run of `f64` bit patterns (mmap-friendly).
+///
+/// # Panics
+///
+/// Panics on mixed-dimension points (a structural invariant of every
+/// dataset in the workspace).
+pub fn encode_shard(points: &[Point]) -> Vec<u8> {
+    let dim = points.first().map_or(0, Point::dim);
+    let mut payload = Vec::with_capacity(16 + points.len() * 8 * dim);
+    put_u64(&mut payload, points.len() as u64);
+    put_u64(&mut payload, dim as u64);
+    for p in points {
+        assert_eq!(p.dim(), dim, "mixed-dimension shard");
+        for &c in p.coords() {
+            put_f64(&mut payload, c);
+        }
+    }
+    frame(ArtifactKind::Shard, payload)
+}
+
+/// Validates a shard entry — framing, checksum, count consistency —
+/// without materializing the points.
+pub fn validate_shard(bytes: &[u8]) -> Result<ShardLayout, DecodeError> {
+    let payload = unframe(ArtifactKind::Shard, bytes)?;
+    let mut r = Reader::new(payload);
+    let n = r.len()?;
+    let dim = r.len()?;
+    if n > 0 && dim == 0 {
+        return Err(DecodeError::Malformed);
+    }
+    let coords = n
+        .checked_mul(dim)
+        .and_then(|c| c.checked_mul(8))
+        .ok_or(DecodeError::Malformed)?;
+    if payload.len() != 16 + coords {
+        return Err(DecodeError::Malformed);
+    }
+    Ok(ShardLayout {
+        n,
+        dim,
+        coords_offset: HEADER_LEN + 16,
+    })
+}
+
+/// Decodes a point shard. Coordinates are validated through
+/// [`Point::try_new`], so a forged payload of non-finite values is a
+/// [`DecodeError::Malformed`] miss, not a downstream panic.
+pub fn decode_shard(bytes: &[u8]) -> Result<Vec<Point>, DecodeError> {
+    let layout = validate_shard(bytes)?;
+    let mut r = Reader::new(&bytes[layout.coords_offset..]);
+    let mut points = Vec::with_capacity(layout.n);
+    for _ in 0..layout.n {
+        let mut coords = Vec::with_capacity(layout.dim);
+        for _ in 0..layout.dim {
+            coords.push(r.f64()?);
+        }
+        points.push(Point::try_new(coords).map_err(|_| DecodeError::Malformed)?);
+    }
+    r.finish()?;
+    Ok(points)
 }
 
 // ---------------------------------------------------------------------------
@@ -513,6 +629,84 @@ mod tests {
         let m = encode_matrix(&DistanceMatrix::from_condensed(0, Vec::new()));
         assert_eq!(decode_coreset(&m), Err(DecodeError::KindMismatch));
         assert_eq!(decode_solution(&m), Err(DecodeError::KindMismatch));
+        assert_eq!(decode_shard(&m), Err(DecodeError::KindMismatch));
+        let shard = encode_shard(&pts(&[&[1.0]]));
+        assert_eq!(decode_coreset(&shard), Err(DecodeError::KindMismatch));
+    }
+
+    #[test]
+    fn shard_round_trip_is_bitwise() {
+        let points = pts(&[&[1.0, -0.0], &[1e-300, 2.5], &[0.1 + 0.2, -7.0]]);
+        let bytes = encode_shard(&points);
+        let back = decode_shard(&bytes).expect("round trip");
+        assert_eq!(back.len(), points.len());
+        for (a, b) in back.iter().zip(&points) {
+            for (ca, cb) in a.coords().iter().zip(b.coords()) {
+                assert_eq!(ca.to_bits(), cb.to_bits());
+            }
+        }
+        // Empty shard round-trips too (an empty partition writes no points).
+        assert_eq!(
+            decode_shard(&encode_shard(&[])).unwrap(),
+            Vec::<Point>::new()
+        );
+    }
+
+    #[test]
+    fn shard_layout_is_aligned_and_consistent() {
+        let points = pts(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let bytes = encode_shard(&points);
+        let layout = validate_shard(&bytes).unwrap();
+        assert_eq!(
+            layout,
+            ShardLayout {
+                n: 2,
+                dim: 2,
+                coords_offset: 48
+            }
+        );
+        assert_eq!(layout.coords_offset % 8, 0);
+        assert_eq!(
+            bytes.len(),
+            layout.coords_offset + 8 * layout.n * layout.dim
+        );
+        // Matrix layout alignment too.
+        let m = encode_matrix(&DistanceMatrix::from_condensed(3, vec![1.0, 2.0, 3.0]));
+        let ml = validate_matrix(&m).unwrap();
+        assert_eq!(
+            ml,
+            MatrixLayout {
+                n: 3,
+                entries: 3,
+                data_offset: 40
+            }
+        );
+        assert_eq!(ml.data_offset % 8, 0);
+    }
+
+    #[test]
+    fn shard_truncation_and_corruption_are_clean_errors() {
+        let bytes = encode_shard(&pts(&[&[0.5], &[1.5], &[9.0]]));
+        for cut in 0..bytes.len() {
+            assert!(decode_shard(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert_eq!(decode_shard(&flipped), Err(DecodeError::ChecksumMismatch));
+        // Forged checksum over a non-finite coordinate: Malformed, no panic.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1);
+        put_u64(&mut payload, 1);
+        put_f64(&mut payload, f64::NAN);
+        let forged = frame(ArtifactKind::Shard, payload);
+        assert_eq!(decode_shard(&forged), Err(DecodeError::Malformed));
+        // n > 0 with dim = 0 is structurally impossible.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 3);
+        put_u64(&mut payload, 0);
+        let forged = frame(ArtifactKind::Shard, payload);
+        assert_eq!(decode_shard(&forged), Err(DecodeError::Malformed));
     }
 
     #[test]

@@ -29,15 +29,27 @@
 //! [`Metric::cache_fingerprint`]: kcenter_metric::Metric::cache_fingerprint
 
 pub mod codec;
+#[cfg(all(target_os = "linux", target_endian = "little"))]
+pub mod mmap;
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use kcenter_metric::{DistanceMatrix, MatrixPersistence, Point};
 
 pub use codec::{ArtifactKind, DecodeError, StoredSolution, CODEC_VERSION};
 pub use kcenter_metric::{store_hit_count, store_miss_count, Fingerprint};
+
+/// Process-wide count of matrix loads served zero-copy from a memory
+/// mapping (always 0 on targets without the mmap fast path). Tests use it
+/// to prove warm loads actually take the mapped path.
+static MMAP_LOADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of matrix loads this process served through the mmap fast path.
+pub fn store_mmap_load_count() -> usize {
+    MMAP_LOADS.load(Ordering::Relaxed)
+}
 
 /// Environment variable naming the cache directory; unset or empty means
 /// the persistent store is off (the default, notably for tests).
@@ -75,6 +87,8 @@ pub struct StoreStat {
     pub coreset: KindStat,
     /// Solution entries.
     pub solution: KindStat,
+    /// Point-shard entries.
+    pub shard: KindStat,
 }
 
 impl StoreStat {
@@ -84,6 +98,7 @@ impl StoreStat {
             ArtifactKind::Matrix => self.matrix,
             ArtifactKind::Coreset => self.coreset,
             ArtifactKind::Solution => self.solution,
+            ArtifactKind::Shard => self.shard,
         }
     }
 
@@ -173,9 +188,31 @@ impl ArtifactStore {
 
     /// Loads the distance matrix stored under `fingerprint`, if present
     /// and valid.
+    ///
+    /// On Linux (little-endian) the entry is memory-mapped and — after
+    /// full header/checksum validation — served **zero-copy**: the matrix
+    /// views the mapping directly ([`DistanceMatrix::from_shared`]) instead
+    /// of decoding into an owned buffer. Any mapping or validation failure
+    /// falls back to the read-and-decode path, whose answer is canonical.
     pub fn load_matrix(&self, fingerprint: u128) -> Option<DistanceMatrix> {
-        let bytes = self.load_raw(ArtifactKind::Matrix, fingerprint)?;
+        let path = self.entry_path(ArtifactKind::Matrix, fingerprint);
+        #[cfg(all(target_os = "linux", target_endian = "little"))]
+        if let Some(matrix) = Self::load_matrix_mapped(&path) {
+            MMAP_LOADS.fetch_add(1, Ordering::Relaxed);
+            return Some(matrix);
+        }
+        let bytes = std::fs::read(path).ok()?;
         codec::decode_matrix(&bytes).ok()
+    }
+
+    /// The mmap fast path behind [`ArtifactStore::load_matrix`]: any
+    /// failure is a `None` and the caller re-answers via read + decode.
+    #[cfg(all(target_os = "linux", target_endian = "little"))]
+    fn load_matrix_mapped(path: &Path) -> Option<DistanceMatrix> {
+        let map = mmap::MappedFile::open(path).ok()?;
+        let layout = codec::validate_matrix(map.bytes()).ok()?;
+        let block = mmap::MappedF64s::new(map, layout.data_offset, layout.entries)?;
+        Some(DistanceMatrix::from_shared(layout.n, Arc::new(block)))
     }
 
     /// Persists a distance matrix under `fingerprint`.
@@ -230,6 +267,25 @@ impl ArtifactStore {
         )
     }
 
+    /// Loads the point shard stored under `fingerprint`.
+    pub fn load_shard(&self, fingerprint: u128) -> Option<Vec<Point>> {
+        let bytes = self.load_raw(ArtifactKind::Shard, fingerprint)?;
+        codec::decode_shard(&bytes).ok()
+    }
+
+    /// Persists a point shard under `fingerprint`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mixed-dimension points.
+    pub fn store_shard(&self, fingerprint: u128, points: &[Point]) -> std::io::Result<()> {
+        self.store_raw(
+            ArtifactKind::Shard,
+            fingerprint,
+            &codec::encode_shard(points),
+        )
+    }
+
     /// Whether `name` is one of this store's artifact entries
     /// (`{kind}-{32 hex}.kca`); returns its kind.
     fn classify_entry(name: &str) -> Option<ArtifactKind> {
@@ -273,6 +329,7 @@ impl ArtifactStore {
                 ArtifactKind::Matrix => &mut stat.matrix,
                 ArtifactKind::Coreset => &mut stat.coreset,
                 ArtifactKind::Solution => &mut stat.solution,
+                ArtifactKind::Shard => &mut stat.shard,
             };
             bucket.entries += 1;
             bucket.bytes += bytes;
@@ -297,6 +354,78 @@ impl ArtifactStore {
         }
         Ok(removed)
     }
+
+    /// Evicts least-recently-written artifact entries until the directory's
+    /// artifact bytes fit within `max_bytes` — the size budget that makes
+    /// `KCENTER_CACHE_DIR` safe to leave enabled on long-lived hosts.
+    ///
+    /// Eviction is LRU by file modification time (ties broken by name for
+    /// determinism); stale temporary files from interrupted writes are
+    /// always removed first and never count against the budget. Files the
+    /// store does not recognize are untouched, like [`ArtifactStore::clear`].
+    /// An entry that vanishes mid-prune (a concurrent `clear`/prune) is
+    /// skipped, not an error.
+    pub fn prune(&self, max_bytes: u64) -> std::io::Result<PruneReport> {
+        let mut report = PruneReport::default();
+        let mut entries: Vec<(std::time::SystemTime, String, u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if Self::is_stale_tmp(&name) {
+                if std::fs::remove_file(entry.path()).is_ok() {
+                    report.removed += 1;
+                }
+                continue;
+            }
+            if Self::classify_entry(&name).is_none() {
+                continue;
+            }
+            let meta = match entry.metadata() {
+                Ok(meta) => meta,
+                Err(_) => continue, // vanished under a concurrent sweep
+            };
+            let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            entries.push((mtime, name, meta.len(), entry.path()));
+        }
+        entries.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        let mut total: u64 = entries.iter().map(|e| e.2).sum();
+        for (_, _, bytes, path) in &entries {
+            if total <= max_bytes {
+                report.remaining_entries += 1;
+                continue;
+            }
+            match std::fs::remove_file(path) {
+                Ok(()) => {
+                    report.removed += 1;
+                    report.removed_bytes += bytes;
+                    total -= bytes;
+                }
+                // Vanished under a concurrent sweep: its bytes are gone
+                // either way, just not on this call's account.
+                Err(err) if err.kind() == std::io::ErrorKind::NotFound => total -= bytes,
+                // Unremovable (permissions, etc.): the file still occupies
+                // disk, so it must stay on the remaining side — the report
+                // must never claim a budget the directory does not meet.
+                Err(_) => report.remaining_entries += 1,
+            }
+        }
+        report.remaining_bytes = total;
+        Ok(report)
+    }
+}
+
+/// What [`ArtifactStore::prune`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Files deleted (artifact entries plus stale temporaries).
+    pub removed: usize,
+    /// Artifact bytes reclaimed (temporaries not counted).
+    pub removed_bytes: u64,
+    /// Artifact entries left in the directory.
+    pub remaining_entries: usize,
+    /// Artifact bytes left in the directory.
+    pub remaining_bytes: u64,
 }
 
 /// [`MatrixPersistence`] backend over an [`ArtifactStore`]: what
@@ -463,6 +592,92 @@ mod tests {
         if std::env::var(CACHE_DIR_ENV).is_err() {
             assert!(ArtifactStore::from_env().is_none());
         }
+    }
+
+    #[test]
+    fn shard_store_and_reload() {
+        let store = ArtifactStore::open(tmp_dir("shard")).unwrap();
+        let points: Vec<Point> = (0..5)
+            .map(|i| Point::new(vec![i as f64, -0.5 * i as f64]))
+            .collect();
+        assert!(store.load_shard(11).is_none());
+        store.store_shard(11, &points).unwrap();
+        let back = store.load_shard(11).expect("hit after store");
+        assert_eq!(back, points);
+        let stat = store.stat().unwrap();
+        assert_eq!(stat.shard.entries, 1);
+        assert_eq!(stat.total_entries(), 1);
+        assert_eq!(store.clear().unwrap(), 1);
+    }
+
+    #[cfg(all(target_os = "linux", target_endian = "little"))]
+    #[test]
+    fn warm_matrix_load_takes_the_mmap_path_bitwise() {
+        let store = ArtifactStore::open(tmp_dir("mmap-load")).unwrap();
+        let m = sample_matrix();
+        store.store_matrix(21, &m).unwrap();
+        let before = store_mmap_load_count();
+        let back = store.load_matrix(21).expect("hit");
+        assert!(
+            store_mmap_load_count() > before,
+            "warm load must take the mmap fast path"
+        );
+        assert!(back.is_externally_backed(), "no decode copy on warm loads");
+        assert_eq!(back.len(), m.len());
+        for (a, b) in back.condensed().iter().zip(m.condensed()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A corrupted entry must fail cleanly through both paths.
+        let path = store.entry_path(ArtifactKind::Matrix, 21);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(store.load_matrix(21).is_none());
+    }
+
+    #[test]
+    fn prune_evicts_oldest_first_within_budget() {
+        let store = ArtifactStore::open(tmp_dir("prune")).unwrap();
+        // Three same-size matrix entries with strictly increasing mtimes.
+        let m = sample_matrix();
+        for fp in [1u128, 2, 3] {
+            store.store_matrix(fp, &m).unwrap();
+            let path = store.entry_path(ArtifactKind::Matrix, fp);
+            // Space the mtimes out explicitly: filesystem timestamp
+            // granularity is too coarse to rely on write order.
+            let when = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(1_000_000 + fp as u64 * 1000);
+            let file = std::fs::File::options().append(true).open(&path).unwrap();
+            file.set_modified(when).unwrap();
+        }
+        // An unrelated file and a stale tmp; only the tmp may be removed.
+        std::fs::write(store.dir().join("notes.txt"), b"keep me").unwrap();
+        std::fs::write(store.dir().join("tmp-matrix-dead"), b"partial").unwrap();
+
+        let entry_bytes = store.stat().unwrap().matrix.bytes / 3;
+        // Budget for exactly two entries: the oldest (fp = 1) must go.
+        let report = store.prune(2 * entry_bytes).unwrap();
+        assert_eq!(report.removed, 2, "oldest entry + stale tmp");
+        assert_eq!(report.removed_bytes, entry_bytes);
+        assert_eq!(report.remaining_entries, 2);
+        assert_eq!(report.remaining_bytes, 2 * entry_bytes);
+        assert!(store.load_matrix(1).is_none(), "oldest evicted");
+        assert!(store.load_matrix(2).is_some());
+        assert!(store.load_matrix(3).is_some());
+        assert!(store.dir().join("notes.txt").exists());
+
+        // A generous budget removes nothing.
+        let report = store.prune(u64::MAX).unwrap();
+        assert_eq!(report.removed, 0);
+        assert_eq!(report.remaining_entries, 2);
+
+        // A zero budget empties the store.
+        let report = store.prune(0).unwrap();
+        assert_eq!(report.removed, 2);
+        assert_eq!(report.remaining_entries, 0);
+        assert_eq!(report.remaining_bytes, 0);
+        assert_eq!(store.stat().unwrap().total_entries(), 0);
     }
 
     #[test]

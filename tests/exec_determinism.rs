@@ -1,0 +1,149 @@
+//! Cross-check: the multi-process executor (`kcenter cluster --procs N`)
+//! must be **bit-identical** to the in-process MapReduce engine on the
+//! same seeded dataset — the acceptance contract of the executor and the
+//! suite behind the `exec-determinism` CI job.
+//!
+//! Each case runs the real `kcenter` binary twice — once in-process at
+//! parallelism ℓ, once with `--procs` = ℓ real worker OS processes — and
+//! compares (a) the written centers CSV **byte for byte** (the CSV writer
+//! uses Rust's shortest round-trip `f64` formatting, so equal bytes ⇔
+//! equal coordinate bits) and (b) the reported radius line, which the CLI
+//! renders at 6 decimals — a sanity check on top of (a), not the
+//! bit-level contract. Bit-exact *radius* equality is pinned at the
+//! library layer by `crates/exec/tests/process_exec.rs`
+//! (`to_bits()` comparisons against the in-process engines). Procs 1 and
+//! 4 are both covered, for both MapReduce algorithms.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run_kcenter(args: &[&str]) -> String {
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(&cargo)
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "kcenter-cli",
+            "--bin",
+            "kcenter",
+            "--",
+        ])
+        .args(args)
+        // Determinism pins assume the persistent cache is off; an ambient
+        // KCENTER_CACHE_DIR must not serve one run the other's solution.
+        .env_remove("KCENTER_CACHE_DIR")
+        .current_dir(manifest_dir)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn kcenter {args:?}: {e}"));
+    assert!(
+        output.status.success(),
+        "kcenter {args:?} exited with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("kcenter-exec-determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}", std::process::id()))
+}
+
+fn radius_line(stdout: &str) -> String {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("radius = "))
+        .unwrap_or_else(|| panic!("no radius line in:\n{stdout}"));
+    // The line ends with a wall-clock field; everything before it is a
+    // pure function of the input and must match exactly.
+    line.split(", time =")
+        .next()
+        .expect("split yields at least one piece")
+        .to_string()
+}
+
+/// One cross-check: in-process at `--ell procs` vs multi-process at
+/// `--procs procs`, radius string and centers bytes must match exactly.
+fn cross_check(data: &str, algo: &str, k: &str, z: &str, procs: usize) {
+    let procs_str = procs.to_string();
+    let in_centers = temp_path(&format!("centers-in-{algo}-{procs}.csv"));
+    let mp_centers = temp_path(&format!("centers-mp-{algo}-{procs}.csv"));
+    let in_centers_str = in_centers.to_string_lossy().into_owned();
+    let mp_centers_str = mp_centers.to_string_lossy().into_owned();
+
+    let common = |centers: &str| {
+        vec![
+            "cluster".to_string(),
+            "--input".into(),
+            data.to_string(),
+            "--k".into(),
+            k.to_string(),
+            "--z".into(),
+            z.to_string(),
+            "--algo".into(),
+            algo.to_string(),
+            "--mu".into(),
+            "2".into(),
+            "--seed".into(),
+            "7".into(),
+            "--cache-dir".into(),
+            String::new(),
+            "--output".into(),
+            centers.to_string(),
+        ]
+    };
+
+    let mut in_args = common(&in_centers_str);
+    in_args.extend(["--ell".to_string(), procs_str.clone()]);
+    let in_out = run_kcenter(&in_args.iter().map(String::as_str).collect::<Vec<_>>());
+
+    let mut mp_args = common(&mp_centers_str);
+    mp_args.extend(["--procs".to_string(), procs_str.clone()]);
+    let mp_out = run_kcenter(&mp_args.iter().map(String::as_str).collect::<Vec<_>>());
+
+    assert_eq!(
+        radius_line(&in_out),
+        radius_line(&mp_out),
+        "{algo} at {procs} procs: radius drifted across the process boundary"
+    );
+    let in_bytes = std::fs::read(&in_centers).unwrap();
+    let mp_bytes = std::fs::read(&mp_centers).unwrap();
+    assert!(!in_bytes.is_empty());
+    assert_eq!(
+        in_bytes, mp_bytes,
+        "{algo} at {procs} procs: centers files are not byte-identical"
+    );
+}
+
+#[test]
+fn multi_process_runs_are_bit_identical_to_in_process() {
+    let data = temp_path("dataset.csv");
+    let data_str = data.to_string_lossy().into_owned();
+    let out = run_kcenter(&[
+        "generate",
+        "--dataset",
+        "power",
+        "--n",
+        "400",
+        "--outliers",
+        "4",
+        "--seed",
+        "4",
+        "--output",
+        &data_str,
+    ]);
+    assert!(out.contains("wrote 404 points"), "generate drifted:\n{out}");
+
+    for procs in [1usize, 4] {
+        cross_check(&data_str, "mr", "3", "0", procs);
+        cross_check(&data_str, "mr-outliers", "3", "4", procs);
+    }
+    // The randomized variant exercises the seeded random partitioner
+    // across the boundary; one parallelism level suffices on top of the
+    // chunked coverage above.
+    cross_check(&data_str, "mr-randomized", "3", "4", 4);
+}
