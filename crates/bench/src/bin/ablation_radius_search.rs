@@ -26,7 +26,7 @@ use kcenter_core::coreset::{build_weighted_coreset, CoresetSpec};
 use kcenter_core::outliers_cluster::CmpMatrixRef;
 use kcenter_core::radius_search::{find_min_feasible_radius, SearchMode};
 use kcenter_data::{inject_outliers, shuffled};
-use kcenter_metric::{CachedOracle, Euclidean};
+use kcenter_metric::{CachedOracle, Euclidean, Point};
 
 fn main() {
     let store = kcenter_store::install_from_env();
@@ -76,7 +76,7 @@ fn main() {
             // persistent store installed and warm, "priced" becomes
             // "loaded" and the build count stays zero.
             let oracle = CachedOracle::new(coreset_points, &Euclidean, usize::MAX);
-            let view = CmpMatrixRef::<_, Euclidean>::new(
+            let view = CmpMatrixRef::<Point, Euclidean>::new(
                 oracle.matrix().expect("threshold is unbounded"),
                 oracle.metric(),
             );

@@ -1,7 +1,14 @@
 //! Bench runner: measures the hot kernels (GMM, `OutliersCluster`, radius
 //! search, `DistanceMatrix` construction, cached-vs-rebuilt radius-search
 //! sweeps) on the 10k-point `Power` workload and writes machine-readable
-//! `BENCH_pr3.json` — the perf trajectory's record.
+//! `BENCH_pr6.json` — the perf trajectory's record.
+//!
+//! The block-kernel consumers (`gmm_select`'s chunked min-distance scan
+//! and the blocked `DistanceMatrix::build`) are measured **paired**:
+//! auto-dispatched SIMD versus the `set_force_scalar` escape hatch, with
+//! samples interleaved (ABBA), so the vectorization before/after comes
+//! from identical surrounding code on identical hardware. The JSON header
+//! records the auto-detected ISA the "auto" rows ran on.
 //!
 //! Every number comes from the criterion shim's measurement kernel
 //! (warmup, N samples, MAD-based outlier rejection, median of survivors)
@@ -31,7 +38,9 @@ use kcenter_core::coreset::{build_weighted_coreset, CoresetSpec};
 use kcenter_core::gmm::gmm_select;
 use kcenter_core::outliers_cluster::{outliers_cluster, PointsOracle};
 use kcenter_core::radius_search::{find_min_feasible_radius, solve_coreset_cached, SearchMode};
-use kcenter_metric::{CachedOracle, DistanceMatrix, Euclidean, Metric, Point};
+use kcenter_metric::{
+    kernels, CachedOracle, DistanceMatrix, Euclidean, Metric, Point, PointRef, PointSet,
+};
 
 /// `Euclidean` with the proxy hooks forced back to their defaults: every
 /// comparison pays the `sqrt`, i.e. the pre-PR code path. Benchmarked
@@ -148,12 +157,32 @@ fn run_kernels(
     let (k, z, mu) = (20usize, 50usize, 8usize);
     let points = Dataset::Power.generate(n, FIXTURE_DATASET_SEED);
 
+    // The paired SIMD rows run over SoA views (`PointRef`s into one
+    // contiguous `PointSet` block) — the layout the exec worker feeds the
+    // kernels in production. Owned `Vec<Point>` rows would bury the vector
+    // kernels' strided coordinate loads under per-point pointer chases.
+    let soa = PointSet::from_points(&points);
+    let point_refs: Vec<PointRef<'_>> = soa.iter().collect();
+
     // Kernel 1: GMM farthest-first traversal, k = paper's Power k (100),
     // with the sqrt-free proxy metric and the forced-sqrt "before" path.
+    // The auto row uses the detected SIMD ISA for its chunked min-distance
+    // block scan; the force_scalar row pins the scalar reference kernels.
+    // Both produce bit-identical centers — only the clock differs.
     let gmm_k = Dataset::Power.paper_k();
-    let m = measure(warmup, samples, || {
-        gmm_select(&points, &Euclidean, gmm_k, 0)
-    });
+    let (m, m_scalar) = measure_paired(
+        warmup,
+        samples,
+        || {
+            kernels::set_force_scalar(false);
+            gmm_select(&point_refs, &Euclidean, gmm_k, 0)
+        },
+        || {
+            kernels::set_force_scalar(true);
+            gmm_select(&point_refs, &Euclidean, gmm_k, 0)
+        },
+    );
+    kernels::set_force_scalar(false);
     records.push(Record {
         kernel: "gmm_select",
         dataset: "Power",
@@ -165,6 +194,18 @@ fn run_kernels(
     eprintln!(
         "  gmm_select/k={gmm_k}            {:>12.2?} ±{:.2?}",
         m.median, m.mad
+    );
+    records.push(Record {
+        kernel: "gmm_select_force_scalar",
+        dataset: "Power",
+        n,
+        ops: (n * gmm_k) as u64,
+        threads,
+        m: m_scalar,
+    });
+    eprintln!(
+        "  gmm_select (force scalar)   {:>12.2?} ±{:.2?}",
+        m_scalar.median, m_scalar.mad
     );
 
     let m = measure(warmup, samples, || {
@@ -188,10 +229,23 @@ fn run_kernels(
     let (cpoints, weights) = coreset_fixture(&points, n, k + z, mu, store);
     let t = cpoints.len();
 
-    // Kernel 2: condensed distance-matrix construction over the coreset.
-    let m = measure(warmup, samples, || {
-        DistanceMatrix::build(&cpoints, &Euclidean)
-    });
+    // Kernel 2: condensed distance-matrix construction over the coreset —
+    // the blocked pairwise build, auto-dispatched vs forced-scalar.
+    let coreset_soa = PointSet::from_points(&cpoints);
+    let coreset_refs: Vec<PointRef<'_>> = coreset_soa.iter().collect();
+    let (m, m_scalar) = measure_paired(
+        warmup,
+        samples,
+        || {
+            kernels::set_force_scalar(false);
+            DistanceMatrix::build(&coreset_refs, &Euclidean)
+        },
+        || {
+            kernels::set_force_scalar(true);
+            DistanceMatrix::build(&coreset_refs, &Euclidean)
+        },
+    );
+    kernels::set_force_scalar(false);
     records.push(Record {
         kernel: "distance_matrix_build",
         dataset: "Power",
@@ -203,6 +257,18 @@ fn run_kernels(
     eprintln!(
         "  distance_matrix/|T|={t}     {:>12.2?} ±{:.2?}",
         m.median, m.mad
+    );
+    records.push(Record {
+        kernel: "distance_matrix_build_force_scalar",
+        dataset: "Power",
+        n: t,
+        ops: (t * t / 2) as u64,
+        threads,
+        m: m_scalar,
+    });
+    eprintln!(
+        "  distance_matrix (scalar)    {:>12.2?} ±{:.2?}",
+        m_scalar.median, m_scalar.mad
     );
 
     let matrix = DistanceMatrix::build(&cpoints, &Euclidean);
@@ -379,7 +445,7 @@ fn main() {
         if smoke {
             "BENCH_smoke.json"
         } else {
-            "BENCH_pr3.json"
+            "BENCH_pr6.json"
         }
         .to_string()
     });
@@ -424,7 +490,12 @@ fn main() {
     let _ = writeln!(json, "  \"machine_threads\": {machine},");
     let _ = writeln!(
         json,
-        "  \"note\": \"median over {samples} samples after {warmup} warmup runs, MAD outlier rejection; threads=1 is the sequential reference (inline execution, no pool overhead)\","
+        "  \"simd_isa\": \"{:?}\",",
+        kcenter_metric::kernels::active_isa()
+    );
+    let _ = writeln!(
+        json,
+        "  \"note\": \"median over {samples} samples after {warmup} warmup runs, MAD outlier rejection; threads=1 is the sequential reference (inline execution, no pool overhead); *_force_scalar rows pin the scalar kernels via set_force_scalar, paired ABBA against the auto rows; a multi-thread scaling row appears only when the machine has >1 hardware thread\","
     );
     json.push_str("  \"records\": [\n");
     let lines: Vec<String> = records.iter().map(json_record).collect();

@@ -70,7 +70,12 @@ impl<'a, P: Sync, M: Metric<P>> Gmm<'a, P, M> {
         // chunk relaxes its points against the new center (comparing
         // sqrt-free proxies) and reports its local farthest point; chunk
         // winners combine left-to-right, earliest index winning ties —
-        // identical to a sequential scan for every chunk length.
+        // identical to a sequential scan for every chunk length. Inside a
+        // chunk the proxies come from the batched block kernel, in stack
+        // sub-blocks (bit-identical to per-point `cmp_distance`, see the
+        // `Metric::cmp_distance_block` contract), and the relax loop then
+        // visits them in the same order the scalar scan did.
+        const SUB: usize = 128;
         let scan_chunk = rayon::adaptive_chunk_len(self.dist.len());
         let (far_idx, far_cmp) = self
             .dist
@@ -80,15 +85,24 @@ impl<'a, P: Sync, M: Metric<P>> Gmm<'a, P, M> {
             .map(|(ci, (dist_chunk, near_chunk))| {
                 let base = ci * scan_chunk;
                 let mut best = (usize::MAX, f64::NEG_INFINITY);
-                for (j, (d, near)) in dist_chunk.iter_mut().zip(near_chunk.iter_mut()).enumerate() {
-                    let nd = metric.cmp_distance(&points[base + j], c);
-                    if nd < *d {
-                        *d = nd;
-                        *near = center_pos;
+                let mut buf = [0.0f64; SUB];
+                let mut off = 0;
+                while off < dist_chunk.len() {
+                    let len = SUB.min(dist_chunk.len() - off);
+                    let start = base + off;
+                    metric.cmp_distance_block(c, &points[start..start + len], &mut buf[..len]);
+                    let dists = dist_chunk[off..off + len].iter_mut();
+                    let nears = near_chunk[off..off + len].iter_mut();
+                    for (j, ((d, near), &nd)) in dists.zip(nears).zip(&buf[..len]).enumerate() {
+                        if nd < *d {
+                            *d = nd;
+                            *near = center_pos;
+                        }
+                        if *d > best.1 {
+                            best = (start + j, *d);
+                        }
                     }
-                    if *d > best.1 {
-                        best = (base + j, *d);
-                    }
+                    off += len;
                 }
                 best
             })

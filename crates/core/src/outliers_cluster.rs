@@ -47,6 +47,29 @@ pub trait DistanceOracle: Sync {
         self.dist(i, j)
     }
 
+    /// Batched [`DistanceOracle::cmp_dist`]: writes `cmp_dist(t, base + j)`
+    /// into `out[j]`. The default loops the scalar lookup; point-backed
+    /// oracles forward to [`Metric::cmp_distance_block`] (the vectorized
+    /// kernels) and matrix-backed oracles copy contiguous condensed-row
+    /// slices. Overrides must stay bit-identical to the default.
+    fn cmp_dist_block(&self, t: usize, base: usize, out: &mut [f64]) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = self.cmp_dist(t, base + j);
+        }
+    }
+
+    /// Batched ball-membership test: writes
+    /// `cmp_dist(t, base + j) <= cmp_threshold` into `out[j]`.
+    ///
+    /// Same contract as [`Metric::within_block`]: overrides may use a
+    /// cheaper first pass (the opt-in f32 proxy) but must decide every
+    /// point identically to the exact comparison.
+    fn within_block(&self, t: usize, base: usize, cmp_threshold: f64, out: &mut [bool]) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = self.cmp_dist(t, base + j) <= cmp_threshold;
+        }
+    }
+
     /// Maps a true radius onto the [`DistanceOracle::cmp_dist`] scale.
     #[inline]
     fn radius_to_cmp(&self, r: f64) -> f64 {
@@ -76,6 +99,28 @@ pub trait DistanceOracle: Sync {
     fn prepare(&self) {}
 }
 
+/// Batched row read out of a condensed matrix, exploiting that row `t`'s
+/// entries for `v > t` are **contiguous** in the condensed layout: the
+/// strictly-greater tail of the block is one `memcpy`, only the (rare)
+/// `v <= t` prefix pays per-element symmetric lookups. Bit-identical to
+/// looping `matrix.get(t, base + j)`.
+fn matrix_cmp_block(matrix: &DistanceMatrix, t: usize, base: usize, out: &mut [f64]) {
+    let len = out.len();
+    let n = matrix.len();
+    // Scattered prefix: v < t (symmetric lookups) and the v == t diagonal.
+    let pre = (t + 1).saturating_sub(base).min(len);
+    for (j, o) in out[..pre].iter_mut().enumerate() {
+        *o = matrix.get(t, base + j);
+    }
+    // Contiguous suffix: v > t lives at condensed offset
+    // `t·n - t·(t+1)/2 + (v - t - 1)`, consecutive in v.
+    if pre < len {
+        let v0 = base + pre;
+        let start = t * n - t * (t + 1) / 2 + (v0 - t - 1);
+        out[pre..].copy_from_slice(&matrix.condensed()[start..start + (len - pre)]);
+    }
+}
+
 impl DistanceOracle for DistanceMatrix {
     fn len(&self) -> usize {
         DistanceMatrix::len(self)
@@ -86,6 +131,10 @@ impl DistanceOracle for DistanceMatrix {
     #[inline]
     fn dist(&self, i: usize, j: usize) -> f64 {
         self.get(i, j)
+    }
+
+    fn cmp_dist_block(&self, t: usize, base: usize, out: &mut [f64]) {
+        matrix_cmp_block(self, t, base, out);
     }
 }
 
@@ -152,6 +201,10 @@ impl<P: Sync, M: Metric<P>> DistanceOracle for CmpMatrixRef<'_, P, M> {
         self.matrix.get(i, j)
     }
 
+    fn cmp_dist_block(&self, t: usize, base: usize, out: &mut [f64]) {
+        matrix_cmp_block(self.matrix, t, base, out);
+    }
+
     #[inline]
     fn radius_to_cmp(&self, r: f64) -> f64 {
         self.metric.distance_to_cmp(r)
@@ -216,6 +269,19 @@ impl<P: Sync, M: Metric<P>> DistanceOracle for PointsOracle<'_, P, M> {
         self.metric.cmp_distance(&self.points[i], &self.points[j])
     }
 
+    // Same query-first evaluation order as `cmp_dist`, batched through the
+    // metric's (vectorized) block kernels.
+    fn cmp_dist_block(&self, t: usize, base: usize, out: &mut [f64]) {
+        let block = &self.points[base..base + out.len()];
+        self.metric.cmp_distance_block(&self.points[t], block, out);
+    }
+
+    fn within_block(&self, t: usize, base: usize, cmp_threshold: f64, out: &mut [bool]) {
+        let block = &self.points[base..base + out.len()];
+        self.metric
+            .within_block(&self.points[t], block, cmp_threshold, out);
+    }
+
     #[inline]
     fn radius_to_cmp(&self, r: f64) -> f64 {
         self.metric.distance_to_cmp(r)
@@ -278,20 +344,31 @@ pub fn outliers_cluster<O: DistanceOracle>(
     let ball_chunk = rayon::adaptive_chunk_len(n);
 
     // Initial ball weights over all (uncovered) points: O(n²), chunked for
-    // the pool with a plain sequential inner scan per ball.
+    // the pool. Each ball's inner scan runs through the oracle's batched
+    // membership test in stack sub-blocks — the vectorized kernels for
+    // point-backed oracles — which decides every point identically to the
+    // scalar `cmp_dist(t, v) <= ball_cmp` it replaces, in the same order.
+    const SUB: usize = 256;
     let mut ball_weight: Vec<u64> = vec![0; n];
     ball_weight
         .par_chunks_mut(ball_chunk)
         .enumerate()
         .for_each(|(ci, chunk)| {
             let base = ci * ball_chunk;
+            let mut flags = [false; SUB];
             for (j, w) in chunk.iter_mut().enumerate() {
                 let t = base + j;
                 let mut acc = 0u64;
-                for (v, &weight) in weights.iter().enumerate() {
-                    if oracle.cmp_dist(t, v) <= ball_cmp {
-                        acc += weight;
+                let mut off = 0;
+                while off < n {
+                    let len = SUB.min(n - off);
+                    oracle.within_block(t, off, ball_cmp, &mut flags[..len]);
+                    for (&hit, &weight) in flags[..len].iter().zip(&weights[off..off + len]) {
+                        if hit {
+                            acc += weight;
+                        }
                     }
+                    off += len;
                 }
                 *w = acc;
             }

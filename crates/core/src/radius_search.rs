@@ -374,18 +374,29 @@ where
 }
 
 /// Minimum positive pairwise distance through the oracle (sqrt-free scan,
-/// one conversion at the boundary).
+/// one conversion at the boundary). Each row's tail is read through the
+/// oracle's batched [`DistanceOracle::cmp_dist_block`] — the vectorized
+/// kernels for point-backed oracles, condensed-row copies for matrices —
+/// in stack sub-blocks; the running-min update visits the proxies in the
+/// same order as the scalar loop it replaces.
 fn min_positive_distance<O: DistanceOracle>(oracle: &O) -> Option<f64> {
+    const SUB: usize = 256;
     let n = oracle.len();
     let min = (0..n)
         .into_par_iter()
         .map(|i| {
             let mut row = f64::INFINITY;
-            for j in i + 1..n {
-                let d = oracle.cmp_dist(i, j);
-                if d > 0.0 && d < row {
-                    row = d;
+            let mut buf = [0.0f64; SUB];
+            let mut j = i + 1;
+            while j < n {
+                let len = SUB.min(n - j);
+                oracle.cmp_dist_block(i, j, &mut buf[..len]);
+                for &d in &buf[..len] {
+                    if d > 0.0 && d < row {
+                        row = d;
+                    }
                 }
+                j += len;
             }
             row
         })

@@ -44,6 +44,9 @@ pub struct WeightedDoublingCoreset<P, M> {
     /// initializes with the first `τ + 1` points).
     initialized: bool,
     processed: u64,
+    /// Reused proxy buffer for the per-item nearest-center block scan
+    /// (`O(τ)` values, allocated once and grown with the center set).
+    scratch: Vec<f64>,
 }
 
 impl<P: Clone, M: Metric<P>> WeightedDoublingCoreset<P, M> {
@@ -65,6 +68,7 @@ impl<P: Clone, M: Metric<P>> WeightedDoublingCoreset<P, M> {
             phi: 0.0,
             initialized: false,
             processed: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -240,14 +244,22 @@ impl<P: Clone, M: Metric<P>> StreamingAlgorithm<P> for WeightedDoublingCoreset<P
         }
 
         // Update rule: the O(τ) nearest-center scan per stream item is
-        // sqrt-free; the 8ϕ threshold maps onto the proxy scale once.
-        let (closest, d) = self
-            .centers
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i, self.metric.cmp_distance(&item, c)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
-            .expect("initialized coreset is nonempty");
+        // sqrt-free and batched — one block-kernel call over the whole
+        // center set (bit-identical per-element to `cmp_distance`, see the
+        // `Metric::cmp_distance_block` contract), then a strict-`<` argmin
+        // which keeps the earliest minimum exactly like the sequential
+        // `min_by` scan it replaces. The 8ϕ threshold maps onto the proxy
+        // scale once.
+        self.scratch.resize(self.centers.len(), 0.0);
+        self.metric
+            .cmp_distance_block(&item, &self.centers, &mut self.scratch);
+        let (mut closest, mut d) = (0, self.scratch[0]);
+        for (i, &nd) in self.scratch.iter().enumerate().skip(1) {
+            if nd < d {
+                closest = i;
+                d = nd;
+            }
+        }
         if d <= self.metric.distance_to_cmp(8.0 * self.phi) {
             self.weights[closest] += 1;
         } else {

@@ -4,16 +4,19 @@
 //! store codec's `Shard` kind — versioned, checksummed, coordinates laid
 //! out as one contiguous 8-byte-aligned little-endian `f64` block — and
 //! each worker loads its shard back. On Linux the load memory-maps the
-//! file and walks the coordinate block in place (one copy, mapping →
-//! `Point` allocations); elsewhere, or on any mapping failure, it falls
-//! back to `read` + decode. Both paths produce bit-identical points and
-//! reject any corruption as a clean [`DecodeError`].
+//! file and views the coordinate block in place as a [`PointSet`] — the
+//! shard's on-disk point-major layout *is* the `PointSet` layout, so the
+//! distance kernels run over the page cache with **zero** copies;
+//! elsewhere, or on any mapping failure, it falls back to `read` + decode
+//! into an owned set. Both paths produce bit-identical coordinates and
+//! reject any corruption — including forged non-finite values, which the
+//! checksum cannot catch — as a clean [`DecodeError`].
 
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use kcenter_metric::Point;
+use kcenter_metric::{Point, PointSet};
 use kcenter_store::codec::{self, DecodeError};
 
 /// Per-process sequence for unique temporary shard/artifact names.
@@ -59,37 +62,54 @@ pub fn write_shard(path: &Path, points: &[Point]) -> io::Result<()> {
     write_artifact_atomic(path, &codec::encode_shard(points))
 }
 
-/// Loads a shard file, memory-mapping it when the platform allows.
+/// Loads a shard file as owned [`Point`]s (one allocation per point).
+///
+/// Thin compatibility wrapper over [`read_shard_set`]; prefer the set for
+/// anything that feeds the distance kernels.
 pub fn read_shard(path: &Path) -> Result<Vec<Point>, ShardError> {
-    #[cfg(all(target_os = "linux", target_endian = "little"))]
-    if let Some(points) = read_shard_mapped(path) {
-        return Ok(points);
-    }
-    let bytes = std::fs::read(path).map_err(ShardError::Io)?;
-    codec::decode_shard(&bytes).map_err(ShardError::Decode)
+    read_shard_set(path).map(|set| set.to_points())
 }
 
-/// The mmap fast path: validate the mapped entry, then build points
-/// straight from the mapped coordinate block. Any failure returns `None`
-/// and the caller re-answers through the canonical read + decode path
-/// (which also classifies the error).
+/// Loads a shard file as a [`PointSet`], memory-mapping it when the
+/// platform allows.
+///
+/// On the mmap path the returned set *is* the mapped coordinate block —
+/// the `f64` run validated by [`codec::validate_shard`] (framing,
+/// checksum) and [`codec::validate_shard_coords`] (finiteness, the same
+/// invariant `Point::try_new` enforces) — so shard bytes flow into the
+/// block distance kernels with zero copies. Any mapping failure falls
+/// back to the canonical `read` + decode path (which also classifies the
+/// error) and an owned coordinate block; both paths are bitwise
+/// identical.
+pub fn read_shard_set(path: &Path) -> Result<PointSet, ShardError> {
+    #[cfg(all(target_os = "linux", target_endian = "little"))]
+    if let Some(set) = read_shard_set_mapped(path) {
+        return Ok(set);
+    }
+    let bytes = std::fs::read(path).map_err(ShardError::Io)?;
+    let points = codec::decode_shard(&bytes).map_err(ShardError::Decode)?;
+    Ok(PointSet::from_points(&points))
+}
+
+/// The mmap fast path: validate the mapped entry (structure *and*
+/// coordinate finiteness), then view the coordinate block in place. Any
+/// failure returns `None` and the caller re-answers through the canonical
+/// read + decode path (which also classifies the error).
 #[cfg(all(target_os = "linux", target_endian = "little"))]
-fn read_shard_mapped(path: &Path) -> Option<Vec<Point>> {
+fn read_shard_set_mapped(path: &Path) -> Option<PointSet> {
+    use std::sync::Arc;
+
     use kcenter_metric::StableF64s;
     use kcenter_store::mmap::{MappedF64s, MappedFile};
 
     let map = MappedFile::open(path).ok()?;
     let layout = codec::validate_shard(map.bytes()).ok()?;
     if layout.n == 0 {
-        return Some(Vec::new());
+        return Some(PointSet::from_points(&[]));
     }
     let block = MappedF64s::new(map, layout.coords_offset, layout.n * layout.dim)?;
-    let coords = block.stable_f64s();
-    let mut points = Vec::with_capacity(layout.n);
-    for chunk in coords.chunks_exact(layout.dim) {
-        points.push(Point::try_new(chunk.to_vec()).ok()?);
-    }
-    Some(points)
+    codec::validate_shard_coords(block.stable_f64s()).ok()?;
+    PointSet::try_from_shared(Arc::new(block), layout.n, layout.dim).ok()
 }
 
 /// Loads a worker's coreset-result artifact (points + weights).
@@ -129,6 +149,58 @@ mod tests {
         let path = tmp("empty.kca");
         write_shard(&path, &[]).unwrap();
         assert_eq!(read_shard(&path).unwrap(), Vec::<Point>::new());
+    }
+
+    #[test]
+    fn shard_set_matches_owned_points_bitwise() {
+        let points: Vec<Point> = (0..64)
+            .map(|i| Point::new(vec![i as f64 * 0.7, -0.0, 1e-300 * (i + 1) as f64]))
+            .collect();
+        let path = tmp("set.kca");
+        write_shard(&path, &points).unwrap();
+        let set = read_shard_set(&path).unwrap();
+        assert_eq!(set.len(), points.len());
+        assert_eq!(set.dim(), 3);
+        for (r, p) in set.iter().zip(&points) {
+            for (ca, cb) in r.coords().iter().zip(p.coords()) {
+                assert_eq!(ca.to_bits(), cb.to_bits());
+            }
+        }
+        // Empty shard loads as an empty set.
+        let empty = tmp("set-empty.kca");
+        write_shard(&empty, &[]).unwrap();
+        assert!(read_shard_set(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn nan_shard_with_valid_checksum_is_a_clean_decode_error() {
+        // Forge a shard whose framing and checksum are *valid* but whose
+        // one coordinate is NaN: the checksum vouches for the bytes, so
+        // only the coordinate-finiteness validation stands between the
+        // mapped block and NaN-poisoned distances.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes()); // n
+        payload.extend_from_slice(&1u64.to_le_bytes()); // dim
+        payload.extend_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&codec::MAGIC);
+        bytes.extend_from_slice(&codec::CODEC_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&codec::ArtifactKind::Shard.tag().to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let sum = kcenter_metric::fingerprint::checksum64(&payload);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        bytes.extend_from_slice(&payload);
+
+        let path = tmp("nan-shard.kca");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_shard_set(&path),
+            Err(ShardError::Decode(DecodeError::Malformed))
+        ));
+        assert!(matches!(
+            read_shard(&path),
+            Err(ShardError::Decode(DecodeError::Malformed))
+        ));
     }
 
     #[test]

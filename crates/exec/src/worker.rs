@@ -28,11 +28,11 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use kcenter_core::coreset::{build_weighted_coreset, CoresetSpec};
-use kcenter_metric::{Metric, Point};
+use kcenter_metric::{Metric, Point, PointRef};
 use kcenter_store::codec;
 
 use crate::protocol::{parse_spec, MetricKind, WorkerReport};
-use crate::shard::{read_shard, write_artifact_atomic};
+use crate::shard::{read_shard_set, write_artifact_atomic};
 use crate::with_metric;
 
 /// Environment variable enabling deliberate worker misbehaviour in tests.
@@ -137,20 +137,24 @@ impl WorkerArgs {
 /// out-of-range start, unwritable output).
 pub fn run_worker(args: &WorkerArgs) -> Result<WorkerReport, String> {
     let started = Instant::now();
-    let points = read_shard(&args.shard).map_err(|e| e.to_string())?;
-    if points.is_empty() {
+    // The shard is viewed as a `PointSet` — on the mmap path the kernel
+    // reads coordinates straight out of the page cache (zero copies); the
+    // `PointRef` views are 16-byte fat pointers into that block.
+    let set = read_shard_set(&args.shard).map_err(|e| e.to_string())?;
+    if set.is_empty() {
         return Err("shard holds no points (empty partitions are not dispatched)".into());
     }
-    if args.start >= points.len() {
+    if args.start >= set.len() {
         return Err(format!(
             "start index {} out of range for {} points",
             args.start,
-            points.len()
+            set.len()
         ));
     }
     if args.base == 0 {
         return Err("coreset base must be positive".into());
     }
+    let points: Vec<PointRef<'_>> = set.iter().collect();
     let (coreset_points, weights) = with_metric!(args.metric, metric => {
         build_round1_coreset(&points, metric, args.base, &args.spec, args.start)
     });
@@ -179,10 +183,12 @@ pub fn run_worker(args: &WorkerArgs) -> Result<WorkerReport, String> {
 }
 
 /// The round-1 kernel, shared verbatim with the in-process engines:
-/// [`build_weighted_coreset`] on the shard slice, coreset points and
-/// weights split into the artifact's parallel arrays.
-fn build_round1_coreset<M: Metric<Point>>(
-    points: &[Point],
+/// [`build_weighted_coreset`] on the shard's `PointRef` views (so the
+/// GMM scan runs the block kernels over the mapped coordinate block),
+/// coreset points materialized as owned [`Point`]s only at the artifact
+/// boundary, weights split into the parallel array.
+fn build_round1_coreset<'a, M: Metric<PointRef<'a>>>(
+    points: &[PointRef<'a>],
     metric: &M,
     base: usize,
     spec: &CoresetSpec,
@@ -192,7 +198,7 @@ fn build_round1_coreset<M: Metric<Point>>(
     let mut coreset_points = Vec::with_capacity(build.coreset.len());
     let mut weights = Vec::with_capacity(build.coreset.len());
     for wp in build.coreset.points {
-        coreset_points.push(wp.point);
+        coreset_points.push(wp.point.to_point());
         weights.push(wp.weight);
     }
     (coreset_points, weights)

@@ -7,7 +7,8 @@
 //! triangle inequality.
 
 use crate::fingerprint::Fingerprint;
-use crate::point::Point;
+use crate::kernels::{self, KernelMetric};
+use crate::pointset::Coordinates;
 
 /// Domain label folded into every [`Metric::cache_fingerprint`], bumped
 /// whenever the fingerprinting scheme itself changes incompatibly.
@@ -16,8 +17,10 @@ const FINGERPRINT_DOMAIN: &str = "kcenter/metric-points/v1";
 /// Content fingerprint of `points` under a named metric: the key the
 /// persistent artifact store addresses proxy-scale distance matrices by.
 /// Order-sensitive (matrix entries are indexed by point position) and
-/// bit-exact over coordinates.
-fn fingerprint_points(metric_name: &str, points: &[Point]) -> u128 {
+/// bit-exact over coordinates. Generic over [`Coordinates`], writing the
+/// same bytes for a `Point` slice and its [`crate::PointSet`] view — so
+/// owned and zero-copy loads of the same data share cache entries.
+fn fingerprint_points<P: Coordinates>(metric_name: &str, points: &[P]) -> u128 {
     let mut fp = Fingerprint::with_domain(FINGERPRINT_DOMAIN);
     fp.write_str(metric_name);
     fp.write_usize(points.len());
@@ -78,6 +81,51 @@ pub trait Metric<P: ?Sized>: Sync + Send {
         d
     }
 
+    /// Batched [`Metric::cmp_distance`]: writes `cmp_distance(query,
+    /// block[i])` into `out[i]` for every point of `block`.
+    ///
+    /// The default loops the scalar method; the coordinate metrics
+    /// override it with the runtime-dispatched SIMD kernels of
+    /// [`crate::kernels`]. Overrides must stay **bit-identical** to the
+    /// default — callers (GMM scans, matrix builds, ball-weight passes)
+    /// rely on block and scalar paths being interchangeable at every
+    /// thread count.
+    fn cmp_distance_block(&self, query: &P, block: &[P], out: &mut [f64])
+    where
+        P: Sized,
+    {
+        for (o, b) in out.iter_mut().zip(block) {
+            *o = self.cmp_distance(query, b);
+        }
+    }
+
+    /// Batched [`Metric::distance`]: writes `distance(query, block[i])`
+    /// into `out[i]`. Same bit-identity contract as
+    /// [`Metric::cmp_distance_block`].
+    fn distance_to_block(&self, query: &P, block: &[P], out: &mut [f64])
+    where
+        P: Sized,
+    {
+        for (o, b) in out.iter_mut().zip(block) {
+            *o = self.distance(query, b);
+        }
+    }
+
+    /// Batched ball-membership test on the proxy scale: writes
+    /// `cmp_distance(query, block[i]) <= cmp_threshold` into `out[i]`.
+    ///
+    /// Overrides may evaluate a cheaper proxy first (the opt-in f32 mode)
+    /// but must make the **identical decision** the exact comparison
+    /// makes for every point — uncertain cases re-verified exactly.
+    fn within_block(&self, query: &P, block: &[P], cmp_threshold: f64, out: &mut [bool])
+    where
+        P: Sized,
+    {
+        for (o, b) in out.iter_mut().zip(block) {
+            *o = self.cmp_distance(query, b) <= cmp_threshold;
+        }
+    }
+
     /// A deterministic content fingerprint of `points` *under this metric*,
     /// or `None` when the metric cannot (or should not) key a persistent
     /// cache entry.
@@ -122,6 +170,30 @@ impl<P: ?Sized, M: Metric<P> + ?Sized> Metric<P> for &M {
         (**self).distance_to_cmp(d)
     }
 
+    #[inline]
+    fn cmp_distance_block(&self, query: &P, block: &[P], out: &mut [f64])
+    where
+        P: Sized,
+    {
+        (**self).cmp_distance_block(query, block, out)
+    }
+
+    #[inline]
+    fn distance_to_block(&self, query: &P, block: &[P], out: &mut [f64])
+    where
+        P: Sized,
+    {
+        (**self).distance_to_block(query, block, out)
+    }
+
+    #[inline]
+    fn within_block(&self, query: &P, block: &[P], cmp_threshold: f64, out: &mut [bool])
+    where
+        P: Sized,
+    {
+        (**self).within_block(query, block, cmp_threshold, out)
+    }
+
     fn cache_fingerprint(&self, points: &[P]) -> Option<u128>
     where
         P: Sized,
@@ -139,7 +211,7 @@ impl Euclidean {
     /// Squared Euclidean distance; cheaper than [`Metric::distance`] when only
     /// comparisons are needed (monotone in the true distance).
     #[inline]
-    pub fn distance_squared(&self, a: &Point, b: &Point) -> f64 {
+    pub fn distance_squared<P: Coordinates>(&self, a: &P, b: &P) -> f64 {
         debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
         a.coords()
             .iter()
@@ -152,9 +224,9 @@ impl Euclidean {
     }
 }
 
-impl Metric<Point> for Euclidean {
+impl<P: Coordinates> Metric<P> for Euclidean {
     #[inline]
-    fn distance(&self, a: &Point, b: &Point) -> f64 {
+    fn distance(&self, a: &P, b: &P) -> f64 {
         self.distance_squared(a, b).sqrt()
     }
 
@@ -163,7 +235,7 @@ impl Metric<Point> for Euclidean {
     // reproduces `distance(a, b)` bit-for-bit, and `sqrt`'s monotonicity
     // makes the square order-isomorphic to the true distance.
     #[inline]
-    fn cmp_distance(&self, a: &Point, b: &Point) -> f64 {
+    fn cmp_distance(&self, a: &P, b: &P) -> f64 {
         self.distance_squared(a, b)
     }
 
@@ -177,7 +249,34 @@ impl Metric<Point> for Euclidean {
         d * d
     }
 
-    fn cache_fingerprint(&self, points: &[Point]) -> Option<u128> {
+    #[inline]
+    fn cmp_distance_block(&self, query: &P, block: &[P], out: &mut [f64]) {
+        kernels::cmp_block(KernelMetric::Euclidean, query.coords(), block, out);
+    }
+
+    // `distance` is *defined* as `sqrt(distance_squared)`, so squaring
+    // the block kernel's proxies through `sqrt` reproduces the scalar
+    // distances bit for bit.
+    #[inline]
+    fn distance_to_block(&self, query: &P, block: &[P], out: &mut [f64]) {
+        kernels::cmp_block(KernelMetric::Euclidean, query.coords(), block, out);
+        for v in out.iter_mut() {
+            *v = v.sqrt();
+        }
+    }
+
+    #[inline]
+    fn within_block(&self, query: &P, block: &[P], cmp_threshold: f64, out: &mut [bool]) {
+        kernels::within_block(
+            KernelMetric::Euclidean,
+            query.coords(),
+            block,
+            cmp_threshold,
+            out,
+        );
+    }
+
+    fn cache_fingerprint(&self, points: &[P]) -> Option<u128> {
         Some(fingerprint_points("euclidean", points))
     }
 }
@@ -186,9 +285,9 @@ impl Metric<Point> for Euclidean {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Manhattan;
 
-impl Metric<Point> for Manhattan {
+impl<P: Coordinates> Metric<P> for Manhattan {
     #[inline]
-    fn distance(&self, a: &Point, b: &Point) -> f64 {
+    fn distance(&self, a: &P, b: &P) -> f64 {
         debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
         a.coords()
             .iter()
@@ -197,7 +296,29 @@ impl Metric<Point> for Manhattan {
             .sum()
     }
 
-    fn cache_fingerprint(&self, points: &[Point]) -> Option<u128> {
+    #[inline]
+    fn cmp_distance_block(&self, query: &P, block: &[P], out: &mut [f64]) {
+        kernels::cmp_block(KernelMetric::Manhattan, query.coords(), block, out);
+    }
+
+    #[inline]
+    fn distance_to_block(&self, query: &P, block: &[P], out: &mut [f64]) {
+        // cmp is the distance itself (identity proxy).
+        kernels::cmp_block(KernelMetric::Manhattan, query.coords(), block, out);
+    }
+
+    #[inline]
+    fn within_block(&self, query: &P, block: &[P], cmp_threshold: f64, out: &mut [bool]) {
+        kernels::within_block(
+            KernelMetric::Manhattan,
+            query.coords(),
+            block,
+            cmp_threshold,
+            out,
+        );
+    }
+
+    fn cache_fingerprint(&self, points: &[P]) -> Option<u128> {
         Some(fingerprint_points("manhattan", points))
     }
 }
@@ -206,9 +327,9 @@ impl Metric<Point> for Manhattan {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Chebyshev;
 
-impl Metric<Point> for Chebyshev {
+impl<P: Coordinates> Metric<P> for Chebyshev {
     #[inline]
-    fn distance(&self, a: &Point, b: &Point) -> f64 {
+    fn distance(&self, a: &P, b: &P) -> f64 {
         debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
         a.coords()
             .iter()
@@ -217,7 +338,28 @@ impl Metric<Point> for Chebyshev {
             .fold(0.0, f64::max)
     }
 
-    fn cache_fingerprint(&self, points: &[Point]) -> Option<u128> {
+    #[inline]
+    fn cmp_distance_block(&self, query: &P, block: &[P], out: &mut [f64]) {
+        kernels::cmp_block(KernelMetric::Chebyshev, query.coords(), block, out);
+    }
+
+    #[inline]
+    fn distance_to_block(&self, query: &P, block: &[P], out: &mut [f64]) {
+        kernels::cmp_block(KernelMetric::Chebyshev, query.coords(), block, out);
+    }
+
+    #[inline]
+    fn within_block(&self, query: &P, block: &[P], cmp_threshold: f64, out: &mut [bool]) {
+        kernels::within_block(
+            KernelMetric::Chebyshev,
+            query.coords(),
+            block,
+            cmp_threshold,
+            out,
+        );
+    }
+
+    fn cache_fingerprint(&self, points: &[P]) -> Option<u128> {
         Some(fingerprint_points("chebyshev", points))
     }
 }
@@ -232,9 +374,9 @@ impl Metric<Point> for Chebyshev {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CosineAngular;
 
-impl Metric<Point> for CosineAngular {
+impl<P: Coordinates> Metric<P> for CosineAngular {
     #[inline]
-    fn distance(&self, a: &Point, b: &Point) -> f64 {
+    fn distance(&self, a: &P, b: &P) -> f64 {
         debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
         let (mut dot, mut na, mut nb) = (0.0, 0.0, 0.0);
         for (x, y) in a.coords().iter().zip(b.coords()) {
@@ -252,7 +394,7 @@ impl Metric<Point> for CosineAngular {
         (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0).acos()
     }
 
-    fn cache_fingerprint(&self, points: &[Point]) -> Option<u128> {
+    fn cache_fingerprint(&self, points: &[P]) -> Option<u128> {
         Some(fingerprint_points("cosine-angular", points))
     }
 }
@@ -352,6 +494,7 @@ impl Metric<usize> for Precomputed {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::point::Point;
 
     fn p(coords: &[f64]) -> Point {
         Point::new(coords.to_vec())
@@ -425,17 +568,21 @@ mod tests {
             p(&[1.0, 1.0]),
             p(&[-2.5, 7.1]),
         ];
+        // Point-free conversions need the point type pinned now that the
+        // metrics are generic over `Coordinates`.
+        let eucl: &dyn Metric<Point> = &Euclidean;
+        let manh: &dyn Metric<Point> = &Manhattan;
         for a in &pts {
             for b in &pts {
                 let d = Euclidean.distance(a, b);
                 let c = Euclidean.cmp_distance(a, b);
                 // Exact round-trip: sqrt of the square IS the distance.
-                assert_eq!(Euclidean.cmp_to_distance(c).to_bits(), d.to_bits());
+                assert_eq!(eucl.cmp_to_distance(c).to_bits(), d.to_bits());
                 assert_eq!(c == 0.0, d == 0.0);
                 // Default impls on other metrics are the identity.
                 let m = Manhattan.distance(a, b);
                 assert_eq!(Manhattan.cmp_distance(a, b), m);
-                assert_eq!(Manhattan.distance_to_cmp(m), m);
+                assert_eq!(manh.distance_to_cmp(m), m);
             }
         }
         // Order isomorphism across pairs.
@@ -445,7 +592,7 @@ mod tests {
         let c02 = Euclidean.cmp_distance(&pts[0], &pts[2]);
         assert_eq!(d01 > d02, c01 > c02);
         // Threshold mapping: radius 5 on the proxy scale is 25.
-        assert_eq!(Euclidean.distance_to_cmp(5.0), 25.0);
+        assert_eq!(eucl.distance_to_cmp(5.0), 25.0);
     }
 
     #[test]

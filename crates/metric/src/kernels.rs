@@ -1,0 +1,550 @@
+//! Runtime-dispatched block distance kernels over structure-of-arrays
+//! points.
+//!
+//! The batched entry points ([`cmp_block`], [`within_block`]) evaluate one
+//! query against a block of points. On `x86_64` they dispatch at runtime to
+//! SSE2 or AVX implementations (detected once per process); everywhere
+//! else, and under the `KCENTER_FORCE_SCALAR` escape hatch (or
+//! [`set_force_scalar`]), they run the scalar reference kernels.
+//!
+//! # Bit-identity
+//!
+//! Every vector kernel is **lane-per-point**: lane `l` of the accumulator
+//! performs exactly the per-dimension sequential chain the scalar kernel
+//! performs for point `l` — broadcast `q[d]`, gather coordinate `d` of 2/4
+//! rows, subtract, square-or-abs, accumulate — in the same order, with the
+//! same IEEE-754 operations, and **no FMA** (fused rounding would change
+//! results). Element-wise vector sub/mul/add are bitwise-identical to their
+//! scalar counterparts, `abs` is a sign-bit clear in both forms, and the
+//! Chebyshev `max` only ever compares non-negative values with cleared sign
+//! bits (the finite-point invariant excludes `NaN`; `abs` excludes `-0.0`),
+//! the one regime where `maxpd` and `f64::max` agree bitwise. Remainder
+//! points (block length not a multiple of the vector width) run the scalar
+//! kernel. Consequently every path — scalar, SSE2, AVX — returns the same
+//! bits, which is what lets the golden figures and the exec determinism
+//! suite stay byte-identical whichever ISA the host has.
+//!
+//! # f32 proxy mode
+//!
+//! `KCENTER_F32_PROXY=1` (or [`set_f32_proxy`]) opts threshold scans
+//! ([`within_block`]) into a single-precision first pass: the proxy
+//! classifies each point against the radius with a rigorous error margin,
+//! and only points inside the uncertainty band are re-verified with the
+//! exact `f64` kernel. Decisions are therefore **identical** to the pure
+//! `f64` path by construction; only the arithmetic for clear-cut points is
+//! cheaper. Value-returning kernels ([`cmp_block`]) never use the proxy.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use crate::pointset::Coordinates;
+
+/// The metrics the vector kernels cover. [`crate::CosineAngular`] keeps the
+/// scalar defaults (its acos boundary work dwarfs the per-dimension loop).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelMetric {
+    /// Squared-distance proxy chain: `acc += (q[d] - r[d])²`.
+    Euclidean,
+    /// L1 chain: `acc += |q[d] - r[d]|`.
+    Manhattan,
+    /// L∞ chain: `acc = max(acc, |q[d] - r[d]|)`.
+    Chebyshev,
+}
+
+/// Instruction set a kernel call will execute with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Isa {
+    /// Portable scalar reference kernels.
+    Scalar,
+    /// 2 points per iteration (`x86_64` baseline).
+    Sse2,
+    /// 4 points per iteration.
+    Avx,
+}
+
+/// `true`-ish environment flag: set and neither empty nor `"0"`.
+fn env_flag(name: &str) -> bool {
+    std::env::var_os(name).is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+fn force_scalar_cell() -> &'static AtomicBool {
+    static CELL: OnceLock<AtomicBool> = OnceLock::new();
+    CELL.get_or_init(|| AtomicBool::new(env_flag("KCENTER_FORCE_SCALAR")))
+}
+
+/// Overrides the `KCENTER_FORCE_SCALAR` escape hatch programmatically —
+/// tests and benchmarks toggle this instead of racing on the process
+/// environment.
+pub fn set_force_scalar(on: bool) {
+    force_scalar_cell().store(on, Ordering::Relaxed);
+}
+
+/// Whether kernels are currently pinned to the scalar reference path.
+pub fn force_scalar() -> bool {
+    force_scalar_cell().load(Ordering::Relaxed)
+}
+
+fn f32_proxy_cell() -> &'static AtomicBool {
+    static CELL: OnceLock<AtomicBool> = OnceLock::new();
+    CELL.get_or_init(|| AtomicBool::new(env_flag("KCENTER_F32_PROXY")))
+}
+
+/// Overrides the `KCENTER_F32_PROXY` opt-in programmatically.
+pub fn set_f32_proxy(on: bool) {
+    f32_proxy_cell().store(on, Ordering::Relaxed);
+}
+
+/// Whether threshold scans run the f32 proxy first pass.
+pub fn f32_proxy() -> bool {
+    f32_proxy_cell().load(Ordering::Relaxed)
+}
+
+/// The best ISA this host supports, detected once per process.
+fn detected_isa() -> Isa {
+    static DETECTED: OnceLock<Isa> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx") {
+                Isa::Avx
+            } else if std::arch::is_x86_feature_detected!("sse2") {
+                Isa::Sse2
+            } else {
+                Isa::Scalar
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Isa::Scalar
+        }
+    })
+}
+
+/// The ISA the next kernel call will use (detection gated by the force-
+/// scalar escape hatch).
+pub fn active_isa() -> Isa {
+    if force_scalar() {
+        Isa::Scalar
+    } else {
+        detected_isa()
+    }
+}
+
+/// Scalar comparison-proxy kernel for one pair — **the reference**: these
+/// are character-for-character the accumulation chains of the scalar
+/// `Metric` implementations, and the contract every vector kernel is held
+/// to bitwise.
+#[inline]
+pub fn scalar_cmp(kind: KernelMetric, q: &[f64], r: &[f64]) -> f64 {
+    debug_assert_eq!(q.len(), r.len(), "dimension mismatch");
+    match kind {
+        KernelMetric::Euclidean => q
+            .iter()
+            .zip(r)
+            .map(|(x, y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum(),
+        KernelMetric::Manhattan => q.iter().zip(r).map(|(x, y)| (x - y).abs()).sum(),
+        KernelMetric::Chebyshev => q
+            .iter()
+            .zip(r)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max),
+    }
+}
+
+/// Scalar reference implementation of [`cmp_block`], exported so parity
+/// tests can pin the dispatched kernels against it regardless of the
+/// force-scalar setting.
+pub fn cmp_block_scalar<P: Coordinates>(
+    kind: KernelMetric,
+    query: &[f64],
+    block: &[P],
+    out: &mut [f64],
+) {
+    assert_eq!(block.len(), out.len(), "output length mismatch");
+    for (o, p) in out.iter_mut().zip(block) {
+        *o = scalar_cmp(kind, query, p.coords());
+    }
+}
+
+/// Comparison proxies of `query` against every point of `block`, written
+/// into `out` (`out[i] = cmp(query, block[i])`): the squared distance for
+/// [`KernelMetric::Euclidean`], the true distance for the L1/L∞ kernels.
+///
+/// Bit-identical to calling the scalar kernel per point, on every ISA.
+///
+/// # Panics
+///
+/// Panics if `out.len() != block.len()`.
+pub fn cmp_block<P: Coordinates>(kind: KernelMetric, query: &[f64], block: &[P], out: &mut [f64]) {
+    assert_eq!(block.len(), out.len(), "output length mismatch");
+    match active_isa() {
+        Isa::Scalar => cmp_block_scalar(kind, query, block, out),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Sse2 => x86::cmp_block_sse2(kind, query, block, out),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx => x86::cmp_block_avx(kind, query, block, out),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => cmp_block_scalar(kind, query, block, out),
+    }
+}
+
+/// Points within the radius-`cmp_threshold` ball around `query`:
+/// `out[i] = cmp(query, block[i]) <= cmp_threshold` (both sides on the
+/// metric's comparison-proxy scale).
+///
+/// Decisions are identical to computing the exact `f64` proxy and
+/// comparing — including under the opt-in f32 proxy mode, whose margin
+/// classification re-verifies every uncertain point with the exact kernel.
+///
+/// # Panics
+///
+/// Panics if `out.len() != block.len()`.
+pub fn within_block<P: Coordinates>(
+    kind: KernelMetric,
+    query: &[f64],
+    block: &[P],
+    cmp_threshold: f64,
+    out: &mut [bool],
+) {
+    assert_eq!(block.len(), out.len(), "output length mismatch");
+    if f32_proxy() {
+        within_block_f32(kind, query, block, cmp_threshold, out);
+        return;
+    }
+    // Exact path: proxy values through the dispatched kernel, compared in
+    // place. Stack sub-blocks keep the distance buffer out of the heap.
+    let mut buf = [0.0f64; 64];
+    for (bchunk, ochunk) in block.chunks(64).zip(out.chunks_mut(64)) {
+        let k = bchunk.len();
+        cmp_block(kind, query, bchunk, &mut buf[..k]);
+        for (o, &d) in ochunk.iter_mut().zip(&buf[..k]) {
+            *o = d <= cmp_threshold;
+        }
+    }
+}
+
+/// f32 proxy first pass for [`within_block`].
+///
+/// For each point the proxy value is computed in single precision and
+/// compared against `cmp_threshold ± margin`, where `margin` bounds the
+/// worst-case error of the f32 evaluation relative to the exact f64 value
+/// (standard forward error analysis with generous constants; `C` is the
+/// largest coordinate magnitude in the pair, `m` the dimension, `u` the
+/// f32 precision). Clear-cut points are decided by the proxy; points in
+/// the band are re-verified with the exact scalar kernel, so the final
+/// decision vector equals the exact path's bit for bit.
+fn within_block_f32<P: Coordinates>(
+    kind: KernelMetric,
+    query: &[f64],
+    block: &[P],
+    cmp_threshold: f64,
+    out: &mut [bool],
+) {
+    let m = query.len();
+    let q32: Vec<f32> = query.iter().map(|&x| x as f32).collect();
+    let qmax = query.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+    // 2^-23: one full f32 epsilon per rounding, double the unit roundoff —
+    // slack on top of already-conservative margin constants.
+    let u = f32::EPSILON as f64;
+    let md = m as f64;
+    for (o, p) in out.iter_mut().zip(block) {
+        let r = p.coords();
+        let mut rmax = 0.0f32;
+        let proxy32 = match kind {
+            KernelMetric::Euclidean => {
+                let mut acc = 0.0f32;
+                for (d, &x) in q32.iter().enumerate() {
+                    let y = r[d] as f32;
+                    rmax = rmax.max(y.abs());
+                    let diff = x - y;
+                    acc += diff * diff;
+                }
+                acc
+            }
+            KernelMetric::Manhattan => {
+                let mut acc = 0.0f32;
+                for (d, &x) in q32.iter().enumerate() {
+                    let y = r[d] as f32;
+                    rmax = rmax.max(y.abs());
+                    acc += (x - y).abs();
+                }
+                acc
+            }
+            KernelMetric::Chebyshev => {
+                let mut acc = 0.0f32;
+                for (d, &x) in q32.iter().enumerate() {
+                    let y = r[d] as f32;
+                    rmax = rmax.max(y.abs());
+                    acc = acc.max((x - y).abs());
+                }
+                acc
+            }
+        };
+        // The f32 coordinate maxima under-estimate the f64 maxima by at
+        // most one rounding; the (1 + 1e-6) factor restores a sound bound.
+        let c = qmax.max(rmax as f64 * (1.0 + 1e-6));
+        let margin = match kind {
+            KernelMetric::Euclidean => 8.0 * c * c * u * (md * md + 8.0 * md + 8.0),
+            KernelMetric::Manhattan => 4.0 * c * u * (md * md + 4.0 * md + 4.0),
+            KernelMetric::Chebyshev => 16.0 * c * u,
+        };
+        let proxy = proxy32 as f64;
+        *o = if !proxy.is_finite() || !(margin.is_finite()) {
+            // Coordinates overflowed f32: the proxy says nothing.
+            scalar_cmp(kind, query, r) <= cmp_threshold
+        } else if proxy > cmp_threshold + margin {
+            false
+        } else if proxy < cmp_threshold - margin {
+            true
+        } else {
+            scalar_cmp(kind, query, r) <= cmp_threshold
+        };
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! SSE2 (2 lanes) and AVX (4 lanes) kernels. Each `#[target_feature]`
+    //! function is non-generic and takes concrete coordinate rows; the
+    //! safe dispatchers group the block and handle remainders with the
+    //! scalar kernel.
+
+    use core::arch::x86_64::*;
+
+    use super::{scalar_cmp, KernelMetric};
+    use crate::pointset::Coordinates;
+
+    /// Four points per iteration.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX support; all rows must have `q.len()`
+    /// elements.
+    #[target_feature(enable = "avx")]
+    unsafe fn cmp4_avx(kind: KernelMetric, q: &[f64], r: [&[f64]; 4]) -> [f64; 4] {
+        let sign = _mm256_set1_pd(-0.0);
+        let mut acc = _mm256_setzero_pd();
+        for (d, &x) in q.iter().enumerate() {
+            let qv = _mm256_set1_pd(x);
+            let rv = _mm256_set_pd(r[3][d], r[2][d], r[1][d], r[0][d]);
+            let diff = _mm256_sub_pd(qv, rv);
+            acc = match kind {
+                KernelMetric::Euclidean => _mm256_add_pd(acc, _mm256_mul_pd(diff, diff)),
+                KernelMetric::Manhattan => _mm256_add_pd(acc, _mm256_andnot_pd(sign, diff)),
+                KernelMetric::Chebyshev => _mm256_max_pd(acc, _mm256_andnot_pd(sign, diff)),
+            };
+        }
+        let mut res = [0.0f64; 4];
+        _mm256_storeu_pd(res.as_mut_ptr(), acc);
+        res
+    }
+
+    /// Two points per iteration.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified SSE2 support (always true on `x86_64`,
+    /// detection-checked anyway); all rows must have `q.len()` elements.
+    #[target_feature(enable = "sse2")]
+    unsafe fn cmp2_sse2(kind: KernelMetric, q: &[f64], r: [&[f64]; 2]) -> [f64; 2] {
+        let sign = _mm_set1_pd(-0.0);
+        let mut acc = _mm_setzero_pd();
+        for (d, &x) in q.iter().enumerate() {
+            let qv = _mm_set1_pd(x);
+            let rv = _mm_set_pd(r[1][d], r[0][d]);
+            let diff = _mm_sub_pd(qv, rv);
+            acc = match kind {
+                KernelMetric::Euclidean => _mm_add_pd(acc, _mm_mul_pd(diff, diff)),
+                KernelMetric::Manhattan => _mm_add_pd(acc, _mm_andnot_pd(sign, diff)),
+                KernelMetric::Chebyshev => _mm_max_pd(acc, _mm_andnot_pd(sign, diff)),
+            };
+        }
+        let mut res = [0.0f64; 2];
+        _mm_storeu_pd(res.as_mut_ptr(), acc);
+        res
+    }
+
+    pub(super) fn cmp_block_avx<P: Coordinates>(
+        kind: KernelMetric,
+        query: &[f64],
+        block: &[P],
+        out: &mut [f64],
+    ) {
+        let mut groups = block.chunks_exact(4);
+        let mut outs = out.chunks_exact_mut(4);
+        for (g, o) in groups.by_ref().zip(outs.by_ref()) {
+            // SAFETY: dispatch verified AVX; `Coordinates` rows share the
+            // query's dimension per the point-set invariants.
+            let res = unsafe {
+                cmp4_avx(
+                    kind,
+                    query,
+                    [g[0].coords(), g[1].coords(), g[2].coords(), g[3].coords()],
+                )
+            };
+            o.copy_from_slice(&res);
+        }
+        for (o, p) in outs.into_remainder().iter_mut().zip(groups.remainder()) {
+            *o = scalar_cmp(kind, query, p.coords());
+        }
+    }
+
+    pub(super) fn cmp_block_sse2<P: Coordinates>(
+        kind: KernelMetric,
+        query: &[f64],
+        block: &[P],
+        out: &mut [f64],
+    ) {
+        let mut groups = block.chunks_exact(2);
+        let mut outs = out.chunks_exact_mut(2);
+        for (g, o) in groups.by_ref().zip(outs.by_ref()) {
+            // SAFETY: SSE2 is baseline on x86_64 and detection-checked.
+            let res = unsafe { cmp2_sse2(kind, query, [g[0].coords(), g[1].coords()]) };
+            o.copy_from_slice(&res);
+        }
+        for (o, p) in outs.into_remainder().iter_mut().zip(groups.remainder()) {
+            *o = scalar_cmp(kind, query, p.coords());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    fn pts(rows: &[&[f64]]) -> Vec<Point> {
+        rows.iter().map(|r| Point::new(r.to_vec())).collect()
+    }
+
+    const KINDS: [KernelMetric; 3] = [
+        KernelMetric::Euclidean,
+        KernelMetric::Manhattan,
+        KernelMetric::Chebyshev,
+    ];
+
+    #[test]
+    fn dispatched_kernels_match_scalar_bitwise() {
+        // Odd block length exercises the remainder lanes on every ISA.
+        let block = pts(&[
+            &[1.0, 2.0, 3.0],
+            &[-1.5, 0.25, 9.0],
+            &[0.0, -0.0, 1e-300],
+            &[7.0, 7.0, 7.0],
+            &[2.5, -3.5, 4.5],
+            &[1.0, 2.0, 3.0],
+            &[-8.0, 1e12, -1e-12],
+        ]);
+        let query = [0.5, -2.0, 3.25];
+        for kind in KINDS {
+            let mut auto = vec![0.0; block.len()];
+            let mut scalar = vec![0.0; block.len()];
+            cmp_block(kind, &query, &block, &mut auto);
+            cmp_block_scalar(kind, &query, &block, &mut scalar);
+            for (a, s) in auto.iter().zip(&scalar) {
+                assert_eq!(a.to_bits(), s.to_bits(), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn force_scalar_pins_the_isa() {
+        let was = force_scalar();
+        set_force_scalar(true);
+        assert_eq!(active_isa(), Isa::Scalar);
+        set_force_scalar(was);
+        // Detection is stable within a process.
+        assert_eq!(active_isa(), active_isa());
+    }
+
+    #[test]
+    fn within_block_matches_exact_compare() {
+        let block = pts(&[
+            &[0.0, 0.0],
+            &[3.0, 4.0],
+            &[1.0, 1.0],
+            &[5.0, 12.0],
+            &[3.0, 4.0],
+        ]);
+        let query = [0.0, 0.0];
+        for kind in KINDS {
+            let mut cmps = vec![0.0; block.len()];
+            cmp_block_scalar(kind, &query, &block, &mut cmps);
+            // Thresholds at, below, and above exact values.
+            for &t in &[
+                cmps[1],
+                cmps[1] * 0.999,
+                cmps[1] * 1.001,
+                0.0,
+                f64::INFINITY,
+            ] {
+                let mut flags = vec![false; block.len()];
+                within_block(kind, &query, &block, t, &mut flags);
+                for (f, &c) in flags.iter().zip(&cmps) {
+                    assert_eq!(*f, c <= t, "{kind:?} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_proxy_decisions_are_identical() {
+        let block = pts(&[
+            &[0.1, 0.2, 0.30000000000000004],
+            &[1e8, -1e8, 5e7],
+            &[1e-40, -1e-40, 0.0], // subnormal in f32
+            &[0.1, 0.2, 0.3],
+            &[123.456, -654.321, 0.001],
+        ]);
+        let query = [0.1, 0.2, 0.3];
+        let mut cmps = vec![0.0; block.len()];
+        for kind in KINDS {
+            cmp_block_scalar(kind, &query, &block, &mut cmps);
+            let mut thresholds: Vec<f64> = cmps.clone();
+            thresholds.extend(cmps.iter().map(|c| c * (1.0 + 1e-12)));
+            thresholds.extend(cmps.iter().map(|c| c * (1.0 - 1e-12)));
+            thresholds.push(0.0);
+            for &t in &thresholds {
+                let mut exact = vec![false; block.len()];
+                within_block(kind, &query, &block, t, &mut exact);
+                set_f32_proxy(true);
+                let mut proxied = vec![false; block.len()];
+                within_block(kind, &query, &block, t, &mut proxied);
+                set_f32_proxy(false);
+                assert_eq!(exact, proxied, "{kind:?} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_proxy_survives_f32_overflow() {
+        // 1e300 overflows to inf in f32: the proxy must fall back to the
+        // exact kernel rather than mis-classify.
+        let block = pts(&[&[1e300], &[-1e300], &[0.0]]);
+        let query = [1e300];
+        for kind in KINDS {
+            let mut cmps = vec![0.0; block.len()];
+            cmp_block_scalar(kind, &query, &block, &mut cmps);
+            let t = cmps[2];
+            let mut exact = vec![false; block.len()];
+            within_block(kind, &query, &block, t, &mut exact);
+            set_f32_proxy(true);
+            let mut proxied = vec![false; block.len()];
+            within_block(kind, &query, &block, t, &mut proxied);
+            set_f32_proxy(false);
+            assert_eq!(exact, proxied, "{kind:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output length mismatch")]
+    fn cmp_block_rejects_length_mismatch() {
+        let block = pts(&[&[1.0]]);
+        let mut out = [0.0; 2];
+        cmp_block(KernelMetric::Euclidean, &[0.0], &block, &mut out);
+    }
+}

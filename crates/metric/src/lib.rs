@@ -5,6 +5,10 @@
 //! workspace builds on:
 //!
 //! * [`Point`] — a validated, fixed-dimension point with `f64` coordinates;
+//! * [`PointSet`] / [`PointRef`] / [`Coordinates`] — structure-of-arrays
+//!   point storage (one contiguous coordinate block, zero-copy viewable
+//!   from a mmap'd shard) feeding the runtime-dispatched SIMD block
+//!   distance kernels in [`kernels`];
 //! * the [`Metric`] trait and concrete metrics ([`Euclidean`], [`Manhattan`],
 //!   [`Chebyshev`], [`CosineAngular`], and the test-oriented [`Precomputed`]
 //!   matrix metric);
@@ -31,10 +35,12 @@
 pub mod distance;
 pub mod doubling;
 pub mod fingerprint;
+pub mod kernels;
 pub mod meb;
 pub mod pairwise;
 pub mod persist;
 pub mod point;
+pub mod pointset;
 pub mod selection;
 
 pub use distance::{Chebyshev, CosineAngular, Euclidean, Manhattan, Metric, Precomputed};
@@ -46,3 +52,4 @@ pub use persist::{
     MatrixPersistence,
 };
 pub use point::{Point, PointError};
+pub use pointset::{Coordinates, PointRef, PointSet, PointSetError};

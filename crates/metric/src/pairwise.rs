@@ -38,11 +38,19 @@ pub fn min_positive_distance<P: Sync, M: Metric<P>>(points: &[P], metric: &M) ->
         .par_iter()
         .enumerate()
         .map(|(i, a)| {
+            // Block kernel over the row's tail; a stack sub-block keeps the
+            // proxy buffer off the heap. Each proxy is bit-identical to the
+            // scalar `cmp_distance` call it replaces, and the running-min
+            // update visits them in the same order.
             let mut row_min = f64::INFINITY;
-            for b in &points[i + 1..] {
-                let d = metric.cmp_distance(a, b);
-                if d > 0.0 && d < row_min {
-                    row_min = d;
+            let mut buf = [0.0f64; 256];
+            for chunk in points[i + 1..].chunks(256) {
+                let k = chunk.len();
+                metric.cmp_distance_block(a, chunk, &mut buf[..k]);
+                for &d in &buf[..k] {
+                    if d > 0.0 && d < row_min {
+                        row_min = d;
+                    }
                 }
             }
             row_min
@@ -206,7 +214,9 @@ impl DistanceMatrix {
     /// over rows: each row is a chunk-sized work unit for the pool, and its
     /// inner loop is a plain sequential scan (no per-element collection).
     pub fn build<P: Sync, M: Metric<P>>(points: &[P], metric: &M) -> Self {
-        Self::build_with(points, |a, b| metric.distance(a, b))
+        Self::build_with(points, |a, rest, row| {
+            metric.distance_to_block(a, rest, row)
+        })
     }
 
     /// Builds a matrix of [`Metric::cmp_distance`] comparison proxies —
@@ -216,12 +226,17 @@ impl DistanceMatrix {
     /// `kcenter-core`, which pairs this with the metric's conversions so
     /// matrix-backed and metric-backed scans apply one comparison rule).
     pub fn build_cmp<P: Sync, M: Metric<P>>(points: &[P], metric: &M) -> Self {
-        Self::build_with(points, |a, b| metric.cmp_distance(a, b))
+        Self::build_with(points, |a, rest, row| {
+            metric.cmp_distance_block(a, rest, row)
+        })
     }
 
     /// Shared parallel row-fill behind [`DistanceMatrix::build`] and
-    /// [`DistanceMatrix::build_cmp`].
-    fn build_with<P: Sync>(points: &[P], eval: impl Fn(&P, &P) -> f64 + Sync) -> Self {
+    /// [`DistanceMatrix::build_cmp`]: `fill(points[i], &points[i+1..],
+    /// row)` writes each condensed row in one block-kernel call, so the
+    /// whole strict upper triangle is evaluated by the vectorized batch
+    /// kernels (bit-identical to the old per-pair scalar fill).
+    fn build_with<P: Sync>(points: &[P], fill: impl Fn(&P, &[P], &mut [f64]) + Sync) -> Self {
         let n = points.len();
         let mut data = vec![0.0f64; n * n.saturating_sub(1) / 2];
         // Carve the condensed buffer into one mutable slice per row.
@@ -233,10 +248,7 @@ impl DistanceMatrix {
             rest = tail;
         }
         rows.into_par_iter().for_each(|(i, row)| {
-            let a = &points[i];
-            for (slot, b) in row.iter_mut().zip(&points[i + 1..]) {
-                *slot = eval(a, b);
-            }
+            fill(&points[i], &points[i + 1..], row);
         });
         MATRIX_BUILDS.fetch_add(1, Ordering::Relaxed);
         DistanceMatrix {

@@ -1,0 +1,225 @@
+//! Bitwise parity between the batched block kernels and the scalar
+//! point-at-a-time paths — the contract every hot loop in the workspace
+//! (GMM scans, matrix builds, ball-weight passes, the streaming doubling
+//! scan) relies on when it swaps `cmp_distance` for `cmp_distance_block`.
+//!
+//! Each property drives the *dispatched* kernels (whatever ISA the host
+//! auto-detects — AVX, SSE2, or scalar) against the trait-default scalar
+//! loops, over both owned `Point` slices and zero-copy `PointSet` views,
+//! and demands equality of raw bit patterns, not approximate agreement.
+//! Inputs deliberately include `-0.0`, subnormals, duplicate-heavy sets,
+//! and block lengths that are not a multiple of any SIMD width (remainder
+//! lanes).
+
+use kcenter_metric::kernels::{self, KernelMetric};
+use kcenter_metric::{
+    Chebyshev, CosineAngular, Euclidean, Manhattan, Metric, Point, PointRef, PointSet,
+};
+use proptest::prelude::*;
+
+/// Bit-pattern-sensitive coordinates: signed zero, subnormals, values at
+/// the magnitude extremes of the generation range.
+const SPECIALS: [f64; 8] = [
+    -0.0,
+    0.0,
+    1e-300,
+    -1e-300,
+    f64::MIN_POSITIVE / 2.0, // subnormal
+    -f64::MIN_POSITIVE / 2.0,
+    1e3,
+    -7.25,
+];
+
+fn arb_coord() -> impl Strategy<Value = f64> {
+    // Half uniform draws, half special values.
+    (0usize..16, -1e3..1e3f64).prop_map(|(i, x)| if i < 8 { x } else { SPECIALS[i - 8] })
+}
+
+/// `1 + n` points (a query plus a block) of the given dimension.
+fn arb_points(dim: usize, max_n: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        prop::collection::vec(arb_coord(), dim).prop_map(Point::new),
+        2..max_n,
+    )
+}
+
+/// Duplicate-heavy sets: a handful of base points fanned out by an index
+/// stream, so ties (`cmp == 0.0` between distinct slots) are the norm.
+fn arb_duplicate_heavy(dim: usize) -> impl Strategy<Value = Vec<Point>> {
+    (arb_points(dim, 6), prop::collection::vec(0usize..16, 4..40)).prop_map(|(base, idx)| {
+        idx.into_iter()
+            .map(|i| base[i % base.len()].clone())
+            .collect()
+    })
+}
+
+/// The parity oracle: `points[0]` is the query, the rest the block.
+///
+/// Checks all three block methods against the scalar trait defaults, on
+/// owned `Point`s and on `PointRef` views of a `PointSet` built from the
+/// same coordinates — six comparisons, all bitwise.
+fn check_parity<M>(metric: &M, points: &[Point]) -> Result<(), TestCaseError>
+where
+    M: for<'a> Metric<PointRef<'a>> + Metric<Point>,
+{
+    let query = &points[0];
+    let block = &points[1..];
+    let n = block.len();
+
+    // Scalar reference: the point-at-a-time methods the defaults loop.
+    let mut cmp_ref = vec![0.0f64; n];
+    let mut dist_ref = vec![0.0f64; n];
+    for (j, b) in block.iter().enumerate() {
+        cmp_ref[j] = Metric::<Point>::cmp_distance(metric, query, b);
+        dist_ref[j] = Metric::<Point>::distance(metric, query, b);
+    }
+
+    // Dispatched block kernels over the owned slice.
+    let mut cmp_blk = vec![0.0f64; n];
+    metric.cmp_distance_block(query, block, &mut cmp_blk);
+    let mut dist_blk = vec![0.0f64; n];
+    metric.distance_to_block(query, block, &mut dist_blk);
+    for j in 0..n {
+        prop_assert_eq!(cmp_blk[j].to_bits(), cmp_ref[j].to_bits());
+        prop_assert_eq!(dist_blk[j].to_bits(), dist_ref[j].to_bits());
+    }
+
+    // The same kernels over zero-copy views of the SoA set.
+    let set = PointSet::from_points(points);
+    let q = set.get(0);
+    let refs: Vec<PointRef<'_>> = set.iter().skip(1).collect();
+    let mut cmp_set = vec![0.0f64; n];
+    metric.cmp_distance_block(&q, &refs, &mut cmp_set);
+    let mut dist_set = vec![0.0f64; n];
+    metric.distance_to_block(&q, &refs, &mut dist_set);
+    for j in 0..n {
+        prop_assert_eq!(cmp_set[j].to_bits(), cmp_ref[j].to_bits());
+        prop_assert_eq!(dist_set[j].to_bits(), dist_ref[j].to_bits());
+    }
+
+    // Ball membership at thresholds sitting exactly ON proxy values (the
+    // boundary case a sloppy kernel gets wrong) plus the extremes.
+    let mut thresholds: Vec<f64> = cmp_ref.iter().copied().take(4).collect();
+    thresholds.push(0.0);
+    thresholds.push(cmp_ref.iter().copied().fold(0.0, f64::max));
+    for t in thresholds {
+        let mut flags = vec![false; n];
+        metric.within_block(query, block, t, &mut flags);
+        let mut flags_set = vec![false; n];
+        metric.within_block(&q, &refs, t, &mut flags_set);
+        for j in 0..n {
+            let expect = cmp_ref[j] <= t;
+            prop_assert_eq!(flags[j], expect);
+            prop_assert_eq!(flags_set[j], expect);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn euclidean_block_kernels_match_scalar(points in arb_points(3, 24)) {
+        check_parity(&Euclidean, &points)?;
+    }
+
+    #[test]
+    fn manhattan_block_kernels_match_scalar(points in arb_points(2, 24)) {
+        check_parity(&Manhattan, &points)?;
+    }
+
+    #[test]
+    fn chebyshev_block_kernels_match_scalar(points in arb_points(5, 20)) {
+        check_parity(&Chebyshev, &points)?;
+    }
+
+    #[test]
+    fn cosine_angular_block_defaults_match_scalar(
+        points in prop::collection::vec(
+            prop::collection::vec(0.1..1e3f64, 3).prop_map(Point::new),
+            2..16,
+        ),
+    ) {
+        // CosineAngular keeps the scalar defaults (no SIMD override); the
+        // parity oracle still pins the block API contract for it.
+        check_parity(&CosineAngular, &points)?;
+    }
+
+    #[test]
+    fn duplicate_heavy_sets_stay_bit_identical(points in arb_duplicate_heavy(3)) {
+        check_parity(&Euclidean, &points)?;
+        check_parity(&Manhattan, &points)?;
+        check_parity(&Chebyshev, &points)?;
+    }
+
+    #[test]
+    fn single_point_blocks_and_dimension_one(points in arb_points(1, 4)) {
+        // The degenerate shapes: dim-1 points, blocks of length 1-2 (all
+        // remainder, no full SIMD chunk).
+        check_parity(&Euclidean, &points)?;
+        check_parity(&Chebyshev, &points)?;
+    }
+}
+
+/// Remainder lanes, pinned deterministically: every block length 1..=9
+/// crosses the AVX width (4), the SSE2 width (2), and their remainders.
+#[test]
+fn every_remainder_lane_is_bitwise_identical() {
+    let palette = [
+        0.25, -0.0, 1e-300, 739.5, -1e3, 0.1, -0.125, 64.0, 5e-324, 2.5,
+    ];
+    for dim in [1usize, 2, 3, 7] {
+        for n in 1usize..=9 {
+            let points: Vec<Point> = (0..n + 1)
+                .map(|i| {
+                    Point::new(
+                        (0..dim)
+                            .map(|d| palette[(i * dim + d) % palette.len()])
+                            .collect(),
+                    )
+                })
+                .collect();
+            let query = points[0].coords();
+            let block = &points[1..];
+            for kind in [
+                KernelMetric::Euclidean,
+                KernelMetric::Manhattan,
+                KernelMetric::Chebyshev,
+            ] {
+                let mut dispatched = vec![0.0f64; n];
+                kernels::cmp_block(kind, query, block, &mut dispatched);
+                let mut scalar = vec![0.0f64; n];
+                kernels::cmp_block_scalar(kind, query, block, &mut scalar);
+                for j in 0..n {
+                    assert_eq!(
+                        dispatched[j].to_bits(),
+                        scalar[j].to_bits(),
+                        "{kind:?} dim={dim} n={n} lane {j}: {} vs {}",
+                        dispatched[j],
+                        scalar[j]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A `PointSet` loaded by copy and the original owned points are fully
+/// interchangeable inputs to the kernels — the guarantee that lets the
+/// exec worker swap `Vec<Point>` for mapped shard views.
+#[test]
+fn pointset_views_are_interchangeable_with_owned_points() {
+    let points: Vec<Point> = (0..13)
+        .map(|i| Point::new(vec![i as f64 * 0.3, -0.0, 1e-300 * (i + 1) as f64]))
+        .collect();
+    let set = PointSet::from_points(&points);
+    let refs: Vec<PointRef<'_>> = set.iter().collect();
+    let mut from_points = vec![0.0f64; points.len() - 1];
+    Euclidean.cmp_distance_block(&points[0], &points[1..], &mut from_points);
+    let mut from_refs = vec![0.0f64; points.len() - 1];
+    Euclidean.cmp_distance_block(&refs[0], &refs[1..], &mut from_refs);
+    for (a, b) in from_refs.iter().zip(&from_points) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

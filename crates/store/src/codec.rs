@@ -424,6 +424,22 @@ pub fn validate_shard(bytes: &[u8]) -> Result<ShardLayout, DecodeError> {
     })
 }
 
+/// Validates a shard's coordinate block for finiteness — the same invariant
+/// [`Point::try_new`] enforces — without materializing points.
+///
+/// Zero-copy readers that view a mapped shard's coordinate block directly
+/// (e.g. building a `PointSet` over the mapping) must call this after
+/// [`validate_shard`]: the checksum vouches for the *bytes*, not for the
+/// values, and a forged entry of non-finite coordinates must surface as a
+/// [`DecodeError::Malformed`] miss — never as NaN-poisoned distances.
+pub fn validate_shard_coords(coords: &[f64]) -> Result<(), DecodeError> {
+    if coords.iter().all(|c| c.is_finite()) {
+        Ok(())
+    } else {
+        Err(DecodeError::Malformed)
+    }
+}
+
 /// Decodes a point shard. Coordinates are validated through
 /// [`Point::try_new`], so a forged payload of non-finite values is a
 /// [`DecodeError::Malformed`] miss, not a downstream panic.
@@ -707,6 +723,18 @@ mod tests {
         put_u64(&mut payload, 0);
         let forged = frame(ArtifactKind::Shard, payload);
         assert_eq!(decode_shard(&forged), Err(DecodeError::Malformed));
+    }
+
+    #[test]
+    fn coordinate_block_validation_matches_try_new() {
+        assert!(validate_shard_coords(&[]).is_ok());
+        assert!(validate_shard_coords(&[1.0, -0.0, 1e-300, f64::MAX]).is_ok());
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                validate_shard_coords(&[0.0, bad, 1.0]),
+                Err(DecodeError::Malformed)
+            );
+        }
     }
 
     #[test]

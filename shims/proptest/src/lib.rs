@@ -6,16 +6,19 @@
 //! `?`-compatible bodies), `prop_assert!`/`prop_assert_eq!`/`prop_assume!`,
 //! range and collection strategies, and `Strategy::prop_map`.
 //!
-//! Failing inputs **are shrunk**: every strategy can propose
-//! smaller-or-simpler candidates via [`Strategy::shrink`], and the runner
-//! greedily walks candidates that still fail until none does, reporting
-//! the minimized counterexample next to the original one. Integer ranges
-//! shrink by binary search toward their lower bound; `vec` strategies
-//! shrink their length by halving toward the minimum size and then shrink
-//! elements pointwise; tuples (one per `proptest!` binding) shrink one
-//! component at a time. `prop_map` does not shrink (the shim keeps no
-//! pre-image to re-map), and float ranges are left unshrunk — both
-//! deliberate shim simplifications.
+//! Failing inputs **are shrunk**, through every combinator. Each strategy
+//! generates a value together with a strategy-private [`Strategy::Source`]
+//! — the provenance the shrinker operates on (a miniature of real
+//! proptest's `ValueTree`). Shrinking therefore happens in *source* space:
+//! `prop_map` keeps its inner strategy's source, shrinks that, and re-maps
+//! each candidate, so a `vec(..).prop_map(Point::new)` element minimizes
+//! its coordinates like any plain vector. The runner greedily walks
+//! candidates that still fail until none does, reporting the minimized
+//! counterexample next to the original one. Integer and float ranges
+//! shrink by binary search toward the in-range value closest to zero
+//! (their lower bound when positive); `vec` strategies shrink their length
+//! by halving toward the minimum size and then shrink elements pointwise;
+//! tuples (one per `proptest!` binding) shrink one component at a time.
 //!
 //! Other differences from real proptest, deliberately accepted for a
 //! shim: cases are generated from a seed derived from the test name
@@ -96,18 +99,33 @@ pub trait Strategy {
     /// The type of generated values.
     type Value;
 
-    /// Generates one value.
-    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    /// Strategy-private provenance of a generated value: whatever the
+    /// strategy needs to re-derive shrink candidates. Combinators thread
+    /// it through — [`Map`] stores its *inner* strategy's source, which is
+    /// what lets shrinking pass through `prop_map` — and leaf strategies
+    /// typically use the value itself.
+    type Source: Clone;
 
-    /// Candidate simplifications of a failing `value`, most aggressive
-    /// first. The runner greedily adopts the first candidate that still
-    /// fails and re-shrinks from there, so a halving sequence (jump to the
-    /// minimum, then successively smaller jumps back toward `value`)
-    /// converges like a binary search for monotone failure predicates.
-    /// Default: no candidates (the value is already minimal).
-    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-        let _ = value;
+    /// Generates one value together with its shrink source.
+    fn generate_with_source(&self, rng: &mut StdRng) -> (Self::Value, Self::Source);
+
+    /// Candidate simplifications of a failing value, derived from its
+    /// source, most aggressive first — each paired with its own source so
+    /// the runner can re-shrink from whichever candidate it adopts. The
+    /// runner greedily adopts the first candidate that still fails, so a
+    /// halving sequence (jump to the minimum, then successively smaller
+    /// jumps back toward the failing value) converges like a binary
+    /// search for monotone failure predicates. Default: no candidates
+    /// (the value is already minimal).
+    fn shrink_source(&self, source: &Self::Source) -> Vec<(Self::Value, Self::Source)> {
+        let _ = source;
         Vec::new()
+    }
+
+    /// Generates one value (the source is discarded; shrinking callers use
+    /// [`Strategy::generate_with_source`]).
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        self.generate_with_source(rng).0
     }
 
     /// Maps generated values through `f`.
@@ -135,15 +153,21 @@ pub trait Strategy {
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
-    fn generate(&self, rng: &mut StdRng) -> Self::Value {
-        (**self).generate(rng)
+    type Source = S::Source;
+    fn generate_with_source(&self, rng: &mut StdRng) -> (Self::Value, Self::Source) {
+        (**self).generate_with_source(rng)
     }
-    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-        (**self).shrink(value)
+    fn shrink_source(&self, source: &Self::Source) -> Vec<(Self::Value, Self::Source)> {
+        (**self).shrink_source(source)
     }
 }
 
 /// Strategy adapter produced by [`Strategy::prop_map`].
+///
+/// Shrinks by **source tracking**: the pre-image of every generated value
+/// is kept as the source, shrunk by the inner strategy, and each candidate
+/// re-mapped through `f` — so mapped strategies minimize exactly as well
+/// as their inputs do.
 #[derive(Clone, Copy, Debug)]
 pub struct Map<S, F> {
     inner: S,
@@ -155,12 +179,18 @@ where
     F: Fn(S::Value) -> U,
 {
     type Value = U;
-    fn generate(&self, rng: &mut StdRng) -> U {
-        (self.f)(self.inner.generate(rng))
+    type Source = S::Source;
+    fn generate_with_source(&self, rng: &mut StdRng) -> (U, S::Source) {
+        let (value, source) = self.inner.generate_with_source(rng);
+        ((self.f)(value), source)
     }
-    // No shrink: the shim keeps no pre-image of the mapped value, so it
-    // cannot shrink the source and re-map (real proptest's ValueTree
-    // machinery does; deliberately out of scope here).
+    fn shrink_source(&self, source: &S::Source) -> Vec<(U, S::Source)> {
+        self.inner
+            .shrink_source(source)
+            .into_iter()
+            .map(|(value, source)| ((self.f)(value), source))
+            .collect()
+    }
 }
 
 /// Strategy adapter produced by [`Strategy::prop_filter`].
@@ -176,11 +206,12 @@ where
     F: Fn(&S::Value) -> bool,
 {
     type Value = S::Value;
-    fn generate(&self, rng: &mut StdRng) -> S::Value {
+    type Source = S::Source;
+    fn generate_with_source(&self, rng: &mut StdRng) -> (S::Value, S::Source) {
         for _ in 0..1_000 {
-            let v = self.inner.generate(rng);
-            if (self.f)(&v) {
-                return v;
+            let (value, source) = self.inner.generate_with_source(rng);
+            if (self.f)(&value) {
+                return (value, source);
             }
         }
         panic!(
@@ -188,12 +219,12 @@ where
             self.reason
         );
     }
-    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+    fn shrink_source(&self, source: &S::Source) -> Vec<(S::Value, S::Source)> {
         // Only candidates that still satisfy the filter are admissible.
         self.inner
-            .shrink(value)
+            .shrink_source(source)
             .into_iter()
-            .filter(|v| (self.f)(v))
+            .filter(|(value, _)| (self.f)(value))
             .collect()
     }
 }
@@ -204,22 +235,68 @@ pub struct Just<T>(pub T);
 
 impl<T: Clone> Strategy for Just<T> {
     type Value = T;
-    fn generate(&self, _rng: &mut StdRng) -> T {
-        self.0.clone()
+    type Source = ();
+    fn generate_with_source(&self, _rng: &mut StdRng) -> (T, ()) {
+        (self.0.clone(), ())
     }
+}
+
+/// Float shrink candidates: binary search from `value` toward the
+/// in-range value closest to zero, most aggressive first — the float
+/// analog of the integer halving shrinker. The walk is capped (the exact
+/// threshold of a float predicate can need ~1000 halvings to pin down);
+/// greedy re-shrinking from each adopted candidate restores convergence.
+fn float_shrink_candidates(value: f64, lo: f64, hi: f64) -> Vec<f64> {
+    let target = 0.0f64.clamp(lo, hi);
+    if value == target {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    // `hi` is the range's exclusive end: admissible as a direction to
+    // shrink toward, never as a candidate itself.
+    if target < hi {
+        out.push(target);
+    }
+    let mut delta = value - target;
+    for _ in 0..24 {
+        delta /= 2.0;
+        let candidate = value - delta;
+        if candidate == value || candidate == target {
+            break;
+        }
+        out.push(candidate);
+    }
+    out
 }
 
 impl Strategy for Range<f64> {
     type Value = f64;
-    fn generate(&self, rng: &mut StdRng) -> f64 {
-        rng.random_range(self.start..self.end)
+    type Source = f64;
+    fn generate_with_source(&self, rng: &mut StdRng) -> (f64, f64) {
+        let v = rng.random_range(self.start..self.end);
+        (v, v)
+    }
+    fn shrink_source(&self, &value: &f64) -> Vec<(f64, f64)> {
+        float_shrink_candidates(value, self.start, self.end)
+            .into_iter()
+            .map(|c| (c, c))
+            .collect()
     }
 }
 
 impl Strategy for Range<f32> {
     type Value = f32;
-    fn generate(&self, rng: &mut StdRng) -> f32 {
-        rng.random_range(self.start as f64..self.end as f64) as f32
+    type Source = f32;
+    fn generate_with_source(&self, rng: &mut StdRng) -> (f32, f32) {
+        let v = rng.random_range(self.start as f64..self.end as f64) as f32;
+        (v, v)
+    }
+    fn shrink_source(&self, &value: &f32) -> Vec<(f32, f32)> {
+        float_shrink_candidates(value as f64, self.start as f64, self.end as f64)
+            .into_iter()
+            .map(|c| (c as f32, c as f32))
+            .filter(|&(c, _)| c != value)
+            .collect()
     }
 }
 
@@ -227,20 +304,30 @@ macro_rules! impl_strategy_int_range {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
-            fn generate(&self, rng: &mut StdRng) -> $t {
-                rng.random_range(self.start..self.end)
+            type Source = $t;
+            fn generate_with_source(&self, rng: &mut StdRng) -> ($t, $t) {
+                let v = rng.random_range(self.start..self.end);
+                (v, v)
             }
-            fn shrink(&self, &value: &$t) -> Vec<$t> {
+            fn shrink_source(&self, &value: &$t) -> Vec<($t, $t)> {
                 int_shrink_candidates(value, self.start)
+                    .into_iter()
+                    .map(|c| (c, c))
+                    .collect()
             }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
-            fn generate(&self, rng: &mut StdRng) -> $t {
-                rng.random_range(self.clone())
+            type Source = $t;
+            fn generate_with_source(&self, rng: &mut StdRng) -> ($t, $t) {
+                let v = rng.random_range(self.clone());
+                (v, v)
             }
-            fn shrink(&self, &value: &$t) -> Vec<$t> {
+            fn shrink_source(&self, &value: &$t) -> Vec<($t, $t)> {
                 int_shrink_candidates(value, *self.start())
+                    .into_iter()
+                    .map(|c| (c, c))
+                    .collect()
             }
         }
 
@@ -295,16 +382,22 @@ macro_rules! impl_strategy_tuple {
             $($name::Value: Clone),+
         {
             type Value = ($($name::Value,)+);
-            fn generate(&self, rng: &mut StdRng) -> Self::Value {
-                ($(self.$idx.generate(rng),)+)
+            // Each component's (value, source) pair: sibling values are
+            // needed to rebuild the whole tuple around one component's
+            // shrink candidate.
+            type Source = ($(($name::Value, $name::Source),)+);
+            fn generate_with_source(&self, rng: &mut StdRng) -> (Self::Value, Self::Source) {
+                let source = ($(self.$idx.generate_with_source(rng),)+);
+                (($(source.$idx.0.clone(),)+), source)
             }
-            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            fn shrink_source(&self, source: &Self::Source) -> Vec<(Self::Value, Self::Source)> {
+                let value_of = |s: &Self::Source| ($(s.$idx.0.clone(),)+);
                 let mut out = Vec::new();
                 $(
-                    for candidate in self.$idx.shrink(&value.$idx) {
-                        let mut next = value.clone();
+                    for candidate in self.$idx.shrink_source(&source.$idx.1) {
+                        let mut next = source.clone();
                         next.$idx = candidate;
-                        out.push(next);
+                        out.push((value_of(&next), next));
                     }
                 )+
                 out
@@ -337,8 +430,17 @@ pub mod bool {
 
     impl Strategy for Any {
         type Value = bool;
-        fn generate(&self, rng: &mut rand::rngs::StdRng) -> bool {
-            rng.random()
+        type Source = bool;
+        fn generate_with_source(&self, rng: &mut rand::rngs::StdRng) -> (bool, bool) {
+            let v = rng.random();
+            (v, v)
+        }
+        fn shrink_source(&self, &value: &bool) -> Vec<(bool, bool)> {
+            if value {
+                vec![(false, false)]
+            } else {
+                Vec::new()
+            }
         }
     }
 }
@@ -402,16 +504,29 @@ pub mod collection {
         S::Value: Clone,
     {
         type Value = Vec<S::Value>;
-        fn generate(&self, rng: &mut rand::rngs::StdRng) -> Vec<S::Value> {
+        // One (value, source) pair per element, so pointwise shrinking can
+        // re-derive each element's candidates — including through
+        // `prop_map`ped elements like `vec(..).prop_map(Point::new)`.
+        type Source = Vec<(S::Value, S::Source)>;
+        fn generate_with_source(
+            &self,
+            rng: &mut rand::rngs::StdRng,
+        ) -> (Vec<S::Value>, Self::Source) {
             let n = if self.size.lo + 1 >= self.size.hi {
                 self.size.lo
             } else {
                 rng.random_range(self.size.lo..self.size.hi)
             };
-            (0..n).map(|_| self.elem.generate(rng)).collect()
+            let source: Vec<_> = (0..n)
+                .map(|_| self.elem.generate_with_source(rng))
+                .collect();
+            (source.iter().map(|(v, _)| v.clone()).collect(), source)
         }
-        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
-            let len = value.len();
+        fn shrink_source(&self, source: &Self::Source) -> Vec<(Self::Value, Self::Source)> {
+            let value_of = |s: &[(S::Value, S::Source)]| -> Vec<S::Value> {
+                s.iter().map(|(v, _)| v.clone()).collect()
+            };
+            let len = source.len();
             let min = self.size.lo.min(len);
             let mut out = Vec::new();
             // Length shrink by halving toward the minimum size (truncating
@@ -419,7 +534,7 @@ pub mod collection {
             // halved decrements — the same binary-search discipline as the
             // integer shrinker.
             if len > min {
-                out.push(value[..min].to_vec());
+                out.push((value_of(&source[..min]), source[..min].to_vec()));
                 let mut delta = len - min;
                 loop {
                     delta /= 2;
@@ -428,17 +543,17 @@ pub mod collection {
                     }
                     let l = len - delta;
                     if l != min {
-                        out.push(value[..l].to_vec());
+                        out.push((value_of(&source[..l]), source[..l].to_vec()));
                     }
                 }
             }
             // Pointwise element shrink at the (now minimal) length: one
             // candidate vector per element candidate.
-            for (i, elem) in value.iter().enumerate() {
-                for candidate in self.elem.shrink(elem) {
-                    let mut next = value.clone();
+            for (i, (_, elem_source)) in source.iter().enumerate() {
+                for candidate in self.elem.shrink_source(elem_source) {
+                    let mut next = source.clone();
                     next[i] = candidate;
-                    out.push(next);
+                    out.push((value_of(&next), next));
                 }
             }
             out
@@ -448,11 +563,11 @@ pub mod collection {
 
 /// Drives one property: repeatedly generates value tuples from `strategy`
 /// until `config.cases` succeed. On the first failure the value is shrunk
-/// — candidates from [`Strategy::shrink`] are walked greedily, adopting
-/// the first candidate that still fails and re-shrinking from it until no
-/// candidate fails (or `config.max_shrink_iters` evaluations are spent) —
-/// and the panic reports both the original and the minimized
-/// counterexample.
+/// — candidates from [`Strategy::shrink_source`] are walked greedily,
+/// adopting the first candidate that still fails and re-shrinking from its
+/// source until no candidate fails (or `config.max_shrink_iters`
+/// evaluations are spent) — and the panic reports both the original and
+/// the minimized counterexample.
 ///
 /// Used by the [`proptest!`] macro; not part of the public proptest API.
 pub fn run_property<S, F>(name: &str, config: ProptestConfig, strategy: &S, test: F)
@@ -474,7 +589,7 @@ where
     let mut case_index = 0u64;
     while passed < config.cases {
         case_index += 1;
-        let value = strategy.generate(&mut rng);
+        let (value, source) = strategy.generate_with_source(&mut rng);
         match test(value.clone()) {
             Ok(()) => passed += 1,
             Err(TestCaseError::Reject(_)) => {
@@ -488,8 +603,14 @@ where
                 }
             }
             Err(TestCaseError::Fail(msg)) => {
-                let (minimal, minimal_msg, steps, evals) =
-                    shrink_failure(strategy, &test, value.clone(), msg, config.max_shrink_iters);
+                let (minimal, minimal_msg, steps, evals) = shrink_failure(
+                    strategy,
+                    &test,
+                    value.clone(),
+                    source,
+                    msg,
+                    config.max_shrink_iters,
+                );
                 panic!(
                     "property {name} failed at case #{case_index} \
                      (seed {seed:#x}): {minimal_msg}\n\
@@ -503,12 +624,14 @@ where
 }
 
 /// Greedy shrink descent: adopt the first candidate that still fails,
-/// restart from it, stop when no candidate fails or the evaluation budget
-/// runs out. Rejected candidates (`prop_assume!`) count as non-failing.
+/// restart from its source, stop when no candidate fails or the evaluation
+/// budget runs out. Rejected candidates (`prop_assume!`) count as
+/// non-failing.
 fn shrink_failure<S, F>(
     strategy: &S,
     test: &F,
     mut current: S::Value,
+    mut source: S::Source,
     mut current_msg: String,
     max_iters: u32,
 ) -> (S::Value, String, u32, u32)
@@ -520,13 +643,14 @@ where
     let mut evals = 0u32;
     let mut steps = 0u32;
     'descend: loop {
-        for candidate in strategy.shrink(&current) {
+        for (cand_value, cand_source) in strategy.shrink_source(&source) {
             if evals >= max_iters {
                 break 'descend;
             }
             evals += 1;
-            if let Err(TestCaseError::Fail(msg)) = test(candidate.clone()) {
-                current = candidate;
+            if let Err(TestCaseError::Fail(msg)) = test(cand_value.clone()) {
+                current = cand_value;
+                source = cand_source;
                 current_msg = msg;
                 steps += 1;
                 continue 'descend;
@@ -771,10 +895,10 @@ mod tests {
         // Shrink candidates of a filtered strategy must all satisfy the
         // filter (halving produces odd decrements, which get dropped).
         let even = (0u32..1_000).prop_filter("even", |n| n % 2 == 0);
-        let candidates = even.shrink(&100);
+        let candidates = even.shrink_source(&100);
         assert!(!candidates.is_empty());
-        assert!(candidates.iter().all(|c| c % 2 == 0), "{candidates:?}");
-        assert!(candidates.contains(&0));
+        assert!(candidates.iter().all(|(c, _)| c % 2 == 0), "{candidates:?}");
+        assert!(candidates.iter().any(|&(c, _)| c == 0));
         // A filter away from the shrink path does not impede convergence.
         let bounded = (0u32..1_000).prop_filter("bounded", |&n| n < 900);
         let msg = failing_property_message((bounded,), |&(n,)| n >= 12);
@@ -788,11 +912,94 @@ mod tests {
     fn int_shrink_candidate_order_is_halving() {
         use crate::Strategy as _;
         let s = 0usize..1_000;
-        assert_eq!(s.shrink(&100), vec![0, 50, 75, 88, 94, 97, 99]);
-        assert_eq!(s.shrink(&1), vec![0]);
-        assert!(s.shrink(&0).is_empty());
+        let values: Vec<usize> = s.shrink_source(&100).into_iter().map(|(v, _)| v).collect();
+        assert_eq!(values, vec![0, 50, 75, 88, 94, 97, 99]);
+        let values: Vec<usize> = s.shrink_source(&1).into_iter().map(|(v, _)| v).collect();
+        assert_eq!(values, vec![0]);
+        assert!(s.shrink_source(&0).is_empty());
         let inc = 3usize..=10;
-        assert_eq!(inc.shrink(&3), Vec::<usize>::new());
-        assert_eq!(inc.shrink(&7), vec![3, 5, 6]);
+        assert!(inc.shrink_source(&3).is_empty());
+        let values: Vec<usize> = inc.shrink_source(&7).into_iter().map(|(v, _)| v).collect();
+        assert_eq!(values, vec![3, 5, 6]);
+    }
+
+    #[test]
+    fn prop_map_failure_shrinks_through_the_map() {
+        use crate::Strategy as _;
+        // The mapped strategy doubles its source; failing at >= 40 means
+        // the *source* must binary-search to 20 and the report shows the
+        // re-mapped minimum 40 — impossible without source tracking.
+        let doubled = (0u32..1_000).prop_map(|n| n * 2);
+        let msg = failing_property_message((doubled,), |&(n,)| n >= 40);
+        assert!(
+            msg.contains("minimal failing input") && msg.contains("(40,)"),
+            "expected the mapped minimum 40 in:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn mapped_elements_inside_a_vec_shrink_their_coordinates() {
+        use crate::Strategy as _;
+        // The arb_points shape: a vec of prop_map'ped "points". Failure
+        // depends only on the first point's coordinate, so greedy descent
+        // truncates to one element and minimizes its coordinate through
+        // the map — each element shrinks from its own source.
+        let points = crate::collection::vec(
+            crate::collection::vec(0i64..1_000, 1).prop_map(|coords| coords),
+            1..8,
+        );
+        let msg = failing_property_message((points,), |(v,): &(Vec<Vec<i64>>,)| {
+            v.first().is_some_and(|p| p[0] >= 7)
+        });
+        assert!(
+            msg.contains("([[7]],)"),
+            "expected one single-coordinate point [[7]] in:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn float_failure_shrinks_toward_zero() {
+        // Fails at x >= 50 in 0.0..1000.0: the float halving shrinker must
+        // converge to (just above) the threshold, not stay at the original
+        // random failing value.
+        let msg = failing_property_message((0.0..1_000.0f64,), |&(x,)| x >= 50.0);
+        let minimal = msg
+            .split("candidate evaluations): (")
+            .nth(1)
+            .and_then(|tail| tail.split(',').next())
+            .and_then(|num| num.parse::<f64>().ok())
+            .unwrap_or_else(|| panic!("cannot parse minimal value from:\n{msg}"));
+        assert!(
+            (50.0..50.001).contains(&minimal),
+            "expected the minimum within [50, 50.001), got {minimal} in:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn float_shrink_candidates_stay_in_range() {
+        use crate::Strategy as _;
+        // Mixed-sign range shrinks toward zero from both sides.
+        let s = -8.0..8.0f64;
+        for start in [6.5, -6.5] {
+            let candidates = s.shrink_source(&start);
+            assert!(!candidates.is_empty());
+            assert!(candidates.iter().any(|&(c, _)| c == 0.0));
+            for &(c, _) in &candidates {
+                assert!((-8.0..8.0).contains(&c) && c.abs() < start.abs());
+            }
+        }
+        // Positive-only range shrinks toward its floor, never below.
+        let pos = 2.0..100.0f64;
+        for &(c, _) in &pos.shrink_source(&64.0) {
+            assert!((2.0..64.0).contains(&c));
+        }
+        assert!(pos.shrink_source(&2.0).is_empty());
+        // Negative-only range shrinks toward the (excluded) upper end.
+        let neg = -100.0..-2.0f64;
+        let candidates = neg.shrink_source(&-64.0);
+        assert!(!candidates.is_empty());
+        for &(c, _) in &candidates {
+            assert!((-64.0..-2.0).contains(&c), "{c}");
+        }
     }
 }
