@@ -1,0 +1,171 @@
+//! Bench report: diffs two `BENCH_*.json` files produced by
+//! `bench_runner` and flags per-kernel regressions beyond a noise-aware
+//! threshold — the advisory gate that turns the committed perf
+//! trajectory into an actionable signal instead of an archive.
+//!
+//! Rows are matched by `(kernel, dataset, threads)`. A row regresses
+//! when the current median exceeds the baseline median by more than
+//! `--threshold` percent **and** the gap clears the measurement noise
+//! (four times the summed MADs of both rows — a sample-median analogue
+//! of a separation test; medians-within-noise never flag). Rows whose
+//! input size `n` changed are reported but never flagged: the workload
+//! moved, so the clock difference is not a regression signal.
+//!
+//! Usage: `bench_report BASELINE.json CURRENT.json [--threshold PCT]`
+//!
+//! Exit code: 0 when no row regresses, 1 otherwise (the CI job runs
+//! advisory, so a flag is a loud comment, not a red build). The parser
+//! reads exactly the line-per-record shape `bench_runner` writes — this
+//! is a pinned tool for a pinned format, not a general JSON reader.
+
+/// One measured row of a `BENCH_*.json`.
+#[derive(Clone, Debug)]
+struct Row {
+    kernel: String,
+    dataset: String,
+    n: u64,
+    threads: u64,
+    median_ns: u64,
+    mad_ns: u64,
+}
+
+/// Extracts `"key": <value>` from a record line; strings lose their
+/// quotes, numbers come back verbatim.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": ");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', '}']).next()
+    }
+    .map(str::trim)
+}
+
+fn parse_rows(path: &str) -> Vec<Row> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    text.lines()
+        .filter(|line| line.contains("\"kernel\""))
+        .filter_map(|line| {
+            Some(Row {
+                kernel: field(line, "kernel")?.to_string(),
+                dataset: field(line, "dataset")?.to_string(),
+                n: field(line, "n")?.parse().ok()?,
+                threads: field(line, "threads")?.parse().ok()?,
+                median_ns: field(line, "median_ns")?.parse().ok()?,
+                mad_ns: field(line, "mad_ns")?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+fn human(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+fn main() {
+    let mut paths = Vec::new();
+    let mut threshold_pct = 10.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--threshold needs a number (percent)"));
+            }
+            other if !other.starts_with("--") => paths.push(other.to_string()),
+            other => {
+                eprintln!("unknown argument {other}; usage: bench_report BASELINE.json CURRENT.json [--threshold PCT]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: bench_report BASELINE.json CURRENT.json [--threshold PCT]");
+        std::process::exit(2);
+    };
+    let baseline = parse_rows(baseline_path);
+    let current = parse_rows(current_path);
+    println!(
+        "bench_report: {} ({} rows) vs {} ({} rows), threshold {threshold_pct}%",
+        baseline_path,
+        baseline.len(),
+        current_path,
+        current.len(),
+    );
+
+    let mut regressions = 0usize;
+    for cur in &current {
+        let base = baseline.iter().find(|b| {
+            b.kernel == cur.kernel && b.dataset == cur.dataset && b.threads == cur.threads
+        });
+        let Some(base) = base else {
+            println!(
+                "  NEW        {:<40} {:>10}  (no baseline row)",
+                row_key(cur),
+                human(cur.median_ns)
+            );
+            continue;
+        };
+        let delta_pct =
+            (cur.median_ns as f64 - base.median_ns as f64) / base.median_ns.max(1) as f64 * 100.0;
+        if base.n != cur.n {
+            println!(
+                "  RESIZED    {:<40} {:>10} -> {:>10} ({delta_pct:+.1}%, n {} -> {}; not compared)",
+                row_key(cur),
+                human(base.median_ns),
+                human(cur.median_ns),
+                base.n,
+                cur.n
+            );
+            continue;
+        }
+        let noise_ns = 4 * (base.mad_ns + cur.mad_ns);
+        let gap_ns = cur.median_ns.saturating_sub(base.median_ns);
+        let verdict = if delta_pct > threshold_pct && gap_ns > noise_ns {
+            regressions += 1;
+            "REGRESSED"
+        } else if delta_pct < -threshold_pct
+            && base.median_ns.saturating_sub(cur.median_ns) > noise_ns
+        {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {verdict:<10} {:<40} {:>10} -> {:>10} ({delta_pct:+.1}%, noise ±{})",
+            row_key(cur),
+            human(base.median_ns),
+            human(cur.median_ns),
+            human(noise_ns)
+        );
+    }
+    for base in &baseline {
+        if !current.iter().any(|c| {
+            c.kernel == base.kernel && c.dataset == base.dataset && c.threads == base.threads
+        }) {
+            println!(
+                "  MISSING    {:<40} (row dropped from current)",
+                row_key(base)
+            );
+        }
+    }
+
+    if regressions > 0 {
+        println!("{regressions} kernel(s) regressed beyond {threshold_pct}% + noise");
+        std::process::exit(1);
+    }
+    println!("no regressions beyond {threshold_pct}% + noise");
+}
+
+fn row_key(r: &Row) -> String {
+    format!("{}/{}@t{}", r.kernel, r.dataset, r.threads)
+}

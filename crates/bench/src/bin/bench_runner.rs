@@ -1,14 +1,22 @@
 //! Bench runner: measures the hot kernels (GMM, `OutliersCluster`, radius
 //! search, `DistanceMatrix` construction, cached-vs-rebuilt radius-search
-//! sweeps) on the 10k-point `Power` workload and writes machine-readable
-//! `BENCH_pr6.json` — the perf trajectory's record.
+//! sweeps) plus the multi-process executor (warm vs cold worker fleet,
+//! store-served vs re-written shards) on the seeded `Power` workload and
+//! writes machine-readable `BENCH_pr7.json` — the perf trajectory's
+//! record.
 //!
 //! The block-kernel consumers (`gmm_select`'s chunked min-distance scan
 //! and the blocked `DistanceMatrix::build`) are measured **paired**:
 //! auto-dispatched SIMD versus the `set_force_scalar` escape hatch, with
 //! samples interleaved (ABBA), so the vectorization before/after comes
 //! from identical surrounding code on identical hardware. The JSON header
-//! records the auto-detected ISA the "auto" rows ran on.
+//! records the auto-detected ISA the "auto" rows ran on. The executor
+//! rows are paired the same way: a persistent [`WorkerFleet`] reused
+//! across samples versus a fresh fleet spawned per run (fleet-warmup
+//! amortization), and content-addressed store-served shards versus
+//! work-dir re-sharding; the header pins that every warm sample performed
+//! **zero** shard writes. The binary re-invokes itself in a hidden
+//! `exec-worker` mode as the fleet's worker process.
 //!
 //! Every number comes from the criterion shim's measurement kernel
 //! (warmup, N samples, MAD-based outlier rejection, median of survivors)
@@ -416,7 +424,126 @@ fn run_kernels(
     );
 }
 
+/// Accounting pinned into the JSON header by the executor rows.
+struct ExecAccounting {
+    warm_shard_writes: usize,
+    warm_shard_reuses: usize,
+    warm_workers_spawned: usize,
+}
+
+/// Executor rows: warm-vs-cold fleet and store-vs-workdir shards, both
+/// paired (ABBA). Runs once at process level (the workers own their
+/// process-wide pools), on a workload small enough for the smoke profile
+/// — spawn/shard overheads, the quantities under test, do not shrink
+/// with `n`.
+fn run_exec_rows(warmup: usize, samples: usize, records: &mut Vec<Record>) -> ExecAccounting {
+    use kcenter_core::mapreduce_kcenter::MrKCenterConfig;
+    use kcenter_exec::{
+        exec_mr_kcenter, exec_mr_kcenter_on, ExecConfig, MetricKind, WorkerCommand, WorkerFleet,
+    };
+
+    let n = 2_000usize;
+    let ell = 4usize;
+    let points = Dataset::Power.generate(n, FIXTURE_DATASET_SEED);
+    let config = MrKCenterConfig {
+        k: 20,
+        ell,
+        coreset: CoresetSpec::Multiplier { mu: 2 },
+        seed: 1,
+    };
+    let worker = WorkerCommand::current_exe(&["exec-worker"]).expect("current exe");
+    let exec = ExecConfig::new(worker);
+
+    // Fleet warm-up amortization: the warm arm schedules every sample
+    // onto one persistent fleet (0 spawns after the first run); the cold
+    // arm spawns and shuts a fresh fleet down per run.
+    let mut fleet = WorkerFleet::from_config(&exec);
+    let mut warm_workers_spawned = usize::MAX;
+    let (m_warm, m_cold) = criterion::measure_paired(
+        warmup,
+        samples,
+        || {
+            let run =
+                exec_mr_kcenter_on(&mut fleet, &points, MetricKind::Euclidean, &config, &exec)
+                    .expect("warm fleet run");
+            warm_workers_spawned = warm_workers_spawned.min(run.report.workers_spawned);
+            run
+        },
+        || exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec).expect("cold fleet run"),
+    );
+    fleet.shutdown();
+    for (kernel, m) in [
+        ("exec_mr_kcenter_warm_fleet", m_warm),
+        ("exec_mr_kcenter_cold_fleet", m_cold),
+    ] {
+        records.push(Record {
+            kernel,
+            dataset: "Power",
+            n,
+            ops: ell as u64,
+            threads: 1,
+            m,
+        });
+        eprintln!("  {kernel:<27} {:>12.2?} ±{:.2?}", m.median, m.mad);
+    }
+
+    // Content-addressed shard reuse: the warm arm serves every shard from
+    // the artifact store (asserted: zero writes per sample); the cold arm
+    // re-shards into the work directory on every run.
+    let store_dir =
+        std::env::temp_dir().join(format!("kcenter-bench-shards-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut stored = exec.clone();
+    stored.shard_store =
+        Some(kcenter_store::ArtifactStore::open(&store_dir).expect("shard store dir"));
+    // Prime: the first run pays the store writes outside the measurement.
+    let primed = exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &stored)
+        .expect("priming shard store");
+    assert_eq!(primed.report.shard_writes, ell);
+    let mut warm_shard_writes = 0usize;
+    let mut warm_shard_reuses = usize::MAX;
+    let (m_reused, m_resharded) = criterion::measure_paired(
+        warmup,
+        samples,
+        || {
+            let run = exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &stored)
+                .expect("store-served run");
+            warm_shard_writes = warm_shard_writes.max(run.report.shard_writes);
+            warm_shard_reuses = warm_shard_reuses.min(run.report.shard_reuses);
+            run
+        },
+        || exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec).expect("re-shard run"),
+    );
+    assert_eq!(warm_shard_writes, 0, "warm runs must not write shards");
+    for (kernel, m) in [
+        ("exec_mr_kcenter_shards_reused", m_reused),
+        ("exec_mr_kcenter_shards_rewritten", m_resharded),
+    ] {
+        records.push(Record {
+            kernel,
+            dataset: "Power",
+            n,
+            ops: ell as u64,
+            threads: 1,
+            m,
+        });
+        eprintln!("  {kernel:<27} {:>12.2?} ±{:.2?}", m.median, m.mad);
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+    ExecAccounting {
+        warm_shard_writes,
+        warm_shard_reuses,
+        warm_workers_spawned,
+    }
+}
+
 fn main() {
+    // Hidden worker mode: the fleet re-invokes this binary as its worker
+    // process (`bench_runner exec-worker --serve`).
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("exec-worker") {
+        std::process::exit(kcenter_exec::worker_main(raw.into_iter().skip(1)));
+    }
     let mut out: Option<String> = None;
     let mut samples: Option<usize> = None;
     let mut warmup: Option<usize> = None;
@@ -445,7 +572,7 @@ fn main() {
         if smoke {
             "BENCH_smoke.json"
         } else {
-            "BENCH_pr6.json"
+            "BENCH_pr7.json"
         }
         .to_string()
     });
@@ -484,6 +611,9 @@ fn main() {
         pool.install(|| run_kernels(tc, warmup, samples, n, store.as_ref(), &mut records));
     }
 
+    eprintln!("executor (process-level):");
+    let exec_accounting = run_exec_rows(warmup, samples, &mut records);
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"generated_by\": \"bench_runner (crates/bench)\",");
@@ -495,7 +625,22 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"note\": \"median over {samples} samples after {warmup} warmup runs, MAD outlier rejection; threads=1 is the sequential reference (inline execution, no pool overhead); *_force_scalar rows pin the scalar kernels via set_force_scalar, paired ABBA against the auto rows; a multi-thread scaling row appears only when the machine has >1 hardware thread\","
+        "  \"exec_warm_shard_writes\": {},",
+        exec_accounting.warm_shard_writes
+    );
+    let _ = writeln!(
+        json,
+        "  \"exec_warm_shard_reuses\": {},",
+        exec_accounting.warm_shard_reuses
+    );
+    let _ = writeln!(
+        json,
+        "  \"exec_warm_workers_spawned\": {},",
+        exec_accounting.warm_workers_spawned
+    );
+    let _ = writeln!(
+        json,
+        "  \"note\": \"median over {samples} samples after {warmup} warmup runs, MAD outlier rejection; threads=1 is the sequential reference (inline execution, no pool overhead); *_force_scalar rows pin the scalar kernels via set_force_scalar, paired ABBA against the auto rows; a multi-thread scaling row appears only when the machine has >1 hardware thread; exec_* rows are paired ABBA too — warm_fleet reuses one persistent WorkerFleet across samples vs a fresh fleet per run, shards_reused serves content-addressed store shards (exec_warm_shard_writes pins 0 writes per warm sample) vs work-dir re-sharding\","
     );
     json.push_str("  \"records\": [\n");
     let lines: Vec<String> = records.iter().map(json_record).collect();

@@ -146,7 +146,8 @@ pub fn run_cluster(args: &ClusterArgs) -> Result<(), Box<dyn Error>> {
     let centers: Vec<Point> = match &cached {
         Some(solution) => solution.centers.clone(),
         None if args.procs > 0 => {
-            let (centers, objective) = run_cluster_multiprocess(args, &points, ell)?;
+            let (centers, objective) =
+                run_cluster_multiprocess(args, &points, ell, store.as_ref())?;
             solved_objective = objective;
             centers
         }
@@ -187,13 +188,22 @@ pub fn run_cluster(args: &ClusterArgs) -> Result<(), Box<dyn Error>> {
 /// dataset, returned only when its convention matches the CLI's (plain
 /// radius for `mr` with `z = 0`, z-outlier objective for the outlier
 /// algorithms with `z > 0`); `None` makes the caller evaluate it.
+///
+/// When the persistent cache is active, it doubles as the executor's
+/// content-addressed shard store: a repeated run over the same input is
+/// served its partition shards without a single shard write. Workers
+/// deliberately do *not* inherit the cache (the coordinator strips
+/// `KCENTER_CACHE_DIR` at spawn) — their accounting must match the
+/// in-process engines bit for bit.
 fn run_cluster_multiprocess(
     args: &ClusterArgs,
     points: &[Point],
     ell: usize,
+    store: Option<&ArtifactStore>,
 ) -> Result<(Vec<Point>, Option<f64>), Box<dyn Error>> {
-    let exec = ExecConfig::new(WorkerCommand::current_exe(&["worker"])?);
-    eprintln!("executor: {ell} worker processes");
+    let mut exec = ExecConfig::new(WorkerCommand::current_exe(&["worker"])?);
+    exec.shard_store = store.cloned();
+    eprintln!("executor: {ell} partitions on a bounded worker fleet");
     let (centers, objective, report) = match args.algo {
         Algo::Mr => {
             let result = kcenter_exec::exec_mr_kcenter(
@@ -246,11 +256,16 @@ fn run_cluster_multiprocess(
         );
     }
     eprintln!(
-        "executor: union = {} from {} workers, round1 {:.1}ms, round2 {:.1}ms",
+        "executor: union = {} from {} partitions via {} merge jobs, round1 {:.1}ms, round2 {:.1}ms",
         report.union_size,
         report.workers.len(),
+        report.merge_jobs,
         report.round1_time.as_secs_f64() * 1e3,
         report.round2_time.as_secs_f64() * 1e3,
+    );
+    eprintln!(
+        "executor: {} workers spawned ({} respawned), shards: {} written, {} served from cache",
+        report.workers_spawned, report.worker_respawns, report.shard_writes, report.shard_reuses,
     );
     Ok((centers, objective))
 }

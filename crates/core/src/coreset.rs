@@ -70,6 +70,23 @@ impl<P> WeightedCoreset<P> {
     pub fn merge(&mut self, other: WeightedCoreset<P>) {
         self.points.extend(other.points);
     }
+
+    /// Composes a sequence of coresets into one, in iteration order.
+    ///
+    /// Composition is plain order-preserving concatenation, so it is
+    /// associative: any parenthesization — the coordinator's flat
+    /// left-to-right fold or the executor's pairwise reduction tree —
+    /// yields the identical point sequence as long as leaves stay in
+    /// partition-index order. The round-2 solvers consume the union by
+    /// position, so this is exactly the property that makes a tree-shaped
+    /// round 2 bit-identical to the flat one.
+    pub fn compose<I: IntoIterator<Item = WeightedCoreset<P>>>(parts: I) -> WeightedCoreset<P> {
+        let mut union = WeightedCoreset { points: Vec::new() };
+        for part in parts {
+            union.merge(part);
+        }
+        union
+    }
 }
 
 impl<P> FromIterator<WeightedPoint<P>> for WeightedCoreset<P> {
@@ -329,6 +346,59 @@ mod tests {
         union.merge(b.coreset.clone());
         assert_eq!(union.len(), a.coreset.len() + b.coreset.len());
         assert_eq!(union.total_weight(), 5);
+    }
+
+    #[test]
+    fn compose_is_associative_and_order_preserving() {
+        let parts: Vec<WeightedCoreset<Point>> = [
+            &[0.0, 1.0][..],
+            &[10.0][..],
+            &[20.0, 21.0, 22.0][..],
+            &[30.0][..],
+            &[40.0, 41.0][..],
+        ]
+        .iter()
+        .map(|coords| {
+            build_weighted_coreset(
+                &pts(coords),
+                &Euclidean,
+                1,
+                &CoresetSpec::Fixed { tau: 3 },
+                0,
+            )
+            .coreset
+        })
+        .collect();
+
+        // Flat left-to-right fold.
+        let flat = WeightedCoreset::compose(parts.clone());
+
+        // Pairwise reduction tree with the odd node carried forward —
+        // exactly the executor's round-2 topology.
+        let mut level = parts.clone();
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            let mut it = level.into_iter();
+            while let Some(left) = it.next() {
+                match it.next() {
+                    Some(right) => next.push(WeightedCoreset::compose([left, right])),
+                    None => next.push(left),
+                }
+            }
+            level = next;
+        }
+        let tree = level.pop().unwrap();
+
+        assert_eq!(flat.len(), tree.len());
+        assert_eq!(flat.weights(), tree.weights());
+        for (a, b) in flat.points_only().iter().zip(tree.points_only()) {
+            for (ca, cb) in a.coords().iter().zip(b.coords()) {
+                assert_eq!(ca.to_bits(), cb.to_bits());
+            }
+        }
+        // Order-preserving: leaves appear in input order.
+        let expected: u64 = parts.iter().map(WeightedCoreset::total_weight).sum();
+        assert_eq!(flat.total_weight(), expected);
     }
 
     #[test]

@@ -1,42 +1,65 @@
-//! The coordinator: shards a dataset, spawns real worker processes, and
-//! reduces their results — bit-identical to the in-process engines.
+//! The coordinator: shards a dataset, schedules jobs onto a persistent
+//! worker fleet, and reduces their results — bit-identical to the
+//! in-process engines.
 //!
 //! Execution mirrors the paper's 2-round structure end to end:
 //!
 //! 1. **Shard.** The input is partitioned with exactly the engine's
 //!    partitioner (`Chunked`, seeded random, or adversarial) and each
-//!    non-empty partition is written to a shard file in the work
-//!    directory.
-//! 2. **Round 1, out of process.** One worker OS process per partition is
-//!    spawned from the configured [`WorkerCommand`] (typically the current
-//!    binary re-invoked with a hidden subcommand). Each worker mmap-loads
-//!    its shard, runs the shared round-1 kernel with its own rayon pool,
-//!    and atomically writes a weighted-coreset artifact.
-//! 3. **Round 2, in the coordinator.** Artifacts are collected in
-//!    ascending partition order — the same order the in-process shuffle
-//!    produces — and the union is solved through the existing round-2
-//!    paths (`gmm_select`, or the radius search over a [`CachedOracle`],
-//!    which also consults the persistent matrix store when one is
-//!    installed).
+//!    non-empty partition becomes a shard file — freshly written into the
+//!    work directory, or **reused from the artifact store** when a
+//!    content-addressed entry for the identical partition already exists
+//!    (a seeded re-run performs zero shard writes).
+//! 2. **Round 1, out of process.** Partitions are queued onto a
+//!    [`WorkerFleet`] of long-lived worker processes speaking the framed
+//!    request/response protocol over stdin/stdout. The fleet is bounded
+//!    (`--procs ≫ cores` queues instead of oversubscribing), reused
+//!    across rounds and across repeated runs (spawn + rayon pool warmup
+//!    amortized), and self-healing: a worker that dies mid-job is
+//!    respawned and the job replayed.
+//! 3. **Round 2, as a reduction tree.** Coreset artifacts compose
+//!    **pairwise on workers** up a tree — adjacent nodes merge, the odd
+//!    node carries forward — until one root artifact remains; only that
+//!    root is read by the coordinator, so coordinator-resident state is
+//!    independent of the partition count. Composition is order-preserving
+//!    concatenation in partition-index order, which is associative, so
+//!    the tree's union is **bit-identical** to the flat all-at-once
+//!    collection. The final solve runs on the root union through the
+//!    existing round-2 paths (`gmm_select`, or the radius search over a
+//!    [`CachedOracle`]).
 //!
 //! **Determinism.** Every stage is bitwise deterministic: partitioning is
 //! seeded, the round-1 kernel is chunk-order invariant under any thread
-//! count, the codec round-trips `f64`s by bit pattern, and collection
-//! order is fixed. The cross-check tests (and the `exec-determinism` CI
-//! job) assert the final centers and radius are **bit-identical** to
-//! [`mr_kcenter`] / [`mr_kcenter_outliers`] on the same input.
+//! count, the codec round-trips `f64`s by bit pattern, and both the
+//! collection order and the reduction-tree shape are fixed by partition
+//! index. The cross-check tests (and the `exec-determinism` CI job)
+//! assert the final centers and radius are **bit-identical** to
+//! [`mr_kcenter`] / [`mr_kcenter_outliers`] on the same input — fresh
+//! fleet or reused, cold shards or cached.
 //!
 //! [`mr_kcenter`]: kcenter_core::mapreduce_kcenter::mr_kcenter
 //! [`mr_kcenter_outliers`]: kcenter_core::mapreduce_outliers::mr_kcenter_outliers
 //!
 //! **Failure handling.** A worker that exits non-zero, dies on a signal,
-//! overruns the timeout, or leaves a truncated artifact surfaces as a
-//! clean [`ExecError`]; remaining workers are killed and the work
-//! directory is removed (unless kept for debugging).
+//! overruns the timeout, or produces/consumes a truncated artifact
+//! surfaces as a clean [`ExecError`] with the offending partition
+//! attributed; mid-job death is first contained by respawn + replay and
+//! only becomes an error once the retry budget is exhausted. On any
+//! error the fleet is torn down and the work directory removed (unless
+//! kept for debugging).
+//!
+//! **Environment hygiene.** Workers inherit the coordinator's
+//! environment *minus* `KCENTER_EXEC_FAULT` and `KCENTER_CACHE_DIR`:
+//! fault injection must be asked for, and a fleet worker silently
+//! opening the ambient artifact cache would diverge in accounting from
+//! the in-process engines. Tests (and deliberate deployments) opt back
+//! in through [`WorkerCommand::env`], which is applied after the strip.
 
-use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use kcenter_core::coreset::{CoresetSpec, WeightedCoreset, WeightedPoint};
@@ -47,20 +70,29 @@ use kcenter_core::radius_search::solve_coreset_cached;
 use kcenter_core::solution::{radius, radius_with_outliers};
 use kcenter_core::Clustering;
 use kcenter_mapreduce::{partition_dataset, Chunked};
-use kcenter_metric::{CachedOracle, Point};
+use kcenter_metric::{CachedOracle, Fingerprint, Point};
+use kcenter_store::{ArtifactKind, ArtifactStore};
 
 use crate::error::ExecError;
-use crate::protocol::{MetricKind, WorkerReport};
-use crate::shard::{read_coreset_artifact, write_shard};
+use crate::protocol::{read_frame, write_frame, MetricKind, WorkerReport};
+use crate::shard::{read_coreset_artifact, read_shard_set, write_shard};
 use crate::with_metric;
-use crate::worker::WorkerArgs;
+use crate::worker::{MergeArgs, WorkerArgs};
 
 /// Per-process sequence for unique work-directory names.
 static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Fingerprint domain for content-addressed shard entries. The key folds
+/// the partition's own coordinates, so identical partitions (same
+/// dataset, same partitioner, same seed) land on the same entry and the
+/// entry is self-describing — a cache hit *is* the shard.
+const SHARD_FINGERPRINT_DOMAIN: &str = "kcenter-exec/shard/v1";
+
 /// How to invoke a worker process: a program plus fixed leading arguments
-/// (the per-partition worker flags are appended) and extra environment
-/// variables (set on top of the inherited environment).
+/// (the fleet appends `--serve`; one-shot spawns append the per-partition
+/// worker flags) and extra environment variables (set on top of the
+/// inherited environment, after the coordinator's strip of
+/// `KCENTER_EXEC_FAULT` and `KCENTER_CACHE_DIR`).
 #[derive(Clone, Debug)]
 pub struct WorkerCommand {
     /// Program to execute.
@@ -104,39 +136,57 @@ pub struct ExecConfig {
     /// Work directory for shards and result artifacts. `None` creates a
     /// unique directory under the system temp dir.
     pub work_dir: Option<PathBuf>,
-    /// Per-round wall-clock limit: if any worker is still running when it
+    /// Per-run wall-clock limit: if any job is still outstanding when it
     /// elapses, the fleet is killed and the run fails cleanly.
     pub timeout: Duration,
     /// Keep the work directory (for debugging) instead of removing it.
     pub keep_work_dir: bool,
+    /// Fleet size cap. `None` sizes the fleet to the machine
+    /// (`available_parallelism`), so `--procs ≫ cores` queues partitions
+    /// onto a fixed fleet instead of oversubscribing the box.
+    pub max_workers: Option<usize>,
+    /// Content-addressed shard reuse: when set, partition shards are
+    /// stored in (and served from) this artifact store instead of being
+    /// rewritten into the work directory on every run. A seeded re-run
+    /// performs **zero** shard writes ([`ExecReport::shard_writes`]).
+    pub shard_store: Option<ArtifactStore>,
+    /// How many times a job is replayed after its worker dies mid-job
+    /// before the run fails. A worker that *reports* an error (as opposed
+    /// to dying) fails the run immediately — errors are deterministic,
+    /// deaths may not be.
+    pub job_retries: usize,
 }
 
 impl ExecConfig {
-    /// Options with the default timeout (10 minutes) and a fresh temp
-    /// work directory.
+    /// Options with the default timeout (10 minutes), a fresh temp work
+    /// directory, a machine-sized fleet, no shard store, and 2 replays.
     pub fn new(worker: WorkerCommand) -> ExecConfig {
         ExecConfig {
             worker,
             work_dir: None,
             timeout: Duration::from_secs(600),
             keep_work_dir: false,
+            max_workers: None,
+            shard_store: None,
+            job_retries: 2,
         }
     }
 }
 
-/// Per-worker accounting.
+/// Per-partition accounting (one entry per round-1 job, whatever worker
+/// process ended up running it).
 #[derive(Clone, Debug)]
 pub struct WorkerStat {
-    /// Partition the worker processed.
+    /// Partition the job processed.
     pub partition: usize,
     /// Points in its shard.
     pub shard_points: usize,
     /// Coreset points it produced.
     pub coreset_size: usize,
-    /// Spawn-to-exit wall clock, measured by the coordinator.
+    /// Dispatch-to-reply wall clock, measured by the coordinator.
     pub wall: Duration,
     /// In-worker build wall clock (shard load → artifact rename), as
-    /// reported by the worker itself; zero if the report line was absent.
+    /// reported by the worker itself.
     pub build: Duration,
 }
 
@@ -145,14 +195,25 @@ pub struct WorkerStat {
 pub struct ExecReport {
     /// Size of each non-empty partition's coreset, in partition order.
     pub coreset_sizes: Vec<usize>,
-    /// `|T|`, the size of the collected union.
+    /// `|T|`, the size of the reduction tree's root union.
     pub union_size: usize,
-    /// Per-worker accounting, in partition order.
+    /// Per-partition accounting, in partition order.
     pub workers: Vec<WorkerStat>,
-    /// Wall clock of round 1 (shard + spawn + collect).
+    /// Wall clock of round 1 (shard + schedule + reduce to the root).
     pub round1_time: Duration,
     /// Wall clock of round 2 (solve on the union).
     pub round2_time: Duration,
+    /// Shard files written this run (0 on a warm content-addressed run).
+    pub shard_writes: usize,
+    /// Partitions served from an existing store entry without a write.
+    pub shard_reuses: usize,
+    /// Worker processes spawned during this run; 0 when a warm fleet
+    /// already had every worker it needed.
+    pub workers_spawned: usize,
+    /// Workers respawned after dying mid-job (replays, not new work).
+    pub worker_respawns: usize,
+    /// Pairwise merge jobs executed up the reduction tree.
+    pub merge_jobs: usize,
 }
 
 /// Result of a multi-process k-center run (the executor's counterpart of
@@ -197,83 +258,464 @@ impl Drop for WorkDirGuard {
     }
 }
 
-/// One spawned worker under supervision: the child plus the threads
-/// draining its stdout/stderr. Draining runs **concurrently** with the
-/// worker — a worker that emits more than the pipe capacity (a full
-/// backtrace, verbose diagnostics) must never block on `write(2)` and
-/// masquerade as a timeout.
-struct Running {
-    partition: usize,
+/// What a worker's stdout reader thread feeds the scheduling loop.
+enum FleetEvent {
+    /// One complete reply frame from the identified worker.
+    Frame { worker: u64, parts: Vec<String> },
+    /// The worker's stdout reached EOF (clean or not): the process died
+    /// or is exiting. The scheduler reaps it and replays its job.
+    Eof { worker: u64 },
+}
+
+/// One live worker process under fleet supervision.
+struct FleetWorker {
+    /// Fleet-unique id, so stale events from reaped workers are ignored.
+    id: u64,
     child: Child,
-    started: Instant,
-    stdout: std::thread::JoinHandle<Vec<u8>>,
-    stderr: std::thread::JoinHandle<Vec<u8>>,
+    /// Request channel; `None` once shutdown closed it.
+    stdin: Option<ChildStdin>,
+    /// Drains stderr concurrently (a chatty worker must never block on a
+    /// full pipe); joined at reap time for the failure report.
+    stderr: Option<std::thread::JoinHandle<Vec<u8>>>,
+    /// Index of the job this worker is running, if any.
+    busy_with: Option<usize>,
+    /// When the current job was dispatched.
+    dispatched: Instant,
 }
 
-impl Running {
-    fn spawn(partition: usize, command: &mut Command) -> Result<Running, std::io::Error> {
-        fn drain<R: std::io::Read + Send + 'static>(stream: R) -> std::thread::JoinHandle<Vec<u8>> {
-            std::thread::spawn(move || {
-                let mut stream = stream;
-                let mut bytes = Vec::new();
-                let _ = stream.read_to_end(&mut bytes);
-                bytes
-            })
-        }
-        let mut child = command
-            .stdin(Stdio::null())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::piped())
-            .spawn()?;
-        let stdout = drain(child.stdout.take().expect("stdout was piped"));
-        let stderr = drain(child.stderr.take().expect("stderr was piped"));
-        Ok(Running {
-            partition,
-            child,
-            started: Instant::now(),
-            stdout,
-            stderr,
-        })
-    }
-
-    /// Reaps an exited worker: joins the drain threads and returns
-    /// (wall, stdout, stderr).
-    fn reap(mut self) -> (Duration, Vec<u8>, Vec<u8>) {
-        let wall = self.started.elapsed();
-        // The child already exited (try_wait returned a status); this
-        // cannot block, and the drain threads see EOF promptly.
-        let _ = self.child.wait();
-        let stdout = self.stdout.join().unwrap_or_default();
-        let stderr = self.stderr.join().unwrap_or_default();
-        (wall, stdout, stderr)
-    }
-}
-
-/// Kills every still-running child on drop, so no error path can leak
-/// worker processes.
-struct Fleet {
-    running: Vec<Running>,
-}
-
-impl Drop for Fleet {
-    fn drop(&mut self) {
-        for running in &mut self.running {
-            let _ = running.child.kill();
-            let _ = running.child.wait();
-        }
-    }
-}
-
-/// One collected worker outcome.
-struct WorkerOutcome {
+/// One request destined for the fleet, with the metadata needed to
+/// attribute its failures.
+struct FleetJob {
+    /// Partition charged with this job's failures (for merges: the first
+    /// partition under the tree node).
     partition: usize,
-    stat: WorkerStat,
-    artifact: PathBuf,
+    /// The request frame.
+    request: Vec<String>,
+    /// Input artifacts by producing partition: a worker's
+    /// `err-artifact` reply is matched against these paths so a torn
+    /// round-1 artifact discovered by a *merge* worker is attributed to
+    /// the partition that wrote it.
+    inputs: Vec<(String, usize)>,
+}
+
+/// A persistent, bounded fleet of worker processes.
+///
+/// Workers are spawned lazily up to the cap, kept alive across jobs,
+/// rounds, and runs (hand the same fleet to [`exec_mr_kcenter_on`] /
+/// [`exec_mr_outliers_on`] to amortize spawn + pool warmup), and killed
+/// on [`WorkerFleet::shutdown`] or drop. A worker that dies mid-job is
+/// reaped and its job replayed on a fresh worker, up to the configured
+/// retry budget.
+pub struct WorkerFleet {
+    command: WorkerCommand,
+    cap: usize,
+    workers: Vec<FleetWorker>,
+    tx: mpsc::Sender<FleetEvent>,
+    rx: mpsc::Receiver<FleetEvent>,
+    next_id: u64,
+    spawned_total: usize,
+    respawned_total: usize,
+}
+
+impl WorkerFleet {
+    /// A fleet that spawns workers with `command`, capped at
+    /// `max_workers` (`None` = the machine's `available_parallelism`).
+    pub fn new(command: WorkerCommand, max_workers: Option<usize>) -> WorkerFleet {
+        let cap = max_workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1);
+        let (tx, rx) = mpsc::channel();
+        WorkerFleet {
+            command,
+            cap,
+            workers: Vec::new(),
+            tx,
+            rx,
+            next_id: 0,
+            spawned_total: 0,
+            respawned_total: 0,
+        }
+    }
+
+    /// A fleet sized and commanded per `exec` (the shape the one-shot
+    /// entry points use).
+    pub fn from_config(exec: &ExecConfig) -> WorkerFleet {
+        WorkerFleet::new(exec.worker.clone(), exec.max_workers)
+    }
+
+    /// Workers currently alive.
+    pub fn live_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Worker processes spawned over this fleet's lifetime.
+    pub fn spawned_total(&self) -> usize {
+        self.spawned_total
+    }
+
+    /// Spawns one serve-mode worker and wires its stdout into the event
+    /// channel.
+    fn spawn_worker(&mut self) -> std::io::Result<()> {
+        let mut command = Command::new(&self.command.program);
+        command
+            .args(&self.command.args)
+            .arg("--serve")
+            // Both hooks must be *asked for*, never ambient: a stray
+            // KCENTER_EXEC_FAULT from a debugging session must not make
+            // every worker crash, and a stray KCENTER_CACHE_DIR must not
+            // let fleet workers silently diverge in cache accounting from
+            // the in-process engines. Opt-ins go through
+            // `WorkerCommand::env`, which is applied after the strip.
+            .env_remove(crate::worker::FAULT_ENV)
+            .env_remove(kcenter_store::CACHE_DIR_ENV)
+            .envs(self.command.env.iter().map(|(k, v)| (k, v)))
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        let mut child = command.spawn()?;
+        let id = self.next_id;
+        self.next_id += 1;
+        let stdin = child.stdin.take().expect("stdin was piped");
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let stderr = child.stderr.take().expect("stderr was piped");
+        let tx = self.tx.clone();
+        std::thread::spawn(move || {
+            let mut reader = std::io::BufReader::new(stdout);
+            loop {
+                match read_frame(&mut reader) {
+                    Ok(Some(parts)) => {
+                        if tx.send(FleetEvent::Frame { worker: id, parts }).is_err() {
+                            return; // fleet dropped
+                        }
+                    }
+                    Ok(None) | Err(_) => {
+                        let _ = tx.send(FleetEvent::Eof { worker: id });
+                        return;
+                    }
+                }
+            }
+        });
+        let stderr_handle = std::thread::spawn(move || {
+            use std::io::Read as _;
+            let mut stream = stderr;
+            let mut bytes = Vec::new();
+            let _ = stream.read_to_end(&mut bytes);
+            bytes
+        });
+        self.workers.push(FleetWorker {
+            id,
+            child,
+            stdin: Some(stdin),
+            stderr: Some(stderr_handle),
+            busy_with: None,
+            dispatched: Instant::now(),
+        });
+        self.spawned_total += 1;
+        Ok(())
+    }
+
+    /// Reaps a dead worker by position: kills (idempotent), waits, and
+    /// joins the stderr drain. Returns (exit code, stderr text).
+    fn reap_worker(&mut self, at: usize) -> (Option<i32>, String) {
+        let mut worker = self.workers.swap_remove(at);
+        drop(worker.stdin.take());
+        let _ = worker.child.kill();
+        let code = worker.child.wait().ok().and_then(|status| status.code());
+        let stderr = worker
+            .stderr
+            .take()
+            .and_then(|h| h.join().ok())
+            .unwrap_or_default();
+        (code, String::from_utf8_lossy(&stderr).into_owned())
+    }
+
+    /// Kills every worker immediately — the error-path cleanup, so a
+    /// failed run leaves no processes behind and the next run on this
+    /// fleet starts from a clean (lazily respawned) state.
+    fn kill_all(&mut self) {
+        while !self.workers.is_empty() {
+            let at = self.workers.len() - 1;
+            let _ = self.reap_worker(at);
+        }
+    }
+
+    /// Dispatches pending jobs onto idle workers, spawning up to the cap.
+    fn assign_pending(
+        &mut self,
+        pending: &mut VecDeque<usize>,
+        jobs: &[FleetJob],
+        attempts: &mut [usize],
+    ) -> Result<(), ExecError> {
+        while let Some(&job_idx) = pending.front() {
+            let idle = self.workers.iter().position(|w| w.busy_with.is_none());
+            let at = match idle {
+                Some(at) => at,
+                None if self.workers.len() < self.cap => {
+                    self.spawn_worker().map_err(|source| ExecError::Spawn {
+                        partition: jobs[job_idx].partition,
+                        source,
+                    })?;
+                    self.workers.len() - 1
+                }
+                None => break, // fleet saturated; wait for a reply
+            };
+            pending.pop_front();
+            attempts[job_idx] += 1;
+            let worker = &mut self.workers[at];
+            worker.busy_with = Some(job_idx);
+            worker.dispatched = Instant::now();
+            if let Some(stdin) = worker.stdin.as_mut() {
+                // A failed write means the worker is dead or dying; leave
+                // the job assigned — the reader thread's EOF event will
+                // reap it and replay the job through the normal path.
+                let _ = write_frame(stdin, &jobs[job_idx].request);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a batch of jobs to completion, respawning/replaying through
+    /// mid-job worker deaths, and returns each job's report and
+    /// dispatch-to-reply wall clock, in job order.
+    fn run_jobs(
+        &mut self,
+        jobs: &[FleetJob],
+        deadline: Instant,
+        timeout: Duration,
+        retries: usize,
+    ) -> Result<Vec<(WorkerReport, Duration)>, ExecError> {
+        let result = self.run_jobs_inner(jobs, deadline, timeout, retries);
+        if result.is_err() {
+            self.kill_all();
+        }
+        result
+    }
+
+    fn run_jobs_inner(
+        &mut self,
+        jobs: &[FleetJob],
+        deadline: Instant,
+        timeout: Duration,
+        retries: usize,
+    ) -> Result<Vec<(WorkerReport, Duration)>, ExecError> {
+        let mut pending: VecDeque<usize> = (0..jobs.len()).collect();
+        let mut attempts = vec![0usize; jobs.len()];
+        let mut results: Vec<Option<(WorkerReport, Duration)>> = vec![None; jobs.len()];
+        let mut completed = 0usize;
+        while completed < jobs.len() {
+            self.assign_pending(&mut pending, jobs, &mut attempts)?;
+            let now = Instant::now();
+            let timeout_error = |fleet: &WorkerFleet| {
+                let partition = fleet
+                    .workers
+                    .iter()
+                    .find_map(|w| w.busy_with.map(|j| jobs[j].partition))
+                    .unwrap_or_else(|| jobs.first().map_or(0, |j| j.partition));
+                ExecError::WorkerTimeout { partition, timeout }
+            };
+            if now >= deadline {
+                return Err(timeout_error(self));
+            }
+            let event = match self.rx.recv_timeout(deadline - now) {
+                Ok(event) => event,
+                Err(mpsc::RecvTimeoutError::Timeout) => return Err(timeout_error(self)),
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("fleet holds its own sender")
+                }
+            };
+            match event {
+                FleetEvent::Frame { worker, parts } => {
+                    // Stale frames from workers reaped in a previous run
+                    // (or a worker we never assigned) are ignored.
+                    let Some(at) = self.workers.iter().position(|w| w.id == worker) else {
+                        continue;
+                    };
+                    let Some(job_idx) = self.workers[at].busy_with.take() else {
+                        continue;
+                    };
+                    let wall = self.workers[at].dispatched.elapsed();
+                    let job = &jobs[job_idx];
+                    match parts.first().map(String::as_str) {
+                        Some("ok") => match WorkerReport::from_reply(&parts) {
+                            Some(report) => {
+                                results[job_idx] = Some((report, wall));
+                                completed += 1;
+                            }
+                            None => {
+                                return Err(ExecError::WorkerFailed {
+                                    partition: job.partition,
+                                    code: None,
+                                    stderr: format!("malformed ok reply: {parts:?}"),
+                                })
+                            }
+                        },
+                        Some("err-artifact") => {
+                            let path = parts.get(1).cloned().unwrap_or_default();
+                            let reason = parts.get(2).cloned().unwrap_or_default();
+                            let partition = job
+                                .inputs
+                                .iter()
+                                .find(|(p, _)| *p == path)
+                                .map_or(job.partition, |&(_, part)| part);
+                            return Err(ExecError::BadArtifact {
+                                partition,
+                                path: PathBuf::from(path),
+                                reason,
+                            });
+                        }
+                        _ => {
+                            // `err` replies are deterministic worker-side
+                            // failures (bad input, unwritable output):
+                            // replaying cannot help, so fail now. Code 1
+                            // mirrors the one-shot worker's exit code for
+                            // the same failures.
+                            let message = match parts.first().map(String::as_str) {
+                                Some("err") => parts.get(1).cloned().unwrap_or_default(),
+                                _ => format!("unexpected reply frame: {parts:?}"),
+                            };
+                            return Err(ExecError::WorkerFailed {
+                                partition: job.partition,
+                                code: Some(1),
+                                stderr: message,
+                            });
+                        }
+                    }
+                }
+                FleetEvent::Eof { worker } => {
+                    let Some(at) = self.workers.iter().position(|w| w.id == worker) else {
+                        continue; // already reaped
+                    };
+                    let job_idx = self.workers[at].busy_with;
+                    let (code, stderr) = self.reap_worker(at);
+                    if let Some(job_idx) = job_idx {
+                        if attempts[job_idx] > retries {
+                            return Err(ExecError::WorkerFailed {
+                                partition: jobs[job_idx].partition,
+                                code,
+                                stderr,
+                            });
+                        }
+                        // Contained: replay the partition on a fresh
+                        // worker (spawned by the next assign pass).
+                        self.respawned_total += 1;
+                        pending.push_front(job_idx);
+                    }
+                }
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("completed implies recorded"))
+            .collect())
+    }
+
+    /// Asks a (possibly fresh) worker whether `var` is set in its
+    /// environment — the regression surface for the coordinator's env
+    /// strip. Returns the value when set.
+    pub fn probe_env(&mut self, var: &str) -> Result<Option<String>, ExecError> {
+        if self.workers.is_empty() {
+            self.spawn_worker().map_err(|source| ExecError::Spawn {
+                partition: 0,
+                source,
+            })?;
+        }
+        let at = self
+            .workers
+            .iter()
+            .position(|w| w.busy_with.is_none())
+            .expect("probe requires an idle worker");
+        let id = self.workers[at].id;
+        if let Some(stdin) = self.workers[at].stdin.as_mut() {
+            let _ = write_frame(stdin, &["probe".to_string(), var.to_string()]);
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ExecError::WorkerTimeout {
+                    partition: 0,
+                    timeout: Duration::from_secs(30),
+                });
+            }
+            match self.rx.recv_timeout(deadline - now) {
+                Ok(FleetEvent::Frame { worker, parts }) if worker == id => {
+                    return match (
+                        parts.first().map(String::as_str),
+                        parts.get(1).map(String::as_str),
+                    ) {
+                        (Some("ok"), Some("set")) => {
+                            Ok(parts.get(2).cloned().or(Some(String::new())))
+                        }
+                        (Some("ok"), Some("unset")) => Ok(None),
+                        _ => Err(ExecError::WorkerFailed {
+                            partition: 0,
+                            code: None,
+                            stderr: format!("malformed probe reply: {parts:?}"),
+                        }),
+                    };
+                }
+                Ok(FleetEvent::Eof { worker }) if worker == id => {
+                    let at = self.workers.iter().position(|w| w.id == worker);
+                    let (code, stderr) = match at {
+                        Some(at) => self.reap_worker(at),
+                        None => (None, String::new()),
+                    };
+                    return Err(ExecError::WorkerFailed {
+                        partition: 0,
+                        code,
+                        stderr,
+                    });
+                }
+                Ok(_) => continue, // stale event from an earlier run
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    return Err(ExecError::WorkerTimeout {
+                        partition: 0,
+                        timeout: Duration::from_secs(30),
+                    })
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("fleet holds its own sender")
+                }
+            }
+        }
+    }
+
+    /// Shuts the fleet down cooperatively: every worker is sent a
+    /// `shutdown` request and its stdin closed, given a short grace
+    /// period to exit, then killed.
+    pub fn shutdown(&mut self) {
+        for worker in &mut self.workers {
+            if let Some(stdin) = worker.stdin.as_mut() {
+                let _ = write_frame(stdin, &["shutdown".to_string()]);
+            }
+            drop(worker.stdin.take());
+        }
+        let grace = Instant::now() + Duration::from_secs(2);
+        while !self.workers.is_empty() && Instant::now() < grace {
+            self.workers
+                .retain_mut(|worker| !matches!(worker.child.try_wait(), Ok(Some(_))));
+            if !self.workers.is_empty() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        self.kill_all();
+    }
+}
+
+impl Drop for WorkerFleet {
+    fn drop(&mut self) {
+        self.kill_all();
+    }
 }
 
 /// Runs the multi-process 2-round k-center algorithm (the executor twin
-/// of [`kcenter_core::mapreduce_kcenter::mr_kcenter`]): round 1 on real
-/// worker processes, round 2 and the final objective in the coordinator.
+/// of [`kcenter_core::mapreduce_kcenter::mr_kcenter`]) on a one-shot
+/// fleet: spawn, run, shut down. Use [`exec_mr_kcenter_on`] to reuse a
+/// warm fleet across runs.
 ///
 /// # Errors
 ///
@@ -286,26 +728,43 @@ pub fn exec_mr_kcenter(
     config: &MrKCenterConfig,
     exec: &ExecConfig,
 ) -> Result<ExecKCenterResult, ExecError> {
+    let mut fleet = WorkerFleet::from_config(exec);
+    let result = exec_mr_kcenter_on(&mut fleet, points, metric, config, exec);
+    fleet.shutdown();
+    result
+}
+
+/// As [`exec_mr_kcenter`], but scheduling onto an existing fleet — the
+/// persistent-fleet entry point: repeated runs reuse the live workers
+/// (0 spawns when the fleet is already large enough) and remain
+/// bit-identical to a fresh-spawn run.
+///
+/// # Errors
+///
+/// As [`exec_mr_kcenter`].
+pub fn exec_mr_kcenter_on(
+    fleet: &mut WorkerFleet,
+    points: &[Point],
+    metric: MetricKind,
+    config: &MrKCenterConfig,
+    exec: &ExecConfig,
+) -> Result<ExecKCenterResult, ExecError> {
     config.validate(points.len())?;
     let round1_started = Instant::now();
     let partitions = nonempty_partitions(partition_dataset(points, config.ell, &Chunked));
-    let jobs: Vec<WorkerJob> = partitions
+    let jobs: Vec<JobSpec> = partitions
         .iter()
-        .map(|(part, members)| WorkerJob {
+        .map(|(part, members)| JobSpec {
             partition: *part,
             base: config.k,
             start: config.round1_start(*part, members.len()),
         })
         .collect();
-    let collected = run_round1(&partitions, &jobs, metric, config.coreset, exec)?;
+    let mut round = run_distributed_round(fleet, &partitions, &jobs, metric, config.coreset, exec)?;
     let round1_time = round1_started.elapsed();
 
     let round2_started = Instant::now();
-    let union: Vec<Point> = collected
-        .coresets
-        .iter()
-        .flat_map(|(p, _)| p.iter().cloned())
-        .collect();
+    let union = std::mem::take(&mut round.union_points);
     let (centers, final_radius) = with_metric!(metric, m => {
         let selected = gmm_select(&union, m, config.k, 0);
         let centers: Vec<Point> = selected.centers.into_iter().map(|i| union[i].clone()).collect();
@@ -319,26 +778,38 @@ pub fn exec_mr_kcenter(
             centers,
             radius: final_radius,
         },
-        report: ExecReport {
-            coreset_sizes: collected.coresets.iter().map(|(p, _)| p.len()).collect(),
-            union_size: union.len(),
-            workers: collected.workers,
-            round1_time,
-            round2_time,
-        },
+        report: round.into_report(union.len(), round1_time, round2_time),
     })
 }
 
 /// Runs the multi-process 2-round k-center-with-outliers algorithm
 /// (the executor twin of
 /// [`kcenter_core::mapreduce_outliers::mr_kcenter_outliers`]),
-/// deterministic or randomized
-/// per the configuration.
+/// deterministic or randomized per the configuration, on a one-shot
+/// fleet. Use [`exec_mr_outliers_on`] to reuse a warm fleet.
 ///
 /// # Errors
 ///
 /// As [`exec_mr_kcenter`].
 pub fn exec_mr_outliers(
+    points: &[Point],
+    metric: MetricKind,
+    config: &MrOutliersConfig,
+    exec: &ExecConfig,
+) -> Result<ExecOutliersResult, ExecError> {
+    let mut fleet = WorkerFleet::from_config(exec);
+    let result = exec_mr_outliers_on(&mut fleet, points, metric, config, exec);
+    fleet.shutdown();
+    result
+}
+
+/// As [`exec_mr_outliers`], but scheduling onto an existing fleet.
+///
+/// # Errors
+///
+/// As [`exec_mr_kcenter`].
+pub fn exec_mr_outliers_on(
+    fleet: &mut WorkerFleet,
     points: &[Point],
     metric: MetricKind,
     config: &MrOutliersConfig,
@@ -352,26 +823,25 @@ pub fn exec_mr_outliers(
     let partitioner = config.partitioner();
     let partitions =
         nonempty_partitions(partition_dataset(points, config.ell, partitioner.as_ref()));
-    let jobs: Vec<WorkerJob> = partitions
+    let jobs: Vec<JobSpec> = partitions
         .iter()
-        .map(|(part, members)| WorkerJob {
+        .map(|(part, members)| JobSpec {
             partition: *part,
             base: base.min(members.len()),
             start: config.round1_start(*part, members.len()),
         })
         .collect();
-    let collected = run_round1(&partitions, &jobs, metric, config.coreset, exec)?;
+    let round = run_distributed_round(fleet, &partitions, &jobs, metric, config.coreset, exec)?;
     let round1_time = round1_started.elapsed();
 
     let round2_started = Instant::now();
-    let coreset: WeightedCoreset<Point> = collected
-        .coresets
+    let coreset: WeightedCoreset<Point> = round
+        .union_points
         .iter()
-        .flat_map(|(points, weights)| {
-            points.iter().zip(weights).map(|(p, &w)| WeightedPoint {
-                point: p.clone(),
-                weight: w,
-            })
+        .zip(&round.union_weights)
+        .map(|(p, &w)| WeightedPoint {
+            point: p.clone(),
+            weight: w,
         })
         .collect();
     let union_size = coreset.len();
@@ -402,27 +872,50 @@ pub fn exec_mr_outliers(
         uncovered_weight: solution.uncovered_weight,
         base,
         search_evaluations: solution.evaluations,
-        report: ExecReport {
-            coreset_sizes: collected.coresets.iter().map(|(p, _)| p.len()).collect(),
-            union_size,
-            workers: collected.workers,
-            round1_time,
-            round2_time,
-        },
+        report: round.into_report(union_size, round1_time, round2_time),
     })
 }
 
 /// Per-partition worker parameters the algorithm layer computes.
-struct WorkerJob {
+struct JobSpec {
     partition: usize,
     base: usize,
     start: usize,
 }
 
-/// Round-1 results: weighted coresets in partition order plus accounting.
-struct Collected {
-    coresets: Vec<(Vec<Point>, Vec<u64>)>,
+/// Everything the distributed phase (round 1 + reduction tree) produces.
+struct RoundData {
+    union_points: Vec<Point>,
+    union_weights: Vec<u64>,
+    coreset_sizes: Vec<usize>,
     workers: Vec<WorkerStat>,
+    shard_writes: usize,
+    shard_reuses: usize,
+    workers_spawned: usize,
+    worker_respawns: usize,
+    merge_jobs: usize,
+}
+
+impl RoundData {
+    fn into_report(
+        self,
+        union_size: usize,
+        round1_time: Duration,
+        round2_time: Duration,
+    ) -> ExecReport {
+        ExecReport {
+            coreset_sizes: self.coreset_sizes,
+            union_size,
+            workers: self.workers,
+            round1_time,
+            round2_time,
+            shard_writes: self.shard_writes,
+            shard_reuses: self.shard_reuses,
+            workers_spawned: self.workers_spawned,
+            worker_respawns: self.worker_respawns,
+            merge_jobs: self.merge_jobs,
+        }
+    }
 }
 
 /// Drops empty partitions, keeping each partition's id — the exact shape
@@ -436,14 +929,65 @@ fn nonempty_partitions(buckets: Vec<Vec<Point>>) -> Vec<(usize, Vec<Point>)> {
         .collect()
 }
 
-/// Shards, spawns, supervises, and collects one round of workers.
-fn run_round1(
+/// Content fingerprint of one partition's shard (coordinates by bit
+/// pattern, length-prefixed), under the executor's shard domain.
+fn shard_fingerprint(members: &[Point]) -> u128 {
+    let mut fp = Fingerprint::with_domain(SHARD_FINGERPRINT_DOMAIN);
+    fp.write_usize(members.len());
+    for p in members {
+        fp.write_f64s(p.coords());
+    }
+    fp.finish()
+}
+
+/// Materializes one partition's shard file: served from the store when a
+/// valid content-addressed entry exists, (re-)stored when absent or
+/// corrupt, or written into the work directory when no store is
+/// configured. Returns (path, reused).
+fn materialize_shard(
+    store: Option<&ArtifactStore>,
+    work_dir: &Path,
+    part: usize,
+    members: &[Point],
+) -> std::io::Result<(PathBuf, bool)> {
+    if let Some(store) = store {
+        let fp = shard_fingerprint(members);
+        let path = store.artifact_path(ArtifactKind::Shard, fp);
+        // A hit is trusted only after validation: a corrupt or truncated
+        // entry (crash mid-rename cannot cause this, but disk rot or a
+        // meddling process can) is silently re-sharded — the cache may
+        // change cost, never correctness.
+        if path.is_file() {
+            if let Ok(set) = read_shard_set(&path) {
+                if set.len() == members.len() {
+                    return Ok((path, true));
+                }
+            }
+        }
+        if store.store_shard(fp, members).is_ok() && path.is_file() {
+            return Ok((path, false));
+        }
+        // Unusable store directory: fall through to the work dir.
+    }
+    let path = work_dir.join(format!("shard-{part:05}.kca"));
+    write_shard(&path, members)?;
+    Ok((path, false))
+}
+
+/// The distributed phase: shard (with content-addressed reuse), run
+/// round 1 on the fleet, and reduce the per-partition coresets pairwise
+/// up the tree until one root artifact remains, which is the only
+/// artifact the coordinator reads.
+fn run_distributed_round(
+    fleet: &mut WorkerFleet,
     partitions: &[(usize, Vec<Point>)],
-    jobs: &[WorkerJob],
+    jobs: &[JobSpec],
     metric: MetricKind,
     spec: CoresetSpec,
     exec: &ExecConfig,
-) -> Result<Collected, ExecError> {
+) -> Result<RoundData, ExecError> {
+    let spawned_before = fleet.spawned_total;
+    let respawned_before = fleet.respawned_total;
     let work_dir = match &exec.work_dir {
         Some(dir) => dir.clone(),
         None => std::env::temp_dir().join(format!(
@@ -457,122 +1001,130 @@ fn run_round1(
         path: work_dir.clone(),
         keep: exec.keep_work_dir,
     };
+    let deadline = Instant::now() + exec.timeout;
 
-    // Shard: one input file per non-empty partition.
-    let mut worker_args = Vec::with_capacity(jobs.len());
+    // Shard: one input file per non-empty partition, store-served where
+    // the content-addressed entry already exists.
+    let mut shard_writes = 0usize;
+    let mut shard_reuses = 0usize;
+    let mut round1_jobs = Vec::with_capacity(jobs.len());
+    let mut outs = Vec::with_capacity(jobs.len());
     for ((part, members), job) in partitions.iter().zip(jobs) {
         debug_assert_eq!(*part, job.partition);
-        let shard = work_dir.join(format!("shard-{part:05}.kca"));
+        let (shard, reused) =
+            materialize_shard(exec.shard_store.as_ref(), &work_dir, *part, members)?;
+        if reused {
+            shard_reuses += 1;
+        } else {
+            shard_writes += 1;
+        }
         let out = work_dir.join(format!("coreset-{part:05}.kca"));
-        write_shard(&shard, members)?;
-        worker_args.push(WorkerArgs {
+        let args = WorkerArgs {
             shard,
-            out,
+            out: out.clone(),
             metric,
             base: job.base,
             spec,
             start: job.start,
-        });
-    }
-
-    // Spawn the fleet: one OS process per partition.
-    let mut fleet = Fleet {
-        running: Vec::with_capacity(worker_args.len()),
-    };
-    for ((part, _), args) in partitions.iter().zip(&worker_args) {
-        let mut command = Command::new(&exec.worker.program);
-        command
-            .args(&exec.worker.args)
-            .args(args.to_args())
-            // The fault-injection hook must be *asked for*, never ambient:
-            // a stray KCENTER_EXEC_FAULT left in the coordinator's
-            // environment (say, from a debugging session) must not make
-            // every worker crash or hang. Tests opt in explicitly through
-            // `WorkerCommand::env`, which is applied after the strip.
-            .env_remove(crate::worker::FAULT_ENV)
-            .envs(exec.worker.env.iter().map(|(k, v)| (k, v)));
-        let running = Running::spawn(*part, &mut command).map_err(|source| ExecError::Spawn {
+        };
+        let mut request = vec!["coreset".to_string()];
+        request.extend(args.to_args());
+        round1_jobs.push(FleetJob {
             partition: *part,
-            source,
-        })?;
-        fleet.running.push(running);
+            request,
+            inputs: Vec::new(),
+        });
+        outs.push(out);
     }
 
-    // Supervise: poll until every worker exits, the deadline passes, or a
-    // worker fails (in which case the fleet guard kills the rest).
-    let deadline = Instant::now() + exec.timeout;
-    let mut outcomes: Vec<WorkerOutcome> = Vec::with_capacity(worker_args.len());
-    while !fleet.running.is_empty() {
-        if Instant::now() > deadline {
-            let partition = fleet.running[0].partition;
-            return Err(ExecError::WorkerTimeout {
-                partition,
-                timeout: exec.timeout,
-            });
-        }
-        let mut progressed = false;
-        let mut i = 0;
-        while i < fleet.running.len() {
-            match fleet.running[i].child.try_wait() {
-                Ok(Some(status)) => {
-                    progressed = true;
-                    let running = fleet.running.swap_remove(i);
-                    let partition = running.partition;
-                    let (wall, stdout, stderr) = running.reap();
-                    if !status.success() {
-                        return Err(ExecError::WorkerFailed {
-                            partition,
-                            code: status.code(),
-                            stderr: String::from_utf8_lossy(&stderr).into_owned(),
-                        });
-                    }
-                    let stdout = String::from_utf8_lossy(&stdout);
-                    let report = WorkerReport::parse(&stdout);
-                    let job = jobs
-                        .iter()
-                        .position(|j| j.partition == partition)
-                        .expect("outcome for a job we spawned");
-                    outcomes.push(WorkerOutcome {
-                        partition,
-                        stat: WorkerStat {
-                            partition,
-                            shard_points: report.map_or(partitions[job].1.len(), |r| r.points),
-                            coreset_size: report.map_or(0, |r| r.coreset),
-                            wall,
-                            build: Duration::from_micros(report.map_or(0, |r| r.build_micros)),
-                        },
-                        artifact: worker_args[job].out.clone(),
+    // Round 1 on the fleet.
+    let round1_results = fleet.run_jobs(&round1_jobs, deadline, exec.timeout, exec.job_retries)?;
+    let mut workers = Vec::with_capacity(jobs.len());
+    let mut coreset_sizes = Vec::with_capacity(jobs.len());
+    for ((part, members), (report, wall)) in partitions.iter().zip(&round1_results) {
+        workers.push(WorkerStat {
+            partition: *part,
+            shard_points: if report.points > 0 {
+                report.points
+            } else {
+                members.len()
+            },
+            coreset_size: report.coreset,
+            wall: *wall,
+            build: Duration::from_micros(report.build_micros),
+        });
+        coreset_sizes.push(report.coreset);
+    }
+
+    // Reduction tree: adjacent pairs merge on workers, the odd node
+    // carries forward, level by level, in partition-index order — the
+    // parenthesization-invariant composition that keeps the root union
+    // bit-identical to a flat concatenation.
+    let mut merge_jobs_total = 0usize;
+    let mut nodes: Vec<(usize, PathBuf)> = partitions
+        .iter()
+        .map(|(part, _)| *part)
+        .zip(outs.iter().cloned())
+        .collect();
+    let mut level = 0usize;
+    while nodes.len() > 1 {
+        let mut merge_jobs = Vec::new();
+        let mut next: Vec<(usize, PathBuf)> = Vec::with_capacity(nodes.len().div_ceil(2));
+        let mut it = nodes.into_iter();
+        let mut i = 0usize;
+        while let Some((left_part, left_path)) = it.next() {
+            match it.next() {
+                Some((right_part, right_path)) => {
+                    let out = work_dir.join(format!("merge-{level}-{i:05}.kca"));
+                    let args = MergeArgs {
+                        left: left_path.clone(),
+                        right: right_path.clone(),
+                        out: out.clone(),
+                    };
+                    let mut request = vec!["merge".to_string()];
+                    request.extend(args.to_args());
+                    merge_jobs.push(FleetJob {
+                        partition: left_part,
+                        request,
+                        inputs: vec![
+                            (left_path.to_string_lossy().into_owned(), left_part),
+                            (right_path.to_string_lossy().into_owned(), right_part),
+                        ],
                     });
+                    next.push((left_part, out));
+                    i += 1;
                 }
-                Ok(None) => i += 1,
-                Err(err) => return Err(ExecError::Io(err)),
+                None => next.push((left_part, left_path)), // odd node carries
             }
         }
-        if !progressed {
-            std::thread::sleep(Duration::from_millis(2));
-        }
+        merge_jobs_total += merge_jobs.len();
+        fleet.run_jobs(&merge_jobs, deadline, exec.timeout, exec.job_retries)?;
+        nodes = next;
+        level += 1;
     }
 
-    // Collect in ascending partition order — the shuffle's key order.
-    outcomes.sort_by_key(|o| o.partition);
-    let mut coresets = Vec::with_capacity(outcomes.len());
-    let mut workers = Vec::with_capacity(outcomes.len());
-    for outcome in outcomes {
-        let (points, weights) =
-            read_coreset_artifact(&outcome.artifact).map_err(|err| ExecError::BadArtifact {
-                partition: outcome.partition,
-                path: outcome.artifact.clone(),
-                reason: err.to_string(),
-            })?;
-        let mut stat = outcome.stat;
-        if stat.coreset_size == 0 {
-            stat.coreset_size = points.len();
-        }
-        workers.push(stat);
-        coresets.push((points, weights));
-    }
+    // Only the root crosses back into the coordinator.
+    let (root_part, root_path) = nodes
+        .pop()
+        .expect("at least one non-empty partition (validated)");
+    let (union_points, union_weights) =
+        read_coreset_artifact(&root_path).map_err(|err| ExecError::BadArtifact {
+            partition: root_part,
+            path: root_path.clone(),
+            reason: err.to_string(),
+        })?;
     drop(guard);
-    Ok(Collected { coresets, workers })
+    Ok(RoundData {
+        union_points,
+        union_weights,
+        coreset_sizes,
+        workers,
+        shard_writes,
+        shard_reuses,
+        workers_spawned: fleet.spawned_total - spawned_before,
+        worker_respawns: fleet.respawned_total - respawned_before,
+        merge_jobs: merge_jobs_total,
+    })
 }
 
 #[cfg(test)]
@@ -614,5 +1166,28 @@ mod tests {
             exec_mr_outliers(&points, MetricKind::Euclidean, &bad_outliers, &exec),
             Err(ExecError::Input(_))
         ));
+    }
+
+    #[test]
+    fn shard_fingerprints_are_content_sensitive() {
+        let a = vec![Point::new(vec![1.0, 2.0]), Point::new(vec![3.0, 4.0])];
+        let b = vec![Point::new(vec![1.0, 2.0]), Point::new(vec![3.0, 5.0])];
+        let reordered = vec![Point::new(vec![3.0, 4.0]), Point::new(vec![1.0, 2.0])];
+        let signed_zero = vec![Point::new(vec![-0.0, 2.0]), Point::new(vec![3.0, 4.0])];
+        let fp = shard_fingerprint(&a);
+        assert_eq!(fp, shard_fingerprint(&a.clone()));
+        assert_ne!(fp, shard_fingerprint(&b));
+        assert_ne!(fp, shard_fingerprint(&reordered));
+        assert_ne!(fp, shard_fingerprint(&signed_zero));
+    }
+
+    #[test]
+    fn fleet_cap_defaults_to_at_least_one() {
+        let fleet = WorkerFleet::new(WorkerCommand::new("/bin/true", &[]), Some(0));
+        assert_eq!(fleet.cap, 1);
+        let sized = WorkerFleet::new(WorkerCommand::new("/bin/true", &[]), Some(7));
+        assert_eq!(sized.cap, 7);
+        let auto = WorkerFleet::new(WorkerCommand::new("/bin/true", &[]), None);
+        assert!(auto.cap >= 1);
     }
 }

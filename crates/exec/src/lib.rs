@@ -33,8 +33,8 @@ pub mod shard;
 pub mod worker;
 
 pub use coordinator::{
-    exec_mr_kcenter, exec_mr_outliers, ExecConfig, ExecKCenterResult, ExecOutliersResult,
-    ExecReport, WorkerCommand, WorkerStat,
+    exec_mr_kcenter, exec_mr_kcenter_on, exec_mr_outliers, exec_mr_outliers_on, ExecConfig,
+    ExecKCenterResult, ExecOutliersResult, ExecReport, WorkerCommand, WorkerFleet, WorkerStat,
 };
 pub use error::ExecError;
 pub use protocol::MetricKind;

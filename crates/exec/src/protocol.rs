@@ -1,13 +1,46 @@
 //! The coordinator ↔ worker wire protocol.
 //!
-//! Workers are plain OS processes; everything they need arrives as
-//! command-line flags and everything they produce is an on-disk artifact
-//! plus one machine-parsable stdout line. All values round-trip exactly:
-//! integers as decimal, `f64`s through Rust's shortest-round-trip
-//! formatting (guaranteed bit-exact on re-parse), metrics by their stable
-//! cache name — so a worker reconstructs precisely the sub-problem the
-//! coordinator carved out, and bit-identical results follow from the
-//! shared round-1 kernel.
+//! Workers are plain OS processes. A **one-shot** worker receives
+//! everything as command-line flags and produces an on-disk artifact plus
+//! one machine-parsable stdout line. A **persistent** worker (`--serve`)
+//! instead speaks a length-delimited request/response framing over
+//! stdin/stdout — each frame is a list of strings, and a request frame
+//! carries exactly the flag list a one-shot invocation would have
+//! received, so both modes parse with the same [`crate::worker::WorkerArgs`]
+//! code. All values round-trip exactly: integers as decimal, `f64`s
+//! through Rust's shortest-round-trip formatting (guaranteed bit-exact on
+//! re-parse), metrics by their stable cache name — so a worker
+//! reconstructs precisely the sub-problem the coordinator carved out, and
+//! bit-identical results follow from the shared round-1 kernel.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! [u32 LE payload_len] [u32 LE part_count] ([u32 LE len][utf-8 bytes])*
+//! ```
+//!
+//! The leading payload length lets a reader pull one complete frame with
+//! two reads and reject oversized garbage before allocating; a clean EOF
+//! **between** frames is `Ok(None)` (the peer hung up), while EOF inside
+//! a frame is an error (a torn write).
+//!
+//! # Request / response verbs
+//!
+//! * `["coreset", …flags]` — run one round-1 coreset build (flags are
+//!   [`crate::worker::WorkerArgs::to_args`]).
+//! * `["merge", --left L, --right R, --out O]` — compose two coreset
+//!   artifacts (left-then-right, order-preserving) into one.
+//! * `["probe", VAR]` — report whether env var `VAR` is set in the worker
+//!   process (regression surface for the coordinator's env hygiene).
+//! * `["shutdown"]` — exit cleanly.
+//!
+//! Replies: `["ok", k=v…]` with [`WorkerReport`]-shaped fields,
+//! `["ok", "set", value]` / `["ok", "unset"]` for probes,
+//! `["err-artifact", path, reason]` when a job's *input* artifact failed
+//! to decode (the coordinator attributes it to the producing partition),
+//! and `["err", message]` for anything else.
+
+use std::io::{Read, Write};
 
 use kcenter_core::coreset::CoresetSpec;
 use kcenter_metric::{Chebyshev, CosineAngular, Euclidean, Manhattan, Metric, Point};
@@ -121,6 +154,94 @@ pub fn parse_spec(s: &str) -> Option<CoresetSpec> {
     })
 }
 
+/// Upper bound on a single frame's payload. Requests are flag lists and
+/// replies are short reports — anything near this limit is corruption,
+/// not traffic (artifacts travel through the filesystem, never the pipe).
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Writes one length-delimited frame and flushes, so a blocked reader on
+/// the other end of the pipe wakes immediately.
+///
+/// # Errors
+///
+/// Any transport error (a closed pipe surfaces as `BrokenPipe`, which the
+/// fleet treats as worker death), or `InvalidInput` for a frame that
+/// would exceed [`MAX_FRAME_BYTES`].
+pub fn write_frame<W: Write>(w: &mut W, parts: &[String]) -> std::io::Result<()> {
+    let payload_len = 4 + parts.iter().map(|p| 4 + p.len()).sum::<usize>();
+    if payload_len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("frame payload of {payload_len} bytes exceeds {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut buf = Vec::with_capacity(4 + payload_len);
+    buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    buf.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+    for part in parts {
+        buf.extend_from_slice(&(part.len() as u32).to_le_bytes());
+        buf.extend_from_slice(part.as_bytes());
+    }
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads one frame, or `Ok(None)` on a clean EOF between frames.
+///
+/// # Errors
+///
+/// `UnexpectedEof` for EOF *inside* a frame (a torn write),
+/// `InvalidData` for an oversized or structurally malformed payload
+/// (bad counts, non-UTF-8 parts).
+pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<String>>> {
+    let mut len_bytes = [0u8; 4];
+    // A clean hang-up arrives exactly here: zero bytes at a frame start.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame length header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let payload_len = u32::from_le_bytes(len_bytes) as usize;
+    if !(4..=MAX_FRAME_BYTES).contains(&payload_len) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("implausible frame payload length {payload_len}"),
+        ));
+    }
+    let mut payload = vec![0u8; payload_len];
+    r.read_exact(&mut payload)?;
+    let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+    let count = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+    let mut parts = Vec::with_capacity(count.min(1024));
+    let mut at = 4;
+    for _ in 0..count {
+        if at + 4 > payload.len() {
+            return Err(bad("frame part count overruns the payload"));
+        }
+        let len = u32::from_le_bytes(payload[at..at + 4].try_into().unwrap()) as usize;
+        at += 4;
+        if at + len > payload.len() {
+            return Err(bad("frame part length overruns the payload"));
+        }
+        let part = std::str::from_utf8(&payload[at..at + len])
+            .map_err(|_| bad("frame part is not UTF-8"))?;
+        parts.push(part.to_string());
+        at += len;
+    }
+    if at != payload.len() {
+        return Err(bad("trailing bytes after the last frame part"));
+    }
+    Ok(Some(parts))
+}
+
 /// Prefix of the worker's machine-parsable stdout report line.
 pub const REPORT_PREFIX: &str = "kcenter-exec-worker:";
 
@@ -143,6 +264,41 @@ impl WorkerReport {
             "{REPORT_PREFIX} points={} coreset={} build_micros={}",
             self.points, self.coreset, self.build_micros
         )
+    }
+
+    /// The `["ok", k=v…]` reply frame a persistent worker sends.
+    pub fn to_reply(self) -> Vec<String> {
+        vec![
+            "ok".into(),
+            format!("points={}", self.points),
+            format!("coreset={}", self.coreset),
+            format!("build_micros={}", self.build_micros),
+        ]
+    }
+
+    /// Parses an `["ok", k=v…]` reply frame (the reverse of
+    /// [`WorkerReport::to_reply`]).
+    pub fn from_reply(parts: &[String]) -> Option<WorkerReport> {
+        if parts.first().map(String::as_str) != Some("ok") {
+            return None;
+        }
+        let mut points = None;
+        let mut coreset = None;
+        let mut build_micros = None;
+        for field in &parts[1..] {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "points" => points = value.parse().ok(),
+                "coreset" => coreset = value.parse().ok(),
+                "build_micros" => build_micros = value.parse().ok(),
+                _ => {}
+            }
+        }
+        Some(WorkerReport {
+            points: points?,
+            coreset: coreset?,
+            build_micros: build_micros?,
+        })
     }
 
     /// Parses a worker's stdout, tolerating any surrounding noise lines.
@@ -211,6 +367,75 @@ mod tests {
         assert_eq!(parse_spec("mult"), None);
         assert_eq!(parse_spec("mult:x"), None);
         assert_eq!(parse_spec("weird:1"), None);
+    }
+
+    #[test]
+    fn frames_round_trip_exactly() {
+        let cases: Vec<Vec<String>> = vec![
+            vec![],
+            vec!["shutdown".into()],
+            vec!["probe".into(), "KCENTER_CACHE_DIR".into()],
+            vec!["coreset".into(), String::new(), "πδ≠ascii".into()],
+            vec!["x".repeat(10_000)],
+        ];
+        let mut wire = Vec::new();
+        for parts in &cases {
+            write_frame(&mut wire, parts).unwrap();
+        }
+        let mut reader = wire.as_slice();
+        for parts in &cases {
+            assert_eq!(read_frame(&mut reader).unwrap().as_ref(), Some(parts));
+        }
+        // Clean EOF between frames.
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn torn_and_malformed_frames_are_errors_not_hangs() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &["ok".to_string(), "points=3".to_string()]).unwrap();
+        // EOF inside the payload.
+        for cut in 1..wire.len() {
+            let mut torn = &wire[..cut];
+            assert!(read_frame(&mut torn).is_err(), "cut at {cut} not rejected");
+        }
+        // Oversized length word.
+        let mut huge = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes().to_vec();
+        huge.extend_from_slice(&[0; 8]);
+        assert!(read_frame(&mut huge.as_slice()).is_err());
+        // Part length overrunning the payload.
+        let mut overrun = Vec::new();
+        overrun.extend_from_slice(&12u32.to_le_bytes()); // payload_len
+        overrun.extend_from_slice(&1u32.to_le_bytes()); // one part
+        overrun.extend_from_slice(&100u32.to_le_bytes()); // of length 100?!
+        overrun.extend_from_slice(&[0; 4]);
+        assert!(read_frame(&mut overrun.as_slice()).is_err());
+        // Non-UTF-8 part bytes.
+        let mut binary = Vec::new();
+        binary.extend_from_slice(&10u32.to_le_bytes());
+        binary.extend_from_slice(&1u32.to_le_bytes());
+        binary.extend_from_slice(&2u32.to_le_bytes());
+        binary.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(read_frame(&mut binary.as_slice()).is_err());
+        // Oversized writes are refused before touching the transport.
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &["y".repeat(MAX_FRAME_BYTES)]).is_err());
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn report_reply_frames_round_trip() {
+        let report = WorkerReport {
+            points: 512,
+            coreset: 64,
+            build_micros: 987,
+        };
+        assert_eq!(WorkerReport::from_reply(&report.to_reply()), Some(report));
+        assert_eq!(WorkerReport::from_reply(&["err".to_string()]), None);
+        assert_eq!(
+            WorkerReport::from_reply(&["ok".to_string(), "points=1".to_string()]),
+            None
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! on purpose so the coordinator's failure handling can be pinned by
 //! tests: `crash` exits non-zero before doing any work, `truncate` writes
 //! half of the result artifact, `hang` sleeps far past any reasonable
-//! timeout. Production coordinators never set it.
+//! timeout, and `crash-job:N` lets a persistent worker serve `N-1` jobs
+//! normally and then die mid-stream on the `N`th without replying — the
+//! kill-mid-stream case the fleet must contain by respawn + replay.
+//! Production coordinators never set it.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -31,8 +34,8 @@ use kcenter_core::coreset::{build_weighted_coreset, CoresetSpec};
 use kcenter_metric::{Metric, Point, PointRef};
 use kcenter_store::codec;
 
-use crate::protocol::{parse_spec, MetricKind, WorkerReport};
-use crate::shard::{read_shard_set, write_artifact_atomic};
+use crate::protocol::{parse_spec, read_frame, write_frame, MetricKind, WorkerReport};
+use crate::shard::{read_coreset_artifact, read_shard_set, write_artifact_atomic};
 use crate::with_metric;
 
 /// Environment variable enabling deliberate worker misbehaviour in tests.
@@ -204,9 +207,187 @@ fn build_round1_coreset<'a, M: Metric<PointRef<'a>>>(
     (coreset_points, weights)
 }
 
+/// A parsed merge invocation: compose two coreset artifacts into one.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MergeArgs {
+    /// Left input artifact (earlier partitions).
+    pub left: PathBuf,
+    /// Right input artifact (later partitions).
+    pub right: PathBuf,
+    /// Output artifact path.
+    pub out: PathBuf,
+}
+
+impl MergeArgs {
+    /// The flag list a coordinator puts in a `merge` request frame.
+    pub fn to_args(&self) -> Vec<String> {
+        vec![
+            "--left".into(),
+            self.left.to_string_lossy().into_owned(),
+            "--right".into(),
+            self.right.to_string_lossy().into_owned(),
+            "--out".into(),
+            self.out.to_string_lossy().into_owned(),
+        ]
+    }
+
+    /// Parses the flag list (the reverse of [`MergeArgs::to_args`]).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<MergeArgs, String> {
+        let mut left = None;
+        let mut right = None;
+        let mut out = None;
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let mut value = || {
+                iter.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match flag.as_str() {
+                "--left" => left = Some(PathBuf::from(value()?)),
+                "--right" => right = Some(PathBuf::from(value()?)),
+                "--out" => out = Some(PathBuf::from(value()?)),
+                other => return Err(format!("unknown merge flag {other:?}")),
+            }
+        }
+        Ok(MergeArgs {
+            left: left.ok_or("merge requires --left")?,
+            right: right.ok_or("merge requires --right")?,
+            out: out.ok_or("merge requires --out")?,
+        })
+    }
+}
+
+/// Why a serve-mode job failed, shaped for the reply frame.
+enum JobFailure {
+    /// An *input* artifact did not decode — the coordinator attributes
+    /// this to the partition that produced it, exactly like a bad
+    /// artifact it read itself.
+    BadArtifact { path: PathBuf, reason: String },
+    /// Anything else (bad flags, unwritable output, …).
+    Other(String),
+}
+
+impl JobFailure {
+    fn to_reply(&self) -> Vec<String> {
+        match self {
+            JobFailure::BadArtifact { path, reason } => vec![
+                "err-artifact".into(),
+                path.to_string_lossy().into_owned(),
+                reason.clone(),
+            ],
+            JobFailure::Other(msg) => vec!["err".into(), msg.clone()],
+        }
+    }
+}
+
+/// Runs one merge job: reads both weighted-coreset artifacts, composes
+/// them left-then-right (order-preserving concatenation — the composition
+/// law that makes the reduction tree bit-identical to a flat round 2),
+/// and atomically writes the union artifact.
+fn run_merge(args: &MergeArgs) -> Result<WorkerReport, JobFailure> {
+    let started = Instant::now();
+    let read = |path: &PathBuf| {
+        read_coreset_artifact(path).map_err(|err| JobFailure::BadArtifact {
+            path: path.clone(),
+            reason: err.to_string(),
+        })
+    };
+    let (mut points, mut weights) = read(&args.left)?;
+    let (right_points, right_weights) = read(&args.right)?;
+    let inputs = points.len() + right_points.len();
+    points.extend(right_points);
+    weights.extend(right_weights);
+    let bytes = codec::encode_coreset(&points, &weights);
+    write_artifact_atomic(&args.out, &bytes).map_err(|e| {
+        JobFailure::Other(format!("cannot write artifact {}: {e}", args.out.display()))
+    })?;
+    Ok(WorkerReport {
+        points: inputs,
+        coreset: points.len(),
+        build_micros: started.elapsed().as_micros() as u64,
+    })
+}
+
+/// The persistent-worker loop: serves framed job requests on
+/// stdin/stdout until a clean EOF or a `shutdown` request.
+///
+/// Protocol errors (torn frames, unwritable stdout) end the process with
+/// a distinct exit code; the coordinator observes the death and contains
+/// it like any other worker failure.
+fn serve() -> i32 {
+    // `crash-job:N`: die mid-stream on the N-th job without replying —
+    // the respawned replacement restarts its counter, so the replayed
+    // job succeeds and the fleet's containment is observable end to end.
+    let crash_on_job: Option<u64> = std::env::var(FAULT_ENV)
+        .ok()
+        .and_then(|f| f.strip_prefix("crash-job:")?.parse().ok());
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    let mut jobs_served = 0u64;
+    loop {
+        let parts = match read_frame(&mut input) {
+            Ok(Some(parts)) => parts,
+            Ok(None) => return 0, // coordinator hung up
+            Err(err) => {
+                eprintln!("kcenter-exec-worker: bad request frame: {err}");
+                return 3;
+            }
+        };
+        let verb = parts.first().map(String::as_str).unwrap_or("");
+        let reply = match verb {
+            "shutdown" => return 0,
+            "probe" => match parts.get(1) {
+                Some(var) => match std::env::var(var) {
+                    Ok(value) => vec!["ok".into(), "set".into(), value],
+                    Err(_) => vec!["ok".into(), "unset".into()],
+                },
+                None => vec!["err".into(), "probe requires a variable name".into()],
+            },
+            "coreset" | "merge" => {
+                jobs_served += 1;
+                if crash_on_job == Some(jobs_served) {
+                    eprintln!(
+                        "kcenter-exec-worker: injected crash ({FAULT_ENV}=crash-job:{jobs_served})"
+                    );
+                    return 101;
+                }
+                let flags = parts[1..].to_vec();
+                if verb == "coreset" {
+                    match WorkerArgs::parse(flags).map_err(JobFailure::Other) {
+                        Ok(args) => match run_worker(&args) {
+                            Ok(report) => report.to_reply(),
+                            Err(msg) => JobFailure::Other(msg).to_reply(),
+                        },
+                        Err(failure) => failure.to_reply(),
+                    }
+                } else {
+                    match MergeArgs::parse(flags).map_err(JobFailure::Other) {
+                        Ok(args) => match run_merge(&args) {
+                            Ok(report) => report.to_reply(),
+                            Err(failure) => failure.to_reply(),
+                        },
+                        Err(failure) => failure.to_reply(),
+                    }
+                }
+            }
+            other => vec!["err".into(), format!("unknown request verb {other:?}")],
+        };
+        if let Err(err) = write_frame(&mut output, &reply) {
+            eprintln!("kcenter-exec-worker: cannot write reply frame: {err}");
+            return 3;
+        }
+    }
+}
+
 /// Full worker entry point for binaries: parses flags, applies the fault
 /// hooks, runs the build, prints the report line, and returns the process
 /// exit code (0 on success).
+///
+/// `--serve` as the first argument enters the persistent-worker loop
+/// instead: framed requests on stdin, framed replies on stdout, until
+/// EOF or `shutdown`.
 pub fn worker_main<I: IntoIterator<Item = String>>(args: I) -> i32 {
     match std::env::var(FAULT_ENV).as_deref() {
         Ok("crash") => {
@@ -218,6 +399,10 @@ pub fn worker_main<I: IntoIterator<Item = String>>(args: I) -> i32 {
             std::thread::sleep(std::time::Duration::from_secs(3600));
         }
         _ => {}
+    }
+    let mut args = args.into_iter().peekable();
+    if args.peek().map(String::as_str) == Some("--serve") {
+        return serve();
     }
     let parsed = match WorkerArgs::parse(args) {
         Ok(parsed) => parsed,
@@ -324,6 +509,73 @@ mod tests {
             for (ca, cb) in a.coords().iter().zip(b.coords()) {
                 assert_eq!(ca.to_bits(), cb.to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn merge_args_round_trip_and_reject_malformed_input() {
+        let args = MergeArgs {
+            left: PathBuf::from("/tmp/a.kca"),
+            right: PathBuf::from("/tmp/b.kca"),
+            out: PathBuf::from("/tmp/c.kca"),
+        };
+        assert_eq!(MergeArgs::parse(args.to_args()).unwrap(), args);
+        for missing in ["--left", "--right", "--out"] {
+            let mut flags = args.to_args();
+            let at = flags.iter().position(|f| f == missing).unwrap();
+            flags.drain(at..at + 2);
+            assert!(MergeArgs::parse(flags).is_err(), "{missing} not required");
+        }
+        let mut flags = args.to_args();
+        flags.push("--bogus".into());
+        assert!(MergeArgs::parse(flags).is_err());
+    }
+
+    #[test]
+    fn run_merge_concatenates_left_then_right_bitwise() {
+        let left_points = vec![Point::new(vec![1.5, -0.0]), Point::new(vec![1e-300, 2.0])];
+        let right_points = vec![Point::new(vec![-7.25, 0.1])];
+        let left = tmp("merge-left.kca");
+        let right = tmp("merge-right.kca");
+        let out = tmp("merge-out.kca");
+        write_artifact_atomic(&left, &codec::encode_coreset(&left_points, &[3, 4])).unwrap();
+        write_artifact_atomic(&right, &codec::encode_coreset(&right_points, &[9])).unwrap();
+        let report = run_merge(&MergeArgs {
+            left,
+            right,
+            out: out.clone(),
+        })
+        .map_err(|f| f.to_reply().join(" "))
+        .unwrap();
+        assert_eq!(report.points, 3);
+        assert_eq!(report.coreset, 3);
+        let (points, weights) = crate::shard::read_coreset_artifact(&out).unwrap();
+        assert_eq!(weights, vec![3, 4, 9]);
+        let expected: Vec<&Point> = left_points.iter().chain(&right_points).collect();
+        for (a, b) in points.iter().zip(expected) {
+            for (ca, cb) in a.coords().iter().zip(b.coords()) {
+                assert_eq!(ca.to_bits(), cb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn run_merge_attributes_bad_input_artifacts() {
+        let good = tmp("merge-good.kca");
+        let torn = tmp("merge-torn.kca");
+        let out = tmp("merge-err-out.kca");
+        let bytes = codec::encode_coreset(&[Point::new(vec![1.0])], &[1]);
+        write_artifact_atomic(&good, &bytes).unwrap();
+        std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+        let failure = run_merge(&MergeArgs {
+            left: good,
+            right: torn.clone(),
+            out,
+        })
+        .expect_err("torn input must fail");
+        match failure {
+            JobFailure::BadArtifact { path, .. } => assert_eq!(path, torn),
+            JobFailure::Other(msg) => panic!("expected artifact attribution, got {msg:?}"),
         }
     }
 

@@ -1,0 +1,41 @@
+//! The artifact-cache hook must be opt-in per spawn, never ambient: a
+//! `KCENTER_CACHE_DIR` left exported in the coordinator's environment
+//! must not make fleet workers silently open the cache and diverge in
+//! accounting from the in-process engines. Deployments that *want*
+//! workers to share a cache forward it explicitly via
+//! [`WorkerCommand::env`].
+//!
+//! This lives in its own integration-test binary because it mutates the
+//! process environment: with a single `#[test]` there are no sibling
+//! threads to race against.
+
+use kcenter_exec::{WorkerCommand, WorkerFleet};
+use kcenter_store::CACHE_DIR_ENV;
+
+#[test]
+fn ambient_cache_dir_is_stripped_from_workers() {
+    std::env::set_var(CACHE_DIR_ENV, "/tmp/kcenter-ambient-cache");
+    let command = WorkerCommand::new(env!("CARGO_BIN_EXE_kcenter-exec-worker"), &[]);
+
+    // The ambient variable is stripped at spawn …
+    let mut fleet = WorkerFleet::new(command.clone(), Some(1));
+    let seen = fleet
+        .probe_env(CACHE_DIR_ENV)
+        .expect("probe must round-trip");
+    fleet.shutdown();
+    assert_eq!(
+        seen, None,
+        "ambient {CACHE_DIR_ENV} must not reach fleet workers"
+    );
+
+    // … while the explicit opt-in is applied after the strip.
+    let forwarded = command.env(CACHE_DIR_ENV, "/tmp/kcenter-forwarded-cache");
+    let mut fleet = WorkerFleet::new(forwarded, Some(1));
+    let seen = fleet
+        .probe_env(CACHE_DIR_ENV)
+        .expect("probe must round-trip");
+    fleet.shutdown();
+    assert_eq!(seen.as_deref(), Some("/tmp/kcenter-forwarded-cache"));
+
+    std::env::remove_var(CACHE_DIR_ENV);
+}

@@ -17,9 +17,11 @@ use kcenter_core::coreset::CoresetSpec;
 use kcenter_core::mapreduce_kcenter::{mr_kcenter, MrKCenterConfig};
 use kcenter_core::mapreduce_outliers::{mr_kcenter_outliers, MrOutliersConfig};
 use kcenter_exec::{
-    exec_mr_kcenter, exec_mr_outliers, ExecConfig, ExecError, MetricKind, WorkerCommand,
+    exec_mr_kcenter, exec_mr_kcenter_on, exec_mr_outliers, ExecConfig, ExecError, MetricKind,
+    WorkerCommand, WorkerFleet,
 };
 use kcenter_metric::{Euclidean, Point};
+use kcenter_store::ArtifactStore;
 
 /// The worker binary cargo built for this package.
 fn worker_command() -> WorkerCommand {
@@ -285,4 +287,227 @@ fn work_dir_is_removed_on_success_and_kept_on_request() {
     exec.keep_work_dir = false;
     exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec).unwrap();
     assert!(!dir.exists(), "work dir must be removed by default");
+}
+
+#[test]
+fn warm_fleet_reuses_workers_and_stays_bit_identical() {
+    let points = dataset(600, 0);
+    for procs in [1usize, 4] {
+        let config = MrKCenterConfig {
+            k: 5,
+            ell: procs,
+            coreset: CoresetSpec::Multiplier { mu: 3 },
+            seed: 11,
+        };
+        let exec = exec_config();
+        let fresh = exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec).unwrap();
+
+        let mut fleet = WorkerFleet::from_config(&exec);
+        let cold =
+            exec_mr_kcenter_on(&mut fleet, &points, MetricKind::Euclidean, &config, &exec).unwrap();
+        assert!(
+            cold.report.workers_spawned >= 1,
+            "cold run must spawn workers"
+        );
+        let warm =
+            exec_mr_kcenter_on(&mut fleet, &points, MetricKind::Euclidean, &config, &exec).unwrap();
+        fleet.shutdown();
+        assert_eq!(
+            warm.report.workers_spawned, 0,
+            "warm fleet must reuse its live workers (procs={procs})"
+        );
+        for run in [&cold, &warm] {
+            assert_points_bit_identical(
+                &run.clustering.centers,
+                &fresh.clustering.centers,
+                &format!("fleet reuse procs={procs}"),
+            );
+            assert_eq!(
+                run.clustering.radius.to_bits(),
+                fresh.clustering.radius.to_bits()
+            );
+            assert_eq!(run.report.coreset_sizes, fresh.report.coreset_sizes);
+        }
+    }
+}
+
+#[test]
+fn reduction_tree_with_odd_fanout_matches_flat_round2_bitwise() {
+    let points = dataset(600, 0);
+    // ell=5 exercises the odd-node carry at two levels: 5 → 3 → 2 → 1
+    // nodes, 4 pairwise merges in total.
+    let config = MrKCenterConfig {
+        k: 5,
+        ell: 5,
+        coreset: CoresetSpec::Multiplier { mu: 2 },
+        seed: 7,
+    };
+    let reference = mr_kcenter(&points, &Euclidean, &config).unwrap();
+    let executed =
+        exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec_config()).unwrap();
+    assert_eq!(executed.report.merge_jobs, 4);
+    assert_points_bit_identical(
+        &executed.clustering.centers,
+        &reference.clustering.centers,
+        "reduction tree ell=5",
+    );
+    assert_eq!(
+        executed.clustering.radius.to_bits(),
+        reference.clustering.radius.to_bits()
+    );
+    assert_eq!(executed.report.union_size, reference.union_size);
+    assert_eq!(executed.report.coreset_sizes, reference.coreset_sizes);
+
+    // A single partition needs no merge at all.
+    let solo = MrKCenterConfig { ell: 1, ..config };
+    let executed = exec_mr_kcenter(&points, MetricKind::Euclidean, &solo, &exec_config()).unwrap();
+    assert_eq!(executed.report.merge_jobs, 0);
+}
+
+#[test]
+fn mid_stream_worker_death_is_contained_by_respawn_and_replay() {
+    let points = dataset(600, 0);
+    let config = MrKCenterConfig {
+        k: 4,
+        ell: 3,
+        coreset: CoresetSpec::Multiplier { mu: 2 },
+        seed: 3,
+    };
+    let reference = mr_kcenter(&points, &Euclidean, &config).unwrap();
+    // Every worker dies mid-stream on its second job without replying;
+    // with a single-worker fleet each job is at worst one replay away
+    // from a fresh worker, so the run must still succeed.
+    let mut exec = faulty_exec("crash-job:2");
+    exec.max_workers = Some(1);
+    let executed = exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec).unwrap();
+    assert!(
+        executed.report.worker_respawns >= 1,
+        "the injected deaths must be visible as respawns"
+    );
+    assert_points_bit_identical(
+        &executed.clustering.centers,
+        &reference.clustering.centers,
+        "kill-mid-stream",
+    );
+    assert_eq!(
+        executed.clustering.radius.to_bits(),
+        reference.clustering.radius.to_bits()
+    );
+
+    // With the retry budget zeroed, the same fault is a clean error, not
+    // a hang.
+    exec.job_retries = 0;
+    match exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec) {
+        Err(ExecError::WorkerFailed { code, stderr, .. }) => {
+            assert_eq!(code, Some(101));
+            assert!(stderr.contains("injected crash"), "stderr: {stderr:?}");
+        }
+        other => panic!("expected WorkerFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn content_addressed_shards_are_reused_on_rerun() {
+    let points = dataset(500, 0);
+    let config = MrKCenterConfig {
+        k: 4,
+        ell: 3,
+        coreset: CoresetSpec::Multiplier { mu: 2 },
+        seed: 9,
+    };
+    let plain = exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec_config()).unwrap();
+
+    let store_dir = std::env::temp_dir().join(format!("kcenter-exec-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut exec = exec_config();
+    exec.shard_store = Some(ArtifactStore::open(&store_dir).unwrap());
+
+    let cold = exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec).unwrap();
+    assert_eq!(cold.report.shard_writes, 3, "cold run writes every shard");
+    assert_eq!(cold.report.shard_reuses, 0);
+
+    let warm = exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec).unwrap();
+    assert_eq!(warm.report.shard_writes, 0, "warm run must not re-shard");
+    assert_eq!(warm.report.shard_reuses, 3);
+
+    for run in [&cold, &warm] {
+        assert_points_bit_identical(
+            &run.clustering.centers,
+            &plain.clustering.centers,
+            "shard reuse",
+        );
+        assert_eq!(
+            run.clustering.radius.to_bits(),
+            plain.clustering.radius.to_bits()
+        );
+    }
+
+    // Addressing is by shard *content*: flip one coordinate bit and every
+    // partition containing it must miss while the others still hit.
+    let mut nudged = points.clone();
+    nudged[0] = Point::new(vec![-0.0, 0.0]);
+    let other = exec_mr_kcenter(&nudged, MetricKind::Euclidean, &config, &exec).unwrap();
+    assert_eq!(other.report.shard_writes, 1, "changed partition must miss");
+    assert_eq!(
+        other.report.shard_reuses, 2,
+        "unchanged partitions must hit"
+    );
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn corrupted_cached_shard_is_resharded_cleanly() {
+    let points = dataset(400, 0);
+    let config = MrKCenterConfig {
+        k: 3,
+        ell: 2,
+        coreset: CoresetSpec::Multiplier { mu: 2 },
+        seed: 13,
+    };
+    let store_dir =
+        std::env::temp_dir().join(format!("kcenter-exec-store-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut exec = exec_config();
+    exec.shard_store = Some(ArtifactStore::open(&store_dir).unwrap());
+
+    let cold = exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec).unwrap();
+    assert_eq!(cold.report.shard_writes, 2);
+
+    // Truncate one cached shard entry behind the store's back.
+    let victim = std::fs::read_dir(&store_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| {
+            p.file_name()
+                .unwrap()
+                .to_string_lossy()
+                .starts_with("shard-")
+        })
+        .expect("a cached shard entry");
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+
+    // The corrupt entry is detected, re-stored, and the run stays
+    // bit-identical — the cache may change cost, never correctness.
+    let healed = exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec).unwrap();
+    assert_eq!(
+        healed.report.shard_writes, 1,
+        "only the victim is rewritten"
+    );
+    assert_eq!(healed.report.shard_reuses, 1);
+    assert_points_bit_identical(
+        &healed.clustering.centers,
+        &cold.clustering.centers,
+        "corrupt shard heal",
+    );
+    assert_eq!(
+        healed.clustering.radius.to_bits(),
+        cold.clustering.radius.to_bits()
+    );
+
+    let warm = exec_mr_kcenter(&points, MetricKind::Euclidean, &config, &exec).unwrap();
+    assert_eq!(warm.report.shard_writes, 0, "healed entry serves the rerun");
+
+    let _ = std::fs::remove_dir_all(&store_dir);
 }

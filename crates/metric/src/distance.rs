@@ -394,6 +394,32 @@ impl<P: Coordinates> Metric<P> for CosineAngular {
         (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0).acos()
     }
 
+    // The angle is its own comparison proxy (no monotone shortcut
+    // survives the acos boundary cases), so both block entry points run
+    // the same dispatched kernel.
+    #[inline]
+    fn cmp_distance_block(&self, query: &P, block: &[P], out: &mut [f64]) {
+        kernels::cosine_block(query.coords(), block, out);
+    }
+
+    #[inline]
+    fn distance_to_block(&self, query: &P, block: &[P], out: &mut [f64]) {
+        kernels::cosine_block(query.coords(), block, out);
+    }
+
+    fn within_block(&self, query: &P, block: &[P], cmp_threshold: f64, out: &mut [bool]) {
+        // Same shape as the shared exact path: proxy values through the
+        // dispatched kernel, compared in place on stack sub-blocks.
+        let mut buf = [0.0f64; 64];
+        for (bchunk, ochunk) in block.chunks(64).zip(out.chunks_mut(64)) {
+            let k = bchunk.len();
+            kernels::cosine_block(query.coords(), bchunk, &mut buf[..k]);
+            for (o, &d) in ochunk.iter_mut().zip(&buf[..k]) {
+                *o = d <= cmp_threshold;
+            }
+        }
+    }
+
     fn cache_fingerprint(&self, points: &[P]) -> Option<u128> {
         Some(fingerprint_points("cosine-angular", points))
     }

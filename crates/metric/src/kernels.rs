@@ -39,8 +39,10 @@ use std::sync::OnceLock;
 
 use crate::pointset::Coordinates;
 
-/// The metrics the vector kernels cover. [`crate::CosineAngular`] keeps the
-/// scalar defaults (its acos boundary work dwarfs the per-dimension loop).
+/// The difference-chain metrics the shared vector kernels cover.
+/// [`crate::CosineAngular`] needs three accumulators and an `acos`
+/// epilogue, so it has its own entry points ([`cosine_block`]) rather
+/// than a variant here.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KernelMetric {
     /// Squared-distance proxy chain: `acc += (q[d] - r[d])²`.
@@ -227,6 +229,77 @@ pub fn within_block<P: Coordinates>(
     }
 }
 
+/// Scalar cosine-angular chain for one pair — **the reference**:
+/// character-for-character the accumulation chain of
+/// [`crate::CosineAngular`]'s `distance`, ending in the shared
+/// [`cosine_finish`] epilogue.
+#[inline]
+pub fn scalar_cosine(q: &[f64], r: &[f64]) -> f64 {
+    debug_assert_eq!(q.len(), r.len(), "dimension mismatch");
+    let (mut dot, mut na, mut nb) = (0.0, 0.0, 0.0);
+    for (x, y) in q.iter().zip(r) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    cosine_finish(dot, na, nb)
+}
+
+/// The zero-vector boundary + clamp + `acos` epilogue every cosine path
+/// funnels through — scalar per lane on every ISA, so the vector kernels
+/// only ever vectorize the bit-exact accumulation chains.
+#[inline]
+fn cosine_finish(dot: f64, na: f64, nb: f64) -> f64 {
+    if na == 0.0 && nb == 0.0 {
+        return 0.0;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return std::f64::consts::FRAC_PI_2;
+    }
+    // Clamp for floating-point drift before acos.
+    (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0).acos()
+}
+
+/// Scalar reference implementation of [`cosine_block`], exported so parity
+/// tests can pin the dispatched kernels against it regardless of the
+/// force-scalar setting.
+pub fn cosine_block_scalar<P: Coordinates>(query: &[f64], block: &[P], out: &mut [f64]) {
+    assert_eq!(block.len(), out.len(), "output length mismatch");
+    for (o, p) in out.iter_mut().zip(block) {
+        *o = scalar_cosine(query, p.coords());
+    }
+}
+
+/// Angular distances of `query` against every point of `block`, written
+/// into `out` (`out[i] = arccos(cos_sim(query, block[i]))`, with the
+/// zero-vector conventions of [`crate::CosineAngular`]).
+///
+/// Bit-identity argument, lane-per-point as everywhere else: the three
+/// accumulators are independent sequential sums, so interleaving does not
+/// affect any of them. Lane `l` of the vector `dot`/`nb` accumulators
+/// performs exactly the scalar per-dimension chain for point `l` —
+/// broadcast `q[d]`, gather coordinate `d`, multiply, add, **no FMA** —
+/// and the query's self-dot `na` depends on the query alone, so one
+/// scalar accumulation (the same op sequence the scalar kernel runs per
+/// point) serves every lane. The epilogue ([`cosine_finish`]) is scalar
+/// per lane on every ISA. Remainder points run the scalar kernel.
+///
+/// # Panics
+///
+/// Panics if `out.len() != block.len()`.
+pub fn cosine_block<P: Coordinates>(query: &[f64], block: &[P], out: &mut [f64]) {
+    assert_eq!(block.len(), out.len(), "output length mismatch");
+    match active_isa() {
+        Isa::Scalar => cosine_block_scalar(query, block, out),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Sse2 => x86::cosine_block_sse2(query, block, out),
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx => x86::cosine_block_avx(query, block, out),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => cosine_block_scalar(query, block, out),
+    }
+}
+
 /// f32 proxy first pass for [`within_block`].
 ///
 /// For each point the proxy value is computed in single precision and
@@ -315,7 +388,7 @@ mod x86 {
 
     use core::arch::x86_64::*;
 
-    use super::{scalar_cmp, KernelMetric};
+    use super::{cosine_finish, scalar_cmp, scalar_cosine, KernelMetric};
     use crate::pointset::Coordinates;
 
     /// Four points per iteration.
@@ -366,6 +439,109 @@ mod x86 {
         let mut res = [0.0f64; 2];
         _mm_storeu_pd(res.as_mut_ptr(), acc);
         res
+    }
+
+    /// Four points per iteration, cosine-angular chain: per-lane `dot`
+    /// and `nb` accumulators (multiply + add, no FMA), the query's
+    /// self-dot `na` pre-accumulated scalar by the dispatcher, epilogue
+    /// scalar per lane.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX support; all rows must have `q.len()`
+    /// elements.
+    #[target_feature(enable = "avx")]
+    unsafe fn cosine4_avx(q: &[f64], r: [&[f64]; 4], na: f64) -> [f64; 4] {
+        let mut dot = _mm256_setzero_pd();
+        let mut nb = _mm256_setzero_pd();
+        for (d, &x) in q.iter().enumerate() {
+            let qv = _mm256_set1_pd(x);
+            let rv = _mm256_set_pd(r[3][d], r[2][d], r[1][d], r[0][d]);
+            dot = _mm256_add_pd(dot, _mm256_mul_pd(qv, rv));
+            nb = _mm256_add_pd(nb, _mm256_mul_pd(rv, rv));
+        }
+        let mut dots = [0.0f64; 4];
+        let mut nbs = [0.0f64; 4];
+        _mm256_storeu_pd(dots.as_mut_ptr(), dot);
+        _mm256_storeu_pd(nbs.as_mut_ptr(), nb);
+        [
+            cosine_finish(dots[0], na, nbs[0]),
+            cosine_finish(dots[1], na, nbs[1]),
+            cosine_finish(dots[2], na, nbs[2]),
+            cosine_finish(dots[3], na, nbs[3]),
+        ]
+    }
+
+    /// Two points per iteration, cosine-angular chain.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified SSE2 support; all rows must have `q.len()`
+    /// elements.
+    #[target_feature(enable = "sse2")]
+    unsafe fn cosine2_sse2(q: &[f64], r: [&[f64]; 2], na: f64) -> [f64; 2] {
+        let mut dot = _mm_setzero_pd();
+        let mut nb = _mm_setzero_pd();
+        for (d, &x) in q.iter().enumerate() {
+            let qv = _mm_set1_pd(x);
+            let rv = _mm_set_pd(r[1][d], r[0][d]);
+            dot = _mm_add_pd(dot, _mm_mul_pd(qv, rv));
+            nb = _mm_add_pd(nb, _mm_mul_pd(rv, rv));
+        }
+        let mut dots = [0.0f64; 2];
+        let mut nbs = [0.0f64; 2];
+        _mm_storeu_pd(dots.as_mut_ptr(), dot);
+        _mm_storeu_pd(nbs.as_mut_ptr(), nb);
+        [
+            cosine_finish(dots[0], na, nbs[0]),
+            cosine_finish(dots[1], na, nbs[1]),
+        ]
+    }
+
+    /// The query's self-dot, accumulated in the exact op sequence the
+    /// scalar kernel uses (`na += x * x` per dimension) — computed once
+    /// and shared by every lane, since it depends on the query alone.
+    fn query_self_dot(q: &[f64]) -> f64 {
+        let mut na = 0.0;
+        for &x in q {
+            na += x * x;
+        }
+        na
+    }
+
+    pub(super) fn cosine_block_avx<P: Coordinates>(query: &[f64], block: &[P], out: &mut [f64]) {
+        let na = query_self_dot(query);
+        let mut groups = block.chunks_exact(4);
+        let mut outs = out.chunks_exact_mut(4);
+        for (g, o) in groups.by_ref().zip(outs.by_ref()) {
+            // SAFETY: dispatch verified AVX; `Coordinates` rows share the
+            // query's dimension per the point-set invariants.
+            let res = unsafe {
+                cosine4_avx(
+                    query,
+                    [g[0].coords(), g[1].coords(), g[2].coords(), g[3].coords()],
+                    na,
+                )
+            };
+            o.copy_from_slice(&res);
+        }
+        for (o, p) in outs.into_remainder().iter_mut().zip(groups.remainder()) {
+            *o = scalar_cosine(query, p.coords());
+        }
+    }
+
+    pub(super) fn cosine_block_sse2<P: Coordinates>(query: &[f64], block: &[P], out: &mut [f64]) {
+        let na = query_self_dot(query);
+        let mut groups = block.chunks_exact(2);
+        let mut outs = out.chunks_exact_mut(2);
+        for (g, o) in groups.by_ref().zip(outs.by_ref()) {
+            // SAFETY: SSE2 is baseline on x86_64 and detection-checked.
+            let res = unsafe { cosine2_sse2(query, [g[0].coords(), g[1].coords()], na) };
+            o.copy_from_slice(&res);
+        }
+        for (o, p) in outs.into_remainder().iter_mut().zip(groups.remainder()) {
+            *o = scalar_cosine(query, p.coords());
+        }
     }
 
     pub(super) fn cmp_block_avx<P: Coordinates>(
@@ -447,6 +623,30 @@ mod tests {
             cmp_block_scalar(kind, &query, &block, &mut scalar);
             for (a, s) in auto.iter().zip(&scalar) {
                 assert_eq!(a.to_bits(), s.to_bits(), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatched_cosine_kernel_matches_scalar_bitwise() {
+        // Odd block length exercises the remainder lanes on every ISA;
+        // zero rows exercise the per-lane boundary epilogue.
+        let block = pts(&[
+            &[1.0, 2.0, 3.0],
+            &[0.0, 0.0, 0.0],
+            &[-1.5, 0.25, 9.0],
+            &[1.0, 2.0, 3.0],
+            &[-2.0, -4.0, -6.0],
+            &[1e-300, -1e150, 2.5],
+            &[0.5, -2.0, 3.25],
+        ]);
+        for query in [[0.5, -2.0, 3.25], [0.0, 0.0, 0.0]] {
+            let mut auto = vec![0.0; block.len()];
+            let mut scalar = vec![0.0; block.len()];
+            cosine_block(&query, &block, &mut auto);
+            cosine_block_scalar(&query, &block, &mut scalar);
+            for (i, (a, s)) in auto.iter().zip(&scalar).enumerate() {
+                assert_eq!(a.to_bits(), s.to_bits(), "point {i} query {query:?}");
             }
         }
     }

@@ -135,14 +135,19 @@ proptest! {
     }
 
     #[test]
-    fn cosine_angular_block_defaults_match_scalar(
-        points in prop::collection::vec(
-            prop::collection::vec(0.1..1e3f64, 3).prop_map(Point::new),
-            2..16,
-        ),
+    fn cosine_angular_block_kernels_match_scalar(points in arb_points(3, 24)) {
+        // The dispatched three-accumulator cosine kernels (SSE2/AVX lane-
+        // per-point, scalar query self-dot, scalar per-lane acos epilogue)
+        // against the scalar trait path — including zero vectors, signed
+        // zeros, and subnormals from the shared special palette, which
+        // exercise the per-lane boundary epilogue.
+        check_parity(&CosineAngular, &points)?;
+    }
+
+    #[test]
+    fn cosine_angular_zero_and_duplicate_vectors_stay_bit_identical(
+        points in arb_duplicate_heavy(3),
     ) {
-        // CosineAngular keeps the scalar defaults (no SIMD override); the
-        // parity oracle still pins the block API contract for it.
         check_parity(&CosineAngular, &points)?;
     }
 
@@ -200,6 +205,21 @@ fn every_remainder_lane_is_bitwise_identical() {
                         scalar[j]
                     );
                 }
+            }
+            // Cosine has its own entry points (not a `KernelMetric`), so
+            // its remainder lanes are pinned here explicitly.
+            let mut dispatched = vec![0.0f64; n];
+            kernels::cosine_block(query, block, &mut dispatched);
+            let mut scalar = vec![0.0f64; n];
+            kernels::cosine_block_scalar(query, block, &mut scalar);
+            for j in 0..n {
+                assert_eq!(
+                    dispatched[j].to_bits(),
+                    scalar[j].to_bits(),
+                    "cosine dim={dim} n={n} lane {j}: {} vs {}",
+                    dispatched[j],
+                    scalar[j]
+                );
             }
         }
     }

@@ -155,6 +155,15 @@ impl ArtifactStore {
             .join(format!("{}-{fingerprint:032x}.{ARTIFACT_EXT}", kind.name()))
     }
 
+    /// The on-disk path of the entry for `(kind, fingerprint)` — whether
+    /// or not it currently exists. Consumers that can read the artifact
+    /// format in place (the exec coordinator points workers straight at
+    /// cached shard entries) use this to share the file instead of
+    /// copying bytes out of the store.
+    pub fn artifact_path(&self, kind: ArtifactKind, fingerprint: u128) -> PathBuf {
+        self.entry_path(kind, fingerprint)
+    }
+
     /// Reads and fully validates one entry; any failure (absent entry,
     /// truncation, checksum/version/kind mismatch) is a clean `None`.
     fn load_raw(&self, kind: ArtifactKind, fingerprint: u128) -> Option<Vec<u8>> {
