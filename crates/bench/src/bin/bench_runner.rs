@@ -1,9 +1,10 @@
 //! Bench runner: measures the hot kernels (GMM, `OutliersCluster`, radius
 //! search, `DistanceMatrix` construction, cached-vs-rebuilt radius-search
 //! sweeps) plus the multi-process executor (warm vs cold worker fleet,
-//! store-served vs re-written shards) on the seeded `Power` workload and
-//! writes machine-readable `BENCH_pr7.json` — the perf trajectory's
-//! record.
+//! store-served vs re-written shards) and the serve-layer session
+//! registry (batched ingest throughput, query latency solver-path vs
+//! memoized) on the seeded `Power` workload and writes machine-readable
+//! `BENCH_pr7.json` — the perf trajectory's record.
 //!
 //! The block-kernel consumers (`gmm_select`'s chunked min-distance scan
 //! and the blocked `DistanceMatrix::build`) are measured **paired**:
@@ -537,6 +538,99 @@ fn run_exec_rows(warmup: usize, samples: usize, records: &mut Vec<Record>) -> Ex
     }
 }
 
+/// Serve rows: session-ingest throughput through the registry's bounded
+/// channel and per-query latency on a live session — the solver path
+/// versus the per-session answer memo, paired (ABBA). The two query arms
+/// run on *separate* sessions because the memo holds a single entry: the
+/// solver arm alternating `k` on the memo arm's session would clobber
+/// its cached answer between interleaved samples.
+fn run_serve_rows(warmup: usize, samples: usize, records: &mut Vec<Record>) {
+    use kcenter_serve::{RegistryConfig, SessionRegistry};
+
+    let n = 4_096usize;
+    let config = RegistryConfig {
+        tau: 64,
+        memory_budget_points: None,
+        snapshot_every: 0,
+        ingest_buffer: 256,
+    };
+    let points = Dataset::Power.generate(n, FIXTURE_DATASET_SEED);
+
+    // Ingest throughput: a fresh session absorbs the workload in
+    // 256-point batches, each batch crossing the bounded channel exactly
+    // as a server-side ingest does.
+    let m = measure(warmup, samples, || {
+        let registry =
+            SessionRegistry::new(Euclidean, config.clone(), None).expect("bench registry");
+        for batch in points.chunks(256) {
+            registry
+                .ingest("bench", "ingest", batch.to_vec())
+                .expect("bench ingest");
+        }
+        registry
+    });
+    records.push(Record {
+        kernel: "serve_ingest_throughput",
+        dataset: "Power",
+        n,
+        ops: n as u64,
+        threads: 1,
+        m,
+    });
+    eprintln!(
+        "  serve_ingest/n={n}         {:>12.2?} ±{:.2?}",
+        m.median, m.mad
+    );
+
+    let registry = SessionRegistry::new(Euclidean, config, None).expect("bench registry");
+    registry
+        .ingest("bench", "solve", points.clone())
+        .expect("seed solver session");
+    registry
+        .ingest("bench", "memo", points.clone())
+        .expect("seed memo session");
+    let (k, z, eps) = (20usize, 50u64, 0.25f64);
+    registry
+        .query("bench", "memo", k, z, eps)
+        .expect("prime the memo");
+    let flip = std::cell::Cell::new(false);
+    let (m_solve, m_memo) = measure_paired(
+        warmup,
+        samples,
+        || {
+            // Alternate k so every call misses the single-entry memo and
+            // pays the full snapshot-and-solve path.
+            let kk = if flip.replace(!flip.get()) { k + 1 } else { k };
+            let answer = registry
+                .query("bench", "solve", kk, z, eps)
+                .expect("solver query");
+            assert!(!answer.cached, "solver arm must never hit the memo");
+            answer
+        },
+        || {
+            let answer = registry
+                .query("bench", "memo", k, z, eps)
+                .expect("memo query");
+            assert!(answer.cached, "memo arm must always hit");
+            answer
+        },
+    );
+    for (kernel, m) in [
+        ("serve_query_latency", m_solve),
+        ("serve_query_memoized", m_memo),
+    ] {
+        records.push(Record {
+            kernel,
+            dataset: "Power",
+            n,
+            ops: 1,
+            threads: 1,
+            m,
+        });
+        eprintln!("  {kernel:<27} {:>12.2?} ±{:.2?}", m.median, m.mad);
+    }
+}
+
 fn main() {
     // Hidden worker mode: the fleet re-invokes this binary as its worker
     // process (`bench_runner exec-worker --serve`).
@@ -613,6 +707,9 @@ fn main() {
 
     eprintln!("executor (process-level):");
     let exec_accounting = run_exec_rows(warmup, samples, &mut records);
+
+    eprintln!("serve (session registry):");
+    run_serve_rows(warmup, samples, &mut records);
 
     let mut json = String::new();
     json.push_str("{\n");

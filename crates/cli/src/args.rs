@@ -72,6 +72,8 @@ pub enum Command {
     Info(InfoArgs),
     /// Inspect, empty, or prune the persistent artifact cache.
     Cache(CacheArgs),
+    /// Run the clustering-as-a-service session server on a unix socket.
+    Serve(ServeArgs),
     /// Hidden worker mode: the raw flags are handed to
     /// `kcenter_exec::worker_main` verbatim. This is how `cluster
     /// --procs N` re-invokes the current binary as its round-1 workers.
@@ -157,6 +159,23 @@ pub struct CacheArgs {
     pub dir: Option<String>,
 }
 
+/// Arguments of `kcenter serve`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeArgs {
+    /// Unix socket path to listen on.
+    pub socket: String,
+    /// Coreset budget `τ` per session.
+    pub tau: usize,
+    /// Resident-point budget across sessions (`None` = no eviction).
+    pub memory_budget: Option<usize>,
+    /// Persist each session every N processed items (`0` = only on
+    /// evict/flush/shutdown).
+    pub snapshot_every: u64,
+    /// Session store directory (`--cache-dir`); falls back to
+    /// `KCENTER_CACHE_DIR`. Required for eviction/persistence.
+    pub cache_dir: Option<String>,
+}
+
 /// A parse failure with its message.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ArgError {
@@ -189,10 +208,19 @@ USAGE:
   kcenter info     --input FILE
   kcenter cache    stat|clear [--cache-dir DIR]
   kcenter cache    prune --max-bytes BYTES [--cache-dir DIR]
+  kcenter serve    --socket PATH [--tau T] [--memory-budget POINTS]
+                   [--snapshot-every N] [--cache-dir DIR]
 
 --procs N runs the MapReduce algorithms (mr | mr-outliers | mr-randomized)
 on N real worker OS processes over sharded on-disk inputs, with results
 bit-identical to the in-process engine at parallelism N.
+
+`serve` runs a long-lived multi-tenant session server over the streaming
+coreset: clients ingest/query/evict per-(tenant, stream) sessions through
+a length-delimited framed protocol on the unix socket. With a cache dir,
+sessions snapshot to the artifact store and idle sessions are evicted
+under --memory-budget, restoring transparently (bit-identically) on the
+next touch.
 
 The persistent artifact cache (distance matrices, coresets, solutions) is
 off unless --cache-dir or the KCENTER_CACHE_DIR environment variable
@@ -226,6 +254,7 @@ pub fn parse<'a, I: IntoIterator<Item = &'a str>>(args: I) -> Result<Command, Ar
         "generate" => parse_generate(iter),
         "info" => parse_info(iter),
         "cache" => parse_cache(iter),
+        "serve" => parse_serve(iter),
         // Hidden: the multi-process executor re-invokes this binary as its
         // workers. Flags are validated by the worker itself.
         "worker" => Ok(Command::ExecWorker(iter.map(String::from).collect())),
@@ -327,6 +356,35 @@ fn parse_cache<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command, 
         other => other,
     };
     Ok(Command::Cache(CacheArgs { action, dir }))
+}
+
+fn parse_serve<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command, ArgError> {
+    let mut socket = None;
+    let mut tau = 128usize;
+    let mut memory_budget = None;
+    let mut snapshot_every = 0u64;
+    let mut cache_dir = None;
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--socket" => socket = Some(take_value(arg, &mut iter)?.to_string()),
+            "--tau" => tau = parse_num(arg, take_value(arg, &mut iter)?)?,
+            "--memory-budget" => memory_budget = Some(parse_num(arg, take_value(arg, &mut iter)?)?),
+            "--snapshot-every" => snapshot_every = parse_num(arg, take_value(arg, &mut iter)?)?,
+            "--cache-dir" => cache_dir = Some(take_value(arg, &mut iter)?.to_string()),
+            other => return Err(ArgError::new(format!("unknown flag {other:?}"))),
+        }
+    }
+    let socket = socket.ok_or_else(|| ArgError::new("serve requires --socket"))?;
+    if tau == 0 {
+        return Err(ArgError::new("--tau must be at least 1"));
+    }
+    Ok(Command::Serve(ServeArgs {
+        socket,
+        tau,
+        memory_budget,
+        snapshot_every,
+        cache_dir,
+    }))
 }
 
 fn parse_generate<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command, ArgError> {
@@ -538,6 +596,46 @@ mod tests {
         assert!(parse(["cache", "prune"]).is_err());
         assert!(parse(["cache", "stat", "--verbose"]).is_err());
         assert!(parse(["cache", "stat", "--cache-dir"]).is_err());
+    }
+
+    #[test]
+    fn parses_serve_subcommand() {
+        assert_eq!(
+            parse(["serve", "--socket", "/tmp/kc.sock"]).unwrap(),
+            Command::Serve(ServeArgs {
+                socket: "/tmp/kc.sock".into(),
+                tau: 128,
+                memory_budget: None,
+                snapshot_every: 0,
+                cache_dir: None,
+            })
+        );
+        assert_eq!(
+            parse([
+                "serve",
+                "--socket",
+                "/tmp/kc.sock",
+                "--tau",
+                "32",
+                "--memory-budget",
+                "5000",
+                "--snapshot-every",
+                "1000",
+                "--cache-dir",
+                "/tmp/kc-cache",
+            ])
+            .unwrap(),
+            Command::Serve(ServeArgs {
+                socket: "/tmp/kc.sock".into(),
+                tau: 32,
+                memory_budget: Some(5000),
+                snapshot_every: 1000,
+                cache_dir: Some("/tmp/kc-cache".into()),
+            })
+        );
+        assert!(parse(["serve"]).is_err()); // no socket
+        assert!(parse(["serve", "--socket", "/tmp/s", "--tau", "0"]).is_err());
+        assert!(parse(["serve", "--socket", "/tmp/s", "--warp", "9"]).is_err());
     }
 
     #[test]

@@ -22,7 +22,9 @@ use kcenter_metric::{Euclidean, Point};
 use kcenter_store::{ArtifactKind, ArtifactStore, Fingerprint, StoredSolution};
 use kcenter_stream::run_stream;
 
-use crate::args::{Algo, CacheAction, CacheArgs, ClusterArgs, GenerateArgs, InfoArgs, Normalize};
+use crate::args::{
+    Algo, CacheAction, CacheArgs, ClusterArgs, GenerateArgs, InfoArgs, Normalize, ServeArgs,
+};
 
 /// Resolves the cluster command's artifact store: the `--cache-dir` flag
 /// wins, else `KCENTER_CACHE_DIR`, else caching is off. An explicit
@@ -435,6 +437,39 @@ pub fn run_cache(args: &CacheArgs) -> Result<(), Box<dyn Error>> {
 }
 
 /// Runs `kcenter generate`.
+/// Runs `kcenter serve`: binds the unix socket and serves the session
+/// registry until a client sends `shutdown`.
+///
+/// The session store follows the cache-dir convention of `cluster`:
+/// `--cache-dir` wins, else `KCENTER_CACHE_DIR`, else no persistence —
+/// and without persistence `--memory-budget` is rejected (eviction would
+/// discard session state).
+pub fn run_serve(args: &ServeArgs) -> Result<(), Box<dyn Error>> {
+    let store = activate_store(&args.cache_dir);
+    let config = kcenter_serve::RegistryConfig {
+        tau: args.tau,
+        memory_budget_points: args.memory_budget,
+        snapshot_every: args.snapshot_every,
+        ..kcenter_serve::RegistryConfig::default()
+    };
+    let registry = kcenter_serve::SessionRegistry::new(Euclidean, config, store)?;
+    eprintln!(
+        "kcenter serve: listening on {} (tau = {}, budget = {}, snapshot every = {})",
+        args.socket,
+        args.tau,
+        args.memory_budget
+            .map_or("unbounded".to_string(), |b| format!("{b} points")),
+        if args.snapshot_every == 0 {
+            "evict/shutdown only".to_string()
+        } else {
+            format!("{} items", args.snapshot_every)
+        },
+    );
+    kcenter_serve::run_server(std::path::Path::new(&args.socket), registry)?;
+    eprintln!("kcenter serve: shut down cleanly");
+    Ok(())
+}
+
 pub fn run_generate(args: &GenerateArgs) -> Result<(), Box<dyn Error>> {
     let mut points = match args.dataset.as_str() {
         "higgs" => higgs_like(args.n, args.seed),

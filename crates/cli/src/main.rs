@@ -29,6 +29,7 @@ fn main() {
         Command::Generate(a) => commands::run_generate(a),
         Command::Info(a) => commands::run_info(a),
         Command::Cache(a) => commands::run_cache(a),
+        Command::Serve(a) => commands::run_serve(a),
         // Hidden worker mode: `cluster --procs N` re-invokes this binary
         // with the `worker` subcommand for each round-1 partition.
         Command::ExecWorker(raw) => {

@@ -62,3 +62,4 @@ pub mod two_pass;
 pub use coreset::{CoresetSpec, WeightedCoreset, WeightedPoint};
 pub use error::InputError;
 pub use solution::Clustering;
+pub use streaming_coreset::{CoresetSnapshot, DoublingCoresetOutput, WeightedDoublingCoreset};

@@ -33,6 +33,26 @@ pub struct DoublingCoresetOutput<P> {
     pub phi: f64,
 }
 
+/// A resumable view of a [`WeightedDoublingCoreset`]'s state: everything
+/// needed to continue the pass on another machine or after an eviction.
+///
+/// The scratch buffer is deliberately absent — it is a transient
+/// allocation rebuilt on demand and carries no algorithmic state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoresetSnapshot<P> {
+    /// The centers at snapshot time (buffered points when not yet
+    /// initialized).
+    pub centers: Vec<P>,
+    /// Weights aligned with `centers`.
+    pub weights: Vec<u64>,
+    /// The lower bound `ϕ` at snapshot time.
+    pub phi: f64,
+    /// Whether the paper's `τ + 1`-point initialization has completed.
+    pub initialized: bool,
+    /// Total number of stream items processed so far.
+    pub processed: u64,
+}
+
 /// The streaming weighted doubling coreset builder.
 pub struct WeightedDoublingCoreset<P, M> {
     metric: M,
@@ -40,6 +60,10 @@ pub struct WeightedDoublingCoreset<P, M> {
     centers: Vec<P>,
     weights: Vec<u64>,
     phi: f64,
+    /// `metric.distance_to_cmp(8.0 * phi)`, cached so the per-item hot
+    /// path avoids recomputing the scale conversion; refreshed through
+    /// [`Self::set_phi`] whenever `ϕ` changes (init / merge / restore).
+    cmp_threshold: f64,
     /// Before initialization completes, points are only buffered (the paper
     /// initializes with the first `τ + 1` points).
     initialized: bool,
@@ -60,21 +84,129 @@ impl<P: Clone, M: Metric<P>> WeightedDoublingCoreset<P, M> {
     /// Panics if `tau == 0`.
     pub fn new(metric: M, tau: usize) -> Self {
         assert!(tau > 0, "tau must be positive");
+        let cmp_threshold = metric.distance_to_cmp(0.0);
         WeightedDoublingCoreset {
             metric,
             tau,
             centers: Vec::with_capacity(tau + 1),
             weights: Vec::with_capacity(tau + 1),
             phi: 0.0,
+            cmp_threshold,
             initialized: false,
             processed: 0,
             scratch: Vec::new(),
         }
     }
 
+    /// Restores a builder from a [`CoresetSnapshot`], so a pass interrupted
+    /// by eviction (or shipped across machines) continues bit-identically
+    /// to an uninterrupted one.
+    ///
+    /// Restored state is gated: structural consistency is checked first
+    /// (aligned centers/weights, a sane pre-initialization buffer, finite
+    /// non-negative `ϕ`), then [`Self::check_invariants`] must accept the
+    /// rebuilt builder. Any violation yields a descriptive `Err` rather
+    /// than a builder that would silently corrupt the stream.
+    pub fn from_snapshot(
+        metric: M,
+        tau: usize,
+        snapshot: CoresetSnapshot<P>,
+    ) -> Result<Self, String> {
+        if tau == 0 {
+            return Err("tau must be positive".to_string());
+        }
+        let CoresetSnapshot {
+            centers,
+            weights,
+            phi,
+            initialized,
+            processed,
+        } = snapshot;
+        if centers.len() != weights.len() {
+            return Err(format!(
+                "snapshot misaligned: {} centers vs {} weights",
+                centers.len(),
+                weights.len()
+            ));
+        }
+        if !phi.is_finite() || phi < 0.0 {
+            return Err(format!("snapshot phi must be finite and >= 0, got {phi}"));
+        }
+        if !initialized {
+            // Pre-initialization the builder only buffers: one unit-weight
+            // entry per processed point, ϕ still at its initial 0.
+            if centers.len() > tau {
+                return Err(format!(
+                    "uninitialized snapshot buffers {} points > tau = {tau}",
+                    centers.len()
+                ));
+            }
+            if phi != 0.0 {
+                return Err(format!(
+                    "uninitialized snapshot must have phi = 0, got {phi}"
+                ));
+            }
+            if weights.iter().any(|&w| w != 1) {
+                return Err("uninitialized snapshot must have unit weights".to_string());
+            }
+            if processed != centers.len() as u64 {
+                return Err(format!(
+                    "uninitialized snapshot processed {processed} != buffered {}",
+                    centers.len()
+                ));
+            }
+        } else if weights.contains(&0) {
+            return Err("initialized snapshot contains a zero-weight center".to_string());
+        }
+        let cmp_threshold = metric.distance_to_cmp(8.0 * phi);
+        let restored = WeightedDoublingCoreset {
+            metric,
+            tau,
+            centers,
+            weights,
+            phi,
+            cmp_threshold,
+            initialized,
+            processed,
+            scratch: Vec::new(),
+        };
+        restored
+            .check_invariants()
+            .map_err(|e| format!("snapshot rejected: {e}"))?;
+        Ok(restored)
+    }
+
+    /// Captures the builder's resumable state (see [`CoresetSnapshot`]).
+    pub fn snapshot(&self) -> CoresetSnapshot<P> {
+        CoresetSnapshot {
+            centers: self.centers.clone(),
+            weights: self.weights.clone(),
+            phi: self.phi,
+            initialized: self.initialized,
+            processed: self.processed,
+        }
+    }
+
+    /// Sets `ϕ` and refreshes the cached `8ϕ` comparison-scale threshold —
+    /// the only sanctioned way to change `ϕ`, keeping the cache coherent.
+    fn set_phi(&mut self, phi: f64) {
+        self.phi = phi;
+        self.cmp_threshold = self.metric.distance_to_cmp(8.0 * phi);
+    }
+
     /// Current lower bound `ϕ` on `r*_τ` of the processed prefix.
     pub fn phi(&self) -> f64 {
         self.phi
+    }
+
+    /// Total number of stream items processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Whether the `τ + 1`-point initialization has completed.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
     }
 
     /// The metric the builder clusters with.
@@ -137,7 +269,7 @@ impl<P: Clone, M: Metric<P>> WeightedDoublingCoreset<P, M> {
     /// invariant (e) by the pigeonhole argument on distinct points.
     fn merge_until_within_budget(&mut self) {
         while self.centers.len() > self.tau {
-            self.phi = if self.phi > 0.0 {
+            let raised = if self.phi > 0.0 {
                 2.0 * self.phi
             } else {
                 match self.min_positive_center_distance() {
@@ -146,6 +278,7 @@ impl<P: Clone, M: Metric<P>> WeightedDoublingCoreset<P, M> {
                     None => 0.0,
                 }
             };
+            self.set_phi(raised);
             self.merge_pass();
             if self.phi == 0.0 && self.centers.len() > self.tau {
                 // Distinct points cannot merge at ϕ = 0 and no positive
@@ -225,7 +358,7 @@ impl<P: Clone, M: Metric<P>> StreamingAlgorithm<P> for WeightedDoublingCoreset<P
             self.weights.push(1);
             if self.centers.len() == self.tau + 1 {
                 // ϕ ← half the minimum pairwise distance, then merge.
-                self.phi = self
+                let mut phi = self
                     .min_positive_center_distance()
                     .map(|d| d / 2.0)
                     .unwrap_or(0.0);
@@ -233,10 +366,11 @@ impl<P: Clone, M: Metric<P>> StreamingAlgorithm<P> for WeightedDoublingCoreset<P
                 // of initialization (invariants (a) and (b) do not yet
                 // hold). When phi comes from duplicates-only (0), the merge
                 // loop raises it appropriately.
-                if self.phi > 0.0 {
+                if phi > 0.0 {
                     // First merge invocation doubles ϕ per the rule.
-                    self.phi /= 2.0; // so the doubling lands on min_d / 2
+                    phi /= 2.0; // so the doubling lands on min_d / 2
                 }
+                self.set_phi(phi);
                 self.merge_until_within_budget();
                 self.initialized = true;
             }
@@ -260,7 +394,7 @@ impl<P: Clone, M: Metric<P>> StreamingAlgorithm<P> for WeightedDoublingCoreset<P
                 d = nd;
             }
         }
-        if d <= self.metric.distance_to_cmp(8.0 * self.phi) {
+        if d <= self.cmp_threshold {
             self.weights[closest] += 1;
         } else {
             self.centers.push(item);
@@ -420,5 +554,97 @@ mod tests {
     #[should_panic(expected = "tau must be positive")]
     fn zero_tau_panics() {
         let _ = WeightedDoublingCoreset::<Point, _>::new(Euclidean, 0);
+    }
+
+    /// Drives `pts[..split]`, snapshots, restores, drives the rest, and
+    /// asserts the result is bitwise-identical to an uninterrupted pass.
+    fn assert_resume_identical(pts: &[Point], tau: usize, split: usize) {
+        let mut whole = WeightedDoublingCoreset::new(Euclidean, tau);
+        for p in pts {
+            whole.process(p.clone());
+        }
+
+        let mut prefix = WeightedDoublingCoreset::new(Euclidean, tau);
+        for p in &pts[..split] {
+            prefix.process(p.clone());
+        }
+        let snap = prefix.snapshot();
+        let mut resumed = WeightedDoublingCoreset::from_snapshot(Euclidean, tau, snap)
+            .expect("snapshot of a live builder must restore");
+        for p in &pts[split..] {
+            resumed.process(p.clone());
+        }
+
+        assert_eq!(whole.phi().to_bits(), resumed.phi().to_bits());
+        assert_eq!(whole.processed(), resumed.processed());
+        assert_eq!(whole.weights(), resumed.weights());
+        assert_eq!(whole.centers().len(), resumed.centers().len());
+        for (a, b) in whole.centers().iter().zip(resumed.centers()) {
+            let (ac, bc) = (a.coords(), b.coords());
+            assert_eq!(ac.len(), bc.len());
+            for (x, y) in ac.iter().zip(bc) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_bitwise_transparent() {
+        let pts: Vec<Point> = (0..600)
+            .map(|i| {
+                Point::new(vec![
+                    ((i * 13) % 97) as f64 * 1.25,
+                    ((i * 29) % 89) as f64 * 0.75,
+                ])
+            })
+            .collect();
+        // Splits cover pre-initialization, the init boundary, and deep
+        // into the merged regime.
+        for split in [0, 5, 12, 13, 100, 599, 600] {
+            assert_resume_identical(&pts, 12, split);
+        }
+    }
+
+    #[test]
+    fn from_snapshot_rejects_corrupt_state() {
+        let mut alg = WeightedDoublingCoreset::new(Euclidean, 4);
+        for i in 0..40 {
+            alg.process(Point::new(vec![i as f64 * 3.0]));
+        }
+        let good = alg.snapshot();
+        assert!(WeightedDoublingCoreset::from_snapshot(Euclidean, 4, good.clone()).is_ok());
+
+        // Misaligned weights.
+        let mut bad = good.clone();
+        bad.weights.pop();
+        assert!(WeightedDoublingCoreset::from_snapshot(Euclidean, 4, bad).is_err());
+
+        // Weight tampering breaks invariant (d).
+        let mut bad = good.clone();
+        bad.weights[0] += 1;
+        assert!(WeightedDoublingCoreset::from_snapshot(Euclidean, 4, bad).is_err());
+
+        // Non-finite phi.
+        let mut bad = good.clone();
+        bad.phi = f64::NAN;
+        assert!(WeightedDoublingCoreset::from_snapshot(Euclidean, 4, bad).is_err());
+
+        // Centers pushed too close together violate invariant (b).
+        let mut bad = good.clone();
+        if bad.centers.len() >= 2 {
+            bad.centers[1] = bad.centers[0].clone();
+            assert!(WeightedDoublingCoreset::from_snapshot(Euclidean, 4, bad).is_err());
+        }
+
+        // An uninitialized snapshot must look like a pure buffer.
+        let mut buf = WeightedDoublingCoreset::new(Euclidean, 8);
+        buf.process(Point::new(vec![1.0]));
+        buf.process(Point::new(vec![2.0]));
+        let mut bad = buf.snapshot();
+        bad.weights[0] = 2;
+        assert!(WeightedDoublingCoreset::from_snapshot(Euclidean, 8, bad).is_err());
+
+        // Zero tau is an error, not a panic, on the restore path.
+        assert!(WeightedDoublingCoreset::from_snapshot(Euclidean, 0, good).is_err());
     }
 }

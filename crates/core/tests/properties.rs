@@ -210,6 +210,51 @@ proptest! {
         }
     }
 
+    /// Snapshot → restore at *any* split point is bitwise-transparent:
+    /// running the prefix, snapshotting, restoring into a fresh builder,
+    /// and running the suffix lands in exactly the state (ϕ bits,
+    /// processed count, weights, center coordinates) of an uninterrupted
+    /// run over the whole stream.
+    #[test]
+    fn streaming_resume_is_bitwise_transparent(
+        points in arb_points(2, 1, 60),
+        tau in 1usize..8,
+        split_frac in 0.0..1.0f64,
+    ) {
+        // split covers 0 (restore an empty builder) through len
+        // (restore a finished one, nothing left to stream).
+        let split = ((points.len() as f64 + 1.0) * split_frac) as usize;
+        let split = split.min(points.len());
+
+        let mut uninterrupted = WeightedDoublingCoreset::new(Euclidean, tau);
+        for p in &points {
+            uninterrupted.process(p.clone());
+        }
+
+        let mut prefix = WeightedDoublingCoreset::new(Euclidean, tau);
+        for p in &points[..split] {
+            prefix.process(p.clone());
+        }
+        let mut resumed = WeightedDoublingCoreset::from_snapshot(Euclidean, tau, prefix.snapshot())
+            .map_err(TestCaseError::fail)?;
+        for p in &points[split..] {
+            resumed.process(p.clone());
+        }
+
+        let a = uninterrupted.snapshot();
+        let b = resumed.snapshot();
+        prop_assert_eq!(a.processed, b.processed);
+        prop_assert_eq!(a.initialized, b.initialized);
+        prop_assert_eq!(a.phi.to_bits(), b.phi.to_bits());
+        prop_assert_eq!(&a.weights, &b.weights);
+        prop_assert_eq!(a.centers.len(), b.centers.len());
+        for (x, y) in a.centers.iter().zip(&b.centers) {
+            for (cx, cy) in x.coords().iter().zip(y.coords()) {
+                prop_assert_eq!(cx.to_bits(), cy.to_bits());
+            }
+        }
+    }
+
     /// Streaming invariant (e): ϕ ≤ r*_τ(S) against brute force.
     #[test]
     fn streaming_phi_lower_bounds_optimum(points in arb_points(1, 5, 12), tau in 2usize..4) {

@@ -1,0 +1,306 @@
+//! The unix-socket front of the session registry.
+//!
+//! Speaks the same length-delimited framed protocol as `crates/exec`'s
+//! persistent workers (`[u32 payload_len][u32 part_count]([u32 len][utf-8])*`,
+//! 16 MiB cap) — one request frame in, one reply frame out, per round:
+//!
+//! * `["ping"]` → `["ok", "pong"]`
+//! * `["ingest", tenant, stream, p…]` — each `p` is a comma-separated
+//!   coordinate list → `["ok", "processed=…", "resident=…", "phi=…",
+//!   "restored=…"]`
+//! * `["query", tenant, stream, k, z, eps]` → `["ok", "radius=…",
+//!   "uncovered=…", "processed=…", "cached=…", "centers=N", c…]`
+//! * `["evict", tenant, stream]` → `["ok", "evicted=true|false"]`
+//! * `["stat", tenant, stream]` → `["ok", "resident=…", "processed=…",
+//!   "points=…"]`
+//! * `["stats"]` → `["ok", "sessions=…", "resident_sessions=…",
+//!   "resident_points=…", "evictions=…", "restores=…", "snapshots=…"]`
+//! * `["flush"]` → `["ok", "persisted=N"]`
+//! * `["shutdown"]` — flushes every resident session, replies
+//!   `["ok", "bye"]`, and stops the server.
+//!
+//! Failures reply `["err", message]` and never tear the connection; a
+//! clean client hang-up between frames ends that connection only.
+//!
+//! Floats cross the wire through Rust's shortest-round-trip formatting,
+//! so every `ϕ`, radius, and coordinate re-parses **bit-exactly** — the
+//! protocol preserves the workspace's determinism standard.
+
+use std::io::{self, BufReader};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use kcenter_exec::protocol::{read_frame, write_frame};
+use kcenter_metric::{Metric, Point};
+
+use crate::{ServeError, SessionRegistry};
+
+/// Formats a point for the wire: comma-separated shortest-round-trip
+/// coordinates.
+fn format_point(p: &Point) -> String {
+    let coords: Vec<String> = p.coords().iter().map(|c| c.to_string()).collect();
+    coords.join(",")
+}
+
+/// Parses a wire point; rejects empty and non-finite coordinates.
+fn parse_point(s: &str) -> Result<Point, ServeError> {
+    let coords: Result<Vec<f64>, _> = s.split(',').map(str::trim).map(str::parse).collect();
+    let coords = coords.map_err(|e| ServeError::BadRequest(format!("bad coordinate: {e}")))?;
+    Point::try_new(coords).map_err(|e| ServeError::BadRequest(format!("bad point: {e}")))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, ServeError>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse()
+        .map_err(|e| ServeError::BadRequest(format!("bad {what} {s:?}: {e}")))
+}
+
+/// Handles one request frame; `Ok(false)` means the server should stop.
+fn dispatch<M: Metric<Point> + Clone + Sync>(
+    registry: &SessionRegistry<M>,
+    parts: &[String],
+) -> (Vec<String>, bool) {
+    match handle(registry, parts) {
+        Ok((reply, keep_going)) => (reply, keep_going),
+        Err(err) => (vec!["err".into(), err.to_string()], true),
+    }
+}
+
+fn handle<M: Metric<Point> + Clone + Sync>(
+    registry: &SessionRegistry<M>,
+    parts: &[String],
+) -> Result<(Vec<String>, bool), ServeError> {
+    let verb = parts
+        .first()
+        .ok_or_else(|| ServeError::BadRequest("empty frame".into()))?;
+    let arg = |i: usize, what: &str| -> Result<&String, ServeError> {
+        parts
+            .get(i)
+            .ok_or_else(|| ServeError::BadRequest(format!("missing {what}")))
+    };
+    match verb.as_str() {
+        "ping" => Ok((vec!["ok".into(), "pong".into()], true)),
+        "ingest" => {
+            let tenant = arg(1, "tenant")?;
+            let stream = arg(2, "stream")?;
+            let points: Result<Vec<Point>, ServeError> =
+                parts[3..].iter().map(|s| parse_point(s)).collect();
+            let report = registry.ingest(tenant, stream, points?)?;
+            Ok((
+                vec![
+                    "ok".into(),
+                    format!("processed={}", report.processed),
+                    format!("resident={}", report.resident_points),
+                    format!("phi={}", report.phi),
+                    format!("restored={}", report.restored),
+                ],
+                true,
+            ))
+        }
+        "query" => {
+            let tenant = arg(1, "tenant")?;
+            let stream = arg(2, "stream")?;
+            let k: usize = parse_num(arg(3, "k")?, "k")?;
+            let z: u64 = parse_num(arg(4, "z")?, "z")?;
+            let eps: f64 = parse_num(arg(5, "eps")?, "eps")?;
+            let answer = registry.query(tenant, stream, k, z, eps)?;
+            let mut reply = vec![
+                "ok".into(),
+                format!("radius={}", answer.radius),
+                format!("uncovered={}", answer.uncovered_weight),
+                format!("processed={}", answer.processed),
+                format!("cached={}", answer.cached),
+                format!("centers={}", answer.centers.len()),
+            ];
+            reply.extend(answer.centers.iter().map(format_point));
+            Ok((reply, true))
+        }
+        "evict" => {
+            let evicted = registry.evict(arg(1, "tenant")?, arg(2, "stream")?)?;
+            Ok((vec!["ok".into(), format!("evicted={evicted}")], true))
+        }
+        "stat" => {
+            let stat = registry.session_stat(arg(1, "tenant")?, arg(2, "stream")?)?;
+            Ok((
+                vec![
+                    "ok".into(),
+                    format!("resident={}", stat.resident),
+                    format!("processed={}", stat.processed),
+                    format!("points={}", stat.memory_points),
+                ],
+                true,
+            ))
+        }
+        "stats" => {
+            let s = registry.stats();
+            Ok((
+                vec![
+                    "ok".into(),
+                    format!("sessions={}", s.sessions),
+                    format!("resident_sessions={}", s.resident_sessions),
+                    format!("resident_points={}", s.resident_points),
+                    format!("evictions={}", s.evictions),
+                    format!("restores={}", s.restores),
+                    format!("snapshots={}", s.snapshots),
+                ],
+                true,
+            ))
+        }
+        "flush" => {
+            let written = registry.flush()?;
+            Ok((vec!["ok".into(), format!("persisted={written}")], true))
+        }
+        "shutdown" => {
+            registry.flush()?;
+            Ok((vec!["ok".into(), "bye".into()], false))
+        }
+        other => Err(ServeError::BadRequest(format!("unknown verb {other:?}"))),
+    }
+}
+
+/// One connection's request loop; returns `false` when a shutdown was
+/// requested on it.
+fn serve_connection<M: Metric<Point> + Clone + Sync>(
+    registry: &SessionRegistry<M>,
+    stream: UnixStream,
+) -> io::Result<bool> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    while let Some(parts) = read_frame(&mut reader)? {
+        let (reply, keep_going) = dispatch(registry, &parts);
+        write_frame(&mut writer, &reply)?;
+        if !keep_going {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Binds `socket` and serves the registry until a client sends
+/// `["shutdown"]`. Every resident session is flushed to the store (when
+/// one is configured) before the listener winds down.
+///
+/// A stale socket file from a previous run is removed before binding; the
+/// file is removed again on clean shutdown.
+pub fn run_server<M: Metric<Point> + Clone + Send + Sync + 'static>(
+    socket: &Path,
+    registry: SessionRegistry<M>,
+) -> io::Result<()> {
+    let _ = std::fs::remove_file(socket);
+    let listener = UnixListener::bind(socket)?;
+    let registry = Arc::new(registry);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let conn = conn?;
+        let registry = Arc::clone(&registry);
+        let stop_flag = Arc::clone(&stop);
+        let wake_path = socket.to_path_buf();
+        workers.push(std::thread::spawn(move || {
+            match serve_connection(registry.as_ref(), conn) {
+                Ok(true) => {}
+                Ok(false) => {
+                    // Shutdown requested: flag it and poke the accept loop
+                    // so it observes the flag instead of blocking forever.
+                    stop_flag.store(true, Ordering::Release);
+                    let _ = UnixStream::connect(&wake_path);
+                }
+                Err(err) => eprintln!("kcenter-serve: connection error: {err}"),
+            }
+        }));
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+    let _ = std::fs::remove_file(socket);
+    Ok(())
+}
+
+/// A thin client for the serve protocol — what the CLI subcommand and the
+/// soak test drive.
+pub struct ServeClient {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl ServeClient {
+    /// Connects to a serve socket.
+    pub fn connect(socket: &Path) -> io::Result<Self> {
+        let stream = UnixStream::connect(socket)?;
+        Ok(ServeClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request frame and returns the reply parts.
+    ///
+    /// An `["err", …]` reply becomes an `io::Error` of kind `Other`, so
+    /// callers can't mistake a protocol-level failure for data.
+    pub fn request(&mut self, parts: &[String]) -> io::Result<Vec<String>> {
+        write_frame(&mut self.writer, parts)?;
+        let reply = read_frame(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server hung up"))?;
+        if reply.first().map(String::as_str) == Some("err") {
+            return Err(io::Error::other(reply.get(1).cloned().unwrap_or_default()));
+        }
+        Ok(reply)
+    }
+
+    /// Ingests a batch of points.
+    pub fn ingest(
+        &mut self,
+        tenant: &str,
+        stream: &str,
+        points: &[Point],
+    ) -> io::Result<Vec<String>> {
+        let mut parts = vec!["ingest".to_string(), tenant.to_string(), stream.to_string()];
+        parts.extend(points.iter().map(format_point));
+        self.request(&parts)
+    }
+
+    /// Queries a session; returns the reply parts
+    /// (`radius=…`/`uncovered=…`/… then the centers).
+    pub fn query(
+        &mut self,
+        tenant: &str,
+        stream: &str,
+        k: usize,
+        z: u64,
+        eps: f64,
+    ) -> io::Result<Vec<String>> {
+        self.request(&[
+            "query".to_string(),
+            tenant.to_string(),
+            stream.to_string(),
+            k.to_string(),
+            z.to_string(),
+            eps.to_string(),
+        ])
+    }
+
+    /// Evicts a session; returns whether it was resident.
+    pub fn evict(&mut self, tenant: &str, stream: &str) -> io::Result<bool> {
+        let reply = self.request(&["evict".to_string(), tenant.to_string(), stream.to_string()])?;
+        Ok(reply.iter().any(|p| p == "evicted=true"))
+    }
+
+    /// Asks the server to flush and stop.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.request(&["shutdown".to_string()]).map(|_| ())
+    }
+}
+
+/// Pulls `key=value` out of a reply's parts — shared by the CLI's output
+/// formatting and the tests' assertions.
+pub fn reply_field<'a>(parts: &'a [String], key: &str) -> Option<&'a str> {
+    let prefix = format!("{key}=");
+    parts.iter().find_map(|p| p.strip_prefix(&prefix))
+}

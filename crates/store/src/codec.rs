@@ -49,15 +49,20 @@ pub enum ArtifactKind {
     /// A point shard: one MapReduce partition's unweighted input points,
     /// the multi-process executor's on-disk interchange format.
     Shard,
+    /// A streaming session: one tenant/stream's resumable doubling-coreset
+    /// state (centers, weights, `ϕ`, processed count) — the serve layer's
+    /// evict/restore interchange format.
+    Session,
 }
 
 impl ArtifactKind {
     /// All kinds, for store statistics.
-    pub const ALL: [ArtifactKind; 4] = [
+    pub const ALL: [ArtifactKind; 5] = [
         ArtifactKind::Matrix,
         ArtifactKind::Coreset,
         ArtifactKind::Solution,
         ArtifactKind::Shard,
+        ArtifactKind::Session,
     ];
 
     /// Stable on-disk discriminant.
@@ -67,6 +72,7 @@ impl ArtifactKind {
             ArtifactKind::Coreset => 2,
             ArtifactKind::Solution => 3,
             ArtifactKind::Shard => 4,
+            ArtifactKind::Session => 5,
         }
     }
 
@@ -77,6 +83,7 @@ impl ArtifactKind {
             ArtifactKind::Coreset => "coreset",
             ArtifactKind::Solution => "solution",
             ArtifactKind::Shard => "shard",
+            ArtifactKind::Session => "session",
         }
     }
 
@@ -522,6 +529,116 @@ pub fn decode_solution(bytes: &[u8]) -> Result<StoredSolution, DecodeError> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Streaming session
+// ---------------------------------------------------------------------------
+
+/// A streaming session as the store persists it: the resumable state of
+/// one tenant/stream's `WeightedDoublingCoreset`, plus the budget `τ` it
+/// was built with (a restore under a different `τ` must be rejected, not
+/// silently re-interpreted).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredSession {
+    /// The coreset budget `τ` the session was created with.
+    pub tau: u64,
+    /// Whether the `τ + 1`-point initialization has completed.
+    pub initialized: bool,
+    /// The lower bound `ϕ` at snapshot time.
+    pub phi: f64,
+    /// Total stream items processed at snapshot time.
+    pub processed: u64,
+    /// The centers (buffered points when not yet initialized).
+    pub centers: Vec<Point>,
+    /// Weights aligned with `centers`.
+    pub weights: Vec<u64>,
+}
+
+/// Encodes a [`StoredSession`] (framed, checksummed, `f64`s as raw bits).
+///
+/// # Panics
+///
+/// Panics if `centers` and `weights` lengths differ or the centers are not
+/// all of one dimension — structural invariants of every live session.
+pub fn encode_session(session: &StoredSession) -> Vec<u8> {
+    assert_eq!(
+        session.centers.len(),
+        session.weights.len(),
+        "weights misaligned with centers"
+    );
+    let dim = session.centers.first().map_or(0, Point::dim);
+    let mut payload = Vec::with_capacity(48 + session.centers.len() * (8 * dim + 8));
+    put_u64(&mut payload, session.centers.len() as u64);
+    put_u64(&mut payload, dim as u64);
+    put_u64(&mut payload, session.tau);
+    put_u64(&mut payload, u64::from(session.initialized));
+    put_f64(&mut payload, session.phi);
+    put_u64(&mut payload, session.processed);
+    for (p, &w) in session.centers.iter().zip(&session.weights) {
+        assert_eq!(p.dim(), dim, "mixed-dimension session");
+        for &c in p.coords() {
+            put_f64(&mut payload, c);
+        }
+        put_u64(&mut payload, w);
+    }
+    frame(ArtifactKind::Session, payload)
+}
+
+/// Decodes a [`StoredSession`], bitwise-equal on `ϕ` and every coordinate.
+///
+/// Decoding is total: truncation, flipped bytes, inconsistent counts, a
+/// non-`{0,1}` initialized flag, a non-finite or negative `ϕ`, or forged
+/// non-finite coordinates all yield a clean [`DecodeError`]. Algorithmic
+/// invariants beyond structure (weight accounting, center separation) are
+/// the restore path's job — `WeightedDoublingCoreset::from_snapshot` gates
+/// them.
+pub fn decode_session(bytes: &[u8]) -> Result<StoredSession, DecodeError> {
+    let payload = unframe(ArtifactKind::Session, bytes)?;
+    let mut r = Reader::new(payload);
+    let n = r.len()?;
+    let dim = r.len()?;
+    if n > 0 && dim == 0 {
+        return Err(DecodeError::Malformed);
+    }
+    let tau = r.u64()?;
+    if tau == 0 {
+        return Err(DecodeError::Malformed);
+    }
+    let initialized = match r.u64()? {
+        0 => false,
+        1 => true,
+        _ => return Err(DecodeError::Malformed),
+    };
+    let phi = r.f64()?;
+    if !phi.is_finite() || phi < 0.0 {
+        return Err(DecodeError::Malformed);
+    }
+    let processed = r.u64()?;
+    let per_point = dim.checked_mul(8).and_then(|b| b.checked_add(8));
+    let body = n.checked_mul(per_point.ok_or(DecodeError::Malformed)?);
+    if Some(payload.len()) != body.and_then(|b| b.checked_add(48)) {
+        return Err(DecodeError::Malformed);
+    }
+    let mut centers = Vec::with_capacity(n);
+    let mut weights = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut coords = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            coords.push(r.f64()?);
+        }
+        centers.push(Point::try_new(coords).map_err(|_| DecodeError::Malformed)?);
+        weights.push(r.u64()?);
+    }
+    r.finish()?;
+    Ok(StoredSession {
+        tau,
+        initialized,
+        phi,
+        processed,
+        centers,
+        weights,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -748,6 +865,121 @@ mod tests {
         put_u64(&mut payload, 1); // weight
         let bytes = frame(ArtifactKind::Coreset, payload);
         assert_eq!(decode_coreset(&bytes), Err(DecodeError::Malformed));
+    }
+
+    fn sample_session() -> StoredSession {
+        StoredSession {
+            tau: 4,
+            initialized: true,
+            phi: 0.1 + 0.2, // not exactly 0.3 — bit pattern must survive
+            processed: 19,
+            centers: pts(&[&[1.0, -0.0], &[1e-300, 2.5], &[f64::MAX, -7.0]]),
+            weights: vec![7, 11, 1],
+        }
+    }
+
+    #[test]
+    fn session_round_trip_is_bitwise() {
+        let s = sample_session();
+        let back = decode_session(&encode_session(&s)).expect("round trip");
+        assert_eq!(back.tau, s.tau);
+        assert_eq!(back.initialized, s.initialized);
+        assert_eq!(back.phi.to_bits(), s.phi.to_bits());
+        assert_eq!(back.processed, s.processed);
+        assert_eq!(back.weights, s.weights);
+        for (a, b) in back.centers.iter().zip(&s.centers) {
+            for (ca, cb) in a.coords().iter().zip(b.coords()) {
+                assert_eq!(ca.to_bits(), cb.to_bits());
+            }
+        }
+        // An uninitialized (pure buffer) session round-trips too.
+        let buffered = StoredSession {
+            tau: 8,
+            initialized: false,
+            phi: 0.0,
+            processed: 2,
+            centers: pts(&[&[1.0], &[2.0]]),
+            weights: vec![1, 1],
+        };
+        assert_eq!(
+            decode_session(&encode_session(&buffered)).unwrap(),
+            buffered
+        );
+    }
+
+    #[test]
+    fn session_truncation_is_a_clean_error_at_every_length() {
+        let bytes = encode_session(&sample_session());
+        for cut in 0..bytes.len() {
+            assert!(decode_session(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(decode_session(&bytes).is_ok());
+    }
+
+    #[test]
+    fn session_byte_flip_fails_the_checksum() {
+        let good = encode_session(&sample_session());
+        // Flip one bit at a time through the payload: every flip must be a
+        // checksum mismatch, never a panic or a silent success.
+        for pos in HEADER_LEN..good.len() {
+            let mut bytes = good.clone();
+            bytes[pos] ^= 0x01;
+            assert_eq!(
+                decode_session(&bytes),
+                Err(DecodeError::ChecksumMismatch),
+                "flip at {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_forged_payloads_are_malformed() {
+        // Non-finite phi behind a valid checksum.
+        let mut forged = sample_session();
+        forged.phi = f64::NAN;
+        // encode_session writes raw bits, so the frame checksums fine; the
+        // decoder must still reject the value.
+        assert_eq!(
+            decode_session(&encode_session(&forged)),
+            Err(DecodeError::Malformed)
+        );
+        // Non-finite coordinate.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1); // n
+        put_u64(&mut payload, 1); // dim
+        put_u64(&mut payload, 4); // tau
+        put_u64(&mut payload, 1); // initialized
+        put_f64(&mut payload, 0.5); // phi
+        put_u64(&mut payload, 3); // processed
+        put_f64(&mut payload, f64::INFINITY);
+        put_u64(&mut payload, 3); // weight
+        assert_eq!(
+            decode_session(&frame(ArtifactKind::Session, payload.clone())),
+            Err(DecodeError::Malformed)
+        );
+        // A zero tau can never have produced a session.
+        let mut zero_tau = payload.clone();
+        zero_tau[16..24].copy_from_slice(&0u64.to_le_bytes());
+        assert_eq!(
+            decode_session(&frame(ArtifactKind::Session, zero_tau)),
+            Err(DecodeError::Malformed)
+        );
+        // An initialized flag outside {0, 1}.
+        let mut bad_flag = payload;
+        bad_flag[24..32].copy_from_slice(&2u64.to_le_bytes());
+        assert_eq!(
+            decode_session(&frame(ArtifactKind::Session, bad_flag)),
+            Err(DecodeError::Malformed)
+        );
+    }
+
+    #[test]
+    fn session_kind_confusion_is_detected() {
+        let session = encode_session(&sample_session());
+        assert_eq!(decode_coreset(&session), Err(DecodeError::KindMismatch));
+        assert_eq!(decode_matrix(&session), Err(DecodeError::KindMismatch));
+        let coreset = encode_coreset(&pts(&[&[1.0]]), &[1]);
+        assert_eq!(decode_session(&coreset), Err(DecodeError::KindMismatch));
     }
 
     #[test]

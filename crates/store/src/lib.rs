@@ -38,7 +38,7 @@ use std::sync::Arc;
 
 use kcenter_metric::{DistanceMatrix, MatrixPersistence, Point};
 
-pub use codec::{ArtifactKind, DecodeError, StoredSolution, CODEC_VERSION};
+pub use codec::{ArtifactKind, DecodeError, StoredSession, StoredSolution, CODEC_VERSION};
 pub use kcenter_metric::{store_hit_count, store_miss_count, Fingerprint};
 
 /// Process-wide count of matrix loads served zero-copy from a memory
@@ -89,6 +89,8 @@ pub struct StoreStat {
     pub solution: KindStat,
     /// Point-shard entries.
     pub shard: KindStat,
+    /// Streaming-session entries.
+    pub session: KindStat,
 }
 
 impl StoreStat {
@@ -99,6 +101,7 @@ impl StoreStat {
             ArtifactKind::Coreset => self.coreset,
             ArtifactKind::Solution => self.solution,
             ArtifactKind::Shard => self.shard,
+            ArtifactKind::Session => self.session,
         }
     }
 
@@ -295,6 +298,25 @@ impl ArtifactStore {
         )
     }
 
+    /// Loads the streaming session stored under `fingerprint`.
+    pub fn load_session(&self, fingerprint: u128) -> Option<StoredSession> {
+        let bytes = self.load_raw(ArtifactKind::Session, fingerprint)?;
+        codec::decode_session(&bytes).ok()
+    }
+
+    /// Persists a streaming session under `fingerprint`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session's `centers` and `weights` lengths differ.
+    pub fn store_session(&self, fingerprint: u128, session: &StoredSession) -> std::io::Result<()> {
+        self.store_raw(
+            ArtifactKind::Session,
+            fingerprint,
+            &codec::encode_session(session),
+        )
+    }
+
     /// Whether `name` is one of this store's artifact entries
     /// (`{kind}-{32 hex}.kca`); returns its kind.
     fn classify_entry(name: &str) -> Option<ArtifactKind> {
@@ -339,6 +361,7 @@ impl ArtifactStore {
                 ArtifactKind::Coreset => &mut stat.coreset,
                 ArtifactKind::Solution => &mut stat.solution,
                 ArtifactKind::Shard => &mut stat.shard,
+                ArtifactKind::Session => &mut stat.session,
             };
             bucket.entries += 1;
             bucket.bytes += bytes;

@@ -55,13 +55,18 @@ pub fn run_stream<T, A: StreamingAlgorithm<T>>(
 ) -> (A::Output, StreamReport) {
     let mut items = 0usize;
     let mut peak = 0usize;
-    let start = Instant::now();
+    // Accumulate time spent *inside* `process` only: a live (channel-fed)
+    // stream can block arbitrarily long in the iterator's `next()`, and
+    // counting that wait would make `throughput()` measure the producer,
+    // not the algorithm.
+    let mut pass_time = Duration::ZERO;
     for item in stream {
+        let start = Instant::now();
         algorithm.process(item);
+        pass_time += start.elapsed();
         items += 1;
         peak = peak.max(algorithm.memory_items());
     }
-    let pass_time = start.elapsed();
     let fin_start = Instant::now();
     let output = algorithm.finalize();
     let finalize_time = fin_start.elapsed();
@@ -161,6 +166,44 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(report.items, 0);
         assert_eq!(report.peak_memory_items, 0);
+    }
+
+    #[test]
+    fn pass_time_excludes_iterator_blocking() {
+        // Regression: a deliberately slow producer must not inflate
+        // `pass_time` — the report meters `process`, not the feed.
+        use crate::ChannelSource;
+        let delay = Duration::from_millis(5);
+        let source = ChannelSource::spawn(1, move |tx| {
+            for i in 0..20u64 {
+                std::thread::sleep(delay);
+                if !tx.send(i) {
+                    return;
+                }
+            }
+        });
+        let alg = TopCap {
+            cap: 3,
+            kept: Vec::new(),
+        };
+        let wall = Instant::now();
+        let (_, report) = run_stream(alg, source.iter());
+        let wall = wall.elapsed();
+        assert!(source.join());
+        assert_eq!(report.items, 20);
+        // The wall clock includes ~20 × 5 ms of producer sleeps; the pass
+        // itself is 20 trivial `process` calls. Demand an order of
+        // magnitude of headroom so the assertion is immune to CI jitter.
+        assert!(
+            wall >= delay * 20,
+            "producer pacing must dominate wall time"
+        );
+        assert!(
+            report.pass_time < wall / 10,
+            "pass_time {:?} should exclude the {:?} spent blocked in next()",
+            report.pass_time,
+            wall
+        );
     }
 
     #[test]

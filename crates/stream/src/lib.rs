@@ -20,4 +20,4 @@ pub mod algorithm;
 pub mod source;
 
 pub use algorithm::{run_stream, MultiPass, StreamReport, StreamingAlgorithm};
-pub use source::ChannelSource;
+pub use source::{ChannelSource, Feeder};

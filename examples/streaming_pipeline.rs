@@ -28,18 +28,14 @@ fn main() {
     // Producer thread pushes events through a bounded channel (capacity 256
     // ≈ a network buffer); the consumer clusters on the fly.
     let feed = ChannelSource::spawn(256, move |tx| {
-        for event in events {
-            if tx.send(event).is_err() {
-                return; // consumer hung up
-            }
-        }
+        tx.feed(events); // stops early if the consumer hangs up
     });
 
     let k = 20;
     let tau = 4 * (k + z);
     let alg = CoresetOutliers::new(Euclidean, k, z, tau, 0.25);
     let (out, report) = run_stream(alg, feed.iter());
-    feed.join();
+    assert!(feed.join(), "the consumer drained the whole feed");
 
     println!("consumed {total} events in one pass");
     println!(
