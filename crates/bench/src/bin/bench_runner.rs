@@ -12,7 +12,7 @@
 //! samples interleaved (ABBA), so the vectorization before/after comes
 //! from identical surrounding code on identical hardware. The JSON header
 //! records the auto-detected ISA the "auto" rows ran on. The executor
-//! rows are paired the same way: a persistent [`WorkerFleet`] reused
+//! rows are paired the same way: a persistent `WorkerFleet` reused
 //! across samples versus a fresh fleet spawned per run (fleet-warmup
 //! amortization), and content-addressed store-served shards versus
 //! work-dir re-sharding; the header pins that every warm sample performed

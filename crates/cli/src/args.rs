@@ -98,6 +98,10 @@ pub struct ClusterArgs {
     /// worker processes over sharded on-disk inputs — bit-identical
     /// results, real process isolation. MR algorithms only.
     pub procs: usize,
+    /// TCP addresses of externally started workers (`kcenter worker
+    /// --listen ADDR`), comma-separated on the command line. Empty =
+    /// the default child-process pipe transport. Requires `--procs`.
+    pub workers: Vec<String>,
     /// Coreset multiplier.
     pub mu: usize,
     /// Normalization.
@@ -162,8 +166,11 @@ pub struct CacheArgs {
 /// Arguments of `kcenter serve`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ServeArgs {
-    /// Unix socket path to listen on.
-    pub socket: String,
+    /// Unix socket path to listen on (`None` = TCP only).
+    pub socket: Option<String>,
+    /// TCP address to listen on (`--listen tcp://HOST:PORT`; `None` =
+    /// unix only). At least one of the two endpoints is required.
+    pub listen: Option<String>,
     /// Coreset budget `τ` per session.
     pub tau: usize,
     /// Resident-point budget across sessions (`None` = no eviction).
@@ -202,25 +209,41 @@ kcenter — coreset-based k-center clustering (with outliers)
 
 USAGE:
   kcenter cluster  --input FILE --k K [--z Z] [--algo gmm|mr|mr-outliers|mr-randomized|seq|stream|charikar]
-                   [--ell L] [--procs N] [--mu M] [--normalize none|zscore|minmax] [--output FILE]
+                   [--ell L] [--procs N] [--workers ADDR,ADDR…] [--mu M]
+                   [--normalize none|zscore|minmax] [--output FILE]
                    [--seed S] [--cache-dir DIR]
   kcenter generate --dataset higgs|power|wiki --n N [--outliers Z] [--seed S] --output FILE
   kcenter info     --input FILE
   kcenter cache    stat|clear [--cache-dir DIR]
   kcenter cache    prune --max-bytes BYTES [--cache-dir DIR]
-  kcenter serve    --socket PATH [--tau T] [--memory-budget POINTS]
-                   [--snapshot-every N] [--cache-dir DIR]
+  kcenter serve    [--socket PATH] [--listen tcp://HOST:PORT] [--tau T]
+                   [--memory-budget POINTS] [--snapshot-every N] [--cache-dir DIR]
+  kcenter worker   --listen HOST:PORT | --connect HOST:PORT
+                   [--store DIR] [--pin-config HEX]
 
 --procs N runs the MapReduce algorithms (mr | mr-outliers | mr-randomized)
 on N real worker OS processes over sharded on-disk inputs, with results
-bit-identical to the in-process engine at parallelism N.
+bit-identical to the in-process engine at parallelism N. By default the
+workers are spawned children wired over pipes; --workers hands round 1 to
+externally started `kcenter worker --listen` processes over TCP instead
+(shards travel as `@store/…` references, so the workers need the same
+--cache-dir store). Results are bit-identical across both transports.
+
+`worker` runs one executor worker: `--listen` waits for a coordinator to
+dial in (and prints the bound address, so `--listen HOST:0` works);
+`--connect` dials a coordinator that is accepting workers. `--store DIR`
+is where `@store/…` shard references resolve; `--pin-config HEX` makes
+the worker reject coordinators whose config fingerprint differs (see
+docs/PROTOCOL.md for the handshake).
 
 `serve` runs a long-lived multi-tenant session server over the streaming
 coreset: clients ingest/query/evict per-(tenant, stream) sessions through
-a length-delimited framed protocol on the unix socket. With a cache dir,
-sessions snapshot to the artifact store and idle sessions are evicted
-under --memory-budget, restoring transparently (bit-identically) on the
-next touch.
+a length-delimited framed protocol on the unix socket, a TCP listener, or
+both at once (each `--listen`/`--socket` endpoint is announced on stdout;
+tcp://HOST:0 picks an ephemeral port). With a cache dir, sessions
+snapshot to the artifact store and idle sessions are evicted under
+--memory-budget, restoring transparently (bit-identically) on the next
+touch.
 
 The persistent artifact cache (distance matrices, coresets, solutions) is
 off unless --cache-dir or the KCENTER_CACHE_DIR environment variable
@@ -270,6 +293,7 @@ fn parse_cluster<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command
     let mut algo = Algo::Sequential;
     let mut ell = 0usize;
     let mut procs = 0usize;
+    let mut workers = Vec::new();
     let mut mu = 4usize;
     let mut normalize = Normalize::Zscore;
     let mut output = None;
@@ -283,6 +307,14 @@ fn parse_cluster<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command
             "--algo" => algo = Algo::parse(take_value(arg, &mut iter)?)?,
             "--ell" => ell = parse_num(arg, take_value(arg, &mut iter)?)?,
             "--procs" => procs = parse_num(arg, take_value(arg, &mut iter)?)?,
+            "--workers" => {
+                workers = take_value(arg, &mut iter)?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .map(String::from)
+                    .collect()
+            }
             "--mu" => mu = parse_num(arg, take_value(arg, &mut iter)?)?,
             "--normalize" => normalize = Normalize::parse(take_value(arg, &mut iter)?)?,
             "--output" => output = Some(take_value(arg, &mut iter)?.to_string()),
@@ -308,6 +340,20 @@ fn parse_cluster<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command
             ));
         }
     }
+    if !workers.is_empty() {
+        if procs == 0 {
+            return Err(ArgError::new(
+                "--workers requires --procs (the number of worker connections to use)",
+            ));
+        }
+        if procs > workers.len() {
+            return Err(ArgError::new(format!(
+                "--procs {} exceeds the {} address(es) given to --workers",
+                procs,
+                workers.len()
+            )));
+        }
+    }
     Ok(Command::Cluster(ClusterArgs {
         input,
         k,
@@ -315,6 +361,7 @@ fn parse_cluster<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command
         algo,
         ell,
         procs,
+        workers,
         mu,
         normalize,
         output,
@@ -360,6 +407,7 @@ fn parse_cache<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command, 
 
 fn parse_serve<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command, ArgError> {
     let mut socket = None;
+    let mut listen = None;
     let mut tau = 128usize;
     let mut memory_budget = None;
     let mut snapshot_every = 0u64;
@@ -367,6 +415,7 @@ fn parse_serve<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command, 
     while let Some(arg) = iter.next() {
         match arg {
             "--socket" => socket = Some(take_value(arg, &mut iter)?.to_string()),
+            "--listen" => listen = Some(take_value(arg, &mut iter)?.to_string()),
             "--tau" => tau = parse_num(arg, take_value(arg, &mut iter)?)?,
             "--memory-budget" => memory_budget = Some(parse_num(arg, take_value(arg, &mut iter)?)?),
             "--snapshot-every" => snapshot_every = parse_num(arg, take_value(arg, &mut iter)?)?,
@@ -374,12 +423,17 @@ fn parse_serve<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command, 
             other => return Err(ArgError::new(format!("unknown flag {other:?}"))),
         }
     }
-    let socket = socket.ok_or_else(|| ArgError::new("serve requires --socket"))?;
+    if socket.is_none() && listen.is_none() {
+        return Err(ArgError::new(
+            "serve requires an endpoint: --socket PATH and/or --listen tcp://HOST:PORT",
+        ));
+    }
     if tau == 0 {
         return Err(ArgError::new("--tau must be at least 1"));
     }
     Ok(Command::Serve(ServeArgs {
         socket,
+        listen,
         tau,
         memory_budget,
         snapshot_every,
@@ -487,6 +541,7 @@ mod tests {
                 algo: Algo::MrRandomized,
                 ell: 8,
                 procs: 0,
+                workers: vec![],
                 mu: 2,
                 normalize: Normalize::MinMax,
                 output: Some("c.csv".into()),
@@ -528,6 +583,59 @@ mod tests {
                 "--procs accepted for {algo}"
             );
         }
+    }
+
+    #[test]
+    fn parses_workers_for_the_tcp_transport() {
+        let cmd = parse([
+            "cluster",
+            "--input",
+            "a.csv",
+            "--k",
+            "4",
+            "--algo",
+            "mr",
+            "--procs",
+            "2",
+            "--workers",
+            "127.0.0.1:4700, 127.0.0.1:4701",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Cluster(args) => {
+                assert_eq!(args.procs, 2);
+                assert_eq!(args.workers, vec!["127.0.0.1:4700", "127.0.0.1:4701"]);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // --workers without --procs is an error…
+        assert!(parse([
+            "cluster",
+            "--input",
+            "a.csv",
+            "--k",
+            "4",
+            "--algo",
+            "mr",
+            "--workers",
+            "127.0.0.1:4700",
+        ])
+        .is_err());
+        // …as is asking for more connections than addresses.
+        assert!(parse([
+            "cluster",
+            "--input",
+            "a.csv",
+            "--k",
+            "4",
+            "--algo",
+            "mr",
+            "--procs",
+            "3",
+            "--workers",
+            "127.0.0.1:4700,127.0.0.1:4701",
+        ])
+        .is_err());
     }
 
     #[test]
@@ -603,7 +711,8 @@ mod tests {
         assert_eq!(
             parse(["serve", "--socket", "/tmp/kc.sock"]).unwrap(),
             Command::Serve(ServeArgs {
-                socket: "/tmp/kc.sock".into(),
+                socket: Some("/tmp/kc.sock".into()),
+                listen: None,
                 tau: 128,
                 memory_budget: None,
                 snapshot_every: 0,
@@ -626,14 +735,42 @@ mod tests {
             ])
             .unwrap(),
             Command::Serve(ServeArgs {
-                socket: "/tmp/kc.sock".into(),
+                socket: Some("/tmp/kc.sock".into()),
+                listen: None,
                 tau: 32,
                 memory_budget: Some(5000),
                 snapshot_every: 1000,
                 cache_dir: Some("/tmp/kc-cache".into()),
             })
         );
-        assert!(parse(["serve"]).is_err()); // no socket
+        // A TCP listener works alone or alongside the unix socket.
+        assert_eq!(
+            parse(["serve", "--listen", "tcp://127.0.0.1:4800"]).unwrap(),
+            Command::Serve(ServeArgs {
+                socket: None,
+                listen: Some("tcp://127.0.0.1:4800".into()),
+                tau: 128,
+                memory_budget: None,
+                snapshot_every: 0,
+                cache_dir: None,
+            })
+        );
+        match parse([
+            "serve",
+            "--socket",
+            "/tmp/kc.sock",
+            "--listen",
+            "tcp://127.0.0.1:0",
+        ])
+        .unwrap()
+        {
+            Command::Serve(args) => {
+                assert_eq!(args.socket.as_deref(), Some("/tmp/kc.sock"));
+                assert_eq!(args.listen.as_deref(), Some("tcp://127.0.0.1:0"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(["serve"]).is_err()); // no endpoint at all
         assert!(parse(["serve", "--socket", "/tmp/s", "--tau", "0"]).is_err());
         assert!(parse(["serve", "--socket", "/tmp/s", "--warp", "9"]).is_err());
     }

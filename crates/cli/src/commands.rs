@@ -15,7 +15,7 @@ use kcenter_core::tuning;
 use kcenter_data::csv::{load_csv, save_csv};
 use kcenter_data::normalize::Normalization;
 use kcenter_data::{higgs_like, inject_outliers, power_like, wiki_like};
-use kcenter_exec::{ExecConfig, MetricKind, WorkerCommand};
+use kcenter_exec::{ExecConfig, MetricKind, TransportSpec, WorkerCommand};
 use kcenter_metric::doubling::{estimate_doubling_dimension, DoublingConfig};
 use kcenter_metric::pairwise::diameter_bounds;
 use kcenter_metric::{Euclidean, Point};
@@ -89,6 +89,22 @@ fn solution_fingerprint(args: &ClusterArgs, raw: &[Point], ell: usize) -> u128 {
         Normalize::Zscore => "zscore",
         Normalize::MinMax => "minmax",
     });
+    fp.write_u64(args.seed);
+    fp.finish()
+}
+
+/// Fingerprint of the executor-facing configuration, announced in the
+/// protocol `hello` so a worker pinned with `--pin-config` can reject a
+/// coordinator running a different clustering setup (or binary version)
+/// before any job is dispatched.
+fn exec_config_fingerprint(args: &ClusterArgs, ell: usize) -> u128 {
+    let mut fp = Fingerprint::with_domain("kcenter-cli/exec-config/v1");
+    fp.write_str(env!("CARGO_PKG_VERSION"));
+    fp.write_usize(args.k);
+    fp.write_usize(args.z);
+    fp.write_str(algo_tag(args.algo));
+    fp.write_usize(ell);
+    fp.write_usize(args.mu);
     fp.write_u64(args.seed);
     fp.finish()
 }
@@ -205,7 +221,19 @@ fn run_cluster_multiprocess(
 ) -> Result<(Vec<Point>, Option<f64>), Box<dyn Error>> {
     let mut exec = ExecConfig::new(WorkerCommand::current_exe(&["worker"])?);
     exec.shard_store = store.cloned();
-    eprintln!("executor: {ell} partitions on a bounded worker fleet");
+    exec.config_fingerprint = Some(exec_config_fingerprint(args, ell));
+    if args.workers.is_empty() {
+        eprintln!("executor: {ell} partitions on a bounded worker fleet");
+    } else {
+        exec.transport = TransportSpec::TcpConnect {
+            addrs: args.workers.clone(),
+        };
+        exec.max_workers = Some(args.procs);
+        eprintln!(
+            "executor: {ell} partitions over tcp workers [{}]",
+            args.workers.join(", ")
+        );
+    }
     let (centers, objective, report) = match args.algo {
         Algo::Mr => {
             let result = kcenter_exec::exec_mr_kcenter(
@@ -266,8 +294,12 @@ fn run_cluster_multiprocess(
         report.round2_time.as_secs_f64() * 1e3,
     );
     eprintln!(
-        "executor: {} workers spawned ({} respawned), shards: {} written, {} served from cache",
-        report.workers_spawned, report.worker_respawns, report.shard_writes, report.shard_reuses,
+        "executor: {} workers spawned ({} respawned, {} reconnects), shards: {} written, {} served from cache",
+        report.workers_spawned,
+        report.worker_respawns,
+        report.reconnects,
+        report.shard_writes,
+        report.shard_reuses,
     );
     Ok((centers, objective))
 }
@@ -453,9 +485,22 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), Box<dyn Error>> {
         ..kcenter_serve::RegistryConfig::default()
     };
     let registry = kcenter_serve::SessionRegistry::new(Euclidean, config, store)?;
+    let mut endpoints = Vec::new();
+    if let Some(socket) = &args.socket {
+        endpoints.push(kcenter_serve::ServeEndpoint::Unix(socket.into()));
+    }
+    if let Some(listen) = &args.listen {
+        endpoints.push(kcenter_serve::ServeEndpoint::Tcp(listen.clone()));
+    }
+    let described: Vec<String> = args
+        .socket
+        .iter()
+        .map(|s| format!("unix:{s}"))
+        .chain(args.listen.iter().cloned())
+        .collect();
     eprintln!(
         "kcenter serve: listening on {} (tau = {}, budget = {}, snapshot every = {})",
-        args.socket,
+        described.join(" + "),
         args.tau,
         args.memory_budget
             .map_or("unbounded".to_string(), |b| format!("{b} points")),
@@ -465,7 +510,7 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), Box<dyn Error>> {
             format!("{} items", args.snapshot_every)
         },
     );
-    kcenter_serve::run_server(std::path::Path::new(&args.socket), registry)?;
+    kcenter_serve::run_server_on(&endpoints, registry)?;
     eprintln!("kcenter serve: shut down cleanly");
     Ok(())
 }
@@ -562,6 +607,7 @@ mod tests {
             algo: Algo::Sequential,
             ell: 0,
             procs: 0,
+            workers: vec![],
             mu: 4,
             normalize: Normalize::Zscore,
             output: Some(output.to_string_lossy().into_owned()),
@@ -605,6 +651,7 @@ mod tests {
                 algo,
                 ell: 2,
                 procs: 0,
+                workers: vec![],
                 mu: 2,
                 normalize: Normalize::None,
                 output: None,

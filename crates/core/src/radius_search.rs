@@ -210,7 +210,7 @@ pub fn find_min_feasible_radius<O: DistanceOracle>(
 }
 
 /// Cap on the coreset size up to which the radius search caches the full
-/// pairwise [`DistanceMatrix`] (`10_000² / 2` f64 ≈ 400 MiB) instead of
+/// pairwise [`DistanceMatrix`](kcenter_metric::DistanceMatrix) (`10_000² / 2` f64 ≈ 400 MiB) instead of
 /// re-evaluating the metric on the fly. The cache pays for itself across
 /// the ~log-many `OutliersCluster` evaluations of the search; above the
 /// threshold (e.g. the paper-scale Fig. 4 unions of ~28k points, whose

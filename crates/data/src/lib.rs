@@ -16,7 +16,7 @@
 //! * [`outliers`] — the paper's §5.2 outlier injection: `z` points placed at
 //!   `100 · r_MEB` from the Minimum Enclosing Ball center in random
 //!   directions;
-//! * [`inflate`] — the paper's §5.3 SMOTE-like dataset inflation (sample a
+//! * [`inflate()`] — the paper's §5.3 SMOTE-like dataset inflation (sample a
 //!   point, perturb each coordinate with Gaussian noise at 10% of the
 //!   coordinate's range);
 //! * [`shuffle`] — seeded shuffling (streaming experiments shuffle inputs);

@@ -11,12 +11,18 @@
 //!    content-addressed entry for the identical partition already exists
 //!    (a seeded re-run performs zero shard writes).
 //! 2. **Round 1, out of process.** Partitions are queued onto a
-//!    [`WorkerFleet`] of long-lived worker processes speaking the framed
-//!    request/response protocol over stdin/stdout. The fleet is bounded
-//!    (`--procs ≫ cores` queues instead of oversubscribing), reused
-//!    across rounds and across repeated runs (spawn + rayon pool warmup
-//!    amortized), and self-healing: a worker that dies mid-job is
-//!    respawned and the job replayed.
+//!    [`WorkerFleet`] of long-lived workers speaking the framed
+//!    request/response protocol (`docs/PROTOCOL.md`) over a pluggable
+//!    [`Transport`] — child-process pipes
+//!    by default, or TCP to workers started independently on this or
+//!    other hosts. The fleet is bounded (`--procs ≫ cores` queues
+//!    instead of oversubscribing), reused across rounds and across
+//!    repeated runs (spawn + rayon pool warmup amortized), and
+//!    self-healing: a worker that dies mid-job is respawned (pipe) or
+//!    reconnected with bounded backoff (TCP) and the job replayed.
+//!    Every connection opens with a protocol `hello` carrying version +
+//!    configuration fingerprints, so a mismatched worker is rejected
+//!    with an attributed error instead of an undefined merge.
 //! 3. **Round 2, as a reduction tree.** Coreset artifacts compose
 //!    **pairwise on workers** up a tree — adjacent nodes merge, the odd
 //!    node carries forward — until one root artifact remains; only that
@@ -57,7 +63,6 @@
 
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
-use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -74,10 +79,16 @@ use kcenter_metric::{CachedOracle, Fingerprint, Point};
 use kcenter_store::{ArtifactKind, ArtifactStore};
 
 use crate::error::ExecError;
-use crate::protocol::{read_frame, write_frame, MetricKind, WorkerReport};
+use crate::protocol::{hello_request, parse_hello_ack, MetricKind, WorkerReport};
 use crate::shard::{read_coreset_artifact, read_shard_set, write_shard};
+use crate::transport::{
+    FrameTx, LinkControl, PipeTransport, TcpAcceptTransport, TcpDialTransport, Transport,
+    TransportSpec,
+};
 use crate::with_metric;
 use crate::worker::{MergeArgs, WorkerArgs};
+
+pub use crate::transport::WorkerCommand;
 
 /// Per-process sequence for unique work-directory names.
 static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -87,46 +98,6 @@ static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
 /// dataset, same partitioner, same seed) land on the same entry and the
 /// entry is self-describing — a cache hit *is* the shard.
 const SHARD_FINGERPRINT_DOMAIN: &str = "kcenter-exec/shard/v1";
-
-/// How to invoke a worker process: a program plus fixed leading arguments
-/// (the fleet appends `--serve`; one-shot spawns append the per-partition
-/// worker flags) and extra environment variables (set on top of the
-/// inherited environment, after the coordinator's strip of
-/// `KCENTER_EXEC_FAULT` and `KCENTER_CACHE_DIR`).
-#[derive(Clone, Debug)]
-pub struct WorkerCommand {
-    /// Program to execute.
-    pub program: PathBuf,
-    /// Leading arguments (e.g. a hidden `worker` subcommand).
-    pub args: Vec<String>,
-    /// Extra environment for the workers (e.g. `RAYON_NUM_THREADS`, or
-    /// the fault-injection hook in tests).
-    pub env: Vec<(String, String)>,
-}
-
-impl WorkerCommand {
-    /// A worker command from an explicit program and leading arguments.
-    pub fn new(program: impl Into<PathBuf>, args: &[&str]) -> WorkerCommand {
-        WorkerCommand {
-            program: program.into(),
-            args: args.iter().map(|s| s.to_string()).collect(),
-            env: Vec::new(),
-        }
-    }
-
-    /// Re-invokes the **current executable** with the given leading
-    /// arguments — the standard deployment shape: one binary, a hidden
-    /// worker mode.
-    pub fn current_exe(args: &[&str]) -> std::io::Result<WorkerCommand> {
-        Ok(WorkerCommand::new(std::env::current_exe()?, args))
-    }
-
-    /// Adds an environment variable for every spawned worker.
-    pub fn env(mut self, key: impl Into<String>, value: impl Into<String>) -> WorkerCommand {
-        self.env.push((key.into(), value.into()));
-        self
-    }
-}
 
 /// Multi-process execution options.
 #[derive(Clone, Debug)]
@@ -155,6 +126,16 @@ pub struct ExecConfig {
     /// to dying) fails the run immediately — errors are deterministic,
     /// deaths may not be.
     pub job_retries: usize,
+    /// Which transport carries the frames: child-process pipes (the
+    /// default, using [`ExecConfig::worker`]) or TCP to independently
+    /// started workers. Results are bit-identical across backends.
+    pub transport: TransportSpec,
+    /// Configuration fingerprint announced in the protocol `hello`. A
+    /// worker pinned (via `--pin-config`) to a different fingerprint —
+    /// or to any fingerprint, when this is `None` — rejects the
+    /// handshake and the run fails with an attributed
+    /// [`ExecError::HelloRejected`].
+    pub config_fingerprint: Option<u128>,
 }
 
 impl ExecConfig {
@@ -169,6 +150,8 @@ impl ExecConfig {
             max_workers: None,
             shard_store: None,
             job_retries: 2,
+            transport: TransportSpec::Pipe,
+            config_fingerprint: None,
         }
     }
 }
@@ -212,6 +195,10 @@ pub struct ExecReport {
     pub workers_spawned: usize,
     /// Workers respawned after dying mid-job (replays, not new work).
     pub worker_respawns: usize,
+    /// Remote connections re-established after a loss during this run
+    /// (always 0 on the pipe transport, which respawns processes
+    /// instead).
+    pub reconnects: usize,
     /// Pairwise merge jobs executed up the reduction tree.
     pub merge_jobs: usize,
 }
@@ -258,25 +245,27 @@ impl Drop for WorkDirGuard {
     }
 }
 
-/// What a worker's stdout reader thread feeds the scheduling loop.
+/// What a worker's reader thread feeds the scheduling loop.
 enum FleetEvent {
     /// One complete reply frame from the identified worker.
     Frame { worker: u64, parts: Vec<String> },
-    /// The worker's stdout reached EOF (clean or not): the process died
-    /// or is exiting. The scheduler reaps it and replays its job.
+    /// The worker's reply stream ended (clean EOF, torn frame, or an
+    /// expired read deadline): the link is dead. The scheduler reaps it
+    /// and replays its job.
     Eof { worker: u64 },
 }
 
-/// One live worker process under fleet supervision.
+/// One live worker link under fleet supervision.
 struct FleetWorker {
     /// Fleet-unique id, so stale events from reaped workers are ignored.
     id: u64,
-    child: Child,
     /// Request channel; `None` once shutdown closed it.
-    stdin: Option<ChildStdin>,
-    /// Drains stderr concurrently (a chatty worker must never block on a
-    /// full pipe); joined at reap time for the failure report.
-    stderr: Option<std::thread::JoinHandle<Vec<u8>>>,
+    tx: Option<Box<dyn FrameTx>>,
+    /// Liveness and teardown for this link.
+    control: Box<dyn LinkControl>,
+    /// Whether the `hello` sent at connect time is still unacknowledged;
+    /// the first frame from such a worker must be a valid hello ack.
+    awaiting_hello: bool,
     /// Index of the job this worker is running, if any.
     busy_with: Option<usize>,
     /// When the current job was dispatched.
@@ -298,17 +287,23 @@ struct FleetJob {
     inputs: Vec<(String, usize)>,
 }
 
-/// A persistent, bounded fleet of worker processes.
+/// A persistent, bounded fleet of workers behind a [`Transport`].
 ///
-/// Workers are spawned lazily up to the cap, kept alive across jobs,
+/// Workers are connected lazily up to the cap, kept alive across jobs,
 /// rounds, and runs (hand the same fleet to [`exec_mr_kcenter_on`] /
-/// [`exec_mr_outliers_on`] to amortize spawn + pool warmup), and killed
-/// on [`WorkerFleet::shutdown`] or drop. A worker that dies mid-job is
-/// reaped and its job replayed on a fresh worker, up to the configured
-/// retry budget.
+/// [`exec_mr_outliers_on`] to amortize spawn + pool warmup), and torn
+/// down on [`WorkerFleet::shutdown`] or drop. A worker that dies mid-job
+/// is reaped and its job replayed on a fresh link — a respawned child
+/// process on the pipe backend, a reconnect-with-backoff on TCP — up to
+/// the configured retry budget.
+///
+/// Every new link opens with the protocol `hello`; the first frame back
+/// must be a valid ack or the run fails with an attributed
+/// [`ExecError::HelloRejected`].
 pub struct WorkerFleet {
-    command: WorkerCommand,
+    transport: Box<dyn Transport>,
     cap: usize,
+    hello_config: Option<u128>,
     workers: Vec<FleetWorker>,
     tx: mpsc::Sender<FleetEvent>,
     rx: mpsc::Receiver<FleetEvent>,
@@ -318,9 +313,18 @@ pub struct WorkerFleet {
 }
 
 impl WorkerFleet {
-    /// A fleet that spawns workers with `command`, capped at
+    /// A pipe-backed fleet that spawns workers with `command`, capped at
     /// `max_workers` (`None` = the machine's `available_parallelism`).
     pub fn new(command: WorkerCommand, max_workers: Option<usize>) -> WorkerFleet {
+        WorkerFleet::with_transport(Box::new(PipeTransport::new(command)), max_workers)
+    }
+
+    /// A fleet over an explicit transport backend, capped at
+    /// `max_workers` (`None` = the machine's `available_parallelism`).
+    pub fn with_transport(
+        transport: Box<dyn Transport>,
+        max_workers: Option<usize>,
+    ) -> WorkerFleet {
         let cap = max_workers
             .unwrap_or_else(|| {
                 std::thread::available_parallelism()
@@ -330,8 +334,9 @@ impl WorkerFleet {
             .max(1);
         let (tx, rx) = mpsc::channel();
         WorkerFleet {
-            command,
+            transport,
             cap,
+            hello_config: None,
             workers: Vec::new(),
             tx,
             rx,
@@ -341,10 +346,33 @@ impl WorkerFleet {
         }
     }
 
-    /// A fleet sized and commanded per `exec` (the shape the one-shot
-    /// entry points use).
+    /// A fleet sized, commanded, and transported per `exec` (the shape
+    /// the one-shot entry points use). The TCP dial backend caps the
+    /// fleet at its address count; a bad `TcpAccept` bind address
+    /// surfaces as a spawn error on the first run, not here.
     pub fn from_config(exec: &ExecConfig) -> WorkerFleet {
-        WorkerFleet::new(exec.worker.clone(), exec.max_workers)
+        // Frame-level deadlines for remote links: a read may legitimately
+        // wait as long as the longest job, so the read deadline tracks
+        // the run timeout with headroom; writes are small and must never
+        // stall long.
+        let read_deadline = Some(exec.timeout + Duration::from_secs(5));
+        let write_deadline = Some(Duration::from_secs(30));
+        let mut fleet = match &exec.transport {
+            TransportSpec::Pipe => WorkerFleet::new(exec.worker.clone(), exec.max_workers),
+            TransportSpec::TcpConnect { addrs } => {
+                let cap = exec.max_workers.unwrap_or(addrs.len()).min(addrs.len());
+                let transport = TcpDialTransport::new(addrs.clone())
+                    .with_deadlines(read_deadline, write_deadline);
+                WorkerFleet::with_transport(Box::new(transport), Some(cap.max(1)))
+            }
+            TransportSpec::TcpAccept { bind } => {
+                let transport = TcpAcceptTransport::lazy(bind.clone(), exec.timeout)
+                    .with_deadlines(read_deadline, write_deadline);
+                WorkerFleet::with_transport(Box::new(transport), exec.max_workers)
+            }
+        };
+        fleet.hello_config = exec.config_fingerprint;
+        fleet
     }
 
     /// Workers currently alive.
@@ -352,65 +380,59 @@ impl WorkerFleet {
         self.workers.len()
     }
 
-    /// Worker processes spawned over this fleet's lifetime.
+    /// Worker links established over this fleet's lifetime (process
+    /// spawns on the pipe backend, connections on TCP).
     pub fn spawned_total(&self) -> usize {
         self.spawned_total
     }
 
-    /// Spawns one serve-mode worker and wires its stdout into the event
-    /// channel.
+    /// Remote connections re-established after a loss over this fleet's
+    /// lifetime (always 0 on the pipe backend).
+    pub fn reconnects_total(&self) -> usize {
+        self.transport.reconnects()
+    }
+
+    /// Whether the transport crosses a host boundary (see
+    /// [`Transport::is_remote`]).
+    fn is_remote(&self) -> bool {
+        self.transport.is_remote()
+    }
+
+    /// Connects one worker link, opens it with the protocol `hello`, and
+    /// wires its replies into the event channel.
     fn spawn_worker(&mut self) -> std::io::Result<()> {
-        let mut command = Command::new(&self.command.program);
-        command
-            .args(&self.command.args)
-            .arg("--serve")
-            // Both hooks must be *asked for*, never ambient: a stray
-            // KCENTER_EXEC_FAULT from a debugging session must not make
-            // every worker crash, and a stray KCENTER_CACHE_DIR must not
-            // let fleet workers silently diverge in cache accounting from
-            // the in-process engines. Opt-ins go through
-            // `WorkerCommand::env`, which is applied after the strip.
-            .env_remove(crate::worker::FAULT_ENV)
-            .env_remove(kcenter_store::CACHE_DIR_ENV)
-            .envs(self.command.env.iter().map(|(k, v)| (k, v)))
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::piped());
-        let mut child = command.spawn()?;
+        let link = self.transport.connect()?;
         let id = self.next_id;
         self.next_id += 1;
-        let stdin = child.stdin.take().expect("stdin was piped");
-        let stdout = child.stdout.take().expect("stdout was piped");
-        let stderr = child.stderr.take().expect("stderr was piped");
-        let tx = self.tx.clone();
-        std::thread::spawn(move || {
-            let mut reader = std::io::BufReader::new(stdout);
-            loop {
-                match read_frame(&mut reader) {
-                    Ok(Some(parts)) => {
-                        if tx.send(FleetEvent::Frame { worker: id, parts }).is_err() {
-                            return; // fleet dropped
-                        }
+        let mut tx = link.tx;
+        // The handshake goes out immediately; its ack is validated
+        // asynchronously by the scheduling loop (the first frame from an
+        // `awaiting_hello` worker), so connect stays non-blocking and a
+        // worker that dies before acking takes the normal EOF path.
+        let _ = tx.send(&hello_request(self.hello_config));
+        let mut rx = link.rx;
+        let events = self.tx.clone();
+        std::thread::spawn(move || loop {
+            match rx.recv() {
+                Ok(Some(parts)) => {
+                    if events
+                        .send(FleetEvent::Frame { worker: id, parts })
+                        .is_err()
+                    {
+                        return; // fleet dropped
                     }
-                    Ok(None) | Err(_) => {
-                        let _ = tx.send(FleetEvent::Eof { worker: id });
-                        return;
-                    }
+                }
+                Ok(None) | Err(_) => {
+                    let _ = events.send(FleetEvent::Eof { worker: id });
+                    return;
                 }
             }
         });
-        let stderr_handle = std::thread::spawn(move || {
-            use std::io::Read as _;
-            let mut stream = stderr;
-            let mut bytes = Vec::new();
-            let _ = stream.read_to_end(&mut bytes);
-            bytes
-        });
         self.workers.push(FleetWorker {
             id,
-            child,
-            stdin: Some(stdin),
-            stderr: Some(stderr_handle),
+            tx: Some(tx),
+            control: link.control,
+            awaiting_hello: true,
             busy_with: None,
             dispatched: Instant::now(),
         });
@@ -418,19 +440,31 @@ impl WorkerFleet {
         Ok(())
     }
 
-    /// Reaps a dead worker by position: kills (idempotent), waits, and
-    /// joins the stderr drain. Returns (exit code, stderr text).
+    /// Reaps a dead worker by position: tears the link down and collects
+    /// the post-mortem. Returns (exit code, stderr/diagnostic text).
     fn reap_worker(&mut self, at: usize) -> (Option<i32>, String) {
         let mut worker = self.workers.swap_remove(at);
-        drop(worker.stdin.take());
-        let _ = worker.child.kill();
-        let code = worker.child.wait().ok().and_then(|status| status.code());
-        let stderr = worker
-            .stderr
-            .take()
-            .and_then(|h| h.join().ok())
-            .unwrap_or_default();
-        (code, String::from_utf8_lossy(&stderr).into_owned())
+        if let Some(mut tx) = worker.tx.take() {
+            tx.close();
+        }
+        worker.control.kill();
+        worker.control.reap()
+    }
+
+    /// Validates the first frame from a worker whose `hello` is
+    /// outstanding. `Ok` consumed a valid ack; `Err` is the attributed
+    /// rejection.
+    fn take_hello_ack(&mut self, at: usize, parts: &[String]) -> Result<(), ExecError> {
+        match parse_hello_ack(parts) {
+            Ok(()) => {
+                self.workers[at].awaiting_hello = false;
+                Ok(())
+            }
+            Err(reason) => Err(ExecError::HelloRejected {
+                worker: self.workers[at].control.describe(),
+                reason,
+            }),
+        }
     }
 
     /// Kills every worker immediately — the error-path cleanup, so a
@@ -468,11 +502,11 @@ impl WorkerFleet {
             let worker = &mut self.workers[at];
             worker.busy_with = Some(job_idx);
             worker.dispatched = Instant::now();
-            if let Some(stdin) = worker.stdin.as_mut() {
-                // A failed write means the worker is dead or dying; leave
+            if let Some(tx) = worker.tx.as_mut() {
+                // A failed send means the link is dead or dying; leave
                 // the job assigned — the reader thread's EOF event will
                 // reap it and replay the job through the normal path.
-                let _ = write_frame(stdin, &jobs[job_idx].request);
+                let _ = tx.send(&jobs[job_idx].request);
             }
         }
         Ok(())
@@ -534,6 +568,13 @@ impl WorkerFleet {
                     let Some(at) = self.workers.iter().position(|w| w.id == worker) else {
                         continue;
                     };
+                    if self.workers[at].awaiting_hello {
+                        // The first frame back must be the hello ack; a
+                        // rejection is deterministic and attributed, so
+                        // it fails the run rather than being retried.
+                        self.take_hello_ack(at, &parts)?;
+                        continue;
+                    }
                     let Some(job_idx) = self.workers[at].busy_with.take() else {
                         continue;
                     };
@@ -629,8 +670,8 @@ impl WorkerFleet {
             .position(|w| w.busy_with.is_none())
             .expect("probe requires an idle worker");
         let id = self.workers[at].id;
-        if let Some(stdin) = self.workers[at].stdin.as_mut() {
-            let _ = write_frame(stdin, &["probe".to_string(), var.to_string()]);
+        if let Some(tx) = self.workers[at].tx.as_mut() {
+            let _ = tx.send(&["probe".to_string(), var.to_string()]);
         }
         let deadline = Instant::now() + Duration::from_secs(30);
         loop {
@@ -643,6 +684,12 @@ impl WorkerFleet {
             }
             match self.rx.recv_timeout(deadline - now) {
                 Ok(FleetEvent::Frame { worker, parts }) if worker == id => {
+                    if let Some(at) = self.workers.iter().position(|w| w.id == id) {
+                        if self.workers[at].awaiting_hello {
+                            self.take_hello_ack(at, &parts)?;
+                            continue;
+                        }
+                    }
                     return match (
                         parts.first().map(String::as_str),
                         parts.get(1).map(String::as_str),
@@ -685,19 +732,20 @@ impl WorkerFleet {
     }
 
     /// Shuts the fleet down cooperatively: every worker is sent a
-    /// `shutdown` request and its stdin closed, given a short grace
-    /// period to exit, then killed.
+    /// `shutdown` request and its request channel closed, given a short
+    /// grace period to wind down, then torn down. Remote `--listen`
+    /// workers outlive this — `shutdown` only ends their connection, so
+    /// the same worker pool can serve the next coordinator.
     pub fn shutdown(&mut self) {
         for worker in &mut self.workers {
-            if let Some(stdin) = worker.stdin.as_mut() {
-                let _ = write_frame(stdin, &["shutdown".to_string()]);
+            if let Some(mut tx) = worker.tx.take() {
+                let _ = tx.send(&["shutdown".to_string()]);
+                tx.close();
             }
-            drop(worker.stdin.take());
         }
         let grace = Instant::now() + Duration::from_secs(2);
         while !self.workers.is_empty() && Instant::now() < grace {
-            self.workers
-                .retain_mut(|worker| !matches!(worker.child.try_wait(), Ok(Some(_))));
+            self.workers.retain_mut(|worker| !worker.control.exited());
             if !self.workers.is_empty() {
                 std::thread::sleep(Duration::from_millis(5));
             }
@@ -893,6 +941,7 @@ struct RoundData {
     shard_reuses: usize,
     workers_spawned: usize,
     worker_respawns: usize,
+    reconnects: usize,
     merge_jobs: usize,
 }
 
@@ -913,6 +962,7 @@ impl RoundData {
             shard_reuses: self.shard_reuses,
             workers_spawned: self.workers_spawned,
             worker_respawns: self.worker_respawns,
+            reconnects: self.reconnects,
             merge_jobs: self.merge_jobs,
         }
     }
@@ -988,6 +1038,7 @@ fn run_distributed_round(
 ) -> Result<RoundData, ExecError> {
     let spawned_before = fleet.spawned_total;
     let respawned_before = fleet.respawned_total;
+    let reconnects_before = fleet.reconnects_total();
     let work_dir = match &exec.work_dir {
         Some(dir) => dir.clone(),
         None => std::env::temp_dir().join(format!(
@@ -1009,6 +1060,25 @@ fn run_distributed_round(
     let mut shard_reuses = 0usize;
     let mut round1_jobs = Vec::with_capacity(jobs.len());
     let mut outs = Vec::with_capacity(jobs.len());
+    // Remote workers cannot dereference this host's absolute paths, but
+    // a shard that lives in the (shared) artifact store has a stable,
+    // content-addressed file name — so remote jobs reference it as
+    // `@store/NAME` and the worker resolves that against its own
+    // `--store` root. Work-dir paths (coreset/merge artifacts) stay
+    // absolute: cross-host runs put the work dir on shared storage too.
+    let remote = fleet.is_remote();
+    let store_relative = |shard: &Path| -> PathBuf {
+        if remote {
+            if let Some(store) = exec.shard_store.as_ref() {
+                if shard.parent() == Some(store.dir()) {
+                    if let Some(name) = shard.file_name() {
+                        return PathBuf::from(format!("@store/{}", name.to_string_lossy()));
+                    }
+                }
+            }
+        }
+        shard.to_path_buf()
+    };
     for ((part, members), job) in partitions.iter().zip(jobs) {
         debug_assert_eq!(*part, job.partition);
         let (shard, reused) =
@@ -1018,6 +1088,7 @@ fn run_distributed_round(
         } else {
             shard_writes += 1;
         }
+        let shard = store_relative(&shard);
         let out = work_dir.join(format!("coreset-{part:05}.kca"));
         let args = WorkerArgs {
             shard,
@@ -1123,6 +1194,7 @@ fn run_distributed_round(
         shard_reuses,
         workers_spawned: fleet.spawned_total - spawned_before,
         worker_respawns: fleet.respawned_total - respawned_before,
+        reconnects: fleet.reconnects_total() - reconnects_before,
         merge_jobs: merge_jobs_total,
     })
 }

@@ -32,10 +32,20 @@ pub enum ExecError {
         /// Partition the worker was processing.
         partition: usize,
         /// Exit code, if the process exited normally (`None` = killed by
-        /// a signal).
+        /// a signal, or a remote worker whose connection was lost).
         code: Option<i32>,
-        /// The worker's captured stderr (its error report).
+        /// The worker's captured stderr (its error report), or a
+        /// description of the lost connection for remote workers.
         stderr: String,
+    },
+    /// A worker rejected (or failed) the protocol `hello` handshake —
+    /// a version or configuration-fingerprint mismatch. Deterministic:
+    /// never retried.
+    HelloRejected {
+        /// The offending worker's endpoint (`pid N` / `tcp://host:port`).
+        worker: String,
+        /// Why the handshake failed.
+        reason: String,
     },
     /// A worker did not finish within the configured timeout and was
     /// killed.
@@ -73,13 +83,16 @@ impl fmt::Display for ExecError {
                 write!(f, "worker for partition {partition} ")?;
                 match code {
                     Some(code) => write!(f, "exited with code {code}")?,
-                    None => write!(f, "was killed by a signal")?,
+                    None => write!(f, "died (killed by a signal or lost its connection)")?,
                 }
                 let stderr = stderr.trim();
                 if !stderr.is_empty() {
                     write!(f, ": {stderr}")?;
                 }
                 Ok(())
+            }
+            ExecError::HelloRejected { worker, reason } => {
+                write!(f, "{worker} rejected the protocol handshake: {reason}")
             }
             ExecError::WorkerTimeout { partition, timeout } => write!(
                 f,
@@ -154,7 +167,14 @@ mod tests {
                     code: None,
                     stderr: String::new(),
                 },
-                "killed by a signal",
+                "killed by a signal or lost its connection",
+            ),
+            (
+                ExecError::HelloRejected {
+                    worker: "worker at tcp://10.0.0.7:4700".into(),
+                    reason: "config fingerprint mismatch".into(),
+                },
+                "tcp://10.0.0.7:4700",
             ),
             (
                 ExecError::WorkerTimeout {

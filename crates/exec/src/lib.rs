@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! True multi-process MapReduce executor for coreset-based k-center.
 //!
 //! The `kcenter-mapreduce` engine *simulates* the paper's MapReduce model
@@ -8,28 +8,42 @@
 //! the MRC execution model (Karloff–Suri–Vassilvitskii):
 //!
 //! * a **coordinator** ([`coordinator`]) that shards the dataset into
-//!   per-worker files, spawns one worker **OS process** per partition,
-//!   supervises them (crash, signal, timeout, torn-artifact handling),
-//!   and reduces the collected coresets through the existing round-2
-//!   paths;
+//!   per-worker files, maintains a persistent [`coordinator::WorkerFleet`]
+//!   of framed workers, supervises them (crash, disconnect, timeout,
+//!   torn-artifact handling with bounded replay), and reduces the
+//!   collected coresets through the existing round-2 paths;
 //! * a **worker** ([`worker`]) that mmap-loads its shard, runs the shared
 //!   round-1 kernel with its own rayon pool, and atomically writes a
 //!   weighted coreset back through the store codec;
+//! * a **transport seam** ([`transport`]) behind which the fleet talks to
+//!   workers: the default child-process pipe backend, and TCP backends
+//!   ([`transport::TcpDialTransport`], [`transport::TcpAcceptTransport`])
+//!   for workers started independently with `--listen`/`--connect` that
+//!   pick their shards up from a shared [`kcenter_store::ArtifactStore`]
+//!   via `@store/NAME` references;
 //! * a **wire protocol** ([`protocol`]) whose every value round-trips
-//!   bit-exactly, and an on-disk **shard format** ([`shard`]) reusing
-//!   `kcenter-store`'s versioned, checksummed codec.
+//!   bit-exactly, with a versioned `hello` handshake that rejects
+//!   mismatched workers, and an on-disk **shard format** ([`shard`])
+//!   reusing `kcenter-store`'s versioned, checksummed codec.
+//!
+//! The normative wire contract — frame layout, verbs, handshake, error
+//! replies, float formatting — is documented in `docs/PROTOCOL.md` at the
+//! repository root.
 //!
 //! The headline guarantee: a multi-process run is **bit-identical** to
 //! the in-process engines on the same seeded input — same centers (to the
 //! coordinate bit), same radius (to the `f64` bit) — because partitioning
 //! rules, the round-1 kernel, the codec, and collection order are all
-//! shared and deterministic. The `exec-determinism` CI job pins this at 1
-//! and 4 worker processes.
+//! shared and deterministic. The guarantee holds **across transports**:
+//! the `exec-determinism` CI job pins pipe workers at 1 and 4 processes,
+//! and the `tcp-determinism` job pins TCP-to-localhost workers against
+//! the same bytes.
 
 pub mod coordinator;
 pub mod error;
 pub mod protocol;
 pub mod shard;
+pub mod transport;
 pub mod worker;
 
 pub use coordinator::{
@@ -38,4 +52,5 @@ pub use coordinator::{
 };
 pub use error::ExecError;
 pub use protocol::MetricKind;
+pub use transport::{TcpAcceptTransport, TcpDialTransport, Transport, TransportSpec};
 pub use worker::worker_main;

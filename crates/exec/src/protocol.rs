@@ -26,19 +26,30 @@
 //!
 //! # Request / response verbs
 //!
+//! * `["hello", proto=…, version=…, config=…]` — the handshake a
+//!   coordinator opens every persistent connection with; see
+//!   [`hello_request`] and `docs/PROTOCOL.md` §Handshake.
 //! * `["coreset", …flags]` — run one round-1 coreset build (flags are
 //!   [`crate::worker::WorkerArgs::to_args`]).
 //! * `["merge", --left L, --right R, --out O]` — compose two coreset
 //!   artifacts (left-then-right, order-preserving) into one.
 //! * `["probe", VAR]` — report whether env var `VAR` is set in the worker
 //!   process (regression surface for the coordinator's env hygiene).
-//! * `["shutdown"]` — exit cleanly.
+//! * `["shutdown"]` — end this connection cleanly (`["shutdown",
+//!   "process"]` additionally exits a socket-serving worker process).
 //!
 //! Replies: `["ok", k=v…]` with [`WorkerReport`]-shaped fields,
+//! `["ok", "hello", k=v…]` for an accepted handshake,
 //! `["ok", "set", value]` / `["ok", "unset"]` for probes,
+//! `["err-hello", reason]` for a rejected handshake (the worker then
+//! closes the connection),
 //! `["err-artifact", path, reason]` when a job's *input* artifact failed
 //! to decode (the coordinator attributes it to the producing partition),
 //! and `["err", message]` for anything else.
+//!
+//! The normative wire contract — including the handshake's rejection
+//! rules and the float-formatting guarantees — lives in
+//! `docs/PROTOCOL.md`.
 
 use std::io::{Read, Write};
 
@@ -242,6 +253,119 @@ pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<String>>> {
     Ok(Some(parts))
 }
 
+/// Version of the framed protocol itself. Bumped on any incompatible
+/// change to the frame layout, the verb set, or a verb's semantics; a
+/// worker speaking a different version rejects the handshake rather than
+/// risking an undefined merge.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Pulls `key=value` out of a hello frame's fields.
+fn hello_field<'a>(parts: &'a [String], key: &str) -> Option<&'a str> {
+    let prefix = format!("{key}=");
+    parts.iter().find_map(|p| p.strip_prefix(&prefix))
+}
+
+/// The handshake frame a coordinator opens every persistent connection
+/// with: `["hello", "proto=1", "version=<crate>", "config=<fp|any>"]`.
+///
+/// `config` is the coordinator's 128-bit configuration fingerprint as 32
+/// lowercase hex digits, or the literal `any` when it does not pin one —
+/// a worker started with `--pin-config` rejects both a mismatched
+/// fingerprint and an unpinned coordinator.
+pub fn hello_request(config: Option<u128>) -> Vec<String> {
+    vec![
+        "hello".into(),
+        format!("proto={PROTOCOL_VERSION}"),
+        format!("version={}", env!("CARGO_PKG_VERSION")),
+        match config {
+            Some(fp) => format!("config={fp:032x}"),
+            None => "config=any".into(),
+        },
+    ]
+}
+
+/// The worker's side of the handshake: validates a `hello` request
+/// against this worker's protocol version and (optionally) pinned
+/// configuration fingerprint.
+///
+/// # Errors
+///
+/// A human-readable rejection reason — sent back as
+/// `["err-hello", reason]` before the worker closes the connection.
+pub fn check_hello_request(parts: &[String], pinned_config: Option<u128>) -> Result<(), String> {
+    let proto: u32 = hello_field(parts, "proto")
+        .and_then(|v| v.parse().ok())
+        .ok_or("hello carries no parsable proto= field")?;
+    if proto != PROTOCOL_VERSION {
+        return Err(format!(
+            "protocol version mismatch: coordinator speaks v{proto}, this worker speaks v{PROTOCOL_VERSION}"
+        ));
+    }
+    if let Some(pin) = pinned_config {
+        match hello_field(parts, "config") {
+            Some("any") | None => {
+                return Err(format!(
+                    "this worker is pinned to config {pin:032x} but the coordinator announced none"
+                ))
+            }
+            Some(hex) => {
+                let announced = u128::from_str_radix(hex, 16)
+                    .map_err(|_| format!("unparsable config fingerprint {hex:?}"))?;
+                if announced != pin {
+                    return Err(format!(
+                        "config fingerprint mismatch: coordinator announced {hex}, \
+                         this worker is pinned to {pin:032x}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The `["ok", "hello", k=v…]` frame a worker acknowledges an accepted
+/// handshake with.
+pub fn hello_ack() -> Vec<String> {
+    vec![
+        "ok".into(),
+        "hello".into(),
+        format!("proto={PROTOCOL_VERSION}"),
+        format!("version={}", env!("CARGO_PKG_VERSION")),
+    ]
+}
+
+/// The coordinator's side of the handshake: validates the first frame a
+/// worker sends back after `hello`.
+///
+/// # Errors
+///
+/// The rejection reason (the worker's own, for an `err-hello` reply; a
+/// coordinator-side diagnosis for a malformed or wrong-version ack).
+pub fn parse_hello_ack(parts: &[String]) -> Result<(), String> {
+    match (
+        parts.first().map(String::as_str),
+        parts.get(1).map(String::as_str),
+    ) {
+        (Some("ok"), Some("hello")) => {
+            let proto: u32 = hello_field(parts, "proto")
+                .and_then(|v| v.parse().ok())
+                .ok_or("hello ack carries no parsable proto= field")?;
+            if proto != PROTOCOL_VERSION {
+                return Err(format!(
+                    "protocol version mismatch: worker speaks v{proto}, \
+                     this coordinator speaks v{PROTOCOL_VERSION}"
+                ));
+            }
+            Ok(())
+        }
+        (Some("err-hello"), reason) => Err(reason.map_or_else(
+            || "handshake rejected without a reason".to_string(),
+            str::to_string,
+        )),
+        _ => Err(format!("malformed hello reply: {parts:?}")),
+    }
+}
+
 /// Prefix of the worker's machine-parsable stdout report line.
 pub const REPORT_PREFIX: &str = "kcenter-exec-worker:";
 
@@ -421,6 +545,45 @@ mod tests {
         let mut sink = Vec::new();
         assert!(write_frame(&mut sink, &["y".repeat(MAX_FRAME_BYTES)]).is_err());
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn hello_handshake_accepts_matching_peers() {
+        let request = hello_request(None);
+        assert!(check_hello_request(&request, None).is_ok());
+        let pinned = hello_request(Some(0xdead_beef));
+        assert!(check_hello_request(&pinned, Some(0xdead_beef)).is_ok());
+        // An unpinned worker accepts any announced config.
+        assert!(check_hello_request(&pinned, None).is_ok());
+        assert!(parse_hello_ack(&hello_ack()).is_ok());
+    }
+
+    #[test]
+    fn hello_handshake_rejects_mismatches_with_reasons() {
+        // Config fingerprint mismatch.
+        let err = check_hello_request(&hello_request(Some(0x1234)), Some(0x5678)).unwrap_err();
+        assert!(err.contains("mismatch"), "{err:?}");
+        // A pinned worker refuses an unpinned coordinator.
+        let err = check_hello_request(&hello_request(None), Some(0x5678)).unwrap_err();
+        assert!(err.contains("announced none"), "{err:?}");
+        // Protocol version mismatch, both directions.
+        let old = vec!["hello".to_string(), "proto=0".to_string()];
+        assert!(check_hello_request(&old, None)
+            .unwrap_err()
+            .contains("protocol version mismatch"));
+        let old_ack = vec![
+            "ok".to_string(),
+            "hello".to_string(),
+            "proto=999".to_string(),
+        ];
+        assert!(parse_hello_ack(&old_ack)
+            .unwrap_err()
+            .contains("protocol version mismatch"));
+        // err-hello replies surface the worker's own reason.
+        let rejected = vec!["err-hello".to_string(), "wrong tau".to_string()];
+        assert_eq!(parse_hello_ack(&rejected).unwrap_err(), "wrong tau");
+        // Anything else is malformed.
+        assert!(parse_hello_ack(&["ok".to_string()]).is_err());
     }
 
     #[test]

@@ -16,25 +16,51 @@
 //! re-invokes itself with `exec-worker …`, and the crate ships a
 //! standalone `kcenter-exec-worker` binary for the process-level tests.
 //!
+//! # Remote modes
+//!
+//! Beyond the pipe-served `--serve` loop, [`worker_main`] understands
+//! two TCP modes for cross-host fleets (see `docs/PROTOCOL.md`):
+//!
+//! * `--listen ADDR` — bind `ADDR` (`host:port`; port 0 picks a free
+//!   port), print `kcenter-exec-worker: listening on <addr>` to stdout,
+//!   and serve framed connections one at a time, forever. A connection
+//!   loss only ends that connection — the coordinator's
+//!   reconnect-with-backoff finds the same worker again.
+//! * `--connect ADDR` — dial a listening coordinator and serve that one
+//!   connection.
+//!
+//! Both accept `--store DIR` (the shared artifact store that
+//! `@store/NAME` job references resolve against) and `--pin-config HEX`
+//! (reject any coordinator whose `hello` announces a different — or no —
+//! configuration fingerprint).
+//!
 //! # Fault injection (tests only)
 //!
 //! The environment variable `KCENTER_EXEC_FAULT` makes a worker misbehave
 //! on purpose so the coordinator's failure handling can be pinned by
 //! tests: `crash` exits non-zero before doing any work, `truncate` writes
 //! half of the result artifact, `hang` sleeps far past any reasonable
-//! timeout, and `crash-job:N` lets a persistent worker serve `N-1` jobs
-//! normally and then die mid-stream on the `N`th without replying — the
-//! kill-mid-stream case the fleet must contain by respawn + replay.
-//! Production coordinators never set it.
+//! timeout (after accepting a connection, in the TCP modes — the
+//! hung-remote case the per-run deadline must contain), `crash-job:N`
+//! lets a persistent worker serve `N-1` jobs normally and then die
+//! mid-stream on the `N`th without replying — the kill-mid-stream case
+//! the fleet must contain by respawn + replay — and `drop-conn:N` severs
+//! the connection at the `N`th job while keeping a `--listen` process
+//! alive, which is the reconnect-and-replay case. Counters are
+//! per-connection. Production coordinators never set it.
 
-use std::path::PathBuf;
-use std::time::Instant;
+use std::io::{BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use kcenter_core::coreset::{build_weighted_coreset, CoresetSpec};
 use kcenter_metric::{Metric, Point, PointRef};
-use kcenter_store::codec;
+use kcenter_store::{codec, ArtifactStore};
 
-use crate::protocol::{parse_spec, read_frame, write_frame, MetricKind, WorkerReport};
+use crate::protocol::{
+    check_hello_request, hello_ack, parse_spec, read_frame, write_frame, MetricKind, WorkerReport,
+};
 use crate::shard::{read_coreset_artifact, read_shard_set, write_artifact_atomic};
 use crate::with_metric;
 
@@ -308,36 +334,102 @@ fn run_merge(args: &MergeArgs) -> Result<WorkerReport, JobFailure> {
     })
 }
 
-/// The persistent-worker loop: serves framed job requests on
-/// stdin/stdout until a clean EOF or a `shutdown` request.
+/// Options of a persistent serving loop (pipe or socket).
+#[derive(Default)]
+struct ServeOptions {
+    /// Shared artifact store that `@store/NAME` job references resolve
+    /// against (`--store`).
+    store: Option<ArtifactStore>,
+    /// Configuration fingerprint this worker insists on seeing in every
+    /// `hello` (`--pin-config`).
+    pinned_config: Option<u128>,
+}
+
+/// How one serving loop over a connection ended.
+enum ServeOutcome {
+    /// Clean end of this connection: EOF, `shutdown`, or a rejected
+    /// `hello`. A listening worker accepts the next connection.
+    CloseConnection,
+    /// Injected `drop-conn:N` fault: sever without replying, keep a
+    /// listening process alive (the reconnect-and-replay case).
+    DropConnection,
+    /// End the whole process with this exit code (`shutdown process`,
+    /// injected crashes, protocol errors).
+    Exit(i32),
+}
+
+/// Resolves a job path, dereferencing `@store/NAME` references against
+/// the worker's shared artifact store.
+fn resolve_job_path(path: &Path, store: Option<&ArtifactStore>) -> Result<PathBuf, String> {
+    let text = path.to_string_lossy();
+    match text.strip_prefix("@store/") {
+        None => Ok(path.to_path_buf()),
+        Some(name) => {
+            let store = store.ok_or_else(|| {
+                format!("job references {text} but this worker was started without --store")
+            })?;
+            store
+                .entry_by_name(name)
+                .ok_or_else(|| format!("invalid store reference {text:?}"))
+        }
+    }
+}
+
+/// The persistent-worker loop over one framed connection: serves job
+/// requests until a clean EOF or a `shutdown` request.
 ///
-/// Protocol errors (torn frames, unwritable stdout) end the process with
-/// a distinct exit code; the coordinator observes the death and contains
-/// it like any other worker failure.
-fn serve() -> i32 {
-    // `crash-job:N`: die mid-stream on the N-th job without replying —
-    // the respawned replacement restarts its counter, so the replayed
-    // job succeeds and the fleet's containment is observable end to end.
-    let crash_on_job: Option<u64> = std::env::var(FAULT_ENV)
-        .ok()
-        .and_then(|f| f.strip_prefix("crash-job:")?.parse().ok());
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    let mut input = stdin.lock();
-    let mut output = stdout.lock();
+/// Protocol errors (torn frames, an unwritable reply channel) surface as
+/// [`ServeOutcome::Exit`] with a distinct code; the coordinator observes
+/// the death and contains it like any other worker failure.
+fn serve_streams<R: Read, W: Write>(
+    input: &mut R,
+    output: &mut W,
+    opts: &ServeOptions,
+) -> ServeOutcome {
+    // `crash-job:N` / `drop-conn:N`: misbehave on the N-th job of this
+    // connection without replying — the respawned (or reconnected)
+    // successor restarts its counter, so the replayed job succeeds and
+    // the fleet's containment is observable end to end.
+    let fault = std::env::var(FAULT_ENV).ok();
+    let fault_job = |prefix: &str| -> Option<u64> {
+        fault
+            .as_deref()
+            .and_then(|f| f.strip_prefix(prefix)?.parse().ok())
+    };
+    let crash_on_job = fault_job("crash-job:");
+    let drop_on_job = fault_job("drop-conn:");
     let mut jobs_served = 0u64;
     loop {
-        let parts = match read_frame(&mut input) {
+        let parts = match read_frame(input) {
             Ok(Some(parts)) => parts,
-            Ok(None) => return 0, // coordinator hung up
+            Ok(None) => return ServeOutcome::CloseConnection, // coordinator hung up
             Err(err) => {
                 eprintln!("kcenter-exec-worker: bad request frame: {err}");
-                return 3;
+                return ServeOutcome::Exit(3);
             }
         };
         let verb = parts.first().map(String::as_str).unwrap_or("");
         let reply = match verb {
-            "shutdown" => return 0,
+            "hello" => match check_hello_request(&parts, opts.pinned_config) {
+                Ok(()) => hello_ack(),
+                Err(reason) => {
+                    // Reject, then close: a mismatched coordinator must
+                    // never be served a job.
+                    eprintln!("kcenter-exec-worker: rejected hello: {reason}");
+                    let _ = write_frame(output, &["err-hello".to_string(), reason]);
+                    return ServeOutcome::CloseConnection;
+                }
+            },
+            "shutdown" => {
+                if parts.get(1).map(String::as_str) == Some("process") {
+                    // Used by tests (and deliberate teardowns) to stop a
+                    // `--listen` worker remotely; acknowledged so the
+                    // requester can wait for it.
+                    let _ = write_frame(output, &["ok".to_string(), "bye".to_string()]);
+                    return ServeOutcome::Exit(0);
+                }
+                return ServeOutcome::CloseConnection;
+            }
             "probe" => match parts.get(1) {
                 Some(var) => match std::env::var(var) {
                     Ok(value) => vec!["ok".into(), "set".into(), value],
@@ -351,11 +443,17 @@ fn serve() -> i32 {
                     eprintln!(
                         "kcenter-exec-worker: injected crash ({FAULT_ENV}=crash-job:{jobs_served})"
                     );
-                    return 101;
+                    return ServeOutcome::Exit(101);
+                }
+                if drop_on_job == Some(jobs_served) {
+                    eprintln!(
+                        "kcenter-exec-worker: injected disconnect ({FAULT_ENV}=drop-conn:{jobs_served})"
+                    );
+                    return ServeOutcome::DropConnection;
                 }
                 let flags = parts[1..].to_vec();
                 if verb == "coreset" {
-                    match WorkerArgs::parse(flags).map_err(JobFailure::Other) {
+                    match parse_coreset_job(flags, opts) {
                         Ok(args) => match run_worker(&args) {
                             Ok(report) => report.to_reply(),
                             Err(msg) => JobFailure::Other(msg).to_reply(),
@@ -363,7 +461,7 @@ fn serve() -> i32 {
                         Err(failure) => failure.to_reply(),
                     }
                 } else {
-                    match MergeArgs::parse(flags).map_err(JobFailure::Other) {
+                    match parse_merge_job(flags, opts) {
                         Ok(args) => match run_merge(&args) {
                             Ok(report) => report.to_reply(),
                             Err(failure) => failure.to_reply(),
@@ -374,10 +472,211 @@ fn serve() -> i32 {
             }
             other => vec!["err".into(), format!("unknown request verb {other:?}")],
         };
-        if let Err(err) = write_frame(&mut output, &reply) {
+        if let Err(err) = write_frame(output, &reply) {
             eprintln!("kcenter-exec-worker: cannot write reply frame: {err}");
-            return 3;
+            return ServeOutcome::Exit(3);
         }
+    }
+}
+
+/// Parses a `coreset` job's flags and resolves its `@store/` references.
+fn parse_coreset_job(flags: Vec<String>, opts: &ServeOptions) -> Result<WorkerArgs, JobFailure> {
+    let mut args = WorkerArgs::parse(flags).map_err(JobFailure::Other)?;
+    args.shard = resolve_job_path(&args.shard, opts.store.as_ref()).map_err(JobFailure::Other)?;
+    args.out = resolve_job_path(&args.out, opts.store.as_ref()).map_err(JobFailure::Other)?;
+    Ok(args)
+}
+
+/// Parses a `merge` job's flags and resolves its `@store/` references.
+fn parse_merge_job(flags: Vec<String>, opts: &ServeOptions) -> Result<MergeArgs, JobFailure> {
+    let mut args = MergeArgs::parse(flags).map_err(JobFailure::Other)?;
+    args.left = resolve_job_path(&args.left, opts.store.as_ref()).map_err(JobFailure::Other)?;
+    args.right = resolve_job_path(&args.right, opts.store.as_ref()).map_err(JobFailure::Other)?;
+    args.out = resolve_job_path(&args.out, opts.store.as_ref()).map_err(JobFailure::Other)?;
+    Ok(args)
+}
+
+/// The stdin/stdout (`--serve`) persistent loop — the pipe transport's
+/// worker half, exit-code compatible with the pre-transport serve loop.
+fn serve() -> i32 {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    match serve_streams(&mut input, &mut output, &ServeOptions::default()) {
+        // A pipe worker's connection IS its life: close = clean exit.
+        ServeOutcome::CloseConnection | ServeOutcome::DropConnection => 0,
+        ServeOutcome::Exit(code) => code,
+    }
+}
+
+/// Serves one established TCP connection.
+fn serve_tcp_connection(stream: TcpStream, opts: &ServeOptions) -> ServeOutcome {
+    let _ = stream.set_nodelay(true);
+    if std::env::var(FAULT_ENV).as_deref() == Ok("hang") {
+        // The hung-remote case: the connection is up, frames never come.
+        // The coordinator's per-run deadline must contain this.
+        eprintln!("kcenter-exec-worker: injected hang ({FAULT_ENV}=hang)");
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+    let mut reader = match stream.try_clone() {
+        Ok(read_half) => BufReader::new(read_half),
+        Err(err) => {
+            eprintln!("kcenter-exec-worker: cannot clone connection: {err}");
+            return ServeOutcome::CloseConnection;
+        }
+    };
+    let mut writer = stream;
+    serve_streams(&mut reader, &mut writer, opts)
+}
+
+/// `--listen ADDR`: bind, announce the resolved address on stdout, and
+/// serve framed connections one at a time until told to exit.
+fn run_listen(addr: &str, opts: &ServeOptions) -> i32 {
+    let listener = match TcpListener::bind(addr) {
+        Ok(listener) => listener,
+        Err(err) => {
+            eprintln!("kcenter-exec-worker: cannot bind {addr}: {err}");
+            return 2;
+        }
+    };
+    match listener.local_addr() {
+        Ok(local) => {
+            // The line coordinators/tests parse to learn a port-0 bind.
+            println!("kcenter-exec-worker: listening on {local}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(err) => eprintln!("kcenter-exec-worker: cannot resolve bound address: {err}"),
+    }
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(err) => {
+                eprintln!("kcenter-exec-worker: accept failed: {err}");
+                continue;
+            }
+        };
+        match serve_tcp_connection(stream, opts) {
+            // The listener outlives its connections: a loss (or a
+            // rejected hello) only ends that connection, so the
+            // coordinator's reconnect finds this same worker again.
+            ServeOutcome::CloseConnection | ServeOutcome::DropConnection => continue,
+            ServeOutcome::Exit(code) => return code,
+        }
+    }
+}
+
+/// `--connect ADDR`: dial a listening coordinator (with a short retry
+/// window, since the worker may start first) and serve that connection.
+fn run_connect(addr: &str, opts: &ServeOptions) -> i32 {
+    let mut delay = Duration::from_millis(50);
+    let mut stream = None;
+    for attempt in 0..8 {
+        if attempt > 0 {
+            std::thread::sleep(delay);
+            delay = delay.saturating_mul(2);
+        }
+        match TcpStream::connect(addr) {
+            Ok(connected) => {
+                stream = Some(connected);
+                break;
+            }
+            Err(err) if attempt == 7 => {
+                eprintln!("kcenter-exec-worker: cannot connect to {addr}: {err}");
+                return 2;
+            }
+            Err(_) => {}
+        }
+    }
+    let Some(stream) = stream else { return 2 };
+    match serve_tcp_connection(stream, opts) {
+        ServeOutcome::CloseConnection | ServeOutcome::DropConnection => 0,
+        ServeOutcome::Exit(code) => code,
+    }
+}
+
+/// Parsed remote-mode invocation (`--listen`/`--connect`).
+struct RemoteArgs {
+    listen: Option<String>,
+    connect: Option<String>,
+    store: Option<PathBuf>,
+    pin_config: Option<u128>,
+}
+
+impl RemoteArgs {
+    fn parse(args: Vec<String>) -> Result<RemoteArgs, String> {
+        let mut listen = None;
+        let mut connect = None;
+        let mut store = None;
+        let mut pin_config = None;
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let mut value = || {
+                iter.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match flag.as_str() {
+                "--listen" => listen = Some(value()?),
+                "--connect" => connect = Some(value()?),
+                "--store" => store = Some(PathBuf::from(value()?)),
+                "--pin-config" => {
+                    let v = value()?;
+                    pin_config = Some(
+                        u128::from_str_radix(&v, 16)
+                            .map_err(|_| format!("bad --pin-config {v:?} (expected hex)"))?,
+                    )
+                }
+                other => return Err(format!("unknown remote worker flag {other:?}")),
+            }
+        }
+        if listen.is_some() == connect.is_some() {
+            return Err("remote worker requires exactly one of --listen or --connect".into());
+        }
+        Ok(RemoteArgs {
+            listen,
+            connect,
+            store,
+            pin_config,
+        })
+    }
+}
+
+/// Remote-mode entry: `--listen`/`--connect` plus `--store`/`--pin-config`.
+fn remote_main(args: Vec<String>) -> i32 {
+    // `crash` fires before the bind: the coordinator's dial (or accept)
+    // fails outright, the attributed-spawn-error case.
+    if std::env::var(FAULT_ENV).as_deref() == Ok("crash") {
+        eprintln!("kcenter-exec-worker: injected crash ({FAULT_ENV}=crash)");
+        return 101;
+    }
+    let parsed = match RemoteArgs::parse(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("kcenter-exec-worker: {msg}");
+            return 2;
+        }
+    };
+    let store = match parsed.store {
+        Some(dir) => match ArtifactStore::open(&dir) {
+            Ok(store) => Some(store),
+            Err(err) => {
+                eprintln!(
+                    "kcenter-exec-worker: cannot open --store {}: {err}",
+                    dir.display()
+                );
+                return 2;
+            }
+        },
+        None => None,
+    };
+    let opts = ServeOptions {
+        store,
+        pinned_config: parsed.pin_config,
+    };
+    match (parsed.listen, parsed.connect) {
+        (Some(addr), None) => run_listen(&addr, &opts),
+        (None, Some(addr)) => run_connect(&addr, &opts),
+        _ => unreachable!("RemoteArgs::parse enforces exactly one mode"),
     }
 }
 
@@ -389,6 +688,13 @@ fn serve() -> i32 {
 /// instead: framed requests on stdin, framed replies on stdout, until
 /// EOF or `shutdown`.
 pub fn worker_main<I: IntoIterator<Item = String>>(args: I) -> i32 {
+    let argv: Vec<String> = args.into_iter().collect();
+    if argv.iter().any(|a| a == "--listen" || a == "--connect") {
+        // Remote modes stage the faults differently: `crash` fires
+        // before the bind (attributed spawn/dial failure), `hang` fires
+        // after the accept (the per-run deadline's case).
+        return remote_main(argv);
+    }
     match std::env::var(FAULT_ENV).as_deref() {
         Ok("crash") => {
             eprintln!("kcenter-exec-worker: injected crash ({FAULT_ENV}=crash)");
@@ -396,11 +702,11 @@ pub fn worker_main<I: IntoIterator<Item = String>>(args: I) -> i32 {
         }
         Ok("hang") => {
             eprintln!("kcenter-exec-worker: injected hang ({FAULT_ENV}=hang)");
-            std::thread::sleep(std::time::Duration::from_secs(3600));
+            std::thread::sleep(Duration::from_secs(3600));
         }
         _ => {}
     }
-    let mut args = args.into_iter().peekable();
+    let mut args = argv.into_iter().peekable();
     if args.peek().map(String::as_str) == Some("--serve") {
         return serve();
     }

@@ -232,7 +232,7 @@ pub fn within_block<P: Coordinates>(
 /// Scalar cosine-angular chain for one pair — **the reference**:
 /// character-for-character the accumulation chain of
 /// [`crate::CosineAngular`]'s `distance`, ending in the shared
-/// [`cosine_finish`] epilogue.
+/// `cosine_finish` epilogue.
 #[inline]
 pub fn scalar_cosine(q: &[f64], r: &[f64]) -> f64 {
     debug_assert_eq!(q.len(), r.len(), "dimension mismatch");
@@ -281,7 +281,7 @@ pub fn cosine_block_scalar<P: Coordinates>(query: &[f64], block: &[P], out: &mut
 /// broadcast `q[d]`, gather coordinate `d`, multiply, add, **no FMA** —
 /// and the query's self-dot `na` depends on the query alone, so one
 /// scalar accumulation (the same op sequence the scalar kernel runs per
-/// point) serves every lane. The epilogue ([`cosine_finish`]) is scalar
+/// point) serves every lane. The epilogue (`cosine_finish`) is scalar
 /// per lane on every ISA. Remainder points run the scalar kernel.
 ///
 /// # Panics

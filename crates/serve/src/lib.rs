@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! Clustering-as-a-service over the paper's streaming coreset (§4).
 //!
 //! The ROADMAP's north star is a server handling heavy traffic from many
@@ -20,8 +20,12 @@
 //!   interrupted stream continues **bitwise-identically** to an
 //!   uninterrupted one.
 //!
-//! [`server`] wraps the registry in a unix-socket server speaking the same
-//! length-delimited framed protocol as `crates/exec`'s persistent workers.
+//! [`server`] wraps the registry in a socket server — unix by default,
+//! TCP via [`server::ServeEndpoint::Tcp`], or both at once — speaking the
+//! same length-delimited framed protocol as `crates/exec`'s persistent
+//! workers. The normative wire contract (frame layout, verbs, the
+//! `hello` handshake, error replies, float formatting) is documented in
+//! `docs/PROTOCOL.md` at the repository root.
 
 pub mod registry;
 pub mod server;
@@ -29,7 +33,7 @@ pub mod server;
 pub use registry::{
     IngestReport, QueryAnswer, RegistryConfig, RegistryStats, SessionRegistry, SessionStat,
 };
-pub use server::{run_server, ServeClient};
+pub use server::{run_server, run_server_on, ServeClient, ServeEndpoint};
 
 /// Why a serve-layer operation failed. Every variant maps to a clean
 /// protocol-level `err` reply; none of them can corrupt session state.

@@ -1,10 +1,15 @@
-//! The unix-socket front of the session registry.
+//! The socket front of the session registry — unix by default, TCP via
+//! [`ServeEndpoint::Tcp`]; both may serve one registry at once.
 //!
 //! Speaks the same length-delimited framed protocol as `crates/exec`'s
 //! persistent workers (`[u32 payload_len][u32 part_count]([u32 len][utf-8])*`,
-//! 16 MiB cap) — one request frame in, one reply frame out, per round:
+//! 16 MiB cap; see `docs/PROTOCOL.md` for the normative contract) — one
+//! request frame in, one reply frame out, per round:
 //!
 //! * `["ping"]` → `["ok", "pong"]`
+//! * `["hello"]` (optionally with a `tau=N` announce) → `["ok", "hello",
+//!   "proto=…", "version=…", "tau=…"]`; an announced `τ` that disagrees
+//!   with the registry's replies `["err", …]` instead
 //! * `["ingest", tenant, stream, p…]` — each `p` is a comma-separated
 //!   coordinate list → `["ok", "processed=…", "resident=…", "phi=…",
 //!   "restored=…"]`
@@ -26,13 +31,14 @@
 //! so every `ϕ`, radius, and coordinate re-parses **bit-exactly** — the
 //! protocol preserves the workspace's determinism standard.
 
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use kcenter_exec::protocol::{read_frame, write_frame};
+use kcenter_exec::protocol::{read_frame, write_frame, PROTOCOL_VERSION};
 use kcenter_metric::{Metric, Point};
 
 use crate::{ServeError, SessionRegistry};
@@ -84,6 +90,33 @@ fn handle<M: Metric<Point> + Clone + Sync>(
     };
     match verb.as_str() {
         "ping" => Ok((vec!["ok".into(), "pong".into()], true)),
+        "hello" => {
+            // A client may announce the `τ` it expects; serving it a
+            // registry built under a different `τ` would silently answer
+            // from differently-shaped coresets, so mismatches are errors.
+            let expected = registry.config().tau;
+            for part in &parts[1..] {
+                if let Some(announced) = part.strip_prefix("tau=") {
+                    let found: usize = parse_num(announced, "tau")?;
+                    if found != expected {
+                        return Err(ServeError::TauMismatch {
+                            expected: expected as u64,
+                            found: found as u64,
+                        });
+                    }
+                }
+            }
+            Ok((
+                vec![
+                    "ok".into(),
+                    "hello".into(),
+                    format!("proto={PROTOCOL_VERSION}"),
+                    format!("version={}", env!("CARGO_PKG_VERSION")),
+                    format!("tau={expected}"),
+                ],
+                true,
+            ))
+        }
         "ingest" => {
             let tenant = arg(1, "tenant")?;
             let stream = arg(2, "stream")?;
@@ -164,12 +197,11 @@ fn handle<M: Metric<Point> + Clone + Sync>(
 
 /// One connection's request loop; returns `false` when a shutdown was
 /// requested on it.
-fn serve_connection<M: Metric<Point> + Clone + Sync>(
+fn serve_connection<M: Metric<Point> + Clone + Sync, R: Read, W: Write>(
     registry: &SessionRegistry<M>,
-    stream: UnixStream,
+    mut reader: R,
+    mut writer: W,
 ) -> io::Result<bool> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
     while let Some(parts) = read_frame(&mut reader)? {
         let (reply, keep_going) = dispatch(registry, &parts);
         write_frame(&mut writer, &reply)?;
@@ -180,64 +212,245 @@ fn serve_connection<M: Metric<Point> + Clone + Sync>(
     Ok(true)
 }
 
-/// Binds `socket` and serves the registry until a client sends
-/// `["shutdown"]`. Every resident session is flushed to the store (when
-/// one is configured) before the listener winds down.
-///
-/// A stale socket file from a previous run is removed before binding; the
-/// file is removed again on clean shutdown.
-pub fn run_server<M: Metric<Point> + Clone + Send + Sync + 'static>(
-    socket: &Path,
-    registry: SessionRegistry<M>,
-) -> io::Result<()> {
-    let _ = std::fs::remove_file(socket);
-    let listener = UnixListener::bind(socket)?;
-    let registry = Arc::new(registry);
-    let stop = Arc::new(AtomicBool::new(false));
+/// Where a serve listener binds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeEndpoint {
+    /// A unix-domain socket at this path (the default front).
+    Unix(PathBuf),
+    /// A TCP listener at this `host:port` address (a leading `tcp://`
+    /// scheme prefix is accepted and stripped). Port `0` binds an
+    /// ephemeral port; the resolved address is announced on stdout as
+    /// `kcenter-serve: listening on tcp://HOST:PORT`.
+    Tcp(String),
+}
+
+/// A bound listener plus what is needed to wake and clean it up.
+enum BoundListener {
+    Unix(UnixListener, PathBuf),
+    Tcp(TcpListener),
+}
+
+/// How a stopping server pokes a (possibly blocked) accept loop awake.
+#[derive(Clone)]
+enum WakeTarget {
+    Unix(PathBuf),
+    Tcp(SocketAddr),
+}
+
+/// Connects-and-drops to every listener so each accept loop observes the
+/// stop flag instead of blocking forever.
+fn wake_all(targets: &[WakeTarget]) {
+    for target in targets {
+        match target {
+            WakeTarget::Unix(path) => {
+                let _ = UnixStream::connect(path);
+            }
+            WakeTarget::Tcp(addr) => {
+                let _ = TcpStream::connect(addr);
+            }
+        }
+    }
+}
+
+/// One listener's accept loop: serves connections on their own threads
+/// until the shared stop flag is raised (by a `["shutdown"]` on *any*
+/// listener), then joins its connections.
+fn accept_loop<M: Metric<Point> + Clone + Send + Sync + 'static>(
+    bound: BoundListener,
+    registry: Arc<SessionRegistry<M>>,
+    stop: Arc<AtomicBool>,
+    wake: Arc<Vec<WakeTarget>>,
+) {
     let mut workers = Vec::new();
-    for conn in listener.incoming() {
+    loop {
         if stop.load(Ordering::Acquire) {
             break;
         }
-        let conn = conn?;
-        let registry = Arc::clone(&registry);
-        let stop_flag = Arc::clone(&stop);
-        let wake_path = socket.to_path_buf();
-        workers.push(std::thread::spawn(move || {
-            match serve_connection(registry.as_ref(), conn) {
-                Ok(true) => {}
-                Ok(false) => {
-                    // Shutdown requested: flag it and poke the accept loop
-                    // so it observes the flag instead of blocking forever.
-                    stop_flag.store(true, Ordering::Release);
-                    let _ = UnixStream::connect(&wake_path);
+        // Both arms produce the connection as a (reader, writer) pair so
+        // one framed loop serves either stream flavour.
+        let served: io::Result<bool> = match &bound {
+            BoundListener::Unix(listener, _) => match listener.accept() {
+                Ok((conn, _)) if stop.load(Ordering::Acquire) => {
+                    drop(conn);
+                    break;
                 }
-                Err(err) => eprintln!("kcenter-serve: connection error: {err}"),
-            }
-        }));
+                Ok((conn, _)) => {
+                    let registry = Arc::clone(&registry);
+                    let stop = Arc::clone(&stop);
+                    let wake = Arc::clone(&wake);
+                    workers.push(std::thread::spawn(move || {
+                        let halves = conn.try_clone().map(|r| (BufReader::new(r), conn));
+                        finish_connection(
+                            halves.and_then(|(r, w)| serve_connection(registry.as_ref(), r, w)),
+                            &stop,
+                            &wake,
+                        );
+                    }));
+                    continue;
+                }
+                Err(err) => Err(err).map(|()| true),
+            },
+            BoundListener::Tcp(listener) => match listener.accept() {
+                Ok((conn, _)) if stop.load(Ordering::Acquire) => {
+                    drop(conn);
+                    break;
+                }
+                Ok((conn, _)) => {
+                    let _ = conn.set_nodelay(true);
+                    let registry = Arc::clone(&registry);
+                    let stop = Arc::clone(&stop);
+                    let wake = Arc::clone(&wake);
+                    workers.push(std::thread::spawn(move || {
+                        let halves = conn.try_clone().map(|r| (BufReader::new(r), conn));
+                        finish_connection(
+                            halves.and_then(|(r, w)| serve_connection(registry.as_ref(), r, w)),
+                            &stop,
+                            &wake,
+                        );
+                    }));
+                    continue;
+                }
+                Err(err) => Err(err).map(|()| true),
+            },
+        };
+        if let Err(err) = served {
+            eprintln!("kcenter-serve: accept error: {err}");
+            break;
+        }
     }
     for worker in workers {
         let _ = worker.join();
     }
-    let _ = std::fs::remove_file(socket);
+}
+
+/// Routes one finished connection's outcome: a shutdown request raises
+/// the stop flag and wakes every listener; errors are reported without
+/// touching other connections.
+fn finish_connection(outcome: io::Result<bool>, stop: &AtomicBool, wake: &[WakeTarget]) {
+    match outcome {
+        Ok(true) => {}
+        Ok(false) => {
+            stop.store(true, Ordering::Release);
+            wake_all(wake);
+        }
+        Err(err) => eprintln!("kcenter-serve: connection error: {err}"),
+    }
+}
+
+/// Binds every endpoint and serves the registry until a client sends
+/// `["shutdown"]` on any of them. Every resident session is flushed to
+/// the store (when one is configured) before the listeners wind down.
+///
+/// Each bound endpoint is announced on stdout as
+/// `kcenter-serve: listening on unix:PATH` / `tcp://HOST:PORT` — the
+/// TCP line is how callers learn an ephemeral (`:0`) port. Stale unix
+/// socket files are removed before binding and again on clean shutdown.
+pub fn run_server_on<M: Metric<Point> + Clone + Send + Sync + 'static>(
+    endpoints: &[ServeEndpoint],
+    registry: SessionRegistry<M>,
+) -> io::Result<()> {
+    if endpoints.is_empty() {
+        return Err(io::Error::other("serve requires at least one endpoint"));
+    }
+    let mut bound = Vec::with_capacity(endpoints.len());
+    let mut wake = Vec::with_capacity(endpoints.len());
+    for endpoint in endpoints {
+        match endpoint {
+            ServeEndpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                println!("kcenter-serve: listening on unix:{}", path.display());
+                wake.push(WakeTarget::Unix(path.clone()));
+                bound.push(BoundListener::Unix(listener, path.clone()));
+            }
+            ServeEndpoint::Tcp(addr) => {
+                let addr = addr.strip_prefix("tcp://").unwrap_or(addr);
+                let listener = TcpListener::bind(addr)?;
+                let local = listener.local_addr()?;
+                println!("kcenter-serve: listening on tcp://{local}");
+                wake.push(WakeTarget::Tcp(local));
+                bound.push(BoundListener::Tcp(listener));
+            }
+        }
+    }
+    let _ = std::io::stdout().flush();
+    let registry = Arc::new(registry);
+    let stop = Arc::new(AtomicBool::new(false));
+    let wake = Arc::new(wake);
+    let sockets: Vec<PathBuf> = bound
+        .iter()
+        .filter_map(|b| match b {
+            BoundListener::Unix(_, path) => Some(path.clone()),
+            BoundListener::Tcp(_) => None,
+        })
+        .collect();
+    let acceptors: Vec<_> = bound
+        .into_iter()
+        .map(|listener| {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            let wake = Arc::clone(&wake);
+            std::thread::spawn(move || accept_loop(listener, registry, stop, wake))
+        })
+        .collect();
+    for acceptor in acceptors {
+        let _ = acceptor.join();
+    }
+    for socket in sockets {
+        let _ = std::fs::remove_file(socket);
+    }
     Ok(())
 }
 
+/// Binds `socket` and serves the registry until a client sends
+/// `["shutdown"]` — the single-endpoint unix wrapper around
+/// [`run_server_on`].
+pub fn run_server<M: Metric<Point> + Clone + Send + Sync + 'static>(
+    socket: &Path,
+    registry: SessionRegistry<M>,
+) -> io::Result<()> {
+    run_server_on(&[ServeEndpoint::Unix(socket.to_path_buf())], registry)
+}
+
 /// A thin client for the serve protocol — what the CLI subcommand and the
-/// soak test drive.
+/// soak test drive. Transport-agnostic: [`ServeClient::connect`] speaks
+/// over a unix socket, [`ServeClient::connect_tcp`] over TCP, and every
+/// request behaves identically on both.
 pub struct ServeClient {
-    reader: BufReader<UnixStream>,
-    writer: UnixStream,
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
 }
 
 impl ServeClient {
-    /// Connects to a serve socket.
+    /// Connects to a serve unix socket.
     pub fn connect(socket: &Path) -> io::Result<Self> {
         let stream = UnixStream::connect(socket)?;
         Ok(ServeClient {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: stream,
+            reader: BufReader::new(Box::new(stream.try_clone()?)),
+            writer: Box::new(stream),
         })
+    }
+
+    /// Connects to a serve TCP listener at `host:port` (a leading
+    /// `tcp://` is accepted and stripped).
+    pub fn connect_tcp(addr: &str) -> io::Result<Self> {
+        let addr = addr.strip_prefix("tcp://").unwrap_or(addr);
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient {
+            reader: BufReader::new(Box::new(stream.try_clone()?)),
+            writer: Box::new(stream),
+        })
+    }
+
+    /// Performs the `hello` handshake, optionally announcing the `τ`
+    /// this client expects; a mismatch is an error reply.
+    pub fn hello(&mut self, tau: Option<u64>) -> io::Result<Vec<String>> {
+        let mut parts = vec!["hello".to_string()];
+        if let Some(tau) = tau {
+            parts.push(format!("tau={tau}"));
+        }
+        self.request(&parts)
     }
 
     /// Sends one request frame and returns the reply parts.

@@ -167,6 +167,26 @@ impl ArtifactStore {
         self.entry_path(kind, fingerprint)
     }
 
+    /// Resolves a bare entry file name inside this store's directory —
+    /// the shared-storage hook remote executor workers use to pick their
+    /// shards up from a coordinator's content-addressed `@store/NAME`
+    /// references (store entries have stable, fingerprint-derived names,
+    /// so the same reference resolves to the same bytes on every host
+    /// mounting the store). `None` unless `name` is a single plain path
+    /// component: non-empty, no separators, not `.`/`..` — a wire-provided
+    /// name must never escape the store directory.
+    pub fn entry_by_name(&self, name: &str) -> Option<PathBuf> {
+        if name.is_empty()
+            || name.contains('/')
+            || name.contains('\\')
+            || name == "."
+            || name == ".."
+        {
+            return None;
+        }
+        Some(self.dir.join(name))
+    }
+
     /// Reads and fully validates one entry; any failure (absent entry,
     /// truncation, checksum/version/kind mismatch) is a clean `None`.
     fn load_raw(&self, kind: ArtifactKind, fingerprint: u128) -> Option<Vec<u8>> {
@@ -544,6 +564,19 @@ mod tests {
         let back = store.load_matrix(7).expect("hit after store");
         assert_eq!(back.condensed(), m.condensed());
         assert!(store.load_matrix(8).is_none(), "other keys still miss");
+    }
+
+    #[test]
+    fn entry_by_name_resolves_only_plain_components() {
+        let store = ArtifactStore::open(tmp_dir("by-name")).unwrap();
+        let shard = store.artifact_path(ArtifactKind::Shard, 0xabcd);
+        let name = shard.file_name().unwrap().to_str().unwrap();
+        // The round trip the remote executor path relies on: entry path →
+        // bare name → same entry path.
+        assert_eq!(store.entry_by_name(name), Some(shard));
+        for hostile in ["", ".", "..", "a/b", "../x", "a\\b"] {
+            assert_eq!(store.entry_by_name(hostile), None, "{hostile:?} accepted");
+        }
     }
 
     #[test]

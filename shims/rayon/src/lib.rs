@@ -4,7 +4,7 @@
 //! The build environment has no registry access, so this vendored crate
 //! provides rayon's entry points (`par_iter`, `par_iter_mut`,
 //! `into_par_iter`, `par_chunks`, thread pools, `join`) backed by the
-//! executor in [`pool`]: per-worker deques with LIFO pop / FIFO steal
+//! executor in `pool.rs`: per-worker deques with LIFO pop / FIFO steal
 //! (crossbeam-deque discipline), steal-feedback-adaptive chunked splitting
 //! of iterator jobs (see [`current_chunks_per_thread`]), and
 //! blocking-by-participation so nested `ThreadPool::install` calls cannot

@@ -14,8 +14,12 @@
 //! (`to_bits()` comparisons against the in-process engines). Procs 1 and
 //! 4 are both covered, for both MapReduce algorithms.
 
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
 use std::path::PathBuf;
-use std::process::Command;
+use std::process::{Child, Command, Stdio};
+
+use kcenter_exec::protocol::{read_frame, write_frame};
 
 fn run_kcenter(args: &[&str]) -> String {
     let manifest_dir = env!("CARGO_MANIFEST_DIR");
@@ -117,6 +121,169 @@ fn cross_check(data: &str, algo: &str, k: &str, z: &str, procs: usize) {
         in_bytes, mp_bytes,
         "{algo} at {procs} procs: centers files are not byte-identical"
     );
+}
+
+/// One externally started `kcenter worker --listen` process (via the real
+/// CLI binary), stopped through the wire so the `cargo run` wrapper exits
+/// cleanly. Killed on drop if an assertion panics first.
+struct TcpWorker {
+    child: Child,
+    addr: String,
+}
+
+impl TcpWorker {
+    fn listen(store: &str) -> TcpWorker {
+        let manifest_dir = env!("CARGO_MANIFEST_DIR");
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+        let mut child = Command::new(&cargo)
+            .args([
+                "run",
+                "--release",
+                "-p",
+                "kcenter-cli",
+                "--bin",
+                "kcenter",
+                "--",
+                "worker",
+                "--listen",
+                "127.0.0.1:0",
+                "--store",
+                store,
+            ])
+            .env_remove("KCENTER_CACHE_DIR")
+            .env_remove("KCENTER_EXEC_FAULT")
+            .current_dir(manifest_dir)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn kcenter worker --listen");
+        let stdout = child.stdout.take().expect("worker stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("worker announce line");
+        assert!(
+            line.contains("listening on"),
+            "unexpected announce line {line:?}"
+        );
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("address in announce line")
+            .to_string();
+        TcpWorker { child, addr }
+    }
+
+    /// Exits the worker via a framed `shutdown process` request.
+    fn stop(mut self) {
+        let stream = TcpStream::connect(&self.addr).expect("dial worker for shutdown");
+        let mut writer = stream.try_clone().expect("clone stream");
+        let mut reader = BufReader::new(stream);
+        write_frame(
+            &mut writer,
+            &["shutdown".to_string(), "process".to_string()],
+        )
+        .expect("send shutdown");
+        let _ = read_frame(&mut reader);
+        let status = self.child.wait().expect("reap worker");
+        assert!(status.success(), "tcp worker exited with {status}");
+    }
+}
+
+impl Drop for TcpWorker {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The TCP leg of the contract: `--procs N --workers …` over independently
+/// started `kcenter worker --listen` processes must write the same radius
+/// line and the same centers bytes as the in-process engine at `--ell N`.
+/// Shards reach the workers as `@store/…` references through a shared
+/// `--cache-dir` store; the in-process reference runs with caching off so
+/// its solution can never be served to (or from) the TCP run.
+#[test]
+fn tcp_workers_runs_are_bit_identical_to_in_process() {
+    let data = temp_path("dataset-tcp.csv");
+    let data_str = data.to_string_lossy().into_owned();
+    run_kcenter(&[
+        "generate",
+        "--dataset",
+        "power",
+        "--n",
+        "400",
+        "--outliers",
+        "4",
+        "--seed",
+        "4",
+        "--output",
+        &data_str,
+    ]);
+
+    for procs in [1usize, 4] {
+        let store = temp_path(&format!("tcp-store-{procs}"));
+        let _ = std::fs::remove_dir_all(&store);
+        std::fs::create_dir_all(&store).unwrap();
+        let store_str = store.to_string_lossy().into_owned();
+        let in_centers = temp_path(&format!("centers-in-tcp-{procs}.csv"));
+        let tcp_centers = temp_path(&format!("centers-tcp-{procs}.csv"));
+        let in_centers_str = in_centers.to_string_lossy().into_owned();
+        let tcp_centers_str = tcp_centers.to_string_lossy().into_owned();
+
+        let workers: Vec<TcpWorker> = (0..procs).map(|_| TcpWorker::listen(&store_str)).collect();
+        let addrs = workers
+            .iter()
+            .map(|w| w.addr.as_str())
+            .collect::<Vec<_>>()
+            .join(",");
+
+        let common = [
+            "--input", &data_str, "--k", "3", "--algo", "mr", "--mu", "2", "--seed", "7",
+        ];
+        let procs_str = procs.to_string();
+        let mut in_args = vec!["cluster"];
+        in_args.extend(common);
+        in_args.extend([
+            "--ell",
+            &procs_str,
+            "--cache-dir",
+            "",
+            "--output",
+            &in_centers_str,
+        ]);
+        let in_out = run_kcenter(&in_args);
+
+        let mut tcp_args = vec!["cluster"];
+        tcp_args.extend(common);
+        tcp_args.extend([
+            "--procs",
+            &procs_str,
+            "--workers",
+            &addrs,
+            "--cache-dir",
+            &store_str,
+            "--output",
+            &tcp_centers_str,
+        ]);
+        let tcp_out = run_kcenter(&tcp_args);
+
+        assert_eq!(
+            radius_line(&in_out),
+            radius_line(&tcp_out),
+            "tcp at {procs} procs: radius drifted across the transport"
+        );
+        let in_bytes = std::fs::read(&in_centers).unwrap();
+        let tcp_bytes = std::fs::read(&tcp_centers).unwrap();
+        assert!(!in_bytes.is_empty());
+        assert_eq!(
+            in_bytes, tcp_bytes,
+            "tcp at {procs} procs: centers files are not byte-identical"
+        );
+        for worker in workers {
+            worker.stop();
+        }
+    }
 }
 
 #[test]

@@ -1,5 +1,6 @@
 //! Serve-soak suite: eight concurrent sessions driven through the real
-//! `kcenter serve` binary over its unix socket, under a memory budget
+//! `kcenter serve` binary — seven over its unix socket, one over its TCP
+//! listener (both endpoints front the same registry) — under a memory budget
 //! small enough that the sessions cannot all stay resident — every
 //! ingest round forces LRU evict/restore churn, and each worker throws
 //! in explicit mid-stream evictions on top.
@@ -16,8 +17,9 @@
 //!   shortest-round-trip float formatting, so string equality here is
 //!   bit equality.
 
+use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
-use std::process::{Child, Command};
+use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use kcenter_serve::server::reply_field;
@@ -49,6 +51,9 @@ fn session_points(seed: u64, n: usize) -> Vec<kcenter_metric::Point> {
 struct Server {
     child: Child,
     socket: PathBuf,
+    /// Resolved `tcp://HOST:PORT` of the server's TCP listener, parsed
+    /// from its announce line (the server binds port 0).
+    tcp_addr: String,
 }
 
 impl Server {
@@ -57,7 +62,7 @@ impl Server {
         let cache = dir.join("cache");
         let manifest_dir = env!("CARGO_MANIFEST_DIR");
         let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
-        let child = Command::new(&cargo)
+        let mut child = Command::new(&cargo)
             .args([
                 "run",
                 "--release",
@@ -76,15 +81,41 @@ impl Server {
                 "--memory-budget",
                 &BUDGET.to_string(),
             ])
+            .args(["--listen", "tcp://127.0.0.1:0"])
             .args(["--snapshot-every", "64", "--cache-dir"])
             .arg(&cache)
             // The server must use the test's own cache dir, never an
             // ambient one.
             .env_remove("KCENTER_CACHE_DIR")
             .current_dir(manifest_dir)
+            .stdout(Stdio::piped())
             .spawn()
             .expect("spawn kcenter serve");
-        Server { child, socket }
+        // The server announces each bound endpoint on stdout; the TCP
+        // line carries the ephemeral port.
+        let stdout = child.stdout.take().expect("server stdout");
+        let mut reader = BufReader::new(stdout);
+        let mut tcp_addr = String::new();
+        let mut line = String::new();
+        while reader.read_line(&mut line).expect("server announce") > 0 {
+            if let Some(addr) = line
+                .trim()
+                .strip_prefix("kcenter-serve: listening on tcp://")
+            {
+                tcp_addr = format!("tcp://{addr}");
+                break;
+            }
+            line.clear();
+        }
+        assert!(
+            !tcp_addr.is_empty(),
+            "server never announced a tcp endpoint"
+        );
+        Server {
+            child,
+            socket,
+            tcp_addr,
+        }
     }
 
     /// Connects, waiting out the child's `cargo run` startup.
@@ -130,11 +161,27 @@ fn concurrent_sessions_survive_eviction_churn_bitwise() {
     // ingest/query/evict. Each records the radius string of every
     // mid-stream query.
     let socket = server.socket.clone();
+    let tcp_addr = server.tcp_addr.clone();
     let workers: Vec<_> = (0..SESSIONS)
         .map(|i| {
             let socket = socket.clone();
+            let tcp_addr = tcp_addr.clone();
             std::thread::spawn(move || {
-                let mut client = ServeClient::connect(&socket).expect("worker connect");
+                // One session rides the TCP listener, the rest the unix
+                // socket — both endpoints front the same registry, so the
+                // determinism check below covers the mixed-transport case.
+                let mut client = if i == 0 {
+                    let mut client =
+                        ServeClient::connect_tcp(&tcp_addr).expect("worker connect (tcp)");
+                    let hello = client.hello(Some(TAU as u64)).expect("hello over tcp");
+                    assert!(
+                        hello.iter().any(|p| p == &format!("tau={TAU}")),
+                        "hello must echo the registry tau: {hello:?}"
+                    );
+                    client
+                } else {
+                    ServeClient::connect(&socket).expect("worker connect")
+                };
                 let tenant = format!("tenant-{}", i % 3);
                 let stream = format!("stream-{i}");
                 let points = session_points(i as u64 + 1, ROUNDS * BATCH);
