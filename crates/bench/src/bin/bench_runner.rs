@@ -4,7 +4,9 @@
 //! store-served vs re-written shards) and the serve-layer session
 //! registry (batched ingest throughput, query latency solver-path vs
 //! memoized) on the seeded `Power` workload and writes machine-readable
-//! `BENCH_pr7.json` — the perf trajectory's record.
+//! `BENCH_pr10.json` — the perf trajectory's record. The JSON header
+//! also carries the hardware-thread count and a snapshot of the
+//! process metrics registry (`kcenter-obs`) after the run.
 //!
 //! The block-kernel consumers (`gmm_select`'s chunked min-distance scan
 //! and the blocked `DistanceMatrix::build`) are measured **paired**:
@@ -666,7 +668,7 @@ fn main() {
         if smoke {
             "BENCH_smoke.json"
         } else {
-            "BENCH_pr7.json"
+            "BENCH_pr10.json"
         }
         .to_string()
     });
@@ -720,6 +722,9 @@ fn main() {
         "  \"simd_isa\": \"{:?}\",",
         kcenter_metric::kernels::active_isa()
     );
+    // The full metrics-registry snapshot: every counter/gauge/histogram
+    // the run touched, under their stable dotted names.
+    let _ = writeln!(json, "  \"obs_metrics\": {},", kcenter_obs::render_json());
     let _ = writeln!(
         json,
         "  \"exec_warm_shard_writes\": {},",

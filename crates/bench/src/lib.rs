@@ -171,11 +171,24 @@ impl RatioTable {
 /// bit-for-bit. `tests/fig_golden.rs` parses this line to assert a warm
 /// run served every matrix from the store (`builds=0`, `hits>0`).
 pub fn report_cache_accounting() {
-    eprintln!(
-        "cache-accounting: builds={} hits={} misses={}",
+    let (builds, hits, misses) = (
         kcenter_metric::matrix_build_count(),
         kcenter_metric::store_hit_count(),
         kcenter_metric::store_miss_count(),
+    );
+    eprintln!(
+        "{}",
+        kcenter_obs::cache_accounting_line(builds, hits, misses)
+    );
+    // The same counters as a trace event, so a `KCENTER_TRACE` run of a
+    // figure binary leaves a record; trace bytes never touch stdout/stderr.
+    kcenter_obs::event(
+        "bench.cache_accounting",
+        &[
+            ("builds".to_string(), builds.to_string()),
+            ("hits".to_string(), hits.to_string()),
+            ("misses".to_string(), misses.to_string()),
+        ],
     );
 }
 

@@ -61,6 +61,26 @@ impl Normalize {
     }
 }
 
+/// How `kcenter cluster` renders its run report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// The human-readable text report (the default; byte-stable for the
+    /// golden determinism suites).
+    Text,
+    /// A JSON report including the metrics-registry snapshot.
+    Json,
+}
+
+impl ReportFormat {
+    fn parse(s: &str) -> Result<ReportFormat, ArgError> {
+        Ok(match s {
+            "text" => ReportFormat::Text,
+            "json" => ReportFormat::Json,
+            other => return Err(ArgError::new(format!("unknown --report {other:?}"))),
+        })
+    }
+}
+
 /// A parsed command.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
@@ -115,6 +135,12 @@ pub struct ClusterArgs {
     /// neither is set). An explicit empty value (`--cache-dir ""`) forces
     /// caching off even when the environment variable is set.
     pub cache_dir: Option<String>,
+    /// Structured trace output path (`--trace PATH`; overrides the
+    /// `KCENTER_TRACE` environment variable). `None` defers to the
+    /// environment, and tracing stays off when neither is set.
+    pub trace: Option<String>,
+    /// Run-report rendering (`--report text|json`).
+    pub report: ReportFormat,
 }
 
 /// Arguments of `kcenter generate`.
@@ -181,6 +207,9 @@ pub struct ServeArgs {
     /// Session store directory (`--cache-dir`); falls back to
     /// `KCENTER_CACHE_DIR`. Required for eviction/persistence.
     pub cache_dir: Option<String>,
+    /// Structured trace output path (`--trace PATH`; overrides the
+    /// `KCENTER_TRACE` environment variable).
+    pub trace: Option<String>,
 }
 
 /// A parse failure with its message.
@@ -211,13 +240,15 @@ USAGE:
   kcenter cluster  --input FILE --k K [--z Z] [--algo gmm|mr|mr-outliers|mr-randomized|seq|stream|charikar]
                    [--ell L] [--procs N] [--workers ADDR,ADDR…] [--mu M]
                    [--normalize none|zscore|minmax] [--output FILE]
-                   [--seed S] [--cache-dir DIR]
+                   [--seed S] [--cache-dir DIR] [--trace FILE]
+                   [--report text|json]
   kcenter generate --dataset higgs|power|wiki --n N [--outliers Z] [--seed S] --output FILE
   kcenter info     --input FILE
   kcenter cache    stat|clear [--cache-dir DIR]
   kcenter cache    prune --max-bytes BYTES [--cache-dir DIR]
   kcenter serve    [--socket PATH] [--listen tcp://HOST:PORT] [--tau T]
                    [--memory-budget POINTS] [--snapshot-every N] [--cache-dir DIR]
+                   [--trace FILE]
   kcenter worker   --listen HOST:PORT | --connect HOST:PORT
                    [--store DIR] [--pin-config HEX]
 
@@ -250,6 +281,15 @@ off unless --cache-dir or the KCENTER_CACHE_DIR environment variable
 names a directory (--cache-dir \"\" forces it off); `cache stat`/`cache
 clear` inspect and empty it, `cache prune --max-bytes` evicts the least
 recently written entries down to a byte budget.
+
+Structured tracing is off unless --trace or the KCENTER_TRACE
+environment variable names an output file; when on, span and event
+records stream there as JSONL (schema kcenter-trace/v1, see
+docs/PROTOCOL.md §8). All trace bytes go to that file and nowhere
+else, so stdout/stderr stay byte-identical either way. `cluster
+--report json` prints the run report plus a metrics-registry snapshot
+as JSON; `serve` exposes the same registry through its `metrics` verb
+in Prometheus text or JSON.
 ";
 
 fn take_value<'a, I: Iterator<Item = &'a str>>(
@@ -299,6 +339,8 @@ fn parse_cluster<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command
     let mut output = None;
     let mut seed = 0u64;
     let mut cache_dir = None;
+    let mut trace = None;
+    let mut report = ReportFormat::Text;
     while let Some(arg) = iter.next() {
         match arg {
             "--input" => input = Some(take_value(arg, &mut iter)?.to_string()),
@@ -320,6 +362,8 @@ fn parse_cluster<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command
             "--output" => output = Some(take_value(arg, &mut iter)?.to_string()),
             "--seed" => seed = parse_num(arg, take_value(arg, &mut iter)?)?,
             "--cache-dir" => cache_dir = Some(take_value(arg, &mut iter)?.to_string()),
+            "--trace" => trace = Some(take_value(arg, &mut iter)?.to_string()),
+            "--report" => report = ReportFormat::parse(take_value(arg, &mut iter)?)?,
             other => return Err(ArgError::new(format!("unknown flag {other:?}"))),
         }
     }
@@ -367,6 +411,8 @@ fn parse_cluster<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command
         output,
         seed,
         cache_dir,
+        trace,
+        report,
     }))
 }
 
@@ -412,6 +458,7 @@ fn parse_serve<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command, 
     let mut memory_budget = None;
     let mut snapshot_every = 0u64;
     let mut cache_dir = None;
+    let mut trace = None;
     while let Some(arg) = iter.next() {
         match arg {
             "--socket" => socket = Some(take_value(arg, &mut iter)?.to_string()),
@@ -420,6 +467,7 @@ fn parse_serve<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command, 
             "--memory-budget" => memory_budget = Some(parse_num(arg, take_value(arg, &mut iter)?)?),
             "--snapshot-every" => snapshot_every = parse_num(arg, take_value(arg, &mut iter)?)?,
             "--cache-dir" => cache_dir = Some(take_value(arg, &mut iter)?.to_string()),
+            "--trace" => trace = Some(take_value(arg, &mut iter)?.to_string()),
             other => return Err(ArgError::new(format!("unknown flag {other:?}"))),
         }
     }
@@ -438,6 +486,7 @@ fn parse_serve<'a, I: Iterator<Item = &'a str>>(mut iter: I) -> Result<Command, 
         memory_budget,
         snapshot_every,
         cache_dir,
+        trace,
     }))
 }
 
@@ -530,6 +579,10 @@ mod tests {
             "7",
             "--cache-dir",
             "/tmp/kc-cache",
+            "--trace",
+            "/tmp/run.jsonl",
+            "--report",
+            "json",
         ])
         .unwrap();
         assert_eq!(
@@ -547,8 +600,12 @@ mod tests {
                 output: Some("c.csv".into()),
                 seed: 7,
                 cache_dir: Some("/tmp/kc-cache".into()),
+                trace: Some("/tmp/run.jsonl".into()),
+                report: ReportFormat::Json,
             })
         );
+        // --report defaults to text and rejects unknown renderings.
+        assert!(parse(["cluster", "--input", "a.csv", "--k", "2", "--report", "xml"]).is_err());
     }
 
     #[test]
@@ -717,6 +774,7 @@ mod tests {
                 memory_budget: None,
                 snapshot_every: 0,
                 cache_dir: None,
+                trace: None,
             })
         );
         assert_eq!(
@@ -732,6 +790,8 @@ mod tests {
                 "1000",
                 "--cache-dir",
                 "/tmp/kc-cache",
+                "--trace",
+                "/tmp/serve.jsonl",
             ])
             .unwrap(),
             Command::Serve(ServeArgs {
@@ -741,6 +801,7 @@ mod tests {
                 memory_budget: Some(5000),
                 snapshot_every: 1000,
                 cache_dir: Some("/tmp/kc-cache".into()),
+                trace: Some("/tmp/serve.jsonl".into()),
             })
         );
         // A TCP listener works alone or alongside the unix socket.
@@ -753,6 +814,7 @@ mod tests {
                 memory_budget: None,
                 snapshot_every: 0,
                 cache_dir: None,
+                trace: None,
             })
         );
         match parse([

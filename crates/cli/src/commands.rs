@@ -23,8 +23,18 @@ use kcenter_store::{ArtifactKind, ArtifactStore, Fingerprint, StoredSolution};
 use kcenter_stream::run_stream;
 
 use crate::args::{
-    Algo, CacheAction, CacheArgs, ClusterArgs, GenerateArgs, InfoArgs, Normalize, ServeArgs,
+    Algo, CacheAction, CacheArgs, ClusterArgs, GenerateArgs, InfoArgs, Normalize, ReportFormat,
+    ServeArgs,
 };
+
+/// Resolves `--trace`: an explicit path wins over (and errors louder
+/// than) the lazy `KCENTER_TRACE` environment path.
+fn activate_trace(flag: &Option<String>) -> Result<(), Box<dyn Error>> {
+    if let Some(path) = flag {
+        kcenter_obs::init_trace(path)?;
+    }
+    Ok(())
+}
 
 /// Resolves the cluster command's artifact store: the `--cache-dir` flag
 /// wins, else `KCENTER_CACHE_DIR`, else caching is off. An explicit
@@ -111,6 +121,8 @@ fn exec_config_fingerprint(args: &ClusterArgs, ell: usize) -> u128 {
 
 /// Runs `kcenter cluster`, writing a human-readable report to stdout.
 pub fn run_cluster(args: &ClusterArgs) -> Result<(), Box<dyn Error>> {
+    activate_trace(&args.trace)?;
+    let run_span = kcenter_obs::span!("cli.cluster", "algo" => algo_tag(args.algo));
     let store = activate_store(&args.cache_dir);
     let raw = load_csv(&args.input)?;
     if raw.is_empty() {
@@ -192,6 +204,7 @@ pub fn run_cluster(args: &ClusterArgs) -> Result<(), Box<dyn Error>> {
             eprintln!("warning: failed to persist solution: {err}");
         }
     }
+    run_span.field("points", raw.len()).finish();
     report_cluster(args, ell, objective, elapsed, &norm, &centers)
 }
 
@@ -390,15 +403,33 @@ fn report_cluster(
     norm: &Option<Normalization>,
     centers: &[Point],
 ) -> Result<(), Box<dyn Error>> {
-    println!(
-        "algo = {:?}, k = {}, z = {}, ell = {ell}, mu = {}",
-        args.algo, args.k, args.z, args.mu
-    );
-    println!(
-        "radius = {objective:.6} ({} space), time = {:.2?}",
-        if norm.is_some() { "normalized" } else { "data" },
-        elapsed
-    );
+    match args.report {
+        ReportFormat::Text => {
+            println!(
+                "algo = {:?}, k = {}, z = {}, ell = {ell}, mu = {}",
+                args.algo, args.k, args.z, args.mu
+            );
+            println!(
+                "radius = {objective:.6} ({} space), time = {:.2?}",
+                if norm.is_some() { "normalized" } else { "data" },
+                elapsed
+            );
+        }
+        ReportFormat::Json => {
+            // One JSON object on its own line: the run parameters and
+            // result, plus the full metrics-registry snapshot.
+            println!(
+                "{{\"schema\":\"kcenter-report/v1\",\"algo\":\"{}\",\"k\":{},\"z\":{},\"ell\":{ell},\"mu\":{},\"radius\":{objective},\"space\":\"{}\",\"elapsed_us\":{},\"metrics\":{}}}",
+                algo_tag(args.algo),
+                args.k,
+                args.z,
+                args.mu,
+                if norm.is_some() { "normalized" } else { "data" },
+                elapsed.as_micros(),
+                kcenter_obs::render_json(),
+            );
+        }
+    }
 
     if let Some(path) = &args.output {
         // Map centers back to data space before writing.
@@ -477,6 +508,7 @@ pub fn run_cache(args: &CacheArgs) -> Result<(), Box<dyn Error>> {
 /// and without persistence `--memory-budget` is rejected (eviction would
 /// discard session state).
 pub fn run_serve(args: &ServeArgs) -> Result<(), Box<dyn Error>> {
+    activate_trace(&args.trace)?;
     let store = activate_store(&args.cache_dir);
     let config = kcenter_serve::RegistryConfig {
         tau: args.tau,
@@ -613,6 +645,8 @@ mod tests {
             output: Some(output.to_string_lossy().into_owned()),
             seed: 1,
             cache_dir: cache_off(),
+            trace: None,
+            report: ReportFormat::Text,
         };
         run_cluster(&args).unwrap();
         let centers = load_csv(&output).unwrap();
@@ -657,6 +691,8 @@ mod tests {
                 output: None,
                 seed: 0,
                 cache_dir: cache_off(),
+                trace: None,
+                report: ReportFormat::Text,
             };
             run_cluster(&args).unwrap_or_else(|e| panic!("{algo:?} failed: {e}"));
         }

@@ -79,7 +79,7 @@ use kcenter_metric::{CachedOracle, Fingerprint, Point};
 use kcenter_store::{ArtifactKind, ArtifactStore};
 
 use crate::error::ExecError;
-use crate::protocol::{hello_request, parse_hello_ack, MetricKind, WorkerReport};
+use crate::protocol::{hello_request, parse_hello_ack, MetricKind, WorkerReport, WorkerTelemetry};
 use crate::shard::{read_coreset_artifact, read_shard_set, write_shard};
 use crate::transport::{
     FrameTx, LinkControl, PipeTransport, TcpAcceptTransport, TcpDialTransport, Transport,
@@ -285,6 +285,9 @@ struct FleetJob {
     /// round-1 artifact discovered by a *merge* worker is attributed to
     /// the partition that wrote it.
     inputs: Vec<(String, usize)>,
+    /// Trace span context carried by the request (`--span`): the parent
+    /// under which the coordinator records this job's merged worker span.
+    span: Option<u64>,
 }
 
 /// A persistent, bounded fleet of workers behind a [`Transport`].
@@ -578,11 +581,39 @@ impl WorkerFleet {
                     let Some(job_idx) = self.workers[at].busy_with.take() else {
                         continue;
                     };
-                    let wall = self.workers[at].dispatched.elapsed();
+                    let dispatched = self.workers[at].dispatched;
+                    let wall = dispatched.elapsed();
                     let job = &jobs[job_idx];
                     match parts.first().map(String::as_str) {
                         Some("ok") => match WorkerReport::from_reply(&parts) {
                             Some(report) => {
+                                // Merge the worker's piggybacked telemetry
+                                // into this process's registry and trace:
+                                // counter deltas fold in under
+                                // `exec.worker.<name>`, and the job itself
+                                // becomes a per-worker span parented to
+                                // the round that dispatched it.
+                                let telemetry = WorkerTelemetry::from_reply(&parts);
+                                for (name, delta) in &telemetry.counters {
+                                    kcenter_obs::counter(&format!("exec.worker.{name}"))
+                                        .add(*delta);
+                                }
+                                let verb = job.request.first().map_or("job", String::as_str);
+                                kcenter_obs::record_span(kcenter_obs::SpanRecord {
+                                    name: &format!("exec.worker.{verb}"),
+                                    parent: job.span,
+                                    worker: Some(job.partition as u64),
+                                    start: Some(dispatched),
+                                    dur: wall,
+                                    fields: &[
+                                        ("points".to_string(), report.points.to_string()),
+                                        ("coreset".to_string(), report.coreset.to_string()),
+                                        (
+                                            "build_micros".to_string(),
+                                            report.build_micros.to_string(),
+                                        ),
+                                    ],
+                                });
                                 results[job_idx] = Some((report, wall));
                                 completed += 1;
                             }
@@ -798,7 +829,11 @@ pub fn exec_mr_kcenter_on(
     exec: &ExecConfig,
 ) -> Result<ExecKCenterResult, ExecError> {
     config.validate(points.len())?;
-    let round1_started = Instant::now();
+    // Round timing runs through obs spans: the same measurement feeds the
+    // `exec.round1.micros` / `exec.round2.micros` histograms, the JSONL
+    // trace (when enabled), and the `ExecReport` fields.
+    let mut round1_span = kcenter_obs::span!("exec.round1", "algo" => "kcenter");
+    let round1_ctx = round1_span.id();
     let partitions = nonempty_partitions(partition_dataset(points, config.ell, &Chunked));
     let jobs: Vec<JobSpec> = partitions
         .iter()
@@ -808,10 +843,19 @@ pub fn exec_mr_kcenter_on(
             start: config.round1_start(*part, members.len()),
         })
         .collect();
-    let mut round = run_distributed_round(fleet, &partitions, &jobs, metric, config.coreset, exec)?;
-    let round1_time = round1_started.elapsed();
+    let mut round = run_distributed_round(
+        fleet,
+        &partitions,
+        &jobs,
+        metric,
+        config.coreset,
+        exec,
+        Some(round1_ctx),
+    )?;
+    round1_span.add_field("partitions", partitions.len());
+    let round1_time = round1_span.finish();
 
-    let round2_started = Instant::now();
+    let round2_span = kcenter_obs::span!("exec.round2", "algo" => "kcenter");
     let union = std::mem::take(&mut round.union_points);
     let (centers, final_radius) = with_metric!(metric, m => {
         let selected = gmm_select(&union, m, config.k, 0);
@@ -819,7 +863,7 @@ pub fn exec_mr_kcenter_on(
         let final_radius = radius(points, &centers, m);
         (centers, final_radius)
     });
-    let round2_time = round2_started.elapsed();
+    let round2_time = round2_span.field("union", union.len()).finish();
 
     Ok(ExecKCenterResult {
         clustering: Clustering {
@@ -867,7 +911,8 @@ pub fn exec_mr_outliers_on(
     let n = points.len();
     let base = config.coreset_base(n);
 
-    let round1_started = Instant::now();
+    let mut round1_span = kcenter_obs::span!("exec.round1", "algo" => "outliers");
+    let round1_ctx = round1_span.id();
     let partitioner = config.partitioner();
     let partitions =
         nonempty_partitions(partition_dataset(points, config.ell, partitioner.as_ref()));
@@ -879,10 +924,19 @@ pub fn exec_mr_outliers_on(
             start: config.round1_start(*part, members.len()),
         })
         .collect();
-    let round = run_distributed_round(fleet, &partitions, &jobs, metric, config.coreset, exec)?;
-    let round1_time = round1_started.elapsed();
+    let round = run_distributed_round(
+        fleet,
+        &partitions,
+        &jobs,
+        metric,
+        config.coreset,
+        exec,
+        Some(round1_ctx),
+    )?;
+    round1_span.add_field("partitions", partitions.len());
+    let round1_time = round1_span.finish();
 
-    let round2_started = Instant::now();
+    let round2_span = kcenter_obs::span!("exec.round2", "algo" => "outliers");
     let coreset: WeightedCoreset<Point> = round
         .union_points
         .iter()
@@ -909,7 +963,7 @@ pub fn exec_mr_outliers_on(
         let final_radius = radius_with_outliers(points, &solution.centers, config.z, m);
         (solution, final_radius)
     });
-    let round2_time = round2_started.elapsed();
+    let round2_time = round2_span.field("union", union_size).finish();
 
     Ok(ExecOutliersResult {
         clustering: Clustering {
@@ -1035,6 +1089,7 @@ fn run_distributed_round(
     metric: MetricKind,
     spec: CoresetSpec,
     exec: &ExecConfig,
+    parent_span: Option<u64>,
 ) -> Result<RoundData, ExecError> {
     let spawned_before = fleet.spawned_total;
     let respawned_before = fleet.respawned_total;
@@ -1097,6 +1152,7 @@ fn run_distributed_round(
             base: job.base,
             spec,
             start: job.start,
+            span: parent_span,
         };
         let mut request = vec!["coreset".to_string()];
         request.extend(args.to_args());
@@ -1104,6 +1160,7 @@ fn run_distributed_round(
             partition: *part,
             request,
             inputs: Vec::new(),
+            span: parent_span,
         });
         outs.push(out);
     }
@@ -1151,6 +1208,7 @@ fn run_distributed_round(
                         left: left_path.clone(),
                         right: right_path.clone(),
                         out: out.clone(),
+                        span: parent_span,
                     };
                     let mut request = vec!["merge".to_string()];
                     request.extend(args.to_args());
@@ -1161,6 +1219,7 @@ fn run_distributed_round(
                             (left_path.to_string_lossy().into_owned(), left_part),
                             (right_path.to_string_lossy().into_owned(), right_part),
                         ],
+                        span: parent_span,
                     });
                     next.push((left_part, out));
                     i += 1;
@@ -1185,6 +1244,22 @@ fn run_distributed_round(
             reason: err.to_string(),
         })?;
     drop(guard);
+    let workers_spawned = fleet.spawned_total - spawned_before;
+    let worker_respawns = fleet.respawned_total - respawned_before;
+    let reconnects = fleet.reconnects_total() - reconnects_before;
+    // The same accounting that lands in `ExecReport` accumulates into the
+    // process-wide registry, under the executor's counter family.
+    let obs = kcenter_obs::registry();
+    obs.counter("exec.jobs.coreset")
+        .add(round1_jobs.len() as u64);
+    obs.counter("exec.jobs.merge").add(merge_jobs_total as u64);
+    obs.counter("exec.shards.written").add(shard_writes as u64);
+    obs.counter("exec.shards.reused").add(shard_reuses as u64);
+    obs.counter("exec.workers.spawned")
+        .add(workers_spawned as u64);
+    obs.counter("exec.workers.respawned")
+        .add(worker_respawns as u64);
+    obs.counter("exec.reconnects").add(reconnects as u64);
     Ok(RoundData {
         union_points,
         union_weights,
@@ -1192,9 +1267,9 @@ fn run_distributed_round(
         workers,
         shard_writes,
         shard_reuses,
-        workers_spawned: fleet.spawned_total - spawned_before,
-        worker_respawns: fleet.respawned_total - respawned_before,
-        reconnects: fleet.reconnects_total() - reconnects_before,
+        workers_spawned,
+        worker_respawns,
+        reconnects,
         merge_jobs: merge_jobs_total,
     })
 }

@@ -425,6 +425,14 @@ impl WorkerReport {
         })
     }
 
+    /// The `["ok", k=v…]` reply frame a persistent worker sends, with
+    /// observability extras appended (see [`WorkerTelemetry`]).
+    pub fn to_reply_with(self, telemetry: &WorkerTelemetry) -> Vec<String> {
+        let mut reply = self.to_reply();
+        reply.extend(telemetry.reply_fields());
+        reply
+    }
+
     /// Parses a worker's stdout, tolerating any surrounding noise lines.
     pub fn parse(stdout: &str) -> Option<WorkerReport> {
         let line = stdout
@@ -447,6 +455,81 @@ impl WorkerReport {
             coreset: coreset?,
             build_micros: build_micros?,
         })
+    }
+}
+
+/// Observability extras a persistent worker piggybacks on an `ok` job
+/// reply, next to the [`WorkerReport`] fields.
+///
+/// Wire form (§2 of `docs/PROTOCOL.md` — unknown reply keys are ignored,
+/// so these fields ride along without a protocol bump):
+///
+/// * `span=<id>` — the coordinator's span context (`--span` on the job
+///   flags) echoed back, attributing the reply to the round it belongs
+///   to even in captured frame logs.
+/// * `m.<name>=<delta>` — how much the worker's own metrics registry
+///   counter `<name>` grew while running this job (zero deltas are not
+///   sent). The coordinator folds these into its registry under
+///   `exec.worker.<name>`, producing one merged cross-process view.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerTelemetry {
+    /// The job's span context, echoed from the request.
+    pub span: Option<u64>,
+    /// `(counter name, delta)` pairs, in registry (sorted) order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl WorkerTelemetry {
+    /// The deltas between two [`kcenter_obs::counter_values`] snapshots
+    /// taken around a job, with `span` echoed from the request.
+    pub fn from_counter_snapshots(
+        span: Option<u64>,
+        before: &[(String, u64)],
+        after: &[(String, u64)],
+    ) -> WorkerTelemetry {
+        let counters = after
+            .iter()
+            .filter_map(|(name, now)| {
+                let was = before
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map_or(0, |&(_, v)| v);
+                let delta = now.saturating_sub(was);
+                (delta > 0).then(|| (name.clone(), delta))
+            })
+            .collect();
+        WorkerTelemetry { span, counters }
+    }
+
+    /// The `k=v` reply parts these extras append to an `ok` frame.
+    pub fn reply_fields(&self) -> Vec<String> {
+        let mut fields = Vec::with_capacity(self.counters.len() + 1);
+        if let Some(span) = self.span {
+            fields.push(format!("span={span}"));
+        }
+        for (name, delta) in &self.counters {
+            fields.push(format!("m.{name}={delta}"));
+        }
+        fields
+    }
+
+    /// Extracts the telemetry fields from an `ok` reply frame (absent
+    /// fields — an older worker — parse as the empty default).
+    pub fn from_reply(parts: &[String]) -> WorkerTelemetry {
+        let mut telemetry = WorkerTelemetry::default();
+        for field in parts.iter().skip(1) {
+            let Some((key, value)) = field.split_once('=') else {
+                continue;
+            };
+            if key == "span" {
+                telemetry.span = value.parse().ok();
+            } else if let Some(name) = key.strip_prefix("m.") {
+                if let Ok(delta) = value.parse() {
+                    telemetry.counters.push((name.to_string(), delta));
+                }
+            }
+        }
+        telemetry
     }
 }
 
@@ -598,6 +681,40 @@ mod tests {
         assert_eq!(
             WorkerReport::from_reply(&["ok".to_string(), "points=1".to_string()]),
             None
+        );
+    }
+
+    #[test]
+    fn telemetry_rides_ok_replies_and_older_peers_interoperate() {
+        let report = WorkerReport {
+            points: 512,
+            coreset: 64,
+            build_micros: 987,
+        };
+        let before = vec![("metric.matrix.builds".to_string(), 2)];
+        let after = vec![
+            ("metric.matrix.builds".to_string(), 5),
+            ("metric.store.hits".to_string(), 0),
+            ("store.mmap.loads".to_string(), 1),
+        ];
+        let telemetry = WorkerTelemetry::from_counter_snapshots(Some(42), &before, &after);
+        // Zero deltas are dropped; new-in-after counters diff against 0.
+        assert_eq!(
+            telemetry.counters,
+            vec![
+                ("metric.matrix.builds".to_string(), 3),
+                ("store.mmap.loads".to_string(), 1),
+            ]
+        );
+        let reply = report.to_reply_with(&telemetry);
+        // The report parser ignores the extra fields (older coordinator)…
+        assert_eq!(WorkerReport::from_reply(&reply), Some(report));
+        // …and the telemetry parser recovers them exactly.
+        assert_eq!(WorkerTelemetry::from_reply(&reply), telemetry);
+        // A bare reply (older worker) parses to the empty default.
+        assert_eq!(
+            WorkerTelemetry::from_reply(&report.to_reply()),
+            WorkerTelemetry::default()
         );
     }
 

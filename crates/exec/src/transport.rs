@@ -265,14 +265,18 @@ impl Transport for PipeTransport {
         command
             .args(&self.command.args)
             .arg("--serve")
-            // Both hooks must be *asked for*, never ambient: a stray
+            // These hooks must be *asked for*, never ambient: a stray
             // KCENTER_EXEC_FAULT from a debugging session must not make
-            // every worker crash, and a stray KCENTER_CACHE_DIR must not
+            // every worker crash, a stray KCENTER_CACHE_DIR must not
             // let fleet workers silently diverge in cache accounting from
-            // the in-process engines. Opt-ins go through
-            // `WorkerCommand::env`, which is applied after the strip.
+            // the in-process engines, and the coordinator's KCENTER_TRACE
+            // must not have every pipe worker clobbering the same trace
+            // file (workers report telemetry back on the wire instead).
+            // Opt-ins go through `WorkerCommand::env`, which is applied
+            // after the strip.
             .env_remove(crate::worker::FAULT_ENV)
             .env_remove(kcenter_store::CACHE_DIR_ENV)
+            .env_remove(kcenter_obs::TRACE_ENV)
             .envs(self.command.env.iter().map(|(k, v)| (k, v)))
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())

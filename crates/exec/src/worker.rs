@@ -60,6 +60,7 @@ use kcenter_store::{codec, ArtifactStore};
 
 use crate::protocol::{
     check_hello_request, hello_ack, parse_spec, read_frame, write_frame, MetricKind, WorkerReport,
+    WorkerTelemetry,
 };
 use crate::shard::{read_coreset_artifact, read_shard_set, write_artifact_atomic};
 use crate::with_metric;
@@ -83,12 +84,16 @@ pub struct WorkerArgs {
     pub spec: CoresetSpec,
     /// GMM start index within the shard.
     pub start: usize,
+    /// Coordinator span context (`--span`): opaque to the build, echoed
+    /// back as `span=` on the reply so the coordinator can stitch this
+    /// job into its merged trace timeline.
+    pub span: Option<u64>,
 }
 
 impl WorkerArgs {
     /// The flag list a coordinator appends to its worker command.
     pub fn to_args(&self) -> Vec<String> {
-        vec![
+        let mut args = vec![
             "--shard".into(),
             self.shard.to_string_lossy().into_owned(),
             "--out".into(),
@@ -101,7 +106,12 @@ impl WorkerArgs {
             crate::protocol::format_spec(&self.spec),
             "--start".into(),
             self.start.to_string(),
-        ]
+        ];
+        if let Some(span) = self.span {
+            args.push("--span".into());
+            args.push(span.to_string());
+        }
+        args
     }
 
     /// Parses the flag list (the reverse of [`WorkerArgs::to_args`]).
@@ -118,6 +128,7 @@ impl WorkerArgs {
         let mut base = None;
         let mut spec = None;
         let mut start = None;
+        let mut span = None;
         let mut iter = args.into_iter();
         while let Some(flag) = iter.next() {
             let mut value = || {
@@ -144,6 +155,10 @@ impl WorkerArgs {
                     let v = value()?;
                     start = Some(v.parse().map_err(|_| format!("bad --start {v:?}"))?)
                 }
+                "--span" => {
+                    let v = value()?;
+                    span = Some(v.parse().map_err(|_| format!("bad --span {v:?}"))?)
+                }
                 other => return Err(format!("unknown worker flag {other:?}")),
             }
         }
@@ -154,6 +169,7 @@ impl WorkerArgs {
             base: base.ok_or("worker requires --base")?,
             spec: spec.ok_or("worker requires --spec")?,
             start: start.ok_or("worker requires --start")?,
+            span,
         })
     }
 }
@@ -242,19 +258,27 @@ pub struct MergeArgs {
     pub right: PathBuf,
     /// Output artifact path.
     pub out: PathBuf,
+    /// Coordinator span context (`--span`), echoed back as `span=` on
+    /// the reply — see [`WorkerArgs::span`].
+    pub span: Option<u64>,
 }
 
 impl MergeArgs {
     /// The flag list a coordinator puts in a `merge` request frame.
     pub fn to_args(&self) -> Vec<String> {
-        vec![
+        let mut args = vec![
             "--left".into(),
             self.left.to_string_lossy().into_owned(),
             "--right".into(),
             self.right.to_string_lossy().into_owned(),
             "--out".into(),
             self.out.to_string_lossy().into_owned(),
-        ]
+        ];
+        if let Some(span) = self.span {
+            args.push("--span".into());
+            args.push(span.to_string());
+        }
+        args
     }
 
     /// Parses the flag list (the reverse of [`MergeArgs::to_args`]).
@@ -262,6 +286,7 @@ impl MergeArgs {
         let mut left = None;
         let mut right = None;
         let mut out = None;
+        let mut span = None;
         let mut iter = args.into_iter();
         while let Some(flag) = iter.next() {
             let mut value = || {
@@ -272,6 +297,10 @@ impl MergeArgs {
                 "--left" => left = Some(PathBuf::from(value()?)),
                 "--right" => right = Some(PathBuf::from(value()?)),
                 "--out" => out = Some(PathBuf::from(value()?)),
+                "--span" => {
+                    let v = value()?;
+                    span = Some(v.parse().map_err(|_| format!("bad --span {v:?}"))?)
+                }
                 other => return Err(format!("unknown merge flag {other:?}")),
             }
         }
@@ -279,6 +308,7 @@ impl MergeArgs {
             left: left.ok_or("merge requires --left")?,
             right: right.ok_or("merge requires --right")?,
             out: out.ok_or("merge requires --out")?,
+            span,
         })
     }
 }
@@ -452,10 +482,21 @@ fn serve_streams<R: Read, W: Write>(
                     return ServeOutcome::DropConnection;
                 }
                 let flags = parts[1..].to_vec();
+                // Successful replies piggyback telemetry: the `--span`
+                // context echoed back plus the deltas of this process's
+                // registry counters across the job (`m.<name>=<delta>`),
+                // which the coordinator folds into its own registry.
+                let counters_before = kcenter_obs::counter_values();
                 if verb == "coreset" {
                     match parse_coreset_job(flags, opts) {
                         Ok(args) => match run_worker(&args) {
-                            Ok(report) => report.to_reply(),
+                            Ok(report) => {
+                                report.to_reply_with(&WorkerTelemetry::from_counter_snapshots(
+                                    args.span,
+                                    &counters_before,
+                                    &kcenter_obs::counter_values(),
+                                ))
+                            }
                             Err(msg) => JobFailure::Other(msg).to_reply(),
                         },
                         Err(failure) => failure.to_reply(),
@@ -463,7 +504,13 @@ fn serve_streams<R: Read, W: Write>(
                 } else {
                     match parse_merge_job(flags, opts) {
                         Ok(args) => match run_merge(&args) {
-                            Ok(report) => report.to_reply(),
+                            Ok(report) => {
+                                report.to_reply_with(&WorkerTelemetry::from_counter_snapshots(
+                                    args.span,
+                                    &counters_before,
+                                    &kcenter_obs::counter_values(),
+                                ))
+                            }
                             Err(failure) => failure.to_reply(),
                         },
                         Err(failure) => failure.to_reply(),
@@ -753,8 +800,11 @@ mod tests {
             base: 23,
             spec: CoresetSpec::EpsStop { eps: 0.1 },
             start: 7,
+            span: Some(42),
         };
         assert_eq!(args_round_trip(&args), args);
+        let spanless = WorkerArgs { span: None, ..args };
+        assert_eq!(args_round_trip(&spanless), spanless);
     }
 
     #[test]
@@ -766,6 +816,7 @@ mod tests {
             base: 1,
             spec: CoresetSpec::Multiplier { mu: 1 },
             start: 0,
+            span: None,
         };
         for missing in [
             "--shard", "--out", "--metric", "--base", "--spec", "--start",
@@ -798,6 +849,7 @@ mod tests {
             base: 4,
             spec: CoresetSpec::Multiplier { mu: 2 },
             start: 3,
+            span: None,
         };
         let report = run_worker(&args).unwrap();
         assert_eq!(report.points, 120);
@@ -824,6 +876,7 @@ mod tests {
             left: PathBuf::from("/tmp/a.kca"),
             right: PathBuf::from("/tmp/b.kca"),
             out: PathBuf::from("/tmp/c.kca"),
+            span: Some(7),
         };
         assert_eq!(MergeArgs::parse(args.to_args()).unwrap(), args);
         for missing in ["--left", "--right", "--out"] {
@@ -850,6 +903,7 @@ mod tests {
             left,
             right,
             out: out.clone(),
+            span: None,
         })
         .map_err(|f| f.to_reply().join(" "))
         .unwrap();
@@ -877,6 +931,7 @@ mod tests {
             left: good,
             right: torn.clone(),
             out,
+            span: None,
         })
         .expect_err("torn input must fail");
         match failure {
@@ -897,6 +952,7 @@ mod tests {
             base: 1,
             spec: CoresetSpec::Multiplier { mu: 1 },
             start: 0,
+            span: None,
         };
         let missing = WorkerArgs {
             shard: "/nonexistent/shard.kca".into(),

@@ -15,14 +15,18 @@ use crate::distance::Metric;
 use crate::persist;
 
 /// Process-wide count of [`DistanceMatrix`] builds (both true-distance and
-/// proxy-scale). The figure sweeps report it so a run can show that every
-/// coreset was priced into a matrix at most once; tests pin it to catch
-/// regressions that silently reintroduce per-search rebuilds.
-static MATRIX_BUILDS: AtomicUsize = AtomicUsize::new(0);
+/// proxy-scale), kept in the shared metrics registry under
+/// `metric.matrix.builds`. The figure sweeps report it so a run can show
+/// that every coreset was priced into a matrix at most once; tests pin it
+/// to catch regressions that silently reintroduce per-search rebuilds.
+fn matrix_builds() -> &'static kcenter_obs::Counter {
+    static COUNTER: OnceLock<kcenter_obs::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| kcenter_obs::counter("metric.matrix.builds"))
+}
 
 /// Number of [`DistanceMatrix`] builds performed by this process so far.
 pub fn matrix_build_count() -> usize {
-    MATRIX_BUILDS.load(Ordering::Relaxed)
+    matrix_builds().get() as usize
 }
 
 /// Minimum strictly-positive pairwise distance, or `None` if fewer than two
@@ -250,7 +254,7 @@ impl DistanceMatrix {
         rows.into_par_iter().for_each(|(i, row)| {
             fill(&points[i], &points[i + 1..], row);
         });
-        MATRIX_BUILDS.fetch_add(1, Ordering::Relaxed);
+        matrix_builds().inc();
         DistanceMatrix {
             n,
             data: MatrixData::Owned(data),

@@ -25,7 +25,6 @@
 //! see exactly the pre-existing in-process behaviour unless a binary
 //! explicitly opts in.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use crate::pairwise::DistanceMatrix;
@@ -48,8 +47,20 @@ pub trait MatrixPersistence: Send + Sync {
 }
 
 static PERSISTENCE: OnceLock<Arc<dyn MatrixPersistence>> = OnceLock::new();
-static STORE_HITS: AtomicUsize = AtomicUsize::new(0);
-static STORE_MISSES: AtomicUsize = AtomicUsize::new(0);
+
+/// Hit/miss accounting lives in the shared metrics registry
+/// (`metric.store.hits` / `metric.store.misses`), so the persistent-cache
+/// counters show up in the same Prometheus/JSON exposition as everything
+/// else; these functions keep cheap cached handles.
+fn store_hits() -> &'static kcenter_obs::Counter {
+    static COUNTER: OnceLock<kcenter_obs::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| kcenter_obs::counter("metric.store.hits"))
+}
+
+fn store_misses() -> &'static kcenter_obs::Counter {
+    static COUNTER: OnceLock<kcenter_obs::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| kcenter_obs::counter("metric.store.misses"))
+}
 
 /// Installs the process-wide matrix persistence backend. The first call
 /// wins; returns `false` (leaving the existing backend) on later calls.
@@ -70,21 +81,21 @@ pub fn matrix_persistence_installed() -> bool {
 /// Number of matrix builds this process *avoided* by loading a persisted
 /// entry (0 unless a backend is installed).
 pub fn store_hit_count() -> usize {
-    STORE_HITS.load(Ordering::Relaxed)
+    store_hits().get() as usize
 }
 
 /// Number of matrix builds that consulted the installed backend, found
 /// nothing valid, and priced + persisted the matrix themselves.
 pub fn store_miss_count() -> usize {
-    STORE_MISSES.load(Ordering::Relaxed)
+    store_misses().get() as usize
 }
 
 pub(crate) fn record_store_hit() {
-    STORE_HITS.fetch_add(1, Ordering::Relaxed);
+    store_hits().inc();
 }
 
 pub(crate) fn record_store_miss() {
-    STORE_MISSES.fetch_add(1, Ordering::Relaxed);
+    store_misses().inc();
 }
 
 #[cfg(test)]

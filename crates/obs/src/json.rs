@@ -1,0 +1,321 @@
+//! A minimal JSON reader/writer helper.
+//!
+//! The workspace vendors no serde, and observability needs JSON in two
+//! places only: *emitting* trace records and registry snapshots (done
+//! with formatters plus [`escape`]) and *validating* them in tests
+//! (done with [`parse`]). This module is deliberately small: full JSON
+//! syntax on the read side, strings/numbers on the write side.
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`; integral values round-trip exactly
+    /// up to 2⁵³, far beyond any counter this workspace snapshots).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match), `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `true` if this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal
+/// (everything between, not including, the quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses one complete JSON document.
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax error, with its
+/// byte offset.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut at = 0;
+    let value = parse_value(bytes, &mut at)?;
+    skip_ws(bytes, &mut at);
+    if at != bytes.len() {
+        return Err(format!("trailing content at byte {at}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], at: &mut usize) {
+    while *at < bytes.len() && matches!(bytes[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn expect(bytes: &[u8], at: &mut usize, ch: u8) -> Result<(), String> {
+    if bytes.get(*at) == Some(&ch) {
+        *at += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", ch as char, at))
+    }
+}
+
+fn parse_value(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, at);
+    match bytes.get(*at) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, at),
+        Some(b'[') => parse_array(bytes, at),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, at)?)),
+        Some(b't') => parse_literal(bytes, at, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, at, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, at, "null", Json::Null),
+        Some(_) => parse_number(bytes, at),
+    }
+}
+
+fn parse_literal(bytes: &[u8], at: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*at..].starts_with(word.as_bytes()) {
+        *at += word.len();
+        Ok(value)
+    } else {
+        Err(format!("malformed literal at byte {at}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
+    let start = *at;
+    if bytes.get(*at) == Some(&b'-') {
+        *at += 1;
+    }
+    while *at < bytes.len() && matches!(bytes[*at], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *at += 1;
+    }
+    std::str::from_utf8(&bytes[start..*at])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .map(Json::Num)
+        .ok_or_else(|| format!("malformed number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], at: &mut usize) -> Result<String, String> {
+    expect(bytes, at, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*at) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *at += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *at += 1;
+                match bytes.get(*at) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*at + 1..*at + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        // Surrogates don't appear in our own output; map
+                        // them to the replacement character defensively.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *at += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {at}")),
+                }
+                *at += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so slicing
+                // on char boundaries is guaranteed to succeed).
+                let rest = &bytes[*at..];
+                let s = std::str::from_utf8(rest).map_err(|_| "non-UTF-8 input")?;
+                let ch = s.chars().next().unwrap();
+                out.push(ch);
+                *at += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
+    expect(bytes, at, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, at);
+    if bytes.get(*at) == Some(&b']') {
+        *at += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, at)?);
+        skip_ws(bytes, at);
+        match bytes.get(*at) {
+            Some(b',') => *at += 1,
+            Some(b']') => {
+                *at += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {at}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
+    expect(bytes, at, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, at);
+    if bytes.get(*at) == Some(&b'}') {
+        *at += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, at);
+        let key = parse_string(bytes, at)?;
+        skip_ws(bytes, at);
+        expect(bytes, at, b':')?;
+        let value = parse_value(bytes, at)?;
+        fields.push((key, value));
+        skip_ws(bytes, at);
+        match bytes.get(*at) {
+            Some(b',') => *at += 1,
+            Some(b'}') => {
+                *at += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {at}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shapes_trace_records_use() {
+        let record = r#"{"type":"span","id":3,"parent":null,"name":"exec.round1","worker":null,"start_us":12,"dur_us":3400,"fields":{"partitions":"4"}}"#;
+        let v = parse(record).unwrap();
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("span"));
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(3));
+        assert!(v.get("parent").unwrap().is_null());
+        assert_eq!(
+            v.get("fields")
+                .and_then(|f| f.get("partitions"))
+                .and_then(Json::as_str),
+            Some("4")
+        );
+    }
+
+    #[test]
+    fn escapes_round_trip_through_the_parser() {
+        let nasty = "a\"b\\c\nd\te\u{1}π";
+        let doc = format!("{{\"s\":\"{}\"}}", escape(nasty));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "\"unterminated",
+            "01x",
+            "{\"a\":1} trailing",
+            "nul",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn numbers_arrays_and_nesting_parse() {
+        let v = parse(r#"[0, -1.5, 1e3, [true, false, null], {"k": [2]}]"#).unwrap();
+        let items = v.as_array().unwrap();
+        assert_eq!(items[0].as_u64(), Some(0));
+        assert_eq!(items[1].as_f64(), Some(-1.5));
+        assert_eq!(items[2].as_f64(), Some(1000.0));
+        assert_eq!(items[3].as_array().unwrap().len(), 3);
+        assert_eq!(
+            items[4]
+                .get("k")
+                .and_then(|k| k.as_array())
+                .map(<[Json]>::len),
+            Some(1)
+        );
+    }
+}

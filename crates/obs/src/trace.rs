@@ -1,0 +1,433 @@
+//! The structured trace sink: spans, events, and the JSONL record
+//! stream behind `KCENTER_TRACE` / `--trace`.
+//!
+//! Tracing is **off by default** and costs only the span's histogram
+//! observation (a few relaxed atomics) when off — no I/O, no
+//! allocation beyond the span's name, no output anywhere. That is a
+//! hard requirement: the golden determinism suites must be
+//! byte-identical with the sink enabled or disabled, because all trace
+//! bytes go to the trace file and nowhere else.
+//!
+//! Record schema (`kcenter-trace/v1`) — one JSON object per line:
+//!
+//! ```text
+//! {"type":"meta","schema":"kcenter-trace/v1","pid":N}
+//! {"type":"span","id":N,"parent":N|null,"name":S,"worker":N|null,
+//!  "start_us":U,"dur_us":U,"fields":{K:V,…}}
+//! {"type":"event","name":S,"at_us":U,"fields":{K:V,…}}
+//! ```
+//!
+//! Timestamps are **microseconds since the sink was opened** (a
+//! monotonic-clock epoch private to the process), never wall-clock —
+//! traces from repeated runs diff structurally, and no record embeds
+//! absolute time.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::json::escape;
+use crate::registry::histogram;
+
+/// Environment variable naming the trace output file. Unset or empty
+/// means tracing is disabled.
+pub const TRACE_ENV: &str = "KCENTER_TRACE";
+
+/// Schema identifier written into every trace file's `meta` record.
+/// Bumped on any incompatible record-shape change.
+pub const TRACE_SCHEMA: &str = "kcenter-trace/v1";
+
+/// An open trace output: a monotonic epoch plus a line-buffered writer.
+struct Sink {
+    epoch: Instant,
+    out: Mutex<BufWriter<File>>,
+}
+
+impl Sink {
+    fn open(path: &str) -> std::io::Result<Sink> {
+        let file = File::create(path)?;
+        let sink = Sink {
+            epoch: Instant::now(),
+            out: Mutex::new(BufWriter::new(file)),
+        };
+        sink.write_line(&format!(
+            "{{\"type\":\"meta\",\"schema\":\"{TRACE_SCHEMA}\",\"pid\":{}}}",
+            std::process::id()
+        ));
+        Ok(sink)
+    }
+
+    /// Appends one line and flushes, so a crash loses at most the
+    /// record being written.
+    fn write_line(&self, line: &str) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = writeln!(out, "{line}");
+            let _ = out.flush();
+        }
+    }
+
+    fn micros_since_epoch(&self, t: Instant) -> u64 {
+        t.checked_duration_since(self.epoch)
+            .unwrap_or(Duration::ZERO)
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64
+    }
+
+    #[allow(clippy::too_many_arguments)] // one arg per record field
+    fn span_line(
+        &self,
+        id: u64,
+        parent: Option<u64>,
+        name: &str,
+        worker: Option<u64>,
+        start_us: u64,
+        dur_us: u64,
+        fields: &[(String, String)],
+    ) {
+        let mut line = format!(
+            "{{\"type\":\"span\",\"id\":{id},\"parent\":{},\"name\":\"{}\",\"worker\":{},\"start_us\":{start_us},\"dur_us\":{dur_us},\"fields\":{{",
+            opt(parent),
+            escape(name),
+            opt(worker),
+        );
+        push_fields(&mut line, fields);
+        line.push_str("}}");
+        self.write_line(&line);
+    }
+}
+
+fn opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+fn push_fields(line: &mut String, fields: &[(String, String)]) {
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&format!("\"{}\":\"{}\"", escape(k), escape(v)));
+    }
+}
+
+static SINK: OnceLock<Option<Arc<Sink>>> = OnceLock::new();
+
+/// Explicitly enables tracing to `path` (the CLI's `--trace` flag).
+///
+/// Must run before the first span resolves the sink; in practice the
+/// CLI calls it at startup. Wins over [`TRACE_ENV`] when both are
+/// present.
+///
+/// # Errors
+///
+/// When the file cannot be created, or when the sink was already
+/// resolved (a second `--trace`, or a span already fired after the
+/// environment variable resolved it).
+pub fn init_trace(path: &str) -> Result<(), String> {
+    let sink = Sink::open(path).map_err(|e| format!("cannot open trace file {path:?}: {e}"))?;
+    SINK.set(Some(Arc::new(sink)))
+        .map_err(|_| "trace sink already initialized".to_string())
+}
+
+/// The process sink: resolved once, lazily, from [`TRACE_ENV`] unless
+/// [`init_trace`] got there first. A create failure on the env path is
+/// best-effort (tracing silently stays off — env-driven tracing must
+/// never fail a run).
+fn sink() -> Option<Arc<Sink>> {
+    SINK.get_or_init(|| {
+        std::env::var(TRACE_ENV)
+            .ok()
+            .filter(|p| !p.is_empty())
+            .and_then(|p| Sink::open(&p).ok().map(Arc::new))
+    })
+    .clone()
+}
+
+/// Whether a trace sink is live (records are being written).
+pub fn trace_enabled() -> bool {
+    sink().is_some()
+}
+
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// The open-span stack of this thread; the top is the parent of the
+    /// next span started here.
+    static OPEN_SPANS: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// A timed region. Created by [`span`] (or the [`span!`](crate::span!)
+/// macro), closed by [`Span::finish`] or on drop.
+///
+/// Closing **always** observes the elapsed time into the registry
+/// histogram `{name}.micros`, so span names double as metric names;
+/// a JSONL record is written only when the sink is live.
+#[derive(Debug)]
+pub struct Span {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start: Instant,
+    fields: Vec<(String, String)>,
+    done: bool,
+}
+
+/// Starts a span named `name`, parented to the innermost span still
+/// open on this thread.
+pub fn span(name: &str) -> Span {
+    let id = next_span_id();
+    let parent = OPEN_SPANS.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    Span {
+        id,
+        parent,
+        name: name.to_string(),
+        start: Instant::now(),
+        fields: Vec::new(),
+        done: false,
+    }
+}
+
+impl Span {
+    /// This span's trace id — hand it to a child recorded via
+    /// [`record_span`], or across a process boundary.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// When this span started (monotonic clock).
+    pub fn start(&self) -> Instant {
+        self.start
+    }
+
+    /// Attaches a key/value field to the eventual record (builder
+    /// style).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl std::fmt::Display) -> Span {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Attaches a key/value field in place (for fields only known
+    /// mid-span).
+    pub fn add_field(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.fields.push((key.to_string(), value.to_string()));
+    }
+
+    /// Ends the span, returning its duration (also fed to the
+    /// `{name}.micros` histogram, and to the sink when live).
+    pub fn finish(mut self) -> Duration {
+        self.close()
+    }
+
+    fn close(&mut self) -> Duration {
+        self.done = true;
+        OPEN_SPANS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                stack.remove(pos);
+            }
+        });
+        let dur = self.start.elapsed();
+        histogram(&format!("{}.micros", self.name)).observe_duration(dur);
+        if let Some(sink) = sink() {
+            sink.span_line(
+                self.id,
+                self.parent,
+                &self.name,
+                None,
+                sink.micros_since_epoch(self.start),
+                dur.as_micros().min(u128::from(u64::MAX)) as u64,
+                &self.fields,
+            );
+        }
+        dur
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.done {
+            self.close();
+        }
+    }
+}
+
+/// A span observed elsewhere (typically inside a fleet worker) that the
+/// coordinator records into its own timeline — see [`record_span`].
+#[derive(Debug)]
+pub struct SpanRecord<'a> {
+    /// Span name (also the `{name}.micros` histogram it feeds).
+    pub name: &'a str,
+    /// Parent span id in **this** process's trace, if any.
+    pub parent: Option<u64>,
+    /// The worker/partition the span is attributed to, if any.
+    pub worker: Option<u64>,
+    /// When the region started on this process's monotonic clock
+    /// (`None` when unknown: `start_us` is then recorded as the span's
+    /// end time minus its duration, clamped to the epoch).
+    pub start: Option<Instant>,
+    /// How long the region ran.
+    pub dur: Duration,
+    /// Key/value fields for the record.
+    pub fields: &'a [(String, String)],
+}
+
+/// Records a span that was timed elsewhere — the cross-process half of
+/// the tracing story. The coordinator calls this with the per-job
+/// timings a worker piggybacks on its `ok` replies, producing one
+/// merged per-worker timeline; the duration always feeds the
+/// `{name}.micros` histogram. Returns the new span's id.
+pub fn record_span(rec: SpanRecord<'_>) -> u64 {
+    let id = next_span_id();
+    histogram(&format!("{}.micros", rec.name)).observe_duration(rec.dur);
+    if let Some(sink) = sink() {
+        let dur_us = rec.dur.as_micros().min(u128::from(u64::MAX)) as u64;
+        let start_us = match rec.start {
+            Some(t) => sink.micros_since_epoch(t),
+            None => sink
+                .micros_since_epoch(Instant::now())
+                .saturating_sub(dur_us),
+        };
+        sink.span_line(
+            id, rec.parent, rec.name, rec.worker, start_us, dur_us, rec.fields,
+        );
+    }
+    id
+}
+
+/// Emits a point-in-time event record (sink live only; no metric side
+/// effect).
+pub fn event(name: &str, fields: &[(String, String)]) {
+    if let Some(sink) = sink() {
+        let at_us = sink.micros_since_epoch(Instant::now());
+        let mut line = format!(
+            "{{\"type\":\"event\",\"name\":\"{}\",\"at_us\":{at_us},\"fields\":{{",
+            escape(name)
+        );
+        push_fields(&mut line, fields);
+        line.push_str("}}");
+        sink.write_line(&line);
+    }
+}
+
+/// Starts a [`Span`]: `span!("exec.round1")`, optionally with fields —
+/// `span!("exec.round1", "partitions" => 4)`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $($k:expr => $v:expr),+ $(,)?) => {{
+        let mut s = $crate::span($name);
+        $( s = s.field($k, $v); )+
+        s
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+
+    /// Local sinks (not the process-global one) keep these tests
+    /// independent of execution order and of each other.
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("kcenter-obs-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn spans_nest_per_thread_and_feed_histograms() {
+        let outer = span("test.trace.outer");
+        let inner = span("test.trace.inner");
+        assert_eq!(inner.parent, Some(outer.id()));
+        let sibling_parent = {
+            let d = inner.finish();
+            // finish() reports the measured duration...
+            let h = crate::registry::histogram("test.trace.inner.micros");
+            assert!(h.count() >= 1);
+            // ...and pops the stack, so the next span parents to outer.
+            let sib = span("test.trace.sibling");
+            let p = sib.parent;
+            drop(sib);
+            let _ = d;
+            p
+        };
+        assert_eq!(sibling_parent, Some(outer.id()));
+        drop(outer);
+        // A fresh root span has no parent.
+        assert_eq!(span("test.trace.root").parent, None);
+    }
+
+    #[test]
+    fn sink_writes_schema_stable_jsonl() {
+        let path = temp_path("sink");
+        let sink = Sink::open(path.to_str().unwrap()).unwrap();
+        sink.span_line(
+            7,
+            None,
+            "exec.round1",
+            None,
+            10,
+            250,
+            &[("partitions".to_string(), "4".to_string())],
+        );
+        sink.span_line(8, Some(7), "exec.worker.job", Some(2), 12, 100, &[]);
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let meta = parse(lines[0]).unwrap();
+        assert_eq!(meta.get("type").and_then(Json::as_str), Some("meta"));
+        assert_eq!(
+            meta.get("schema").and_then(Json::as_str),
+            Some(TRACE_SCHEMA)
+        );
+        let root = parse(lines[1]).unwrap();
+        assert_eq!(root.get("parent").map(Json::is_null), Some(true));
+        assert_eq!(
+            root.get("fields")
+                .and_then(|f| f.get("partitions"))
+                .and_then(Json::as_str),
+            Some("4")
+        );
+        let child = parse(lines[2]).unwrap();
+        assert_eq!(child.get("parent").and_then(Json::as_u64), Some(7));
+        assert_eq!(child.get("worker").and_then(Json::as_u64), Some(2));
+        assert_eq!(child.get("start_us").and_then(Json::as_u64), Some(12));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn record_span_feeds_the_named_histogram() {
+        let before = crate::registry::histogram("test.trace.recorded.micros").count();
+        let id = record_span(SpanRecord {
+            name: "test.trace.recorded",
+            parent: None,
+            worker: Some(3),
+            start: None,
+            dur: Duration::from_micros(123),
+            fields: &[],
+        });
+        assert!(id > 0);
+        let h = crate::registry::histogram("test.trace.recorded.micros");
+        assert_eq!(h.count(), before + 1);
+        assert!(h.sum_micros() >= 123);
+    }
+
+    #[test]
+    fn span_macro_supports_fields() {
+        let s = crate::span!("test.trace.macro", "k" => 5, "algo" => "gmm");
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[1], ("algo".to_string(), "gmm".to_string()));
+        let _ = s.finish();
+    }
+}

@@ -237,6 +237,7 @@ impl<M: Metric<Point> + Clone + Sync> SessionRegistry<M> {
             .map_err(|e| ServeError::Io(e.to_string()))?;
         session.last_persisted = session.coreset.processed();
         counters.snapshots += 1;
+        kcenter_obs::counter("serve.snapshots").inc();
         Ok(())
     }
 
@@ -297,6 +298,7 @@ impl<M: Metric<Point> + Clone + Sync> SessionRegistry<M> {
                     })?;
                     entry.state = EntryState::Resident(session);
                     inner.counters.restores += 1;
+                    kcenter_obs::counter("serve.restores").inc();
                     return Ok(Some(true));
                 }
             }
@@ -318,6 +320,7 @@ impl<M: Metric<Point> + Clone + Sync> SessionRegistry<M> {
         };
         if restored {
             inner.counters.restores += 1;
+            kcenter_obs::counter("serve.restores").inc();
         }
         inner.sessions.insert(
             key,
@@ -400,6 +403,7 @@ impl<M: Metric<Point> + Clone + Sync> SessionRegistry<M> {
         let entry = inner.sessions.get_mut(key).expect("entry just seen");
         entry.state = EntryState::Evicted { processed };
         inner.counters.evictions += 1;
+        kcenter_obs::counter("serve.evictions").inc();
         Ok(())
     }
 
@@ -474,6 +478,9 @@ impl<M: Metric<Point> + Clone + Sync> SessionRegistry<M> {
         }
         self.enforce_budget(&mut inner, &key)?;
 
+        kcenter_obs::counter("serve.ingest.batches").inc();
+        kcenter_obs::counter("serve.ingest.points").add(accepted as u64);
+        kcenter_obs::histogram("serve.ingest.micros").observe_duration(ingest_time);
         Ok(IngestReport {
             accepted,
             processed,
@@ -527,6 +534,8 @@ impl<M: Metric<Point> + Clone + Sync> SessionRegistry<M> {
         };
         if let Some((cached_key, answer)) = &session.last_answer {
             if *cached_key == query_key {
+                kcenter_obs::counter("serve.queries").inc();
+                kcenter_obs::counter("serve.queries.cached").inc();
                 return Ok(QueryAnswer {
                     centers: answer.centers.clone(),
                     radius: answer.r_min,
@@ -537,6 +546,7 @@ impl<M: Metric<Point> + Clone + Sync> SessionRegistry<M> {
             }
         }
         // Solve over a snapshot of the live coreset.
+        let query_span = kcenter_obs::span!("serve.query.solve");
         let coreset = session
             .coreset
             .centers()
@@ -561,6 +571,8 @@ impl<M: Metric<Point> + Clone + Sync> SessionRegistry<M> {
             processed,
             cached: false,
         };
+        query_span.field("k", k as u64).finish();
+        kcenter_obs::counter("serve.queries").inc();
         session.last_answer = Some((query_key, solution));
         Ok(answer)
     }

@@ -21,6 +21,9 @@
 //! * `["stats"]` → `["ok", "sessions=…", "resident_sessions=…",
 //!   "resident_points=…", "evictions=…", "restores=…", "snapshots=…"]`
 //! * `["flush"]` → `["ok", "persisted=N"]`
+//! * `["metrics"]` (or `["metrics", "prometheus"]`) → `["ok", <Prometheus
+//!   text exposition of the process metrics registry>]`;
+//!   `["metrics", "json"]` → `["ok", <kcenter-metrics/v1 JSON>]`
 //! * `["shutdown"]` — flushes every resident session, replies
 //!   `["ok", "bye"]`, and stops the server.
 //!
@@ -190,6 +193,24 @@ fn handle<M: Metric<Point> + Clone + Sync>(
         "shutdown" => {
             registry.flush()?;
             Ok((vec!["ok".into(), "bye".into()], false))
+        }
+        "metrics" => {
+            // Gauges mirror live registry state at scrape time; counters
+            // accumulate at their increment sites.
+            let s = registry.stats();
+            kcenter_obs::gauge("serve.sessions.known").set(s.sessions as u64);
+            kcenter_obs::gauge("serve.sessions.resident").set(s.resident_sessions as u64);
+            kcenter_obs::gauge("serve.points.resident").set(s.resident_points as u64);
+            let body = match parts.get(1).map(String::as_str) {
+                None | Some("prometheus") => kcenter_obs::render_prometheus(),
+                Some("json") => kcenter_obs::render_json(),
+                Some(other) => {
+                    return Err(ServeError::BadRequest(format!(
+                        "unknown metrics format {other:?}"
+                    )))
+                }
+            };
+            Ok((vec!["ok".into(), body], true))
         }
         other => Err(ServeError::BadRequest(format!("unknown verb {other:?}"))),
     }
@@ -503,6 +524,22 @@ impl ServeClient {
     pub fn evict(&mut self, tenant: &str, stream: &str) -> io::Result<bool> {
         let reply = self.request(&["evict".to_string(), tenant.to_string(), stream.to_string()])?;
         Ok(reply.iter().any(|p| p == "evicted=true"))
+    }
+
+    /// Scrapes the server's metrics registry. `format` is `None` (or
+    /// `Some("prometheus")`) for Prometheus text exposition,
+    /// `Some("json")` for the `kcenter-metrics/v1` JSON rendering; the
+    /// returned string is the exposition body.
+    pub fn metrics(&mut self, format: Option<&str>) -> io::Result<String> {
+        let mut parts = vec!["metrics".to_string()];
+        if let Some(format) = format {
+            parts.push(format.to_string());
+        }
+        let reply = self.request(&parts)?;
+        reply
+            .get(1)
+            .cloned()
+            .ok_or_else(|| io::Error::other("metrics reply missing body"))
     }
 
     /// Asks the server to flush and stop.

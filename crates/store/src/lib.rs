@@ -33,7 +33,7 @@ pub mod codec;
 pub mod mmap;
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use kcenter_metric::{DistanceMatrix, MatrixPersistence, Point};
@@ -42,13 +42,17 @@ pub use codec::{ArtifactKind, DecodeError, StoredSession, StoredSolution, CODEC_
 pub use kcenter_metric::{store_hit_count, store_miss_count, Fingerprint};
 
 /// Process-wide count of matrix loads served zero-copy from a memory
-/// mapping (always 0 on targets without the mmap fast path). Tests use it
-/// to prove warm loads actually take the mapped path.
-static MMAP_LOADS: AtomicUsize = AtomicUsize::new(0);
+/// mapping (always 0 on targets without the mmap fast path), kept in the
+/// shared metrics registry under `store.mmap.loads`. Tests use it to
+/// prove warm loads actually take the mapped path.
+fn mmap_loads() -> &'static kcenter_obs::Counter {
+    static COUNTER: std::sync::OnceLock<kcenter_obs::Counter> = std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| kcenter_obs::counter("store.mmap.loads"))
+}
 
 /// Number of matrix loads this process served through the mmap fast path.
 pub fn store_mmap_load_count() -> usize {
-    MMAP_LOADS.load(Ordering::Relaxed)
+    mmap_loads().get() as usize
 }
 
 /// Environment variable naming the cache directory; unset or empty means
@@ -230,7 +234,7 @@ impl ArtifactStore {
         let path = self.entry_path(ArtifactKind::Matrix, fingerprint);
         #[cfg(all(target_os = "linux", target_endian = "little"))]
         if let Some(matrix) = Self::load_matrix_mapped(&path) {
-            MMAP_LOADS.fetch_add(1, Ordering::Relaxed);
+            mmap_loads().inc();
             return Some(matrix);
         }
         let bytes = std::fs::read(path).ok()?;

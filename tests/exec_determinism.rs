@@ -36,8 +36,11 @@ fn run_kcenter(args: &[&str]) -> String {
         ])
         .args(args)
         // Determinism pins assume the persistent cache is off; an ambient
-        // KCENTER_CACHE_DIR must not serve one run the other's solution.
+        // KCENTER_CACHE_DIR must not serve one run the other's solution,
+        // and an ambient KCENTER_TRACE must not have runs clobbering one
+        // trace file (tests/trace_schema.rs covers tracing explicitly).
         .env_remove("KCENTER_CACHE_DIR")
+        .env_remove("KCENTER_TRACE")
         .current_dir(manifest_dir)
         .output()
         .unwrap_or_else(|e| panic!("failed to spawn kcenter {args:?}: {e}"));
@@ -152,6 +155,7 @@ impl TcpWorker {
             ])
             .env_remove("KCENTER_CACHE_DIR")
             .env_remove("KCENTER_EXEC_FAULT")
+            .env_remove("KCENTER_TRACE")
             .current_dir(manifest_dir)
             .stdout(Stdio::piped())
             .spawn()

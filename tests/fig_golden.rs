@@ -46,6 +46,9 @@ fn run_fig_env(bin: &str, args: &[&str], threads: &str, env: &[(&str, &str)]) ->
         // artifacts into the user's real cache. Cache tests opt back in
         // via an explicit `env` pair below.
         .env_remove("KCENTER_CACHE_DIR")
+        // An ambient trace file must not be clobbered by golden runs (the
+        // trace-invariance test opts back in explicitly).
+        .env_remove(kcenter_obs::TRACE_ENV)
         .current_dir(manifest_dir);
     for (key, value) in env {
         command.env(key, value);
@@ -79,14 +82,10 @@ fn cache_accounting(stderr: &str) -> (usize, usize, usize) {
         .lines()
         .find(|l| l.starts_with("cache-accounting:"))
         .unwrap_or_else(|| panic!("no cache-accounting line in stderr:\n{stderr}"));
-    let field = |name: &str| -> usize {
-        line.split_whitespace()
-            .find_map(|tok| tok.strip_prefix(&format!("{name}=")))
-            .unwrap_or_else(|| panic!("no {name}= field in {line:?}"))
-            .parse()
-            .unwrap_or_else(|e| panic!("bad {name}= field in {line:?}: {e}"))
-    };
-    (field("builds"), field("hits"), field("misses"))
+    // The shared kcenter-obs parser doubles as a format pin: if the
+    // emitter's shape drifts, this stops parsing and the suite fails.
+    kcenter_obs::parse_cache_accounting(line)
+        .unwrap_or_else(|| panic!("unparsable cache-accounting line {line:?}"))
 }
 
 /// A fresh, empty cache directory for one cold/warm scenario.
@@ -212,6 +211,45 @@ distance matrices built: 15"
         got, expected,
         "fig7 golden output drifted (update deliberately on real changes):\n{single}"
     );
+}
+
+/// Tracing must be invisible to the golden contract: the same seeded
+/// run with `KCENTER_TRACE` set writes all trace bytes to the named
+/// file and **none** to stdout, so its stdout is byte-identical to an
+/// untraced run. `--deterministic` blanks the wall-clock columns, so
+/// the comparison really is every byte.
+#[test]
+fn ablation_stdout_is_byte_identical_with_tracing_enabled() {
+    let args: &[&str] = &["--n", "800", "--deterministic"];
+    let trace =
+        std::env::temp_dir().join(format!("kcenter-fig-trace-{}.jsonl", std::process::id()));
+    let trace_str = trace.to_str().expect("utf8 trace path");
+
+    let (plain_out, _) = run_fig_env("ablation_radius_search", args, "1", &[]);
+    let (traced_out, _) = run_fig_env(
+        "ablation_radius_search",
+        args,
+        "1",
+        &[(kcenter_obs::TRACE_ENV, trace_str)],
+    );
+    assert_eq!(
+        plain_out, traced_out,
+        "enabling the trace sink must not change a single stdout byte"
+    );
+
+    // The sink really was live: the file opens with the schema meta
+    // record, and every line is valid JSON.
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let first = text.lines().next().expect("meta record");
+    let meta = kcenter_obs::json::parse(first).expect("meta record parses");
+    assert_eq!(
+        meta.get("schema").and_then(kcenter_obs::json::Json::as_str),
+        Some(kcenter_obs::TRACE_SCHEMA)
+    );
+    for line in text.lines() {
+        kcenter_obs::json::parse(line).unwrap_or_else(|e| panic!("bad trace line {line:?}: {e}"));
+    }
+    let _ = std::fs::remove_file(&trace);
 }
 
 /// The acceptance gate for the persistent artifact store: running the

@@ -1,0 +1,255 @@
+//! Obs-smoke suite: scrapes the `metrics` verb of a real `kcenter serve`
+//! process after driving real traffic through it, and lints the
+//! Prometheus text exposition the way a scraper would — every sample
+//! belongs to a `# TYPE`-declared family, family names are unique and
+//! `kcenter_`-prefixed, and the serve counters/histograms the traffic
+//! must have fed are visibly nonzero. The JSON rendering of the same
+//! registry is validated against its `kcenter-metrics/v1` schema.
+//! Backs the `obs-smoke` CI job together with tests/trace_schema.rs.
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use kcenter_obs::json::{parse, Json};
+use kcenter_serve::ServeClient;
+
+/// The `kcenter serve` child; killed on drop so a panicking assertion
+/// never leaks a server.
+struct Server {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Server {
+    fn spawn(dir: &Path) -> Server {
+        let socket = dir.join("obs.sock");
+        let cache = dir.join("cache");
+        let manifest_dir = env!("CARGO_MANIFEST_DIR");
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+        let mut child = Command::new(&cargo)
+            .args([
+                "run",
+                "--release",
+                "-p",
+                "kcenter-cli",
+                "--bin",
+                "kcenter",
+                "--",
+                "serve",
+                "--socket",
+            ])
+            .arg(&socket)
+            .args([
+                "--tau",
+                "16",
+                "--listen",
+                "tcp://127.0.0.1:0",
+                "--cache-dir",
+            ])
+            .arg(&cache)
+            .env_remove("KCENTER_CACHE_DIR")
+            .env_remove(kcenter_obs::TRACE_ENV)
+            .current_dir(manifest_dir)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn kcenter serve");
+        // Wait for the announce line so the socket is live before the
+        // first connect attempt.
+        let stdout = child.stdout.take().expect("server stdout");
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        let mut announced = false;
+        while reader.read_line(&mut line).expect("server announce") > 0 {
+            if line.contains("listening on tcp://") {
+                announced = true;
+                break;
+            }
+            line.clear();
+        }
+        assert!(announced, "server never announced its tcp endpoint");
+        Server { child, socket }
+    }
+
+    /// Connects, waiting out the child's `cargo run` startup.
+    fn connect(&mut self) -> ServeClient {
+        let deadline = Instant::now() + Duration::from_secs(300);
+        loop {
+            match ServeClient::connect(&self.socket) {
+                Ok(client) => return client,
+                Err(err) => {
+                    if let Some(status) = self.child.try_wait().expect("poll server") {
+                        panic!("server exited before serving: {status}");
+                    }
+                    assert!(
+                        Instant::now() < deadline,
+                        "server socket never appeared: {err}"
+                    );
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kcenter-obs-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn points(n: usize) -> Vec<kcenter_metric::Point> {
+    (0..n)
+        .map(|i| {
+            let a = ((i as u64).wrapping_mul(2654435761).wrapping_add(17)) % 1000;
+            let b = ((i as u64).wrapping_mul(40503).wrapping_add(91)) % 1000;
+            kcenter_metric::Point::new(vec![a as f64 * 0.5, b as f64 * 0.25])
+        })
+        .collect()
+}
+
+/// The family name of one exposition sample line: the metric name up to
+/// the label set, with histogram sample suffixes stripped.
+fn sample_family(line: &str) -> &str {
+    let name = line
+        .split(['{', ' '])
+        .next()
+        .expect("split yields at least one piece");
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            return stem;
+        }
+    }
+    name
+}
+
+/// The scrape-side pin: Prometheus exposition lints clean, the traffic
+/// the test pushed shows up in the serve families, and the JSON
+/// rendering of the same registry carries its schema tag.
+#[test]
+fn serve_metrics_verb_scrapes_clean() {
+    let dir = temp_dir();
+    let mut server = Server::spawn(&dir);
+    let mut client = server.connect();
+    client.hello(Some(16)).expect("hello");
+
+    // Real traffic: two ingest batches and a query on one stream, plus a
+    // second session so the resident-sessions gauge has something to say.
+    let batch = points(40);
+    client.ingest("acme", "s1", &batch[..20]).expect("ingest 1");
+    client.ingest("acme", "s1", &batch[20..]).expect("ingest 2");
+    client.query("acme", "s1", 3, 0, 0.25).expect("query");
+    client
+        .ingest("acme", "s2", &batch[..10])
+        .expect("ingest s2");
+
+    let text = client.metrics(None).expect("prometheus scrape");
+    let mut typed: HashSet<&str> = HashSet::new();
+    let mut histograms: HashSet<&str> = HashSet::new();
+    for line in text.lines() {
+        let Some(decl) = line.strip_prefix("# TYPE ") else {
+            assert!(
+                !line.starts_with('#') || line.starts_with("# HELP "),
+                "unknown comment line {line:?}"
+            );
+            continue;
+        };
+        let mut words = decl.split(' ');
+        let family = words.next().expect("family name in TYPE line");
+        let kind = words
+            .next()
+            .unwrap_or_else(|| panic!("no kind in {line:?}"));
+        assert!(
+            ["counter", "gauge", "histogram"].contains(&kind),
+            "unknown kind in {line:?}"
+        );
+        assert!(
+            family.starts_with("kcenter_"),
+            "family {family:?} misses the kcenter_ prefix"
+        );
+        assert!(typed.insert(family), "family {family:?} declared twice");
+        if kind == "histogram" {
+            histograms.insert(family);
+        }
+    }
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let family = sample_family(line);
+        // A bare name ending in _count/_sum could also be a counter
+        // family; accept either resolution, but one must be declared.
+        assert!(
+            typed.contains(family) || typed.contains(line.split(['{', ' ']).next().unwrap()),
+            "sample {line:?} has no # TYPE declaration"
+        );
+        if histograms.contains(family) && line.contains("_bucket") {
+            assert!(
+                line.contains("le="),
+                "histogram bucket sample {line:?} misses its le label"
+            );
+        }
+    }
+
+    // The traffic is visible: ingest fed the batch counter, the points
+    // counter, and the latency histogram; the query ran; the gauges were
+    // refreshed at scrape time.
+    let sample = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| sample_family(l) == name || l.starts_with(&format!("{name} ")))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse::<f64>().ok())
+            .map(|v| v as u64)
+            .unwrap_or_else(|| panic!("no sample for {name} in:\n{text}"))
+    };
+    assert_eq!(sample("kcenter_serve_ingest_batches"), 3);
+    assert_eq!(sample("kcenter_serve_ingest_points"), 50);
+    assert_eq!(sample("kcenter_serve_queries"), 1);
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("kcenter_serve_ingest_micros_count ") && !l.ends_with(" 0")),
+        "ingest latency histogram never observed:\n{text}"
+    );
+    assert_eq!(sample("kcenter_serve_sessions_known"), 2);
+
+    // The JSON rendering is the same registry under its schema tag.
+    let json = client.metrics(Some("json")).expect("json scrape");
+    let snapshot = parse(&json).unwrap_or_else(|e| panic!("metrics json does not parse: {e}"));
+    assert_eq!(
+        snapshot.get("schema").and_then(Json::as_str),
+        Some("kcenter-metrics/v1")
+    );
+    let entries = snapshot
+        .get("metrics")
+        .and_then(Json::as_array)
+        .expect("metrics array");
+    let queries = entries
+        .iter()
+        .find(|m| m.get("name").and_then(Json::as_str) == Some("serve.queries"))
+        .expect("serve.queries in json snapshot");
+    assert_eq!(queries.get("value").and_then(Json::as_u64), Some(1));
+
+    // Unknown formats are a protocol error, not silent text.
+    let err = client
+        .metrics(Some("xml"))
+        .expect_err("xml must be rejected");
+    assert!(
+        err.to_string().contains("unknown metrics format"),
+        "unexpected error {err}"
+    );
+
+    client.shutdown().expect("shutdown");
+    let status = server.child.wait().expect("reap server");
+    assert!(status.success(), "server exited with {status}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
